@@ -1,0 +1,255 @@
+// Package lockdown_bench is the benchmark harness that regenerates every
+// table and figure of "The Lockdown Effect" (IMC 2020). Each benchmark runs
+// the corresponding experiment of internal/core and reports the headline
+// metric(s) as custom benchmark units, so that
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full pipeline and prints the reproduced numbers (see
+// EXPERIMENTS.md for the paper-vs-measured comparison).
+package lockdown_bench
+
+import (
+	"testing"
+	"time"
+
+	"lockdown/internal/core"
+	"lockdown/internal/flowrec"
+	"lockdown/internal/ipfix"
+	"lockdown/internal/netflow"
+	"lockdown/internal/synth"
+)
+
+// benchOptions keeps the flow-level experiments affordable inside the
+// benchmark loop while leaving relative results unchanged.
+var benchOptions = core.Options{FlowScale: 0.25}
+
+// runExperiment runs one experiment b.N times and reports selected metrics
+// from the final run.
+func runExperiment(b *testing.B, id string, metrics map[string]string) {
+	b.Helper()
+	var res *core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = core.Run(id, benchOptions)
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+	}
+	for metric, unit := range metrics {
+		b.ReportMetric(res.Metric(metric), unit)
+	}
+}
+
+func BenchmarkFig01WeeklyVolume(b *testing.B) {
+	runExperiment(b, "fig1", map[string]string{
+		"ISP-CE/week13": "ISP-CE_wk13_x",
+		"IXP-CE/week13": "IXP-CE_wk13_x",
+	})
+}
+
+func BenchmarkFig02aDailyPattern(b *testing.B) {
+	runExperiment(b, "fig2a", map[string]string{
+		"mar25/morning-share": "mar25_morning_share",
+	})
+}
+
+func BenchmarkFig02bcPatternClassification(b *testing.B) {
+	runExperiment(b, "fig2bc", map[string]string{
+		"ISP-CE/lockdown-workdays-weekendlike": "ISP_weekendlike_frac",
+	})
+}
+
+func BenchmarkFig03aISPWeeks(b *testing.B) {
+	runExperiment(b, "fig3a", map[string]string{
+		"stage1/mean": "stage1_mean_x",
+		"stage3/mean": "stage3_mean_x",
+	})
+}
+
+func BenchmarkFig03bIXPWeeks(b *testing.B) {
+	runExperiment(b, "fig3b", map[string]string{
+		"IXP-CE/stage2/mean": "IXPCE_stage2_x",
+		"IXP-US/stage1/mean": "IXPUS_stage1_x",
+	})
+}
+
+func BenchmarkFig04Hypergiants(b *testing.B) {
+	runExperiment(b, "fig4", map[string]string{
+		"gap-week15/Workday 09:00-16:59": "other_minus_hg_wk15",
+	})
+}
+
+func BenchmarkFig05LinkUtilization(b *testing.B) {
+	runExperiment(b, "fig5", map[string]string{
+		"median-shift": "median_util_shift",
+	})
+}
+
+func BenchmarkFig06RemoteWorkASes(b *testing.B) {
+	runExperiment(b, "fig6", map[string]string{
+		"correlation": "total_vs_residential_r",
+	})
+}
+
+func BenchmarkFig07aPortsISP(b *testing.B) {
+	runExperiment(b, "fig7a", map[string]string{
+		"UDP/443/stage1-workday":  "quic_stage1_x",
+		"UDP/4500/stage1-workday": "natt_stage1_x",
+	})
+}
+
+func BenchmarkFig07bPortsIXP(b *testing.B) {
+	runExperiment(b, "fig7b", map[string]string{
+		"UDP/3480/stage1-workday": "teams_stage1_x",
+		"GRE/stage2-workday":      "gre_stage2_x",
+	})
+}
+
+func BenchmarkTab01FilterInventory(b *testing.B) {
+	runExperiment(b, "tab1", map[string]string{"classes": "classes"})
+}
+
+func BenchmarkFig08GamingIXPSE(b *testing.B) {
+	runExperiment(b, "fig8", map[string]string{
+		"week14/volume": "wk14_volume_x",
+		"outage-ratio":  "outage_ratio",
+	})
+}
+
+func BenchmarkFig09AppClassHeatmaps(b *testing.B) {
+	runExperiment(b, "fig9", map[string]string{
+		"IXP-CE/Web conf/stage1": "IXPCE_webconf_pct",
+		"ISP-CE/VoD/stage1":      "ISP_vod_pct",
+	})
+}
+
+func BenchmarkFig10VPNShift(b *testing.B) {
+	runExperiment(b, "fig10", map[string]string{
+		"stage1/domain": "domain_vpn_stage1_x",
+		"stage1/port":   "port_vpn_stage1_x",
+	})
+}
+
+func BenchmarkFig11aEDUVolume(b *testing.B) {
+	runExperiment(b, "fig11a", map[string]string{
+		"workday-drop": "workday_drop_frac",
+	})
+}
+
+func BenchmarkFig11bEDUInOutRatio(b *testing.B) {
+	runExperiment(b, "fig11b", map[string]string{
+		"base-workday-ratio":   "base_inout_ratio",
+		"online-workday-ratio": "online_inout_ratio",
+	})
+}
+
+func BenchmarkFig12EDUConnections(b *testing.B) {
+	runExperiment(b, "fig12", map[string]string{
+		"Eyeball ISPs (VPN, In)": "vpn_in_x",
+		"SSH (In)":               "ssh_in_x",
+	})
+}
+
+func BenchmarkTab02Hypergiants(b *testing.B) {
+	runExperiment(b, "tab2", map[string]string{"hypergiants": "hypergiants"})
+}
+
+func BenchmarkAppBEDUClasses(b *testing.B) {
+	runExperiment(b, "appB", map[string]string{"classes": "classes"})
+}
+
+func BenchmarkAblationPortOnlyVPN(b *testing.B) {
+	runExperiment(b, "ablation-vpn", map[string]string{
+		"missed-share": "missed_vpn_share",
+	})
+}
+
+func BenchmarkAblationPatternBinSize(b *testing.B) {
+	runExperiment(b, "ablation-binsize", map[string]string{
+		"bin6": "bin6_agreement",
+	})
+}
+
+// --- substrate micro-benchmarks -----------------------------------------
+
+func benchRecords(n int) []flowrec.Record {
+	g := synth.MustNewDefault(synth.ISPCE)
+	recs := g.FlowsForHour(time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC))
+	for len(recs) < n {
+		recs = append(recs, recs...)
+	}
+	return recs[:n]
+}
+
+func BenchmarkCodecNetflowV5(b *testing.B) {
+	recs := benchRecords(netflow.V5MaxRecords)
+	export := time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt, err := netflow.EncodeV5(recs, export, uint32(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := netflow.DecodeV5(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(netflow.V5MaxRecords), "records/op")
+}
+
+func BenchmarkCodecNetflowV9(b *testing.B) {
+	recs := benchRecords(100)
+	export := time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC)
+	enc := &netflow.V9Encoder{SourceID: 1}
+	dec := netflow.NewV9Decoder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt, err := enc.Encode(recs, export)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dec.Decode(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100, "records/op")
+}
+
+func BenchmarkCodecIPFIX(b *testing.B) {
+	recs := benchRecords(100)
+	export := time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC)
+	enc := &ipfix.Encoder{DomainID: 1}
+	dec := ipfix.NewDecoder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg, err := enc.Encode(recs, export)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dec.Decode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100, "records/op")
+}
+
+func BenchmarkGeneratorHourlyVolume(b *testing.B) {
+	g := synth.MustNewDefault(synth.IXPCE)
+	t := time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.HourlyVolume(t.Add(time.Duration(i%168) * time.Hour))
+	}
+}
+
+func BenchmarkGeneratorFlowsForHour(b *testing.B) {
+	g := synth.MustNewDefault(synth.ISPCE)
+	t := time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(g.FlowsForHour(t.Add(time.Duration(i%168) * time.Hour)))
+	}
+	b.ReportMetric(float64(n), "flows/op")
+}

@@ -1,0 +1,107 @@
+// Command lockdown regenerates the tables and figures of "The Lockdown
+// Effect" (IMC 2020) from the synthetic vantage-point models.
+//
+// Usage:
+//
+//	lockdown list                 list all experiments
+//	lockdown run <id> [flags]     run one experiment (e.g. fig1, tab1, fig11a)
+//	lockdown all [flags]          run every experiment
+//
+// Flags for run/all:
+//
+//	-csv          emit CSV instead of aligned text tables
+//	-scale f      flow sampling density for flow-level experiments (default 0.5)
+//	-seed n       generator seed override
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lockdown/internal/core"
+	"lockdown/internal/report"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  lockdown list
+  lockdown run <experiment-id> [-csv] [-scale f] [-seed n]
+  lockdown all [-csv] [-scale f] [-seed n]
+
+experiments:
+`)
+	for _, e := range core.All() {
+		fmt.Fprintf(os.Stderr, "  %-18s %-22s %s\n", e.ID, e.Artifact, e.Title)
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lockdown:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range core.All() {
+			fmt.Printf("%-18s %-22s %s\n", e.ID, e.Artifact, e.Title)
+		}
+		return nil
+	case "run", "all":
+		fs := flag.NewFlagSet(args[0], flag.ContinueOnError)
+		csvOut := fs.Bool("csv", false, "emit CSV instead of text tables")
+		scale := fs.Float64("scale", 0.5, "flow sampling density for flow-level experiments")
+		seed := fs.Int64("seed", 0, "generator seed override (0 = default)")
+		var rest []string
+		if args[0] == "run" {
+			if len(args) < 2 {
+				usage()
+				return fmt.Errorf("run needs an experiment id")
+			}
+			rest = args[2:]
+			if err := fs.Parse(rest); err != nil {
+				return err
+			}
+			opts := core.Options{FlowScale: *scale, Seed: *seed}
+			res, err := core.Run(args[1], opts)
+			if err != nil {
+				return err
+			}
+			return emit(res, *csvOut)
+		}
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		opts := core.Options{FlowScale: *scale, Seed: *seed}
+		results, err := core.RunAll(opts)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			if err := emit(res, *csvOut); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func emit(res *core.Result, asCSV bool) error {
+	if asCSV {
+		return report.WriteCSV(os.Stdout, res)
+	}
+	return report.WriteText(os.Stdout, res)
+}

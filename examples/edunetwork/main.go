@@ -1,0 +1,73 @@
+// edunetwork reproduces the Section 7 analysis of the educational
+// metropolitan network: the collapse of workday volume, the inversion of
+// the ingress/egress ratio and the growth of incoming remote-access
+// connections.
+//
+//	go run ./examples/edunetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lockdown/internal/calendar"
+	"lockdown/internal/edu"
+	"lockdown/internal/flowrec"
+	"lockdown/internal/synth"
+)
+
+func main() {
+	cfg := synth.DefaultConfig(synth.EDU)
+	cfg.FlowScale = 0.5
+	g, err := synth.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weeks := calendar.EDUWeeks()
+
+	// Volume per day for the three key weeks.
+	hourly := g.TotalSeries(weeks[0].Start, weeks[2].End)
+	profiles, err := edu.VolumeByWeek(hourly, weeks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("normalised daily volume (minimum day = 1):")
+	for _, p := range profiles {
+		fmt.Printf("  %-17s", p.Label)
+		for _, d := range p.Days {
+			fmt.Printf(" %s %5.2f ", d.Day.Weekday().String()[:3], d.Value)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("workday volume change base -> online lecturing: %+.0f%%\n\n",
+		edu.WorkdayDrop(profiles[0], profiles[2])*100)
+
+	// Ingress/egress ratio.
+	in, out := g.DirectionSeries(weeks[0].Start, weeks[2].End)
+	ratios, err := edu.InOutRatio(in, out, weeks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ingress/egress ratio (Tuesday of each week):")
+	for _, p := range ratios {
+		fmt.Printf("  %-17s %5.1f\n", p.Label, p.Days[5].Value)
+	}
+	fmt.Println()
+
+	// Connection growth for the remote-access classes.
+	baseline := time.Date(2020, 2, 27, 0, 0, 0, 0, time.UTC)
+	days := []time.Time{baseline, time.Date(2020, 4, 21, 0, 0, 0, 0, time.UTC)}
+	byDay := map[time.Time][]flowrec.Record{}
+	for _, d := range days {
+		byDay[d] = g.FlowsBetween(d, d.AddDate(0, 0, 1))
+	}
+	counts := edu.CountConnections(byDay)
+	growth := edu.ConnectionGrowth(counts, baseline, append(edu.DefaultCategories(), edu.ExtraCategories()...))
+	fmt.Println("connection growth on Apr 21 relative to Feb 27:")
+	for _, cat := range append(edu.DefaultCategories(), edu.ExtraCategories()...) {
+		if s, ok := growth.Series[cat.Name]; ok {
+			fmt.Printf("  %-28s %5.1fx\n", cat.Name, s.Values()[len(s.Values())-1])
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate synthetic ISP traffic for the study window, run the
+// headline experiment (Figure 1 weekly growth) and print it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lockdown/internal/calendar"
+	"lockdown/internal/core"
+	"lockdown/internal/report"
+	"lockdown/internal/synth"
+)
+
+func main() {
+	// 1. Build a generator for the Central European ISP and look at a
+	//    single lockdown day.
+	g, err := synth.NewDefault(synth.ISPCE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	day := time.Date(2020, 3, 25, 0, 0, 0, 0, time.UTC)
+	fmt.Printf("ISP-CE on %s (lockdown Wednesday):\n", day.Format("2006-01-02"))
+	var labels []string
+	var values []float64
+	for h := 0; h < 24; h += 3 {
+		labels = append(labels, fmt.Sprintf("%02d:00", h))
+		values = append(values, g.HourlyVolume(day.Add(time.Duration(h)*time.Hour))/1e12)
+	}
+	if err := report.Chart(os.Stdout, "hourly volume (TB)", labels, values, 40); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. How much did the week grow over the pre-pandemic baseline?
+	base := g.TotalSeries(calendar.StudyStart, calendar.StudyEnd).WeeklyMeans()
+	fmt.Printf("\nweek 13 vs week 3: %+.0f%%\n\n", (base[13]/base[3]-1)*100)
+
+	// 3. Run the full Figure 1 experiment across every vantage point.
+	res, err := core.Run("fig1", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.WriteText(os.Stdout, res); err != nil {
+		log.Fatal(err)
+	}
+}

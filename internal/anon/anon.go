@@ -1,0 +1,115 @@
+// Package anon implements the address anonymisation described in the
+// paper's ethics section (2.1): IP addresses are hashed with a keyed
+// function before any analysis so raw addresses never leave the vantage
+// point.
+//
+// Two schemes are provided:
+//
+//   - Hasher: a keyed HMAC-SHA-256 mapping of a full address into a
+//     synthetic address of the same family. Equal inputs map to equal
+//     outputs (so flows can still be grouped and unique endpoints counted)
+//     but the mapping cannot be reversed without the key.
+//   - PrefixPreserving: a /24- (or /48-)granular variant that hashes the
+//     host bits separately from the prefix bits so that analyses relying on
+//     prefix locality (e.g. per-AS grouping after prefix→AS mapping) remain
+//     meaningful.
+package anon
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"net/netip"
+)
+
+// Hasher anonymises addresses with a secret key. The zero value is not
+// usable; construct with New.
+type Hasher struct {
+	key []byte
+}
+
+// New returns a Hasher using the given secret key. The key is copied.
+func New(key []byte) *Hasher {
+	return &Hasher{key: append([]byte(nil), key...)}
+}
+
+func (h *Hasher) mac(data []byte) []byte {
+	m := hmac.New(sha256.New, h.key)
+	m.Write(data)
+	return m.Sum(nil)
+}
+
+// Addr maps addr to a synthetic address of the same family. The mapping is
+// deterministic for a fixed key. Invalid addresses are returned unchanged.
+func (h *Hasher) Addr(addr netip.Addr) netip.Addr {
+	if !addr.IsValid() {
+		return addr
+	}
+	b := addr.AsSlice()
+	sum := h.mac(b)
+	if addr.Is4() {
+		var out [4]byte
+		copy(out[:], sum[:4])
+		return netip.AddrFrom4(out)
+	}
+	var out [16]byte
+	copy(out[:], sum[:16])
+	return netip.AddrFrom16(out)
+}
+
+// PrefixPreserving anonymises the host part of an address while keeping a
+// keyed but consistent mapping for the network part, so that two addresses
+// within the same /24 (IPv4) or /48 (IPv6) stay within one synthetic
+// prefix.
+type PrefixPreserving struct {
+	h *Hasher
+}
+
+// NewPrefixPreserving returns a prefix-preserving anonymiser with the given
+// key.
+func NewPrefixPreserving(key []byte) *PrefixPreserving {
+	return &PrefixPreserving{h: New(key)}
+}
+
+// Addr anonymises addr, preserving /24 (IPv4) or /48 (IPv6) prefix
+// grouping: addresses sharing a real prefix share a synthetic prefix.
+func (p *PrefixPreserving) Addr(addr netip.Addr) netip.Addr {
+	if !addr.IsValid() {
+		return addr
+	}
+	if addr.Is4() {
+		raw := addr.As4()
+		prefSum := p.h.mac(append([]byte{'p'}, raw[:3]...))
+		hostSum := p.h.mac(append([]byte{'h'}, raw[:]...))
+		var out [4]byte
+		copy(out[:3], prefSum[:3])
+		out[3] = hostSum[0]
+		return netip.AddrFrom4(out)
+	}
+	raw := addr.As16()
+	prefSum := p.h.mac(append([]byte{'p'}, raw[:6]...))
+	hostSum := p.h.mac(append([]byte{'h'}, raw[:]...))
+	var out [16]byte
+	copy(out[:6], prefSum[:6])
+	copy(out[6:], hostSum[:10])
+	return netip.AddrFrom16(out)
+}
+
+// SamePrefix reports whether two anonymised IPv4 addresses produced by this
+// anonymiser belong to the same synthetic /24 (or /48 for IPv6). It exists
+// mainly for tests and sanity checks.
+func SamePrefix(a, b netip.Addr) bool {
+	if a.Is4() != b.Is4() {
+		return false
+	}
+	if a.Is4() {
+		ra, rb := a.As4(), b.As4()
+		return ra[0] == rb[0] && ra[1] == rb[1] && ra[2] == rb[2]
+	}
+	ra, rb := a.As16(), b.As16()
+	for i := 0; i < 6; i++ {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package anon
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestHasherDeterministic(t *testing.T) {
+	h := New([]byte("vantage-point-secret"))
+	a := netip.MustParseAddr("203.0.113.7")
+	if h.Addr(a) != h.Addr(a) {
+		t.Error("same input should map to same output")
+	}
+}
+
+func TestHasherChangesAddress(t *testing.T) {
+	h := New([]byte("k"))
+	a := netip.MustParseAddr("203.0.113.7")
+	if h.Addr(a) == a {
+		t.Error("anonymised address should differ from the original")
+	}
+}
+
+func TestHasherKeyDependence(t *testing.T) {
+	a := netip.MustParseAddr("203.0.113.7")
+	if New([]byte("k1")).Addr(a) == New([]byte("k2")).Addr(a) {
+		t.Error("different keys should produce different mappings")
+	}
+}
+
+func TestHasherPreservesFamily(t *testing.T) {
+	h := New([]byte("k"))
+	v4 := netip.MustParseAddr("198.51.100.20")
+	v6 := netip.MustParseAddr("2001:db8::1")
+	if !h.Addr(v4).Is4() {
+		t.Error("IPv4 input should map to IPv4 output")
+	}
+	if h.Addr(v6).Is4() {
+		t.Error("IPv6 input should map to IPv6 output")
+	}
+}
+
+func TestHasherInvalidPassthrough(t *testing.T) {
+	h := New([]byte("k"))
+	var invalid netip.Addr
+	if h.Addr(invalid) != invalid {
+		t.Error("invalid address should pass through unchanged")
+	}
+}
+
+func TestHasherInjectiveOnSample(t *testing.T) {
+	h := New([]byte("k"))
+	seen := make(map[netip.Addr]netip.Addr)
+	for i := 0; i < 256; i++ {
+		a := netip.AddrFrom4([4]byte{10, 0, byte(i / 16), byte(i)})
+		out := h.Addr(a)
+		if prev, ok := seen[out]; ok {
+			t.Fatalf("collision: %v and %v both map to %v", prev, a, out)
+		}
+		seen[out] = a
+	}
+}
+
+func TestPrefixPreserving(t *testing.T) {
+	p := NewPrefixPreserving([]byte("k"))
+	a := netip.MustParseAddr("192.0.2.10")
+	b := netip.MustParseAddr("192.0.2.200")
+	c := netip.MustParseAddr("198.51.100.10")
+	pa, pb, pc := p.Addr(a), p.Addr(b), p.Addr(c)
+	if !SamePrefix(pa, pb) {
+		t.Error("addresses in the same /24 should share a synthetic prefix")
+	}
+	if SamePrefix(pa, pc) {
+		t.Error("addresses in different /24s should not share a synthetic prefix")
+	}
+	if pa == pb {
+		t.Error("different hosts should not map to the same address")
+	}
+}
+
+func TestPrefixPreservingIPv6(t *testing.T) {
+	p := NewPrefixPreserving([]byte("k"))
+	a := netip.MustParseAddr("2001:db8:1::10")
+	b := netip.MustParseAddr("2001:db8:1::beef")
+	c := netip.MustParseAddr("2001:db8:2::10")
+	if !SamePrefix(p.Addr(a), p.Addr(b)) {
+		t.Error("same /48 should be preserved for IPv6")
+	}
+	if SamePrefix(p.Addr(a), p.Addr(c)) {
+		t.Error("different /48s should diverge for IPv6")
+	}
+}
+
+func TestSamePrefixMixedFamilies(t *testing.T) {
+	if SamePrefix(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("::1")) {
+		t.Error("different families can never share a prefix")
+	}
+}
+
+// Property: anonymisation is deterministic and family-preserving for
+// arbitrary IPv4 addresses.
+func TestHasherQuick(t *testing.T) {
+	h := New([]byte("quick"))
+	f := func(raw [4]byte) bool {
+		a := netip.AddrFrom4(raw)
+		x, y := h.Addr(a), h.Addr(a)
+		return x == y && x.Is4()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prefix preservation holds for arbitrary pairs within a /24.
+func TestPrefixPreservingQuick(t *testing.T) {
+	p := NewPrefixPreserving([]byte("quick"))
+	f := func(net [3]byte, h1, h2 byte) bool {
+		a := netip.AddrFrom4([4]byte{net[0], net[1], net[2], h1})
+		b := netip.AddrFrom4([4]byte{net[0], net[1], net[2], h2})
+		return SamePrefix(p.Addr(a), p.Addr(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package appclass implements the application-class traffic classification
+// of Section 5 (Table 1) and the EDU traffic classes of Appendix B.
+//
+// Classification works exactly as in the paper: each class is defined by a
+// set of filters, where a filter matches on the source/destination AS, on
+// the transport port, or on a combination of both. A flow record is
+// attributed to the first class whose filters match ("hiding" web-based
+// applications such as conferencing inside TCP/443 are pulled out of the
+// generic web class by their AS).
+package appclass
+
+import (
+	"sort"
+
+	"lockdown/internal/asdb"
+	"lockdown/internal/flowrec"
+)
+
+// Class is one of the paper's application classes (Table 1).
+type Class string
+
+// The nine application classes of Table 1, plus Unclassified for traffic
+// no filter matches.
+const (
+	WebConf       Class = "Web conf"
+	VoD           Class = "VoD"
+	Gaming        Class = "gaming"
+	SocialMedia   Class = "social media"
+	Messaging     Class = "messaging"
+	Email         Class = "email"
+	Educational   Class = "educational"
+	Collaborative Class = "coll. working"
+	CDN           Class = "CDN"
+	Unclassified  Class = "unclassified"
+)
+
+// AllClasses lists the nine classes in the row order of Figure 9's
+// heatmaps.
+func AllClasses() []Class {
+	return []Class{CDN, Collaborative, Educational, Email, Messaging, SocialMedia, Gaming, VoD, WebConf}
+}
+
+// Filter is one matching rule: a flow matches if it involves one of the
+// filter's ASes (when given) and uses one of the filter's ports (when
+// given). A filter with both criteria requires both.
+type Filter struct {
+	// Name documents the provider or protocol the filter captures.
+	Name string
+	// ASNs match either endpoint's AS (content providers appear as
+	// source at the ISP and as either side at the IXPs).
+	ASNs []uint32
+	// Ports match the flow's server-side port.
+	Ports []flowrec.PortProto
+}
+
+// matches reports whether the record satisfies the filter.
+func (f Filter) matches(r flowrec.Record) bool {
+	if len(f.ASNs) > 0 {
+		found := false
+		for _, asn := range f.ASNs {
+			if r.SrcAS == asn || r.DstAS == asn {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(f.Ports) > 0 {
+		sp := r.ServerPort()
+		found := false
+		for _, p := range f.Ports {
+			if p == sp {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return len(f.ASNs) > 0 || len(f.Ports) > 0
+}
+
+// Classifier attributes flow records to application classes.
+type Classifier struct {
+	order   []Class
+	filters map[Class][]Filter
+}
+
+func tcp(p uint16) flowrec.PortProto { return flowrec.PortProto{Proto: flowrec.ProtoTCP, Port: p} }
+func udp(p uint16) flowrec.PortProto { return flowrec.PortProto{Proto: flowrec.ProtoUDP, Port: p} }
+
+// NewDefault builds the classifier with the filter inventory of Table 1,
+// resolving provider ASes against the given registry (pass nil for the
+// built-in registry).
+func NewDefault(reg *asdb.Registry) *Classifier {
+	if reg == nil {
+		reg = asdb.Default()
+	}
+	asnsOf := func(cat asdb.Category) []uint32 {
+		var out []uint32
+		for _, a := range reg.OfCategory(cat) {
+			out = append(out, a.ASN)
+		}
+		return out
+	}
+
+	gamingPorts := []flowrec.PortProto{
+		udp(3074), tcp(3074), udp(3659), udp(27015), tcp(27015), udp(30000), udp(8393), udp(5222), tcp(5222),
+	}
+	emailPorts := []flowrec.PortProto{tcp(25), tcp(110), tcp(143), tcp(465), tcp(587), tcp(993), tcp(995)}
+	confPorts := []flowrec.PortProto{udp(3480), udp(8801), udp(3478), udp(50000)}
+	collabPorts := []flowrec.PortProto{tcp(443), tcp(80)}
+	messagingPorts := []flowrec.PortProto{tcp(443), tcp(5222), tcp(5223)}
+
+	c := &Classifier{
+		// Specific, provider-bound classes are evaluated before broad
+		// port-only classes so that e.g. conferencing inside TCP/443 is
+		// not swallowed by CDN or web filters.
+		order:   []Class{WebConf, Collaborative, Messaging, Gaming, VoD, SocialMedia, Educational, Email, CDN},
+		filters: make(map[Class][]Filter),
+	}
+
+	c.filters[WebConf] = []Filter{
+		{Name: "Zoom", ASNs: []uint32{30103}, Ports: []flowrec.PortProto{udp(8801), tcp(443), udp(3478)}},
+		{Name: "Teams/Skype STUN", ASNs: []uint32{8075}, Ports: []flowrec.PortProto{udp(3480), udp(3478)}},
+		{Name: "Webex", ASNs: []uint32{13445}, Ports: []flowrec.PortProto{tcp(443), udp(3478)}},
+		{Name: "RingCentral", ASNs: []uint32{46652}, Ports: []flowrec.PortProto{tcp(443)}},
+		{Name: "Conferencing media ports", Ports: confPorts},
+		{Name: "Zoom connector", Ports: []flowrec.PortProto{udp(8801)}},
+		{Name: "Teams STUN", Ports: []flowrec.PortProto{udp(3480)}},
+	}
+	c.filters[VoD] = []Filter{
+		{Name: "Netflix", ASNs: []uint32{2906, 40027}},
+		{Name: "Twitch", ASNs: []uint32{46489}},
+		{Name: "Disney streaming", ASNs: []uint32{394406}},
+		{Name: "Regional TV streaming", ASNs: []uint32{203561}},
+		{Name: "TV streaming port", ASNs: []uint32{203561}, Ports: []flowrec.PortProto{tcp(8200)}},
+	}
+	c.filters[Gaming] = []Filter{
+		{Name: "Valve/Steam", ASNs: []uint32{32590}, Ports: gamingPorts},
+		{Name: "Blizzard", ASNs: []uint32{57976}, Ports: gamingPorts},
+		{Name: "Riot Games", ASNs: []uint32{6507}, Ports: gamingPorts},
+		{Name: "Nintendo", ASNs: []uint32{11282}, Ports: gamingPorts},
+		{Name: "Sony PSN", ASNs: []uint32{33353}, Ports: gamingPorts},
+		{Name: "Gaming providers any port", ASNs: asnsOf(asdb.CatGaming)},
+		{Name: "Console/game ports", Ports: gamingPorts[:6]},
+		{Name: "Cloud gaming", Ports: []flowrec.PortProto{udp(30000)}},
+	}
+	c.filters[SocialMedia] = []Filter{
+		{Name: "Facebook", ASNs: []uint32{32934}, Ports: []flowrec.PortProto{tcp(443)}},
+		{Name: "Twitter", ASNs: []uint32{13414}, Ports: []flowrec.PortProto{tcp(443)}},
+		{Name: "Snap", ASNs: []uint32{54888}, Ports: []flowrec.PortProto{tcp(443)}},
+		{Name: "TikTok / VK", ASNs: []uint32{138699, 47764}, Ports: []flowrec.PortProto{tcp(443)}},
+	}
+	c.filters[Messaging] = []Filter{
+		{Name: "Telegram", ASNs: []uint32{62041}, Ports: messagingPorts},
+		{Name: "Viber", ASNs: []uint32{59930}, Ports: messagingPorts},
+		{Name: "Other messengers", ASNs: []uint32{21321}, Ports: messagingPorts},
+	}
+	c.filters[Email] = []Filter{
+		{Name: "Mail protocols", Ports: emailPorts},
+	}
+	c.filters[Educational] = []Filter{
+		{Name: "GEANT", ASNs: []uint32{20965}},
+		{Name: "DFN", ASNs: []uint32{680}},
+		{Name: "RedIRIS", ASNs: []uint32{766}},
+		{Name: "Internet2", ASNs: []uint32{11537}},
+		{Name: "Metropolitan EDU", ASNs: []uint32{64600}},
+		{Name: "Other NRENs", ASNs: asnsOf(asdb.CatEducational)},
+		{Name: "Campus web", ASNs: []uint32{64600}, Ports: []flowrec.PortProto{tcp(443)}},
+		{Name: "Campus alt web", ASNs: []uint32{766}, Ports: []flowrec.PortProto{tcp(80)}},
+		{Name: "Campus QUIC", ASNs: []uint32{64600}, Ports: []flowrec.PortProto{udp(443)}},
+	}
+	c.filters[Collaborative] = []Filter{
+		{Name: "Dropbox", ASNs: []uint32{19679}, Ports: collabPorts},
+		{Name: "Slack", ASNs: []uint32{394699}, Ports: collabPorts},
+		{Name: "Automattic", ASNs: []uint32{2635}, Ports: collabPorts},
+		{Name: "Dropbox LAN sync", ASNs: []uint32{19679}, Ports: []flowrec.PortProto{tcp(17500)}},
+		{Name: "Collaboration suites", ASNs: []uint32{19679, 394699}, Ports: []flowrec.PortProto{tcp(443)}},
+		{Name: "Whiteboarding", ASNs: []uint32{394699}, Ports: []flowrec.PortProto{tcp(443)}},
+		{Name: "File sync", ASNs: []uint32{19679}, Ports: []flowrec.PortProto{tcp(443)}},
+		{Name: "Wiki hosting", ASNs: []uint32{2635}, Ports: []flowrec.PortProto{tcp(443)}},
+	}
+	c.filters[CDN] = []Filter{
+		{Name: "Akamai", ASNs: []uint32{20940}},
+		{Name: "Cloudflare", ASNs: []uint32{13335}},
+		{Name: "Fastly", ASNs: []uint32{54113}},
+		{Name: "Limelight", ASNs: []uint32{22822}},
+		{Name: "Verizon Digital Media", ASNs: []uint32{15133}},
+		{Name: "CDN77", ASNs: []uint32{60068}},
+		{Name: "Edgio", ASNs: []uint32{32787}},
+		{Name: "Other CDNs", ASNs: asnsOf(asdb.CatCDN)},
+	}
+	return c
+}
+
+// Classify returns the application class of the record, or Unclassified.
+func (c *Classifier) Classify(r flowrec.Record) Class {
+	for _, cls := range c.order {
+		for _, f := range c.filters[cls] {
+			if f.matches(r) {
+				return cls
+			}
+		}
+	}
+	return Unclassified
+}
+
+// Filters returns the filter list of one class (the rows behind Table 1).
+func (c *Classifier) Filters(cls Class) []Filter { return c.filters[cls] }
+
+// InventoryRow summarises one class's filters as reported in Table 1.
+type InventoryRow struct {
+	Class         Class
+	Filters       int
+	DistinctASNs  int
+	DistinctPorts int
+}
+
+// Inventory reproduces Table 1: per class, the number of filters, distinct
+// ASNs and distinct transport ports used.
+func (c *Classifier) Inventory() []InventoryRow {
+	rows := make([]InventoryRow, 0, len(c.order))
+	for _, cls := range []Class{WebConf, VoD, Gaming, SocialMedia, Messaging, Email, Educational, Collaborative, CDN} {
+		asns := make(map[uint32]bool)
+		ports := make(map[flowrec.PortProto]bool)
+		for _, f := range c.filters[cls] {
+			for _, a := range f.ASNs {
+				asns[a] = true
+			}
+			for _, p := range f.Ports {
+				ports[p] = true
+			}
+		}
+		rows = append(rows, InventoryRow{
+			Class:         cls,
+			Filters:       len(c.filters[cls]),
+			DistinctASNs:  len(asns),
+			DistinctPorts: len(ports),
+		})
+	}
+	return rows
+}
+
+// VolumeByClass aggregates the byte volume of the records per class.
+func (c *Classifier) VolumeByClass(recs []flowrec.Record) map[Class]float64 {
+	out := make(map[Class]float64)
+	for _, r := range recs {
+		out[c.Classify(r)] += float64(r.Bytes)
+	}
+	return out
+}
+
+// Classes returns the classes in evaluation order.
+func (c *Classifier) Classes() []Class {
+	out := append([]Class(nil), c.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

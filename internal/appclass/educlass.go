@@ -1,0 +1,99 @@
+package appclass
+
+import (
+	"lockdown/internal/flowrec"
+)
+
+// EDUClass is one of the educational-network traffic classes of Appendix B.
+// Unlike the Table 1 classes they are defined almost exclusively by
+// well-known ports (plus one AS for Spotify), because the academic
+// network's analysis is connection-oriented.
+type EDUClass string
+
+// The Appendix B traffic classes.
+const (
+	EDUWeb           EDUClass = "Web"
+	EDUQUIC          EDUClass = "QUIC"
+	EDUPush          EDUClass = "Push notifications"
+	EDUEmail         EDUClass = "Email"
+	EDUVPN           EDUClass = "VPN"
+	EDUSSH           EDUClass = "SSH"
+	EDURemoteDesktop EDUClass = "Remote desktop"
+	EDUSpotify       EDUClass = "Spotify"
+	EDUOther         EDUClass = "Other"
+)
+
+// AllEDUClasses lists the Appendix B classes in presentation order.
+func AllEDUClasses() []EDUClass {
+	return []EDUClass{EDUWeb, EDUQUIC, EDUPush, EDUEmail, EDUVPN, EDUSSH, EDURemoteDesktop, EDUSpotify}
+}
+
+// spotifyASN is the AS listed for Spotify in Appendix B; the synthetic
+// registry maps it to a European hosting AS (see package synth).
+const spotifyASN = 24940
+
+// eduPortClasses maps server ports to their Appendix B class. QUIC is kept
+// separate from Web even though Appendix B lists UDP/443 under both; the
+// connection analysis of Section 7 tracks QUIC on its own (Figure 12).
+var eduPortClasses = map[flowrec.PortProto]EDUClass{
+	{Proto: flowrec.ProtoTCP, Port: 80}:   EDUWeb,
+	{Proto: flowrec.ProtoTCP, Port: 443}:  EDUWeb,
+	{Proto: flowrec.ProtoTCP, Port: 8000}: EDUWeb,
+	{Proto: flowrec.ProtoTCP, Port: 8080}: EDUWeb,
+	{Proto: flowrec.ProtoUDP, Port: 443}:  EDUQUIC,
+
+	{Proto: flowrec.ProtoTCP, Port: 5223}: EDUPush,
+	{Proto: flowrec.ProtoTCP, Port: 5228}: EDUPush,
+
+	{Proto: flowrec.ProtoTCP, Port: 25}:  EDUEmail,
+	{Proto: flowrec.ProtoTCP, Port: 110}: EDUEmail,
+	{Proto: flowrec.ProtoTCP, Port: 143}: EDUEmail,
+	{Proto: flowrec.ProtoTCP, Port: 465}: EDUEmail,
+	{Proto: flowrec.ProtoTCP, Port: 587}: EDUEmail,
+	{Proto: flowrec.ProtoTCP, Port: 993}: EDUEmail,
+	{Proto: flowrec.ProtoTCP, Port: 995}: EDUEmail,
+
+	{Proto: flowrec.ProtoUDP, Port: 500}:  EDUVPN,
+	{Proto: flowrec.ProtoUDP, Port: 4500}: EDUVPN,
+	{Proto: flowrec.ProtoTCP, Port: 1194}: EDUVPN,
+	{Proto: flowrec.ProtoUDP, Port: 1194}: EDUVPN,
+	{Proto: flowrec.ProtoGRE}:             EDUVPN,
+	{Proto: flowrec.ProtoESP}:             EDUVPN,
+
+	{Proto: flowrec.ProtoTCP, Port: 22}: EDUSSH,
+
+	{Proto: flowrec.ProtoTCP, Port: 1494}: EDURemoteDesktop,
+	{Proto: flowrec.ProtoUDP, Port: 1494}: EDURemoteDesktop,
+	{Proto: flowrec.ProtoTCP, Port: 3389}: EDURemoteDesktop,
+	{Proto: flowrec.ProtoTCP, Port: 5938}: EDURemoteDesktop,
+	{Proto: flowrec.ProtoUDP, Port: 5938}: EDURemoteDesktop,
+
+	{Proto: flowrec.ProtoTCP, Port: 4070}: EDUSpotify,
+}
+
+// ClassifyEDU attributes a flow record of the educational network to its
+// Appendix B class. Port matching is attempted first; the Spotify AS rule
+// applies afterwards; everything else is EDUOther (the paper reports that
+// 39% of flows cannot be labelled).
+func ClassifyEDU(r flowrec.Record) EDUClass {
+	if cls, ok := eduPortClasses[r.ServerPort()]; ok {
+		return cls
+	}
+	if r.SrcAS == spotifyASN || r.DstAS == spotifyASN {
+		return EDUSpotify
+	}
+	return EDUOther
+}
+
+// CountEDUByClassDir counts connections (records) per class and direction.
+func CountEDUByClassDir(recs []flowrec.Record) map[EDUClass]map[flowrec.Direction]int {
+	out := make(map[EDUClass]map[flowrec.Direction]int)
+	for _, r := range recs {
+		cls := ClassifyEDU(r)
+		if out[cls] == nil {
+			out[cls] = make(map[flowrec.Direction]int)
+		}
+		out[cls][r.Dir]++
+	}
+	return out
+}

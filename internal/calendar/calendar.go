@@ -1,0 +1,269 @@
+// Package calendar captures the 2020 calendar knowledge the paper's
+// analyses depend on: ISO calendar weeks, weekends, the Central/Southern
+// European holidays in the measurement window, the lockdown phases and the
+// specific analysis weeks chosen per vantage point.
+//
+// All times are handled in UTC; the paper's vantage points are aggregated at
+// hour granularity where the exact local offset does not change any of the
+// reported effects.
+package calendar
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase labels the stages of the lockdown used throughout the paper's
+// evaluation (Figures 3, 9, 10, 11).
+type Phase int
+
+// Lockdown phases.
+const (
+	// PhaseBase is the pre-lockdown baseline (February 2020).
+	PhaseBase Phase = iota
+	// PhaseStage1 is the week immediately after the lockdowns were
+	// imposed in Europe and the US (mid/late March 2020).
+	PhaseStage1
+	// PhaseStage2 is a week well into the lockdown (April 2020).
+	PhaseStage2
+	// PhaseStage3 is a week after the first relaxations (May 2020).
+	PhaseStage3
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBase:
+		return "base"
+	case PhaseStage1:
+		return "stage1"
+	case PhaseStage2:
+		return "stage2"
+	case PhaseStage3:
+		return "stage3"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Key dates of the pandemic timeline used by the generator and the
+// experiment index (all UTC midnight).
+var (
+	// OutbreakEurope is the approximate arrival of the outbreak in
+	// Europe (end of January 2020, calendar week 4).
+	OutbreakEurope = time.Date(2020, 1, 27, 0, 0, 0, 0, time.UTC)
+	// LockdownEurope is the start of the strict lockdowns in Central and
+	// Southern Europe (mid March 2020, calendar week 11/12).
+	LockdownEurope = time.Date(2020, 3, 14, 0, 0, 0, 0, time.UTC)
+	// LockdownUS is the later lockdown on the US East Coast.
+	LockdownUS = time.Date(2020, 3, 22, 0, 0, 0, 0, time.UTC)
+	// EDUClosure is the closure of the educational system in the EDU
+	// network's region (announced Mar 9, effective Mar 11).
+	EDUClosure = time.Date(2020, 3, 11, 0, 0, 0, 0, time.UTC)
+	// ResolutionReduction is the date major streaming providers reduced
+	// video resolution in Europe.
+	ResolutionReduction = time.Date(2020, 3, 20, 0, 0, 0, 0, time.UTC)
+	// RelaxationEurope is the first partial re-opening (shops) in the
+	// ISP-CE/IXP-CE region.
+	RelaxationEurope = time.Date(2020, 4, 20, 0, 0, 0, 0, time.UTC)
+	// StudyStart and StudyEnd bound the full observation window used in
+	// Figure 1 (calendar weeks 1-18 of 2020).
+	StudyStart = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	StudyEnd   = time.Date(2020, 5, 18, 0, 0, 0, 0, time.UTC)
+)
+
+// Week is a half-open interval of whole days [Start, End) used to describe
+// the paper's selected analysis weeks.
+type Week struct {
+	Label string
+	Phase Phase
+	Start time.Time // inclusive, midnight UTC
+	End   time.Time // exclusive, midnight UTC
+}
+
+// Contains reports whether t falls within the week.
+func (w Week) Contains(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// Days returns the number of whole days covered by the week.
+func (w Week) Days() int {
+	return int(w.End.Sub(w.Start).Hours() / 24)
+}
+
+// Hours enumerates the start of every hour in the week, in order.
+func (w Week) Hours() []time.Time {
+	var hs []time.Time
+	for t := w.Start; t.Before(w.End); t = t.Add(time.Hour) {
+		hs = append(hs, t)
+	}
+	return hs
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// week builds a Week covering [start, start+days).
+func week(label string, p Phase, start time.Time, days int) Week {
+	return Week{Label: label, Phase: p, Start: start, End: start.AddDate(0, 0, days)}
+}
+
+// ISPWeeks are the four selected weeks of Figure 3a (ISP-CE), Wednesday to
+// Wednesday as in the paper (Feb 19-26, Mar 18-25, Apr 22-29, May 10-17).
+func ISPWeeks() []Week {
+	return []Week{
+		week("base", PhaseBase, date(2020, 2, 19), 7),
+		week("stage1", PhaseStage1, date(2020, 3, 18), 7),
+		week("stage2", PhaseStage2, date(2020, 4, 22), 7),
+		week("stage3", PhaseStage3, date(2020, 5, 10), 7),
+	}
+}
+
+// IXPWeeks are the four selected weeks of Figure 3b (IXP-CE/US/SE).
+func IXPWeeks() []Week {
+	return []Week{
+		week("base", PhaseBase, date(2020, 2, 19), 7),
+		week("stage1", PhaseStage1, date(2020, 3, 18), 7),
+		week("stage2", PhaseStage2, date(2020, 4, 22), 7),
+		week("stage3", PhaseStage3, date(2020, 5, 10), 7),
+	}
+}
+
+// AppWeeksISP are the three weeks of the port/application analysis at the
+// ISP-CE (Sections 4 and 5): Feb 20-26, Mar 19-25, Apr 9-15.
+func AppWeeksISP() []Week {
+	return []Week{
+		week("base", PhaseBase, date(2020, 2, 20), 7),
+		week("stage1", PhaseStage1, date(2020, 3, 19), 7),
+		week("stage2", PhaseStage2, date(2020, 4, 9), 7),
+	}
+}
+
+// AppWeeksIXP are the three weeks of the port/application analysis at the
+// IXPs (Sections 4 and 5): Feb 20-26, Mar 12-18, Apr 23-29.
+func AppWeeksIXP() []Week {
+	return []Week{
+		week("base", PhaseBase, date(2020, 2, 20), 7),
+		week("stage1", PhaseStage1, date(2020, 3, 12), 7),
+		week("stage2", PhaseStage2, date(2020, 4, 23), 7),
+	}
+}
+
+// EDUWeeks are the three key weeks of the educational-network analysis
+// (Section 7): baseline Feb 27-Mar 4, transition Mar 12-18, online
+// lecturing Apr 16-22.
+func EDUWeeks() []Week {
+	return []Week{
+		week("base", PhaseBase, date(2020, 2, 27), 7),
+		week("transition", PhaseStage1, date(2020, 3, 12), 7),
+		week("online-lecturing", PhaseStage2, date(2020, 4, 16), 7),
+	}
+}
+
+// easterHolidays2020 lists the Easter break days the paper treats as
+// weekend-like (April 10-13, 2020).
+var easterHolidays2020 = map[string]bool{
+	"2020-04-10": true, // Good Friday
+	"2020-04-11": true,
+	"2020-04-12": true, // Easter Sunday
+	"2020-04-13": true, // Easter Monday
+}
+
+// newYearHolidays2020 lists the public holidays at the start of the year
+// that make the first calendar week weekend-like.
+var newYearHolidays2020 = map[string]bool{
+	"2020-01-01": true,
+	"2020-01-06": true, // Epiphany, public holiday in parts of the region
+}
+
+// IsHoliday reports whether day is one of the regional public holidays in
+// the study window.
+func IsHoliday(day time.Time) bool {
+	k := day.UTC().Format("2006-01-02")
+	return easterHolidays2020[k] || newYearHolidays2020[k]
+}
+
+// IsWeekend reports whether day is a Saturday or Sunday.
+func IsWeekend(day time.Time) bool {
+	wd := day.UTC().Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// IsWorkday reports whether day is a Monday-Friday that is not a holiday.
+// The paper categorises the Easter holidays as weekend days.
+func IsWorkday(day time.Time) bool {
+	return !IsWeekend(day) && !IsHoliday(day)
+}
+
+// ISOWeek returns the ISO 8601 calendar week of t (the year is dropped; the
+// study window lies entirely within 2020).
+func ISOWeek(t time.Time) int {
+	_, w := t.UTC().ISOWeek()
+	return w
+}
+
+// WeekStart returns the Monday 00:00 UTC of the ISO week containing t.
+func WeekStart(t time.Time) time.Time {
+	t = t.UTC()
+	day := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+	wd := int(day.Weekday())
+	if wd == 0 { // Sunday
+		wd = 7
+	}
+	return day.AddDate(0, 0, -(wd - 1))
+}
+
+// DayStart truncates t to midnight UTC.
+func DayStart(t time.Time) time.Time {
+	t = t.UTC()
+	return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+}
+
+// Days enumerates midnights of every day in [from, to).
+func Days(from, to time.Time) []time.Time {
+	var ds []time.Time
+	for d := DayStart(from); d.Before(to); d = d.AddDate(0, 0, 1) {
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// StudyWeeks returns the Monday start of every ISO calendar week in the
+// study window, keyed by week number (weeks 1 through 20).
+func StudyWeeks() map[int]time.Time {
+	out := make(map[int]time.Time)
+	for d := WeekStart(StudyStart); d.Before(StudyEnd); d = d.AddDate(0, 0, 7) {
+		out[ISOWeek(d)] = d
+	}
+	return out
+}
+
+// PhaseOf returns the lockdown phase a given day belongs to from the
+// perspective of the Central European vantage points: base before the
+// lockdown, stage 1 until mid April, stage 2 until the first relaxations
+// took hold in May, stage 3 afterwards.
+func PhaseOf(t time.Time) Phase {
+	switch {
+	case t.Before(LockdownEurope):
+		return PhaseBase
+	case t.Before(date(2020, 4, 15)):
+		return PhaseStage1
+	case t.Before(date(2020, 5, 4)):
+		return PhaseStage2
+	default:
+		return PhaseStage3
+	}
+}
+
+// WorkingHours reports whether the hour-of-day h (0-23) falls into the
+// paper's "working hours" window (09:00-16:59).
+func WorkingHours(h int) bool { return h >= 9 && h <= 16 }
+
+// EveningHours reports whether the hour-of-day h falls into the paper's
+// evening window (17:00-24:00).
+func EveningHours(h int) bool { return h >= 17 && h <= 23 }
+
+// EarlyMorning reports whether the hour-of-day h is in the 02:00-06:59
+// window the application-class analysis removes (Section 5).
+func EarlyMorning(h int) bool { return h >= 2 && h <= 6 }

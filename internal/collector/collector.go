@@ -1,0 +1,266 @@
+// Package collector turns wire-format flow export (NetFlow v5/v9, IPFIX)
+// into streams of flowrec.Record, and provides the matching exporters. It
+// is the glue that lets the analysis pipeline consume either live UDP
+// export (as the paper's vantage points do) or in-memory record batches
+// (as the synthetic generator produces).
+package collector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lockdown/internal/flowrec"
+	"lockdown/internal/ipfix"
+	"lockdown/internal/netflow"
+)
+
+// Format selects the wire format of an exporter or collector.
+type Format int
+
+// Supported wire formats.
+const (
+	FormatNetflowV5 Format = iota
+	FormatNetflowV9
+	FormatIPFIX
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatNetflowV5:
+		return "netflow-v5"
+	case FormatNetflowV9:
+		return "netflow-v9"
+	case FormatIPFIX:
+		return "ipfix"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// maxDatagram is the read buffer size; all supported formats fit well
+// within a standard UDP datagram.
+const maxDatagram = 9000
+
+// Collector listens on a UDP socket, decodes arriving export packets and
+// delivers records on its channel. It is safe to run one goroutine per
+// Collector; Close releases the socket and closes the record channel.
+type Collector struct {
+	format Format
+	conn   *net.UDPConn
+	out    chan flowrec.Record
+	errs   chan error
+
+	v9  *netflow.V9Decoder
+	ipf *ipfix.Decoder
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// NewCollector opens a UDP listener on addr ("127.0.0.1:0" for an
+// ephemeral port) for the given format. Call Run to start receiving.
+func NewCollector(format Format, addr string) (*Collector, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("collector: listen %q: %w", addr, err)
+	}
+	return &Collector{
+		format: format,
+		conn:   conn,
+		out:    make(chan flowrec.Record, 1024),
+		errs:   make(chan error, 16),
+		v9:     netflow.NewV9Decoder(),
+		ipf:    ipfix.NewDecoder(),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the local address the collector listens on.
+func (c *Collector) Addr() string { return c.conn.LocalAddr().String() }
+
+// Records returns the channel decoded flow records are delivered on. The
+// channel is closed when the collector stops.
+func (c *Collector) Records() <-chan flowrec.Record { return c.out }
+
+// Errors returns the channel decode errors are reported on. Errors are
+// dropped if the channel is full; the collector never blocks on them.
+func (c *Collector) Errors() <-chan error { return c.errs }
+
+// Run receives packets until ctx is cancelled or Close is called. It always
+// closes the record channel before returning.
+func (c *Collector) Run(ctx context.Context) {
+	defer close(c.out)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-c.done:
+		}
+		c.conn.SetReadDeadline(time.Now()) // unblock the read loop
+	}()
+	buf := make([]byte, maxDatagram)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.done:
+			return
+		default:
+		}
+		c.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			c.reportErr(err)
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		recs, err := c.decode(pkt)
+		if err != nil {
+			c.reportErr(err)
+			continue
+		}
+		for _, r := range recs {
+			select {
+			case c.out <- r:
+			case <-ctx.Done():
+				return
+			case <-c.done:
+				return
+			}
+		}
+	}
+}
+
+func (c *Collector) decode(pkt []byte) ([]flowrec.Record, error) {
+	switch c.format {
+	case FormatNetflowV5:
+		p, err := netflow.DecodeV5(pkt)
+		if err != nil {
+			return nil, err
+		}
+		return p.Records, nil
+	case FormatNetflowV9:
+		return c.v9.Decode(pkt)
+	case FormatIPFIX:
+		return c.ipf.Decode(pkt)
+	default:
+		return nil, fmt.Errorf("collector: unsupported format %v", c.format)
+	}
+}
+
+func (c *Collector) reportErr(err error) {
+	select {
+	case c.errs <- err:
+	default:
+	}
+}
+
+// Close stops the collector and releases the socket.
+func (c *Collector) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.conn.Close()
+}
+
+// Exporter sends flow records to a collector address using the chosen wire
+// format, batching records into appropriately sized packets.
+type Exporter struct {
+	format Format
+	conn   *net.UDPConn
+
+	v9  netflow.V9Encoder
+	ipf ipfix.Encoder
+	seq uint32
+}
+
+// NewExporter dials the given UDP collector address.
+func NewExporter(format Format, addr string) (*Exporter, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("exporter: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("exporter: dial %q: %w", addr, err)
+	}
+	return &Exporter{format: format, conn: conn}, nil
+}
+
+// batchSize returns how many records fit into one packet for the format.
+func (e *Exporter) batchSize() int {
+	switch e.format {
+	case FormatNetflowV5:
+		return netflow.V5MaxRecords
+	default:
+		return 100
+	}
+}
+
+// Export encodes and sends the records, splitting them into as many packets
+// as needed. The export timestamp is now.
+func (e *Exporter) Export(recs []flowrec.Record) error {
+	now := time.Now().UTC()
+	bs := e.batchSize()
+	for len(recs) > 0 {
+		n := bs
+		if len(recs) < n {
+			n = len(recs)
+		}
+		batch := recs[:n]
+		recs = recs[n:]
+		var pkt []byte
+		var err error
+		switch e.format {
+		case FormatNetflowV5:
+			pkt, err = netflow.EncodeV5(batch, now, e.seq)
+			e.seq += uint32(n)
+		case FormatNetflowV9:
+			pkt, err = e.v9.Encode(batch, now)
+		case FormatIPFIX:
+			pkt, err = e.ipf.Encode(batch, now)
+		default:
+			err = fmt.Errorf("exporter: unsupported format %v", e.format)
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := e.conn.Write(pkt); err != nil {
+			return fmt.Errorf("exporter: send: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close releases the exporter socket.
+func (e *Exporter) Close() error { return e.conn.Close() }
+
+// Collect gathers up to want records from the collector channel, waiting at
+// most timeout. It is a convenience for tests and examples.
+func Collect(c *Collector, want int, timeout time.Duration) []flowrec.Record {
+	var out []flowrec.Record
+	deadline := time.After(timeout)
+	for len(out) < want {
+		select {
+		case r, ok := <-c.Records():
+			if !ok {
+				return out
+			}
+			out = append(out, r)
+		case <-deadline:
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package collector
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"lockdown/internal/flowrec"
+)
+
+func testRecords(n int) []flowrec.Record {
+	now := time.Now().UTC().Truncate(time.Second)
+	recs := make([]flowrec.Record, n)
+	for i := range recs {
+		recs[i] = flowrec.Record{
+			Start:   now.Add(-time.Minute),
+			End:     now,
+			SrcIP:   netip.AddrFrom4([4]byte{10, 9, 0, byte(i + 1)}),
+			DstIP:   netip.AddrFrom4([4]byte{10, 8, 0, 1}),
+			SrcPort: uint16(1000 + i),
+			DstPort: 443,
+			Proto:   flowrec.ProtoTCP,
+			Bytes:   uint64(100 + i),
+			Packets: 2,
+			SrcAS:   64700,
+			DstAS:   15169,
+		}
+	}
+	return recs
+}
+
+func roundTrip(t *testing.T, format Format, n int) []flowrec.Record {
+	t.Helper()
+	col, err := NewCollector(format, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go col.Run(ctx)
+	defer col.Close()
+
+	exp, err := NewExporter(format, col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.Export(testRecords(n)); err != nil {
+		t.Fatal(err)
+	}
+	return Collect(col, n, 3*time.Second)
+}
+
+func TestRoundTripV5(t *testing.T) {
+	got := roundTrip(t, FormatNetflowV5, 45) // spans two v5 packets
+	if len(got) != 45 {
+		t.Fatalf("collected %d records, want 45", len(got))
+	}
+	if got[0].DstPort != 443 || got[0].Proto != flowrec.ProtoTCP {
+		t.Errorf("record content mangled: %+v", got[0])
+	}
+}
+
+func TestRoundTripV9(t *testing.T) {
+	got := roundTrip(t, FormatNetflowV9, 10)
+	if len(got) != 10 {
+		t.Fatalf("collected %d records, want 10", len(got))
+	}
+	if got[3].SrcAS != 64700 || got[3].DstAS != 15169 {
+		t.Errorf("AS numbers mangled: %+v", got[3])
+	}
+}
+
+func TestRoundTripIPFIX(t *testing.T) {
+	got := roundTrip(t, FormatIPFIX, 250) // spans multiple messages
+	if len(got) != 250 {
+		t.Fatalf("collected %d records, want 250", len(got))
+	}
+}
+
+func TestCollectorErrorsOnGarbage(t *testing.T) {
+	col, err := NewCollector(FormatIPFIX, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go col.Run(ctx)
+	defer col.Close()
+
+	exp, err := NewExporter(FormatNetflowV5, col.Addr()) // wrong format on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.Export(testRecords(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-col.Errors():
+		if e == nil {
+			t.Error("expected a decode error")
+		}
+	case <-time.After(3 * time.Second):
+		t.Error("no decode error reported for mismatched format")
+	}
+}
+
+func TestCollectorCloseClosesChannel(t *testing.T) {
+	col, err := NewCollector(FormatNetflowV9, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	done := make(chan struct{})
+	go func() {
+		col.Run(ctx)
+		close(done)
+	}()
+	col.Close()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Run did not return after Close")
+	}
+	if _, ok := <-col.Records(); ok {
+		// Channel may still hold buffered records in general, but here
+		// nothing was sent, so it must be closed and empty.
+		t.Error("record channel not closed after Close")
+	}
+}
+
+func TestCollectorContextCancel(t *testing.T) {
+	col, err := NewCollector(FormatNetflowV9, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		col.Run(ctx)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatNetflowV5.String() != "netflow-v5" || FormatNetflowV9.String() != "netflow-v9" ||
+		FormatIPFIX.String() != "ipfix" || Format(9).String() != "format(9)" {
+		t.Error("Format.String values unexpected")
+	}
+}
+
+func TestExporterBadAddress(t *testing.T) {
+	if _, err := NewExporter(FormatIPFIX, "this is not an address"); err == nil {
+		t.Error("bad exporter address accepted")
+	}
+	if _, err := NewCollector(FormatIPFIX, "not an address"); err == nil {
+		t.Error("bad collector address accepted")
+	}
+}

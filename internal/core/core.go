@@ -1,0 +1,162 @@
+// Package core is the lockdown-analysis pipeline: it wires the synthetic
+// vantage-point generator and the analysis packages together into one
+// Experiment per table and figure of the paper, so that `lockdown run
+// <id>` or the benchmark harness can regenerate any of them.
+//
+// Each experiment returns a Result holding human-readable tables plus a
+// set of named metrics; the metrics are what EXPERIMENTS.md records and
+// what the tests assert the paper's qualitative claims against.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options tune how expensive the flow-level experiments are. The zero
+// value selects sensible defaults.
+type Options struct {
+	// FlowScale scales the number of sampled flow records per hour for
+	// flow-level experiments (1 = full default density). Values below 1
+	// make runs cheaper; the paper's qualitative results are insensitive
+	// to it because all comparisons are relative.
+	FlowScale float64
+	// Seed overrides the generator seed (0 keeps the default).
+	Seed int64
+}
+
+func (o Options) flowScale() float64 {
+	if o.FlowScale <= 0 {
+		return 0.5
+	}
+	return o.FlowScale
+}
+
+// Table is a rendered result table: a title, column headers and rows of
+// formatted cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []Table
+	// Metrics are named numeric findings (growth factors, ratios,
+	// correlation coefficients) used by tests and EXPERIMENTS.md.
+	Metrics map[string]float64
+	// Notes record qualitative observations and known deviations.
+	Notes []string
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Metrics: make(map[string]float64)}
+}
+
+func (r *Result) addTable(t Table)             { r.Tables = append(r.Tables, t) }
+func (r *Result) note(format string, a ...any) { r.Notes = append(r.Notes, fmt.Sprintf(format, a...)) }
+
+// Metric returns a named metric (0 if absent).
+func (r *Result) Metric(name string) float64 { return r.Metrics[name] }
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	// ID is the short identifier used by the CLI and the benchmarks
+	// (e.g. "fig1", "tab1", "fig11a").
+	ID string
+	// Artifact names the paper artifact ("Figure 1", "Table 2").
+	Artifact string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) (*Result, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+// paperOrder fixes the presentation order of the experiments (the order in
+// which the paper introduces the artifacts, followed by the ablations).
+var paperOrder = []string{
+	"fig1", "fig2a", "fig2bc", "fig3a", "fig3b", "fig4", "fig5", "fig6",
+	"fig7a", "fig7b", "tab1", "fig8", "fig9", "fig10", "fig11a", "fig11b",
+	"fig12", "tab2", "appB", "ablation-vpn", "ablation-binsize",
+}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("core: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in paper order; experiments not listed in
+// the canonical order are appended alphabetically.
+func All() []Experiment {
+	seen := make(map[string]bool, len(paperOrder))
+	out := make([]Experiment, 0, len(registry))
+	for _, id := range paperOrder {
+		if e, ok := registry[id]; ok {
+			out = append(out, e)
+			seen[id] = true
+		}
+	}
+	var rest []string
+	for id := range registry {
+		if !seen[id] {
+			rest = append(rest, id)
+		}
+	}
+	sort.Strings(rest)
+	for _, id := range rest {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByID looks an experiment up by its identifier.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// Run executes the experiment with the given identifier.
+func Run(id string, opts Options) (*Result, error) {
+	e, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return e.Run(opts)
+}
+
+// RunAll executes every experiment and returns the results in paper order.
+func RunAll(opts Options) ([]*Result, error) {
+	var out []*Result
+	for _, e := range All() {
+		r, err := e.Run(opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: experiment %s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// f2 formats a float with two decimals for table cells.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f3 formats a float with three decimals for table cells.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"lockdown/internal/appclass"
+	"lockdown/internal/calendar"
+	"lockdown/internal/flowrec"
+	"lockdown/internal/ports"
+	"lockdown/internal/synth"
+)
+
+func init() {
+	register(Experiment{ID: "fig7a", Artifact: "Figure 7a", Title: "ISP-CE top application ports across three weeks", Run: runFig7a})
+	register(Experiment{ID: "fig7b", Artifact: "Figure 7b", Title: "IXP-CE top application ports across three weeks", Run: runFig7b})
+	register(Experiment{ID: "tab1", Artifact: "Table 1", Title: "Application-class filter inventory", Run: runTab1})
+	register(Experiment{ID: "fig8", Artifact: "Figure 8", Title: "IXP-SE gaming class: unique IPs and volume", Run: runFig8})
+	register(Experiment{ID: "fig9", Artifact: "Figure 9", Title: "Application-class growth heatmaps for all vantage points", Run: runFig9})
+}
+
+// portWeekVolumes aggregates sampled flows of one week into mean hourly
+// per-port volumes, split into workday and weekend hours (the number of
+// workdays differs between the selected weeks because of the Easter
+// holidays, so totals would not be comparable).
+type portWeekVolumes struct {
+	workday map[flowrec.PortProto]float64
+	weekend map[flowrec.PortProto]float64
+}
+
+func collectPortVolumes(g *synth.Generator, week calendar.Week, keep map[flowrec.PortProto]bool) portWeekVolumes {
+	sums := portWeekVolumes{
+		workday: make(map[flowrec.PortProto]float64),
+		weekend: make(map[flowrec.PortProto]float64),
+	}
+	var workdayHours, weekendHours float64
+	for _, hour := range week.Hours() {
+		weekend := calendar.IsWeekend(hour) || calendar.IsHoliday(hour)
+		if weekend {
+			weekendHours++
+		} else {
+			workdayHours++
+		}
+		for _, r := range g.FlowsForHour(hour) {
+			pp := r.ServerPort()
+			if !keep[pp] {
+				continue
+			}
+			if weekend {
+				sums.weekend[pp] += float64(r.Bytes)
+			} else {
+				sums.workday[pp] += float64(r.Bytes)
+			}
+		}
+	}
+	for p := range sums.workday {
+		sums.workday[p] /= workdayHours
+	}
+	for p := range sums.weekend {
+		sums.weekend[p] /= weekendHours
+	}
+	return sums
+}
+
+func runPortExperiment(id, title string, vp synth.VantagePoint, weeks []calendar.Week, topPorts []flowrec.PortProto, opts Options) (*Result, error) {
+	res := newResult(id, title)
+	g, err := newGenerator(vp, opts)
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[flowrec.PortProto]bool, len(topPorts))
+	for _, p := range topPorts {
+		keep[p] = true
+	}
+	perWeek := make([]portWeekVolumes, len(weeks))
+	for i, w := range weeks {
+		perWeek[i] = collectPortVolumes(g, w, keep)
+	}
+
+	table := Table{
+		Title:   "Per-port volume growth relative to the base week (workday hours)",
+		Columns: []string{"port", "service", "stage1 workday", "stage2 workday", "stage1 weekend", "stage2 weekend"},
+	}
+	growth := func(m map[flowrec.PortProto]float64, base map[flowrec.PortProto]float64, p flowrec.PortProto) float64 {
+		if base[p] == 0 {
+			return 0
+		}
+		return m[p] / base[p]
+	}
+	for _, p := range topPorts {
+		s1wd := growth(perWeek[1].workday, perWeek[0].workday, p)
+		s2wd := growth(perWeek[2].workday, perWeek[0].workday, p)
+		s1we := growth(perWeek[1].weekend, perWeek[0].weekend, p)
+		s2we := growth(perWeek[2].weekend, perWeek[0].weekend, p)
+		table.Rows = append(table.Rows, []string{p.String(), ports.Name(p), f2(s1wd), f2(s2wd), f2(s1we), f2(s2we)})
+		res.Metrics[p.String()+"/stage1-workday"] = s1wd
+		res.Metrics[p.String()+"/stage2-workday"] = s2wd
+		res.Metrics[p.String()+"/stage1-weekend"] = s1we
+	}
+	res.addTable(table)
+	return res, nil
+}
+
+func runFig7a(opts Options) (*Result, error) {
+	res, err := runPortExperiment("fig7a", "ISP-CE top ports (TCP/80 and TCP/443 omitted)", synth.ISPCE,
+		calendar.AppWeeksISP(), ports.TopPortsISP(), opts)
+	if err != nil {
+		return nil, err
+	}
+	res.note("QUIC and the VPN/NAT-traversal ports grow on workdays; the Zoom connector port grows by an order of magnitude; TCP/8080 barely changes.")
+	return res, nil
+}
+
+func runFig7b(opts Options) (*Result, error) {
+	res, err := runPortExperiment("fig7b", "IXP-CE top ports (TCP/80 and TCP/443 omitted)", synth.IXPCE,
+		calendar.AppWeeksIXP(), ports.TopPortsIXP(), opts)
+	if err != nil {
+		return nil, err
+	}
+	res.note("UDP/3480 (Teams/Skype) and UDP/8801 (Zoom) surge during working hours; GRE/ESP tunnel traffic decreases after the lockdown.")
+	return res, nil
+}
+
+// runTab1 reproduces Table 1: the filter inventory of the application
+// classification.
+func runTab1(Options) (*Result, error) {
+	res := newResult("tab1", "Application-class filters")
+	c := appclass.NewDefault(nil)
+	table := Table{Title: "Filters per application class", Columns: []string{"application class", "# of filters", "# of distinct ASNs", "# of distinct transport ports"}}
+	for _, row := range c.Inventory() {
+		table.Rows = append(table.Rows, []string{string(row.Class), fmt.Sprintf("%d", row.Filters), fmt.Sprintf("%d", row.DistinctASNs), fmt.Sprintf("%d", row.DistinctPorts)})
+		res.Metrics[string(row.Class)+"/filters"] = float64(row.Filters)
+	}
+	res.addTable(table)
+	res.Metrics["classes"] = float64(len(c.Inventory()))
+	return res, nil
+}
+
+// runFig8 reproduces Figure 8: unique IP addresses and traffic volume of
+// the gaming class at the IXP-SE, per calendar week 7-17, normalised to
+// the observed minimum.
+func runFig8(opts Options) (*Result, error) {
+	res := newResult("fig8", "IXP-SE gaming: unique IPs and volume, weeks 7-17")
+	g, err := newGenerator(synth.IXPSE, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Date(2020, 2, 10, 0, 0, 0, 0, time.UTC) // Monday of week 7
+	end := time.Date(2020, 4, 27, 0, 0, 0, 0, time.UTC)   // end of week 17
+
+	type weekAgg struct {
+		volume  float64
+		uniques map[netip.Addr]bool
+	}
+	byWeek := make(map[int]*weekAgg)
+	for t := start; t.Before(end); t = t.Add(time.Hour) {
+		recs := g.ComponentFlowsForHour("gaming", t)
+		w := calendar.ISOWeek(t)
+		agg, ok := byWeek[w]
+		if !ok {
+			agg = &weekAgg{uniques: make(map[netip.Addr]bool)}
+			byWeek[w] = agg
+		}
+		for _, r := range recs {
+			agg.volume += float64(r.Bytes)
+			agg.uniques[r.DstIP] = true // eyeball side
+		}
+	}
+
+	minVol, minIPs := 0.0, 0.0
+	first := true
+	for _, agg := range byWeek {
+		ips := float64(len(agg.uniques))
+		if first || agg.volume < minVol {
+			minVol = agg.volume
+		}
+		if first || ips < minIPs {
+			minIPs = ips
+		}
+		first = false
+	}
+	table := Table{Title: "Gaming class per calendar week (normalised to minimum)", Columns: []string{"week", "unique IPs", "volume"}}
+	for w := 7; w <= 17; w++ {
+		agg, ok := byWeek[w]
+		if !ok {
+			continue
+		}
+		ips := float64(len(agg.uniques)) / minIPs
+		vol := agg.volume / minVol
+		table.Rows = append(table.Rows, []string{fmt.Sprintf("%d", w), f2(ips), f2(vol)})
+		res.Metrics[fmt.Sprintf("week%d/ips", w)] = ips
+		res.Metrics[fmt.Sprintf("week%d/volume", w)] = vol
+	}
+	res.addTable(table)
+
+	// Outage: within the first lockdown week the daily volume plunges for
+	// two days (March 16-17).
+	outage := g.ClassSeries(synth.ClassGaming, time.Date(2020, 3, 16, 0, 0, 0, 0, time.UTC), time.Date(2020, 3, 18, 0, 0, 0, 0, time.UTC)).Mean()
+	after := g.ClassSeries(synth.ClassGaming, time.Date(2020, 3, 19, 0, 0, 0, 0, time.UTC), time.Date(2020, 3, 21, 0, 0, 0, 0, time.UTC)).Mean()
+	res.Metrics["outage-ratio"] = outage / after
+	res.note("Unique IPs and volume rise steeply from week 10/11; the outage of a major gaming provider is visible in week 12 (volume at %.0f%% of the surrounding days).", res.Metrics["outage-ratio"]*100)
+	return res, nil
+}
+
+// classGrowth is the condensed Figure 9 cell: relative growth of one
+// application class between the base week and a later week, during working
+// hours of workdays, clipped to the heatmap's colour range.
+func classGrowth(base, stage map[appclass.Class]float64, cls appclass.Class) float64 {
+	b := base[cls]
+	if b == 0 {
+		return 0
+	}
+	g := (stage[cls]/b - 1) * 100
+	if g > 200 {
+		g = 200
+	}
+	if g < -100 {
+		g = -100
+	}
+	return g
+}
+
+// collectClassVolumes aggregates one week's sampled flows into per-class
+// volumes, restricted to working hours of workdays (the paper removes the
+// early-morning hours and the condensed comparison focuses on business
+// hours, where the Figure 9 effects are strongest).
+func collectClassVolumes(g *synth.Generator, clf *appclass.Classifier, week calendar.Week) map[appclass.Class]float64 {
+	out := make(map[appclass.Class]float64)
+	for _, hour := range week.Hours() {
+		h := hour.UTC().Hour()
+		if calendar.EarlyMorning(h) || !calendar.WorkingHours(h) {
+			continue
+		}
+		if calendar.IsWeekend(hour) || calendar.IsHoliday(hour) {
+			continue
+		}
+		for _, r := range g.FlowsForHour(hour) {
+			out[clf.Classify(r)] += float64(r.Bytes)
+		}
+	}
+	return out
+}
+
+// runFig9 reproduces Figure 9 in condensed form: per vantage point and
+// application class, the working-hours growth of stage 1 and stage 2 over
+// the base week, clipped to [-100%, +200%] like the heatmap colour scale.
+func runFig9(opts Options) (*Result, error) {
+	res := newResult("fig9", "Application-class growth (working hours, % vs base week)")
+	clf := appclass.NewDefault(nil)
+	vps := []struct {
+		vp    synth.VantagePoint
+		weeks []calendar.Week
+	}{
+		{synth.IXPCE, calendar.AppWeeksIXP()},
+		{synth.IXPSE, calendar.AppWeeksIXP()},
+		{synth.IXPUS, calendar.AppWeeksIXP()},
+		{synth.ISPCE, calendar.AppWeeksISP()},
+	}
+	for _, entry := range vps {
+		g, err := newGenerator(entry.vp, opts)
+		if err != nil {
+			return nil, err
+		}
+		base := collectClassVolumes(g, clf, entry.weeks[0])
+		stage1 := collectClassVolumes(g, clf, entry.weeks[1])
+		stage2 := collectClassVolumes(g, clf, entry.weeks[2])
+
+		table := Table{Title: fmt.Sprintf("%s: class growth in %% (clipped to [-100, 200])", entry.vp), Columns: []string{"class", "stage1 - base", "stage2 - base"}}
+		for _, cls := range appclass.AllClasses() {
+			g1 := classGrowth(base, stage1, cls)
+			g2 := classGrowth(base, stage2, cls)
+			table.Rows = append(table.Rows, []string{string(cls), f2(g1), f2(g2)})
+			res.Metrics[string(entry.vp)+"/"+string(cls)+"/stage1"] = g1
+			res.Metrics[string(entry.vp)+"/"+string(cls)+"/stage2"] = g2
+		}
+		res.addTable(table)
+	}
+	res.note("Web conferencing exceeds +200%% during business hours at every vantage point; messaging surges in Europe while email grows in the US; VoD and gaming grow strongly at the European IXPs but only moderately at the ISP.")
+	return res, nil
+}

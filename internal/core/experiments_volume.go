@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lockdown/internal/calendar"
+	"lockdown/internal/patterns"
+	"lockdown/internal/synth"
+	"lockdown/internal/timeseries"
+)
+
+func init() {
+	register(Experiment{ID: "fig1", Artifact: "Figure 1", Title: "Weekly normalised traffic volume per vantage point", Run: runFig1})
+	register(Experiment{ID: "fig2a", Artifact: "Figure 2a", Title: "ISP-CE hourly patterns for Feb 19, Feb 22 and Mar 25", Run: runFig2a})
+	register(Experiment{ID: "fig2bc", Artifact: "Figures 2b/2c", Title: "Workday-like vs weekend-like day classification (ISP-CE, IXP-CE)", Run: runFig2bc})
+	register(Experiment{ID: "fig3a", Artifact: "Figure 3a", Title: "ISP-CE hourly volume for the four selected weeks", Run: runFig3a})
+	register(Experiment{ID: "fig3b", Artifact: "Figure 3b", Title: "IXP hourly volume (workday/weekend) for the four selected weeks", Run: runFig3b})
+}
+
+func newGenerator(vp synth.VantagePoint, opts Options) (*synth.Generator, error) {
+	cfg := synth.DefaultConfig(vp)
+	cfg.FlowScale = opts.flowScale()
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	return synth.New(cfg)
+}
+
+// runFig1 reproduces Figure 1: daily traffic averaged per calendar week,
+// normalised by week 3, for all vantage points.
+func runFig1(opts Options) (*Result, error) {
+	res := newResult("fig1", "Weekly normalised traffic volume, calendar weeks 1-18")
+	const baselineWeek = 3
+	vps := synth.AllVantagePoints()
+
+	perVP := make(map[synth.VantagePoint]map[int]float64)
+	weekSet := make(map[int]bool)
+	for _, vp := range vps {
+		g, err := newGenerator(vp, opts)
+		if err != nil {
+			return nil, err
+		}
+		weekly := g.TotalSeries(calendar.StudyStart, calendar.StudyEnd).WeeklyMeans()
+		base, ok := weekly[baselineWeek]
+		if !ok || base == 0 {
+			return nil, fmt.Errorf("fig1: %s has no baseline week", vp)
+		}
+		norm := make(map[int]float64, len(weekly))
+		for w, v := range weekly {
+			norm[w] = v / base
+			weekSet[w] = true
+		}
+		perVP[vp] = norm
+	}
+
+	var weeks []int
+	for w := range weekSet {
+		if w >= 1 && w <= 18 {
+			weeks = append(weeks, w)
+		}
+	}
+	sort.Ints(weeks)
+
+	cols := []string{"week"}
+	for _, vp := range vps {
+		cols = append(cols, string(vp))
+	}
+	table := Table{Title: "Normalised weekly volume (week 3 = 1.00)", Columns: cols}
+	for _, w := range weeks {
+		row := []string{fmt.Sprintf("%d", w)}
+		for _, vp := range vps {
+			row = append(row, f3(perVP[vp][w]))
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	res.addTable(table)
+
+	for _, vp := range vps {
+		res.Metrics[string(vp)+"/week13"] = perVP[vp][13]
+		res.Metrics[string(vp)+"/week17"] = perVP[vp][17]
+	}
+	res.note("Lockdown-week growth: ISP-CE %.0f%%, IXP-CE %.0f%%, IXP-SE %.0f%%, IXP-US %.0f%%.",
+		(perVP[synth.ISPCE][13]-1)*100, (perVP[synth.IXPCE][13]-1)*100,
+		(perVP[synth.IXPSE][13]-1)*100, (perVP[synth.IXPUS][13]-1)*100)
+	return res, nil
+}
+
+// runFig2a reproduces Figure 2a: normalised hourly volume of the ISP-CE
+// for a pre-lockdown Wednesday, a pre-lockdown Saturday and a lockdown
+// Wednesday.
+func runFig2a(opts Options) (*Result, error) {
+	res := newResult("fig2a", "ISP-CE hourly traffic for Feb 19 (Wed), Feb 22 (Sat), Mar 25 (Wed)")
+	g, err := newGenerator(synth.ISPCE, opts)
+	if err != nil {
+		return nil, err
+	}
+	days := []struct {
+		label string
+		day   time.Time
+	}{
+		{"Wednesday Feb 19", time.Date(2020, 2, 19, 0, 0, 0, 0, time.UTC)},
+		{"Saturday Feb 22", time.Date(2020, 2, 22, 0, 0, 0, 0, time.UTC)},
+		{"Wednesday Mar 25 (lockdown)", time.Date(2020, 3, 25, 0, 0, 0, 0, time.UTC)},
+	}
+	curves := make(map[string][]float64)
+	for _, d := range days {
+		s := g.TotalSeries(d.day, d.day.AddDate(0, 0, 1)).NormalizeByMax()
+		curves[d.label] = s.Values()
+	}
+	table := Table{Title: "Normalised hourly volume (per-day maximum = 1)", Columns: []string{"hour", days[0].label, days[1].label, days[2].label}}
+	for h := 0; h < 24; h++ {
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%02d:00", h), f3(curves[days[0].label][h]), f3(curves[days[1].label][h]), f3(curves[days[2].label][h]),
+		})
+	}
+	res.addTable(table)
+
+	res.Metrics["feb19/morning-share"] = curves[days[0].label][10]
+	res.Metrics["feb22/morning-share"] = curves[days[1].label][10]
+	res.Metrics["mar25/morning-share"] = curves[days[2].label][10]
+	res.note("Morning (10:00) share of the daily peak: Feb 19 %.2f, Feb 22 %.2f, Mar 25 %.2f — the lockdown workday resembles a weekend.",
+		res.Metrics["feb19/morning-share"], res.Metrics["feb22/morning-share"], res.Metrics["mar25/morning-share"])
+	return res, nil
+}
+
+// runFig2bc reproduces Figures 2b/2c: the per-day workday-like vs
+// weekend-like classification for the ISP-CE and IXP-CE from January 1 to
+// May 11.
+func runFig2bc(opts Options) (*Result, error) {
+	res := newResult("fig2bc", "Workday-like vs weekend-like classification, Jan 1 - May 11")
+	for _, vp := range []synth.VantagePoint{synth.ISPCE, synth.IXPCE} {
+		g, err := newGenerator(vp, opts)
+		if err != nil {
+			return nil, err
+		}
+		hourly := g.TotalSeries(calendar.StudyStart, time.Date(2020, 5, 12, 0, 0, 0, 0, time.UTC))
+		clf, err := patterns.Train(hourly, time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC), time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC), patterns.DefaultBinHours)
+		if err != nil {
+			return nil, fmt.Errorf("fig2bc: training on %s: %w", vp, err)
+		}
+		results := clf.ClassifyRange(hourly, calendar.StudyStart, time.Date(2020, 5, 12, 0, 0, 0, 0, time.UTC))
+		sums := patterns.Summarize(results)
+
+		table := Table{
+			Title:   fmt.Sprintf("%s: weekend-like classifications per calendar week", vp),
+			Columns: []string{"week", "workdays", "workdays weekend-like", "weekend days", "weekend days weekend-like"},
+		}
+		var preWorkdays, preWeekendLike, postWorkdays, postWeekendLike int
+		for _, s := range sums {
+			table.Rows = append(table.Rows, []string{
+				fmt.Sprintf("%d", s.Week), fmt.Sprintf("%d", s.Workdays), fmt.Sprintf("%d", s.WorkdaysWeekendLike),
+				fmt.Sprintf("%d", s.WeekendDays), fmt.Sprintf("%d", s.WeekendWeekendLike),
+			})
+			if s.Week >= 5 && s.Week <= 9 { // February, pre-lockdown
+				preWorkdays += s.Workdays
+				preWeekendLike += s.WorkdaysWeekendLike
+			}
+			if s.Week >= 14 && s.Week <= 18 { // April onwards
+				postWorkdays += s.Workdays
+				postWeekendLike += s.WorkdaysWeekendLike
+			}
+		}
+		res.addTable(table)
+		if preWorkdays > 0 {
+			res.Metrics[string(vp)+"/pre-lockdown-workdays-weekendlike"] = float64(preWeekendLike) / float64(preWorkdays)
+		}
+		if postWorkdays > 0 {
+			res.Metrics[string(vp)+"/lockdown-workdays-weekendlike"] = float64(postWeekendLike) / float64(postWorkdays)
+		}
+	}
+	res.note("From mid March onwards almost all workdays classify as weekend-like at both vantage points.")
+	return res, nil
+}
+
+// weekStats summarises one selected week against the base week.
+type weekStats struct {
+	label         string
+	meanGrowth    float64
+	peakGrowth    float64
+	minGrowth     float64
+	workdayGrowth float64
+	weekendGrowth float64
+}
+
+func statsForWeeks(g *synth.Generator, weeks []calendar.Week) ([]weekStats, error) {
+	if len(weeks) == 0 {
+		return nil, fmt.Errorf("no weeks given")
+	}
+	series := make([]*timeseries.Series, len(weeks))
+	for i, w := range weeks {
+		series[i] = g.TotalSeries(w.Start, w.End)
+	}
+	base := series[0]
+	baseMean := base.Mean()
+	baseMin := base.Min()
+	basePeak := base.Max()
+	daypart := func(s *timeseries.Series, w calendar.Week, weekend bool) float64 {
+		sub := s.Filter(func(p timeseries.Point) bool {
+			return (calendar.IsWeekend(p.T) || calendar.IsHoliday(p.T)) == weekend
+		})
+		return sub.Mean()
+	}
+	baseWorkday := daypart(base, weeks[0], false)
+	baseWeekend := daypart(base, weeks[0], true)
+
+	out := make([]weekStats, len(weeks))
+	for i, w := range weeks {
+		s := series[i]
+		out[i] = weekStats{
+			label:         w.Label,
+			meanGrowth:    s.Mean() / baseMean,
+			peakGrowth:    s.Max() / basePeak,
+			minGrowth:     s.Min() / baseMin,
+			workdayGrowth: daypart(s, w, false) / baseWorkday,
+			weekendGrowth: daypart(s, w, true) / baseWeekend,
+		}
+	}
+	return out, nil
+}
+
+// runFig3a reproduces Figure 3a: the ISP-CE's traffic across the base,
+// stage-1, stage-2 and stage-3 weeks.
+func runFig3a(opts Options) (*Result, error) {
+	res := newResult("fig3a", "ISP-CE traffic across the four selected weeks")
+	g, err := newGenerator(synth.ISPCE, opts)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := statsForWeeks(g, calendar.ISPWeeks())
+	if err != nil {
+		return nil, err
+	}
+	table := Table{Title: "ISP-CE growth relative to the base week", Columns: []string{"week", "mean", "peak", "minimum", "workday mean", "weekend mean"}}
+	for _, s := range stats {
+		table.Rows = append(table.Rows, []string{s.label, f3(s.meanGrowth), f3(s.peakGrowth), f3(s.minGrowth), f3(s.workdayGrowth), f3(s.weekendGrowth)})
+		res.Metrics[s.label+"/mean"] = s.meanGrowth
+		res.Metrics[s.label+"/peak"] = s.peakGrowth
+		res.Metrics[s.label+"/min"] = s.minGrowth
+	}
+	res.addTable(table)
+	res.note("Mean volume grows by %.0f%% just after the lockdown and recedes to +%.0f%% in May; the peak grows less than the mean (the valleys fill up).",
+		(res.Metrics["stage1/mean"]-1)*100, (res.Metrics["stage3/mean"]-1)*100)
+	return res, nil
+}
+
+// runFig3b reproduces Figure 3b: the three IXPs' traffic across the four
+// selected weeks, split into workdays and weekends.
+func runFig3b(opts Options) (*Result, error) {
+	res := newResult("fig3b", "IXP traffic across the four selected weeks (workday/weekend)")
+	for _, vp := range []synth.VantagePoint{synth.IXPCE, synth.IXPUS, synth.IXPSE} {
+		g, err := newGenerator(vp, opts)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := statsForWeeks(g, calendar.IXPWeeks())
+		if err != nil {
+			return nil, err
+		}
+		table := Table{Title: fmt.Sprintf("%s growth relative to the base week", vp), Columns: []string{"week", "mean", "peak", "minimum", "workday mean", "weekend mean"}}
+		for _, s := range stats {
+			table.Rows = append(table.Rows, []string{s.label, f3(s.meanGrowth), f3(s.peakGrowth), f3(s.minGrowth), f3(s.workdayGrowth), f3(s.weekendGrowth)})
+			res.Metrics[string(vp)+"/"+s.label+"/mean"] = s.meanGrowth
+			res.Metrics[string(vp)+"/"+s.label+"/min"] = s.minGrowth
+		}
+		res.addTable(table)
+	}
+	res.note("Both peak and minimum levels rise at the IXPs; the IXP-US increase lags the European IXPs.")
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package diurnal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allProfiles() map[string]Profile {
+	return map[string]Profile{
+		"ResidentialWorkday":   ResidentialWorkday(),
+		"ResidentialWeekend":   ResidentialWeekend(),
+		"LockdownWorkday":      LockdownWorkday(),
+		"OfficeHours":          OfficeHours(),
+		"EveningEntertainment": EveningEntertainment(),
+		"AllDayEntertainment":  AllDayEntertainment(),
+		"CampusDay":            CampusDay(),
+		"RemoteCampusAccess":   RemoteCampusAccess(),
+		"Flat":                 Flat(),
+	}
+}
+
+func TestProfilesNormalised(t *testing.T) {
+	for name, p := range allProfiles() {
+		max := 0.0
+		for h := 0; h < 24; h++ {
+			v := p.At(h)
+			if v < 0 {
+				t.Errorf("%s: negative weight at hour %d", name, h)
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if math.Abs(max-1) > 1e-9 {
+			t.Errorf("%s: maximum weight = %v, want 1", name, max)
+		}
+	}
+}
+
+func TestWorkdayEveningPeak(t *testing.T) {
+	p := ResidentialWorkday()
+	if peak := p.PeakHour(); peak < 19 || peak > 22 {
+		t.Errorf("residential workday peak at %d, want evening (19-22)", peak)
+	}
+	// Night trough well below daytime.
+	if p.At(3) > 0.5*p.At(15) {
+		t.Errorf("night load %v not clearly below afternoon load %v", p.At(3), p.At(15))
+	}
+}
+
+func TestWeekendMorningMomentum(t *testing.T) {
+	wd, we := ResidentialWorkday(), ResidentialWeekend()
+	// The paper's distinguishing feature: weekend activity at 10:00-12:00
+	// is a much larger fraction of its evening peak than on a workday.
+	wdRatio := wd.At(11) / wd.At(21)
+	weRatio := we.At(11) / we.At(21)
+	if weRatio <= wdRatio {
+		t.Errorf("weekend morning/evening ratio %v should exceed workday ratio %v", weRatio, wdRatio)
+	}
+}
+
+func TestLockdownWorkdayLooksLikeWeekend(t *testing.T) {
+	wd, we, ld := ResidentialWorkday(), ResidentialWeekend(), LockdownWorkday()
+	// Distance in the 08:00-16:00 window: lockdown workday must be closer
+	// to the weekend shape than the normal workday is.
+	dist := func(a, b Profile) float64 {
+		var s float64
+		for h := 8; h <= 16; h++ {
+			d := a.At(h)/a.At(21) - b.At(h)/b.At(21)
+			s += d * d
+		}
+		return s
+	}
+	if dist(ld, we) >= dist(wd, we) {
+		t.Errorf("lockdown workday (dist %v) should be closer to weekend than the normal workday (dist %v)",
+			dist(ld, we), dist(wd, we))
+	}
+	// Lunch dip: hour 13 below both neighbours.
+	if !(ld.At(13) < ld.At(11) && ld.At(13) < ld.At(15)) {
+		t.Error("lockdown workday should show a lunchtime dip")
+	}
+}
+
+func TestOfficeHoursShape(t *testing.T) {
+	p := OfficeHours()
+	if peak := p.PeakHour(); peak < 8 || peak > 17 {
+		t.Errorf("office peak at %d, want business hours", peak)
+	}
+	if p.At(22) > 0.3 {
+		t.Errorf("office evening load %v too high", p.At(22))
+	}
+}
+
+func TestEntertainmentShift(t *testing.T) {
+	pre, post := EveningEntertainment(), AllDayEntertainment()
+	// During lockdown the daytime share of entertainment grows.
+	if post.At(13) <= pre.At(13) {
+		t.Errorf("lockdown entertainment daytime weight %v should exceed pre-lockdown %v", post.At(13), pre.At(13))
+	}
+}
+
+func TestCampusVsRemote(t *testing.T) {
+	campus, remote := CampusDay(), RemoteCampusAccess()
+	if campus.At(3) > 0.15 {
+		t.Errorf("campus night load %v should be tiny", campus.At(3))
+	}
+	if remote.At(3) <= campus.At(3) {
+		t.Error("remote access should show more night activity than on-campus use (overseas students)")
+	}
+}
+
+func TestAtWrapsAround(t *testing.T) {
+	p := Flat()
+	if p.At(-1) != p.At(23) || p.At(24) != p.At(0) {
+		t.Error("At should wrap hours outside 0-23")
+	}
+}
+
+func TestMeanAndPeakHour(t *testing.T) {
+	if Flat().Mean() != 1 {
+		t.Errorf("Flat mean = %v, want 1", Flat().Mean())
+	}
+	var p Profile
+	p[7] = 1
+	if p.PeakHour() != 7 {
+		t.Errorf("PeakHour = %d, want 7", p.PeakHour())
+	}
+}
+
+func TestBlendEndpointsAndClamping(t *testing.T) {
+	a, b := ResidentialWorkday(), ResidentialWeekend()
+	if Blend(a, b, 0) != a {
+		t.Error("Blend(.., 0) should equal the first profile")
+	}
+	if Blend(a, b, 1) != b {
+		t.Error("Blend(.., 1) should equal the second profile")
+	}
+	if Blend(a, b, -5) != a || Blend(a, b, 7) != b {
+		t.Error("Blend should clamp its weight")
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := Flat().Scale(func(h int) bool { return h >= 9 && h <= 16 }, 2)
+	// After re-normalisation the scaled hours are 1 and the rest 0.5.
+	if p.At(10) != 1 || math.Abs(p.At(20)-0.5) > 1e-9 {
+		t.Errorf("Scale result unexpected: %v at 10, %v at 20", p.At(10), p.At(20))
+	}
+}
+
+// Property: blending stays within [0, 1] for any weight.
+func TestBlendBoundsQuick(t *testing.T) {
+	a, b := ResidentialWorkday(), LockdownWorkday()
+	f := func(w float64) bool {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return true
+		}
+		p := Blend(a, b, w)
+		for h := 0; h < 24; h++ {
+			if p.At(h) < 0 || p.At(h) > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

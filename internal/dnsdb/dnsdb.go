@@ -1,0 +1,276 @@
+// Package dnsdb provides the domain-name corpus and the matching rules
+// behind the paper's domain-based VPN detection (Section 6).
+//
+// The paper searches 2.7B certificate-transparency domains, 1.9B forward
+// DNS names and the Cisco Umbrella top list for names carrying a "*vpn*"
+// label left of the public suffix, resolves them, and removes candidates
+// whose address is shared with the "www" name of the same registered
+// domain. This package reproduces the algorithm exactly; the corpus itself
+// is synthetic (generated deterministically from the AS registry) because
+// the raw datasets are not redistributable.
+package dnsdb
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"lockdown/internal/asdb"
+)
+
+// Source identifies where a corpus entry came from, mirroring the three
+// datasets of Section 6.
+type Source string
+
+// Corpus sources.
+const (
+	SourceCTLog   Source = "ct-log"
+	SourceFDNS    Source = "forward-dns"
+	SourceToplist Source = "toplist"
+)
+
+// Entry is one (name, address) observation from a dataset.
+type Entry struct {
+	Name   string
+	Addr   netip.Addr
+	Source Source
+}
+
+// Corpus is a set of domain-name observations with address lookup.
+type Corpus struct {
+	entries []Entry
+	byName  map[string][]netip.Addr
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{byName: make(map[string][]netip.Addr)}
+}
+
+// Add records one observation. Duplicate (name, addr) pairs are ignored.
+func (c *Corpus) Add(e Entry) {
+	name := strings.ToLower(strings.TrimSuffix(e.Name, "."))
+	e.Name = name
+	for _, a := range c.byName[name] {
+		if a == e.Addr {
+			return
+		}
+	}
+	c.entries = append(c.entries, e)
+	c.byName[name] = append(c.byName[name], e.Addr)
+}
+
+// Len returns the number of distinct (name, addr) observations.
+func (c *Corpus) Len() int { return len(c.entries) }
+
+// Resolve returns all addresses observed for name (case-insensitive).
+func (c *Corpus) Resolve(name string) []netip.Addr {
+	return c.byName[strings.ToLower(strings.TrimSuffix(name, "."))]
+}
+
+// Names returns all distinct names in the corpus, sorted.
+func (c *Corpus) Names() []string {
+	out := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// publicSuffixes is a deliberately small public-suffix list covering the
+// suffixes that occur in the synthetic corpus and in the paper's examples.
+// Multi-label suffixes must be listed before their parent suffix is
+// consulted; Split checks the longest match first.
+var publicSuffixes = map[string]bool{
+	"com": true, "net": true, "org": true, "edu": true, "gov": true, "info": true,
+	"de": true, "es": true, "eu": true, "us": true, "io": true, "cloud": true,
+	"co.uk": true, "ac.uk": true, "com.es": true, "edu.es": true, "co.jp": true,
+}
+
+// PublicSuffix returns the public suffix of name ("example.co.uk" ->
+// "co.uk"). Unknown suffixes fall back to the last label.
+func PublicSuffix(name string) string {
+	labels := strings.Split(strings.ToLower(strings.TrimSuffix(name, ".")), ".")
+	for i := 0; i < len(labels); i++ {
+		candidate := strings.Join(labels[i:], ".")
+		if publicSuffixes[candidate] {
+			return candidate
+		}
+	}
+	return labels[len(labels)-1]
+}
+
+// RegisteredDomain returns the registrable domain of name: one label plus
+// the public suffix ("companyvpn3.example.com" -> "example.com"). If name
+// is itself a public suffix, it is returned unchanged.
+func RegisteredDomain(name string) string {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	suffix := PublicSuffix(name)
+	if name == suffix {
+		return name
+	}
+	rest := strings.TrimSuffix(name, "."+suffix)
+	labels := strings.Split(rest, ".")
+	return labels[len(labels)-1] + "." + suffix
+}
+
+// HasVPNLabel reports whether any label left of the public suffix contains
+// "vpn". Labels equal to "www" never match, and a name whose only matching
+// label is the registered-domain label itself still counts (e.g.
+// "myvpn.example.com" and "vpn-gw.campus.edu.es" both match;
+// "www.example.com" does not).
+func HasVPNLabel(name string) bool {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	suffix := PublicSuffix(name)
+	if name == suffix {
+		return false
+	}
+	rest := strings.TrimSuffix(name, "."+suffix)
+	for _, label := range strings.Split(rest, ".") {
+		if label == "www" {
+			continue
+		}
+		if strings.Contains(label, "vpn") {
+			return true
+		}
+	}
+	return false
+}
+
+// VPNCandidates runs the Section 6 algorithm over the corpus: collect the
+// addresses of all *vpn* names, resolve the "www" name of the same
+// registered domain, and drop candidates that share an address with it. The
+// result is the set of addresses whose TCP/443 traffic the pipeline will
+// classify as VPN.
+func VPNCandidates(c *Corpus) map[netip.Addr]bool {
+	candidates := make(map[netip.Addr]bool)
+	shared := make(map[netip.Addr]bool)
+	for _, name := range c.Names() {
+		if !HasVPNLabel(name) {
+			continue
+		}
+		wwwName := "www." + RegisteredDomain(name)
+		wwwAddrs := make(map[netip.Addr]bool)
+		for _, a := range c.Resolve(wwwName) {
+			wwwAddrs[a] = true
+		}
+		for _, a := range c.Resolve(name) {
+			if wwwAddrs[a] {
+				shared[a] = true
+				continue
+			}
+			candidates[a] = true
+		}
+	}
+	for a := range shared {
+		delete(candidates, a)
+	}
+	return candidates
+}
+
+// GenerateOptions controls the synthetic corpus generator.
+type GenerateOptions struct {
+	// Orgs is the number of organisations to synthesise.
+	Orgs int
+	// VPNShare is the fraction of organisations operating a dedicated
+	// VPN gateway with its own address.
+	VPNShare float64
+	// SharedShare is the fraction of organisations whose *vpn* name
+	// resolves to the same address as their www name (these must be
+	// eliminated by the candidate algorithm).
+	SharedShare float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultGenerateOptions mirrors the rough proportions the paper reports:
+// 3M candidate addresses narrowed to 1.7M after shared-address elimination.
+func DefaultGenerateOptions() GenerateOptions {
+	return GenerateOptions{Orgs: 400, VPNShare: 0.45, SharedShare: 0.20, Seed: 20200319}
+}
+
+// Generate builds a synthetic corpus of www/mail/vpn names for Orgs
+// organisations. VPN gateway addresses are minted from the enterprise,
+// educational and hosting ASes of the registry so that flows generated by
+// package synth towards those ASes can be matched against the candidate
+// set. It returns the corpus together with the list of true VPN gateway
+// addresses (useful as ground truth in tests).
+func Generate(reg *asdb.Registry, opts GenerateOptions) (*Corpus, []netip.Addr) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	hosts := append(append(reg.OfCategory(asdb.CatEnterprise), reg.OfCategory(asdb.CatEducational)...),
+		reg.OfCategory(asdb.CatHosting)...)
+	if len(hosts) == 0 {
+		hosts = reg.All()
+	}
+	suffixes := []string{"com", "de", "es", "eu", "co.uk", "edu.es"}
+	corpus := NewCorpus()
+	var truth []netip.Addr
+	sources := []Source{SourceCTLog, SourceFDNS, SourceToplist}
+	for i := 0; i < opts.Orgs; i++ {
+		org := hosts[rng.Intn(len(hosts))]
+		suffix := suffixes[rng.Intn(len(suffixes))]
+		base := orgName(rng, i) + "." + suffix
+		src := sources[rng.Intn(len(sources))]
+
+		wwwAddr, err := reg.AddrFor(org.ASN, rng.Uint32())
+		if err != nil {
+			continue
+		}
+		corpus.Add(Entry{Name: "www." + base, Addr: wwwAddr, Source: src})
+		corpus.Add(Entry{Name: base, Addr: wwwAddr, Source: src})
+		corpus.Add(Entry{Name: "mail." + base, Addr: mustAddr(reg, org.ASN, rng.Uint32()), Source: src})
+
+		roll := rng.Float64()
+		switch {
+		case roll < opts.VPNShare:
+			// Dedicated VPN gateway on its own address.
+			gw := mustAddr(reg, org.ASN, rng.Uint32())
+			name := vpnLabel(rng, i) + "." + base
+			corpus.Add(Entry{Name: name, Addr: gw, Source: src})
+			truth = append(truth, gw)
+		case roll < opts.VPNShare+opts.SharedShare:
+			// *vpn* name sharing the www address (must be eliminated).
+			name := "vpn." + base
+			corpus.Add(Entry{Name: name, Addr: wwwAddr, Source: src})
+		default:
+			// No VPN name at all.
+		}
+	}
+	return corpus, truth
+}
+
+func mustAddr(reg *asdb.Registry, asn uint32, n uint32) netip.Addr {
+	a, err := reg.AddrFor(asn, n)
+	if err != nil {
+		return netip.AddrFrom4([4]byte{192, 0, 2, 1})
+	}
+	return a
+}
+
+var orgWords = []string{"alpine", "meridian", "cobalt", "harbor", "quartz", "lumen", "aurora", "velvet", "citrus", "nimbus"}
+
+func orgName(rng *rand.Rand, i int) string {
+	return orgWords[rng.Intn(len(orgWords))] + "-" + orgWords[rng.Intn(len(orgWords))] + itoa(i)
+}
+
+var vpnLabels = []string{"vpn", "companyvpn3", "remote-vpn", "sslvpn", "vpn-gw", "openvpn"}
+
+func vpnLabel(rng *rand.Rand, i int) string {
+	return vpnLabels[rng.Intn(len(vpnLabels))]
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}

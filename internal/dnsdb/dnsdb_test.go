@@ -1,0 +1,194 @@
+package dnsdb
+
+import (
+	"net/netip"
+	"testing"
+
+	"lockdown/internal/asdb"
+)
+
+func TestPublicSuffix(t *testing.T) {
+	cases := map[string]string{
+		"www.example.com":        "com",
+		"example.co.uk":          "co.uk",
+		"vpn.campus.edu.es":      "edu.es",
+		"host.example.de":        "de",
+		"weird.example.unknown!": "unknown!",
+		"Example.COM.":           "com",
+	}
+	for in, want := range cases {
+		if got := PublicSuffix(in); got != want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegisteredDomain(t *testing.T) {
+	cases := map[string]string{
+		"companyvpn3.example.com": "example.com",
+		"www.example.com":         "example.com",
+		"example.com":             "example.com",
+		"a.b.c.example.co.uk":     "example.co.uk",
+		"com":                     "com",
+	}
+	for in, want := range cases {
+		if got := RegisteredDomain(in); got != want {
+			t.Errorf("RegisteredDomain(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHasVPNLabel(t *testing.T) {
+	yes := []string{
+		"companyvpn3.example.com",
+		"vpn.example.de",
+		"sslvpn.campus.edu.es",
+		"remote-VPN.example.co.uk",
+		"myvpn.example.com",
+		"vpn.www.example.com", // vpn label besides a www label
+	}
+	no := []string{
+		"www.example.com",
+		"mail.example.com",
+		"example.com",
+		"com",
+		"wwwvpn-is-not-separate-suffix", // single label that is itself the suffix
+	}
+	for _, n := range yes {
+		if !HasVPNLabel(n) {
+			t.Errorf("HasVPNLabel(%q) = false, want true", n)
+		}
+	}
+	for _, n := range no {
+		if HasVPNLabel(n) {
+			t.Errorf("HasVPNLabel(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestCorpusAddResolveDeduplicates(t *testing.T) {
+	c := NewCorpus()
+	a := netip.MustParseAddr("10.1.0.1")
+	c.Add(Entry{Name: "VPN.Example.com", Addr: a, Source: SourceCTLog})
+	c.Add(Entry{Name: "vpn.example.com.", Addr: a, Source: SourceFDNS}) // duplicate
+	c.Add(Entry{Name: "vpn.example.com", Addr: netip.MustParseAddr("10.1.0.2"), Source: SourceFDNS})
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (duplicates collapsed)", c.Len())
+	}
+	if got := c.Resolve("vpn.example.COM"); len(got) != 2 {
+		t.Errorf("Resolve returned %d addresses, want 2", len(got))
+	}
+	if got := c.Resolve("unknown.example.com"); got != nil {
+		t.Errorf("Resolve unknown = %v, want nil", got)
+	}
+	names := c.Names()
+	if len(names) != 1 || names[0] != "vpn.example.com" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestVPNCandidatesEliminatesSharedAddresses(t *testing.T) {
+	c := NewCorpus()
+	gw := netip.MustParseAddr("10.2.0.10")
+	www := netip.MustParseAddr("10.2.0.20")
+	shared := netip.MustParseAddr("10.3.0.30")
+
+	// Org A: dedicated gateway -> candidate.
+	c.Add(Entry{Name: "vpn.alpha.com", Addr: gw, Source: SourceCTLog})
+	c.Add(Entry{Name: "www.alpha.com", Addr: www, Source: SourceCTLog})
+	// Org B: vpn name shares the www address -> eliminated.
+	c.Add(Entry{Name: "companyvpn3.beta.com", Addr: shared, Source: SourceFDNS})
+	c.Add(Entry{Name: "www.beta.com", Addr: shared, Source: SourceFDNS})
+	// Org C: www-only -> never a candidate.
+	c.Add(Entry{Name: "www.gamma.com", Addr: netip.MustParseAddr("10.4.0.4"), Source: SourceToplist})
+
+	got := VPNCandidates(c)
+	if !got[gw] {
+		t.Error("dedicated gateway missing from candidates")
+	}
+	if got[shared] {
+		t.Error("shared www/vpn address was not eliminated")
+	}
+	if got[www] {
+		t.Error("plain www address must not be a candidate")
+	}
+	if len(got) != 1 {
+		t.Errorf("candidate count = %d, want 1", len(got))
+	}
+}
+
+func TestVPNCandidatesSharedAcrossNames(t *testing.T) {
+	// If one *vpn* name shares an address with its www and another *vpn*
+	// name maps to the same address, the address stays eliminated.
+	c := NewCorpus()
+	a := netip.MustParseAddr("10.9.0.9")
+	c.Add(Entry{Name: "vpn.one.com", Addr: a, Source: SourceCTLog})
+	c.Add(Entry{Name: "www.one.com", Addr: a, Source: SourceCTLog})
+	c.Add(Entry{Name: "vpn.two.com", Addr: a, Source: SourceCTLog})
+	if got := VPNCandidates(c); got[a] {
+		t.Error("address shared with a www name should stay eliminated")
+	}
+}
+
+func TestGenerateDeterministicAndConsistent(t *testing.T) {
+	reg := asdb.Default()
+	opts := DefaultGenerateOptions()
+	opts.Orgs = 120
+	c1, truth1 := Generate(reg, opts)
+	c2, truth2 := Generate(reg, opts)
+	if c1.Len() != c2.Len() || len(truth1) != len(truth2) {
+		t.Fatal("generation is not deterministic for a fixed seed")
+	}
+	if c1.Len() == 0 || len(truth1) == 0 {
+		t.Fatal("generator produced an empty corpus")
+	}
+
+	cands := VPNCandidates(c1)
+	// Every ground-truth gateway must be found...
+	missing := 0
+	for _, gw := range truth1 {
+		if !cands[gw] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d of %d true gateways missing from candidates", missing, len(truth1))
+	}
+	// ...and the candidate set should not be wildly larger than the truth
+	// (shared addresses are eliminated).
+	if len(cands) > len(truth1)*2 {
+		t.Errorf("candidate set %d much larger than ground truth %d", len(cands), len(truth1))
+	}
+	// Candidates must live inside the registry's address space.
+	for a := range cands {
+		if _, ok := reg.LookupIP(a); !ok {
+			t.Errorf("candidate %v outside the synthetic AS space", a)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	reg := asdb.Default()
+	a := DefaultGenerateOptions()
+	b := DefaultGenerateOptions()
+	b.Seed++
+	ca, _ := Generate(reg, a)
+	cb, _ := Generate(reg, b)
+	if ca.Len() == 0 || cb.Len() == 0 {
+		t.Fatal("empty corpus")
+	}
+	namesA := ca.Names()
+	namesB := cb.Names()
+	same := len(namesA) == len(namesB)
+	if same {
+		for i := range namesA {
+			if namesA[i] != namesB[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}

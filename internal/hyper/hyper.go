@@ -1,0 +1,136 @@
+// Package hyper implements the hypergiant vs. other-AS growth analysis of
+// Section 3.2 (Figure 4): weekly traffic of the two AS groups, split by
+// daypart (working hours vs. evening) and day type (workday vs. weekend),
+// normalised to a baseline calendar week.
+package hyper
+
+import (
+	"fmt"
+	"sort"
+
+	"lockdown/internal/calendar"
+	"lockdown/internal/timeseries"
+)
+
+// Daypart is one of the four time windows of Figure 4.
+type Daypart struct {
+	Weekend bool
+	Evening bool
+}
+
+// String renders the daypart in the figure's legend style.
+func (d Daypart) String() string {
+	day := "Workday"
+	if d.Weekend {
+		day = "Weekend"
+	}
+	window := "09:00-16:59"
+	if d.Evening {
+		window = "17:00-24:00"
+	}
+	return day + " " + window
+}
+
+// Dayparts returns the four windows in legend order.
+func Dayparts() []Daypart {
+	return []Daypart{
+		{Weekend: true, Evening: false},
+		{Weekend: true, Evening: true},
+		{Weekend: false, Evening: false},
+		{Weekend: false, Evening: true},
+	}
+}
+
+// contains reports whether the point falls into the daypart.
+func (d Daypart) contains(p timeseries.Point) bool {
+	weekend := calendar.IsWeekend(p.T) || calendar.IsHoliday(p.T)
+	if weekend != d.Weekend {
+		return false
+	}
+	h := p.T.UTC().Hour()
+	if d.Evening {
+		return calendar.EveningHours(h)
+	}
+	return calendar.WorkingHours(h)
+}
+
+// GroupGrowth is the weekly normalised traffic of one AS group within one
+// daypart: Values[week] is the mean hourly volume of that week's daypart
+// divided by the baseline week's value.
+type GroupGrowth struct {
+	Daypart Daypart
+	Values  map[int]float64
+}
+
+// Result is the full Figure 4 dataset.
+type Result struct {
+	BaselineWeek int
+	Hypergiants  []GroupGrowth
+	Others       []GroupGrowth
+}
+
+// Analyze computes weekly normalised growth per daypart for the hypergiant
+// and other-AS hourly series. Both series must cover the baseline week;
+// weeks without data are omitted from the result maps.
+func Analyze(hypergiants, others *timeseries.Series, baselineWeek int) (Result, error) {
+	res := Result{BaselineWeek: baselineWeek}
+	for _, dp := range Dayparts() {
+		hg, err := weeklyNormalized(hypergiants, dp, baselineWeek)
+		if err != nil {
+			return Result{}, fmt.Errorf("hypergiants %s: %w", dp, err)
+		}
+		ot, err := weeklyNormalized(others, dp, baselineWeek)
+		if err != nil {
+			return Result{}, fmt.Errorf("other ASes %s: %w", dp, err)
+		}
+		res.Hypergiants = append(res.Hypergiants, GroupGrowth{Daypart: dp, Values: hg})
+		res.Others = append(res.Others, GroupGrowth{Daypart: dp, Values: ot})
+	}
+	return res, nil
+}
+
+func weeklyNormalized(s *timeseries.Series, dp Daypart, baselineWeek int) (map[int]float64, error) {
+	sums := make(map[int]float64)
+	counts := make(map[int]int)
+	for _, p := range s.Points() {
+		if !dp.contains(p) {
+			continue
+		}
+		w := calendar.ISOWeek(p.T)
+		sums[w] += p.V
+		counts[w]++
+	}
+	base, ok := sums[baselineWeek]
+	if !ok || base == 0 {
+		return nil, fmt.Errorf("no data in baseline week %d", baselineWeek)
+	}
+	baseMean := base / float64(counts[baselineWeek])
+	out := make(map[int]float64, len(sums))
+	for w, sum := range sums {
+		out[w] = (sum / float64(counts[w])) / baseMean
+	}
+	return out, nil
+}
+
+// Weeks returns the sorted list of calendar weeks present in the result.
+func (r Result) Weeks() []int {
+	seen := make(map[int]bool)
+	for _, g := range append(append([]GroupGrowth{}, r.Hypergiants...), r.Others...) {
+		for w := range g.Values {
+			seen[w] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GapAfter returns, for the given week and daypart index, the growth gap
+// between the other-AS group and the hypergiants (positive when the other
+// ASes grew more, the paper's key observation after the lockdown).
+func (r Result) GapAfter(week int, daypartIdx int) float64 {
+	return r.Others[daypartIdx].Values[week] - r.Hypergiants[daypartIdx].Values[week]
+}

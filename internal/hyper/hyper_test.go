@@ -1,0 +1,106 @@
+package hyper
+
+import (
+	"testing"
+	"time"
+
+	"lockdown/internal/synth"
+	"lockdown/internal/timeseries"
+)
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+func ispResult(t *testing.T) Result {
+	t.Helper()
+	g, err := synth.NewDefault(synth.ISPCE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, other := g.HypergiantSeries(date(2020, 1, 6), date(2020, 5, 4))
+	res, err := Analyze(hg, other, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDaypartsAndStrings(t *testing.T) {
+	dps := Dayparts()
+	if len(dps) != 4 {
+		t.Fatalf("expected 4 dayparts, got %d", len(dps))
+	}
+	if dps[0].String() != "Weekend 09:00-16:59" || dps[3].String() != "Workday 17:00-24:00" {
+		t.Errorf("daypart strings unexpected: %q, %q", dps[0], dps[3])
+	}
+}
+
+func TestAnalyzeBaselineIsOne(t *testing.T) {
+	res := ispResult(t)
+	for _, g := range append(append([]GroupGrowth{}, res.Hypergiants...), res.Others...) {
+		if v := g.Values[res.BaselineWeek]; v < 0.999 || v > 1.001 {
+			t.Errorf("%s: baseline week value = %v, want 1", g.Daypart, v)
+		}
+	}
+}
+
+func TestOthersGrowMoreThanHypergiantsAfterLockdown(t *testing.T) {
+	res := ispResult(t)
+	// Weeks 13-16 are deep in the lockdown.
+	for _, week := range []int{13, 14, 15, 16} {
+		for i := range Dayparts() {
+			if gap := res.GapAfter(week, i); gap <= 0 {
+				t.Errorf("week %d, %s: other-AS growth does not exceed hypergiant growth (gap %.3f)",
+					week, Dayparts()[i], gap)
+			}
+		}
+	}
+	// Before the outbreak the two groups track each other closely.
+	for i := range Dayparts() {
+		if gap := res.GapAfter(5, i); gap > 0.08 || gap < -0.08 {
+			t.Errorf("week 5, %s: pre-outbreak gap %.3f should be near zero", Dayparts()[i], gap)
+		}
+	}
+}
+
+func TestHypergiantGrowthIsSubstantialAtLockdownStart(t *testing.T) {
+	res := ispResult(t)
+	// Figure 4: hypergiant traffic jumps from week 11 to week 12. In the
+	// synthetic model the jump is concentrated in the working-hours
+	// dayparts (the valleys that fill up); evening levels stay roughly
+	// flat, so they are only required not to collapse.
+	for i, dp := range Dayparts() {
+		w11 := res.Hypergiants[i].Values[11]
+		w12 := res.Hypergiants[i].Values[12]
+		if !dp.Evening && w12 <= w11 {
+			t.Errorf("%s: hypergiant growth should rise from week 11 (%.3f) to week 12 (%.3f)",
+				dp, w11, w12)
+		}
+		if dp.Evening && w12 < w11*0.9 {
+			t.Errorf("%s: hypergiant evening traffic should not collapse (week 11 %.3f, week 12 %.3f)",
+				dp, w11, w12)
+		}
+	}
+}
+
+func TestWeeksSortedAndCoverStudy(t *testing.T) {
+	res := ispResult(t)
+	weeks := res.Weeks()
+	if len(weeks) < 15 {
+		t.Fatalf("expected at least 15 weeks, got %d", len(weeks))
+	}
+	for i := 1; i < len(weeks); i++ {
+		if weeks[i-1] >= weeks[i] {
+			t.Fatal("Weeks() not sorted")
+		}
+	}
+}
+
+func TestAnalyzeErrorsWithoutBaseline(t *testing.T) {
+	s := timeseries.New("empty-ish")
+	s.Add(date(2020, 4, 1).Add(12*time.Hour), 1)
+	if _, err := Analyze(s, s, 3); err == nil {
+		t.Error("missing baseline week should be an error")
+	}
+}

@@ -1,0 +1,303 @@
+// Package ipfix implements the IPFIX (RFC 7011) export format used by the
+// IXP vantage points of the paper. As with package netflow, only IPv4 flow
+// records with the fields the analyses need are supported, but message
+// framing, template sets and data sets follow the RFC so the codec
+// interoperates with standard collectors.
+package ipfix
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"lockdown/internal/flowrec"
+)
+
+// IPFIX information element identifiers (IANA registry) used by the
+// standard template.
+const (
+	ieOctetDeltaCount  = 1
+	iePacketDeltaCount = 2
+	ieProtocol         = 4
+	ieTCPControlBits   = 6
+	ieSrcPort          = 7
+	ieSrcIPv4          = 8
+	ieIngressIf        = 10
+	ieDstPort          = 11
+	ieDstIPv4          = 12
+	ieEgressIf         = 14
+	ieBgpSrcAS         = 16
+	ieBgpDstAS         = 17
+	ieFlowEndSeconds   = 151
+	ieFlowStartSeconds = 150
+	ieFlowDirection    = 61
+)
+
+const (
+	version   = 10
+	headerLen = 16
+	// TemplateSetID is the set identifier of template sets (RFC 7011).
+	TemplateSetID = 2
+	// TemplateID is the template this package exports data records with.
+	TemplateID = 400
+)
+
+type field struct {
+	ID     uint16
+	Length uint16
+}
+
+var standardTemplate = []field{
+	{ieSrcIPv4, 4},
+	{ieDstIPv4, 4},
+	{ieOctetDeltaCount, 8},
+	{iePacketDeltaCount, 8},
+	{ieFlowStartSeconds, 4},
+	{ieFlowEndSeconds, 4},
+	{ieSrcPort, 2},
+	{ieDstPort, 2},
+	{ieProtocol, 1},
+	{ieTCPControlBits, 1},
+	{ieFlowDirection, 1},
+	{ieIngressIf, 4},
+	{ieEgressIf, 4},
+	{ieBgpSrcAS, 4},
+	{ieBgpDstAS, 4},
+}
+
+func recordLen(tpl []field) int {
+	n := 0
+	for _, f := range tpl {
+		n += int(f.Length)
+	}
+	return n
+}
+
+// Encoder serialises flow records into IPFIX messages for one observation
+// domain. Every message carries the template set before the data set.
+type Encoder struct {
+	DomainID uint32
+	seq      uint32
+}
+
+// Encode builds one IPFIX message containing the template set and a data
+// set with the given records. Records must be IPv4.
+func (e *Encoder) Encode(recs []flowrec.Record, exportTime time.Time) ([]byte, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("ipfix: no records to encode")
+	}
+	be := binary.BigEndian
+
+	// Template set.
+	tplBody := make([]byte, 4+4*len(standardTemplate))
+	be.PutUint16(tplBody[0:], TemplateID)
+	be.PutUint16(tplBody[2:], uint16(len(standardTemplate)))
+	for i, f := range standardTemplate {
+		be.PutUint16(tplBody[4+4*i:], f.ID)
+		be.PutUint16(tplBody[6+4*i:], f.Length)
+	}
+	tplSet := make([]byte, 4+len(tplBody))
+	be.PutUint16(tplSet[0:], TemplateSetID)
+	be.PutUint16(tplSet[2:], uint16(len(tplSet)))
+	copy(tplSet[4:], tplBody)
+
+	// Data set.
+	rl := recordLen(standardTemplate)
+	dataBody := make([]byte, 0, len(recs)*rl)
+	for i, r := range recs {
+		if !r.SrcIP.Is4() || !r.DstIP.Is4() {
+			return nil, fmt.Errorf("ipfix: record %d is not IPv4", i)
+		}
+		rec := make([]byte, rl)
+		src, dst := r.SrcIP.As4(), r.DstIP.As4()
+		off := 0
+		copy(rec[off:], src[:])
+		off += 4
+		copy(rec[off:], dst[:])
+		off += 4
+		be.PutUint64(rec[off:], r.Bytes)
+		off += 8
+		be.PutUint64(rec[off:], r.Packets)
+		off += 8
+		be.PutUint32(rec[off:], uint32(r.Start.Unix()))
+		off += 4
+		be.PutUint32(rec[off:], uint32(r.End.Unix()))
+		off += 4
+		be.PutUint16(rec[off:], r.SrcPort)
+		off += 2
+		be.PutUint16(rec[off:], r.DstPort)
+		off += 2
+		rec[off] = byte(r.Proto)
+		off++
+		rec[off] = r.TCPFlags
+		off++
+		rec[off] = byte(r.Dir)
+		off++
+		be.PutUint32(rec[off:], uint32(r.InIf))
+		off += 4
+		be.PutUint32(rec[off:], uint32(r.OutIf))
+		off += 4
+		be.PutUint32(rec[off:], r.SrcAS)
+		off += 4
+		be.PutUint32(rec[off:], r.DstAS)
+		dataBody = append(dataBody, rec...)
+	}
+	dataSet := make([]byte, 4+len(dataBody))
+	be.PutUint16(dataSet[0:], TemplateID)
+	be.PutUint16(dataSet[2:], uint16(len(dataSet)))
+	copy(dataSet[4:], dataBody)
+
+	msg := make([]byte, headerLen, headerLen+len(tplSet)+len(dataSet))
+	msg = append(msg, tplSet...)
+	msg = append(msg, dataSet...)
+	be.PutUint16(msg[0:], version)
+	be.PutUint16(msg[2:], uint16(len(msg)))
+	be.PutUint32(msg[4:], uint32(exportTime.Unix()))
+	be.PutUint32(msg[8:], e.seq)
+	be.PutUint32(msg[12:], e.DomainID)
+	e.seq += uint32(len(recs))
+	return msg, nil
+}
+
+// Decoder parses IPFIX messages, caching templates per observation domain.
+type Decoder struct {
+	templates map[uint64][]field
+}
+
+// NewDecoder returns a Decoder with an empty template cache.
+func NewDecoder() *Decoder {
+	return &Decoder{templates: make(map[uint64][]field)}
+}
+
+func key(domain uint32, tpl uint16) uint64 { return uint64(domain)<<16 | uint64(tpl) }
+
+// Decode parses one IPFIX message and returns the records of all data sets
+// whose templates are known.
+func (d *Decoder) Decode(msg []byte) ([]flowrec.Record, error) {
+	be := binary.BigEndian
+	if len(msg) < headerLen {
+		return nil, fmt.Errorf("ipfix: message too short")
+	}
+	if v := be.Uint16(msg[0:]); v != version {
+		return nil, fmt.Errorf("ipfix: unexpected version %d", v)
+	}
+	if l := int(be.Uint16(msg[2:])); l != len(msg) {
+		return nil, fmt.Errorf("ipfix: length field %d does not match message size %d", l, len(msg))
+	}
+	domain := be.Uint32(msg[12:])
+	var out []flowrec.Record
+	off := headerLen
+	for off+4 <= len(msg) {
+		setID := be.Uint16(msg[off:])
+		setLen := int(be.Uint16(msg[off+2:]))
+		if setLen < 4 || off+setLen > len(msg) {
+			return nil, fmt.Errorf("ipfix: invalid set length %d at offset %d", setLen, off)
+		}
+		body := msg[off+4 : off+setLen]
+		switch {
+		case setID == TemplateSetID:
+			if err := d.parseTemplates(domain, body); err != nil {
+				return nil, err
+			}
+		case setID >= 256:
+			recs, err := d.parseData(domain, setID, body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, recs...)
+		}
+		off += setLen
+	}
+	return out, nil
+}
+
+func (d *Decoder) parseTemplates(domain uint32, body []byte) error {
+	be := binary.BigEndian
+	off := 0
+	for off+4 <= len(body) {
+		tplID := be.Uint16(body[off:])
+		count := int(be.Uint16(body[off+2:]))
+		off += 4
+		if off+4*count > len(body) {
+			return fmt.Errorf("ipfix: truncated template %d", tplID)
+		}
+		fields := make([]field, count)
+		for i := 0; i < count; i++ {
+			fields[i] = field{
+				ID:     be.Uint16(body[off+4*i:]),
+				Length: be.Uint16(body[off+4*i+2:]),
+			}
+		}
+		d.templates[key(domain, tplID)] = fields
+		off += 4 * count
+	}
+	return nil
+}
+
+func (d *Decoder) parseData(domain uint32, tplID uint16, body []byte) ([]flowrec.Record, error) {
+	tpl, ok := d.templates[key(domain, tplID)]
+	if !ok {
+		return nil, fmt.Errorf("ipfix: data set %d before its template", tplID)
+	}
+	rl := recordLen(tpl)
+	if rl == 0 {
+		return nil, fmt.Errorf("ipfix: template %d has zero length", tplID)
+	}
+	be := binary.BigEndian
+	var out []flowrec.Record
+	for off := 0; off+rl <= len(body); off += rl {
+		var r flowrec.Record
+		pos := off
+		for _, f := range tpl {
+			v := body[pos : pos+int(f.Length)]
+			switch f.ID {
+			case ieSrcIPv4:
+				var a [4]byte
+				copy(a[:], v)
+				r.SrcIP = netip.AddrFrom4(a)
+			case ieDstIPv4:
+				var a [4]byte
+				copy(a[:], v)
+				r.DstIP = netip.AddrFrom4(a)
+			case ieOctetDeltaCount:
+				r.Bytes = beUint(v)
+			case iePacketDeltaCount:
+				r.Packets = beUint(v)
+			case ieFlowStartSeconds:
+				r.Start = time.Unix(int64(be.Uint32(v)), 0).UTC()
+			case ieFlowEndSeconds:
+				r.End = time.Unix(int64(be.Uint32(v)), 0).UTC()
+			case ieSrcPort:
+				r.SrcPort = be.Uint16(v)
+			case ieDstPort:
+				r.DstPort = be.Uint16(v)
+			case ieProtocol:
+				r.Proto = flowrec.Proto(v[0])
+			case ieTCPControlBits:
+				r.TCPFlags = v[0]
+			case ieFlowDirection:
+				r.Dir = flowrec.Direction(v[0])
+			case ieIngressIf:
+				r.InIf = uint16(beUint(v))
+			case ieEgressIf:
+				r.OutIf = uint16(beUint(v))
+			case ieBgpSrcAS:
+				r.SrcAS = uint32(beUint(v))
+			case ieBgpDstAS:
+				r.DstAS = uint32(beUint(v))
+			}
+			pos += int(f.Length)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func beUint(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}

@@ -1,0 +1,266 @@
+package netflow
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lockdown/internal/flowrec"
+)
+
+var export = time.Date(2020, 3, 25, 20, 30, 0, 0, time.UTC)
+
+func sampleRecords(n int) []flowrec.Record {
+	recs := make([]flowrec.Record, n)
+	for i := range recs {
+		recs[i] = flowrec.Record{
+			Start:    export.Add(-time.Duration(10+i) * time.Minute),
+			End:      export.Add(-time.Duration(i) * time.Minute),
+			SrcIP:    netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)}),
+			DstIP:    netip.AddrFrom4([4]byte{10, 2, 0, byte(i + 1)}),
+			SrcPort:  uint16(50000 + i),
+			DstPort:  443,
+			Proto:    flowrec.ProtoTCP,
+			Bytes:    uint64(1500 * (i + 1)),
+			Packets:  uint64(i + 1),
+			SrcAS:    64700,
+			DstAS:    15169,
+			InIf:     1,
+			OutIf:    2,
+			Dir:      flowrec.DirEgress,
+			TCPFlags: 0x1b,
+		}
+	}
+	return recs
+}
+
+func TestV5RoundTrip(t *testing.T) {
+	recs := sampleRecords(5)
+	pkt, err := EncodeV5(recs, export, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeV5(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.FlowSequence != 100 {
+		t.Errorf("FlowSequence = %d, want 100", dec.FlowSequence)
+	}
+	if !dec.ExportTime.Equal(export) {
+		t.Errorf("ExportTime = %v, want %v", dec.ExportTime, export)
+	}
+	if len(dec.Records) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(dec.Records), len(recs))
+	}
+	for i, got := range dec.Records {
+		want := recs[i]
+		if got.SrcIP != want.SrcIP || got.DstIP != want.DstIP {
+			t.Errorf("record %d addresses differ: %v->%v vs %v->%v", i, got.SrcIP, got.DstIP, want.SrcIP, want.DstIP)
+		}
+		if got.Bytes != want.Bytes || got.Packets != want.Packets {
+			t.Errorf("record %d counters differ", i)
+		}
+		if got.SrcPort != want.SrcPort || got.DstPort != want.DstPort || got.Proto != want.Proto {
+			t.Errorf("record %d transport differs", i)
+		}
+		if got.SrcAS != want.SrcAS || got.DstAS != want.DstAS {
+			t.Errorf("record %d AS numbers differ", i)
+		}
+		// v5 carries times as millisecond uptime offsets.
+		if d := got.Start.Sub(want.Start); d > time.Millisecond || d < -time.Millisecond {
+			t.Errorf("record %d start differs by %v", i, d)
+		}
+		if d := got.End.Sub(want.End); d > time.Millisecond || d < -time.Millisecond {
+			t.Errorf("record %d end differs by %v", i, d)
+		}
+	}
+}
+
+func TestV5Limits(t *testing.T) {
+	if _, err := EncodeV5(nil, export, 0); err == nil {
+		t.Error("empty encode accepted")
+	}
+	if _, err := EncodeV5(sampleRecords(31), export, 0); err == nil {
+		t.Error("oversized encode accepted")
+	}
+	v6rec := sampleRecords(1)
+	v6rec[0].SrcIP = netip.MustParseAddr("2001:db8::1")
+	if _, err := EncodeV5(v6rec, export, 0); err == nil {
+		t.Error("IPv6 record accepted by v5 encoder")
+	}
+}
+
+func TestDecodeV5Malformed(t *testing.T) {
+	if _, err := DecodeV5([]byte{1, 2, 3}); err == nil {
+		t.Error("short packet accepted")
+	}
+	pkt, _ := EncodeV5(sampleRecords(2), export, 0)
+	pkt[0], pkt[1] = 0, 9 // wrong version
+	if _, err := DecodeV5(pkt); err == nil {
+		t.Error("wrong version accepted")
+	}
+	pkt, _ = EncodeV5(sampleRecords(2), export, 0)
+	if _, err := DecodeV5(pkt[:len(pkt)-10]); err == nil {
+		t.Error("truncated packet accepted")
+	}
+	pkt, _ = EncodeV5(sampleRecords(2), export, 0)
+	pkt[2], pkt[3] = 0, 0 // zero count
+	if _, err := DecodeV5(pkt); err == nil {
+		t.Error("zero record count accepted")
+	}
+}
+
+func TestV9RoundTrip(t *testing.T) {
+	recs := sampleRecords(7)
+	enc := &V9Encoder{SourceID: 42}
+	pkt, err := enc.Encode(recs, export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewV9Decoder()
+	got, err := dec.Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		w := recs[i]
+		g := got[i]
+		if g.SrcIP != w.SrcIP || g.DstIP != w.DstIP || g.Bytes != w.Bytes || g.Packets != w.Packets ||
+			g.SrcPort != w.SrcPort || g.DstPort != w.DstPort || g.Proto != w.Proto ||
+			g.SrcAS != w.SrcAS || g.DstAS != w.DstAS || g.Dir != w.Dir || g.TCPFlags != w.TCPFlags ||
+			g.InIf != w.InIf || g.OutIf != w.OutIf {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+		if !g.Start.Equal(w.Start.Truncate(time.Second)) || !g.End.Equal(w.End.Truncate(time.Second)) {
+			t.Errorf("record %d times mismatch: %v-%v vs %v-%v", i, g.Start, g.End, w.Start, w.End)
+		}
+	}
+}
+
+func TestV9SequenceIncrements(t *testing.T) {
+	enc := &V9Encoder{SourceID: 1}
+	p1, err := enc.Encode(sampleRecords(1), export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := enc.Encode(sampleRecords(1), export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1[12] == p2[12] && p1[13] == p2[13] && p1[14] == p2[14] && p1[15] == p2[15] {
+		t.Error("sequence number did not change between packets")
+	}
+}
+
+func TestV9DataBeforeTemplateRejected(t *testing.T) {
+	enc := &V9Encoder{SourceID: 7}
+	pkt, err := enc.Encode(sampleRecords(2), export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the template flowset: header(20) + template set. The template
+	// set length lives at offset 22.
+	tplLen := int(uint16(pkt[22])<<8 | uint16(pkt[23]))
+	mangled := append(append([]byte{}, pkt[:20]...), pkt[20+tplLen:]...)
+	dec := NewV9Decoder()
+	if _, err := dec.Decode(mangled); err == nil {
+		t.Error("data flowset without template accepted")
+	}
+	// After seeing the full packet once, the template is cached and the
+	// mangled packet decodes.
+	if _, err := dec.Decode(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(mangled); err != nil {
+		t.Errorf("cached template not used: %v", err)
+	}
+}
+
+func TestV9Malformed(t *testing.T) {
+	dec := NewV9Decoder()
+	if _, err := dec.Decode([]byte{0, 9}); err == nil {
+		t.Error("short v9 packet accepted")
+	}
+	enc := &V9Encoder{}
+	if _, err := enc.Encode(nil, export); err == nil {
+		t.Error("empty v9 encode accepted")
+	}
+	pkt, _ := enc.Encode(sampleRecords(1), export)
+	pkt[1] = 5 // version
+	if _, err := dec.Decode(pkt); err == nil {
+		t.Error("wrong version accepted")
+	}
+	pkt, _ = enc.Encode(sampleRecords(1), export)
+	pkt[22], pkt[23] = 0xff, 0xff // absurd set length
+	if _, err := dec.Decode(pkt); err == nil {
+		t.Error("invalid set length accepted")
+	}
+}
+
+func TestBeUint(t *testing.T) {
+	if beUint([]byte{0x01, 0x02}) != 0x0102 {
+		t.Error("beUint 2 bytes wrong")
+	}
+	if beUint([]byte{0xff}) != 255 {
+		t.Error("beUint 1 byte wrong")
+	}
+	if beUint([]byte{1, 0, 0, 0, 0, 0, 0, 0}) != 1<<56 {
+		t.Error("beUint 8 bytes wrong")
+	}
+}
+
+// Property: v9 encode/decode round-trips counters and ports for arbitrary
+// values.
+func TestV9RoundTripQuick(t *testing.T) {
+	enc := &V9Encoder{SourceID: 9}
+	dec := NewV9Decoder()
+	f := func(sp, dp uint16, bytes, packets uint32, srcAS, dstAS uint32) bool {
+		r := sampleRecords(1)[0]
+		r.SrcPort, r.DstPort = sp, dp
+		r.Bytes, r.Packets = uint64(bytes), uint64(packets)
+		r.SrcAS, r.DstAS = srcAS, dstAS
+		pkt, err := enc.Encode([]flowrec.Record{r}, export)
+		if err != nil {
+			return false
+		}
+		got, err := dec.Decode(pkt)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		return g.SrcPort == sp && g.DstPort == dp &&
+			g.Bytes == uint64(bytes) && g.Packets == uint64(packets) &&
+			g.SrcAS == srcAS && g.DstAS == dstAS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: v5 round-trips byte counters up to 32 bits.
+func TestV5RoundTripQuick(t *testing.T) {
+	f := func(bytes uint32, pkts uint16, sp, dp uint16) bool {
+		r := sampleRecords(1)[0]
+		r.Bytes = uint64(bytes)
+		r.Packets = uint64(pkts)
+		r.SrcPort, r.DstPort = sp, dp
+		pkt, err := EncodeV5([]flowrec.Record{r}, export, 1)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeV5(pkt)
+		if err != nil || len(dec.Records) != 1 {
+			return false
+		}
+		g := dec.Records[0]
+		return g.Bytes == uint64(bytes) && g.Packets == uint64(pkts) && g.SrcPort == sp && g.DstPort == dp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package netflow implements the Cisco NetFlow version 5 and version 9
+// export formats used by the ISP, EDU and mobile vantage points of the
+// paper. Only the features the analyses need are implemented — IPv4 flow
+// records with byte/packet counters, ports, protocol, AS numbers and
+// interfaces — but the wire formats follow the published specifications so
+// the codecs interoperate with standard tooling.
+package netflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"lockdown/internal/flowrec"
+)
+
+// V5 wire-format constants.
+const (
+	v5Version      = 5
+	v5HeaderLen    = 24
+	v5RecordLen    = 48
+	V5MaxRecords   = 30 // per RFC-less Cisco spec, max records per packet
+	v5TotalMax     = v5HeaderLen + V5MaxRecords*v5RecordLen
+	v5EngineType   = 0
+	v5EngineID     = 0
+	v5SamplingMode = 0
+)
+
+// V5Packet is a decoded NetFlow v5 packet: export metadata plus records.
+type V5Packet struct {
+	SysUptime    time.Duration
+	ExportTime   time.Time
+	FlowSequence uint32
+	Records      []flowrec.Record
+}
+
+// EncodeV5 serialises up to V5MaxRecords flow records into one NetFlow v5
+// packet. exportTime stamps the header; seq is the cumulative flow sequence
+// counter. Records must carry IPv4 addresses.
+//
+// NetFlow v5 expresses flow start/end as router-uptime offsets in
+// milliseconds. The encoder places the export time at an uptime of one
+// hour, so flows that started up to an hour before export remain
+// representable.
+func EncodeV5(recs []flowrec.Record, exportTime time.Time, seq uint32) ([]byte, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("netflow: no records to encode")
+	}
+	if len(recs) > V5MaxRecords {
+		return nil, fmt.Errorf("netflow: %d records exceed the v5 packet limit of %d", len(recs), V5MaxRecords)
+	}
+	const uptimeAtExport = time.Hour
+	buf := make([]byte, v5HeaderLen+len(recs)*v5RecordLen)
+	be := binary.BigEndian
+	be.PutUint16(buf[0:], v5Version)
+	be.PutUint16(buf[2:], uint16(len(recs)))
+	be.PutUint32(buf[4:], uint32(uptimeAtExport.Milliseconds()))
+	be.PutUint32(buf[8:], uint32(exportTime.Unix()))
+	be.PutUint32(buf[12:], uint32(exportTime.Nanosecond()))
+	be.PutUint32(buf[16:], seq)
+	buf[20] = v5EngineType
+	buf[21] = v5EngineID
+	be.PutUint16(buf[22:], v5SamplingMode)
+
+	for i, r := range recs {
+		if !r.SrcIP.Is4() || !r.DstIP.Is4() {
+			return nil, fmt.Errorf("netflow: record %d is not IPv4", i)
+		}
+		off := v5HeaderLen + i*v5RecordLen
+		src, dst := r.SrcIP.As4(), r.DstIP.As4()
+		copy(buf[off+0:], src[:])
+		copy(buf[off+4:], dst[:])
+		// next hop left as 0.0.0.0
+		be.PutUint16(buf[off+12:], r.InIf)
+		be.PutUint16(buf[off+14:], r.OutIf)
+		be.PutUint32(buf[off+16:], uint32(r.Packets))
+		be.PutUint32(buf[off+20:], uint32(r.Bytes))
+		first := uptimeAtExport - exportTime.Sub(r.Start)
+		last := uptimeAtExport - exportTime.Sub(r.End)
+		if first < 0 {
+			first = 0
+		}
+		if last < 0 {
+			last = 0
+		}
+		be.PutUint32(buf[off+24:], uint32(first.Milliseconds()))
+		be.PutUint32(buf[off+28:], uint32(last.Milliseconds()))
+		be.PutUint16(buf[off+32:], r.SrcPort)
+		be.PutUint16(buf[off+34:], r.DstPort)
+		buf[off+36] = 0 // pad
+		buf[off+37] = r.TCPFlags
+		buf[off+38] = byte(r.Proto)
+		buf[off+39] = 0 // ToS
+		be.PutUint16(buf[off+40:], uint16(r.SrcAS))
+		be.PutUint16(buf[off+42:], uint16(r.DstAS))
+		buf[off+44] = 24 // src mask (informational)
+		buf[off+45] = 24 // dst mask
+		// 2 bytes pad
+	}
+	return buf, nil
+}
+
+// DecodeV5 parses a NetFlow v5 packet.
+func DecodeV5(pkt []byte) (*V5Packet, error) {
+	be := binary.BigEndian
+	if len(pkt) < v5HeaderLen {
+		return nil, fmt.Errorf("netflow: packet too short (%d bytes)", len(pkt))
+	}
+	if v := be.Uint16(pkt[0:]); v != v5Version {
+		return nil, fmt.Errorf("netflow: unexpected version %d", v)
+	}
+	count := int(be.Uint16(pkt[2:]))
+	if count == 0 || count > V5MaxRecords {
+		return nil, fmt.Errorf("netflow: implausible record count %d", count)
+	}
+	if len(pkt) < v5HeaderLen+count*v5RecordLen {
+		return nil, fmt.Errorf("netflow: truncated packet: %d bytes for %d records", len(pkt), count)
+	}
+	uptime := time.Duration(be.Uint32(pkt[4:])) * time.Millisecond
+	export := time.Unix(int64(be.Uint32(pkt[8:])), int64(be.Uint32(pkt[12:]))).UTC()
+	out := &V5Packet{
+		SysUptime:    uptime,
+		ExportTime:   export,
+		FlowSequence: be.Uint32(pkt[16:]),
+	}
+	bootTime := export.Add(-uptime)
+	for i := 0; i < count; i++ {
+		off := v5HeaderLen + i*v5RecordLen
+		var src, dst [4]byte
+		copy(src[:], pkt[off+0:off+4])
+		copy(dst[:], pkt[off+4:off+8])
+		first := time.Duration(be.Uint32(pkt[off+24:])) * time.Millisecond
+		last := time.Duration(be.Uint32(pkt[off+28:])) * time.Millisecond
+		r := flowrec.Record{
+			SrcIP:    netip.AddrFrom4(src),
+			DstIP:    netip.AddrFrom4(dst),
+			InIf:     be.Uint16(pkt[off+12:]),
+			OutIf:    be.Uint16(pkt[off+14:]),
+			Packets:  uint64(be.Uint32(pkt[off+16:])),
+			Bytes:    uint64(be.Uint32(pkt[off+20:])),
+			Start:    bootTime.Add(first),
+			End:      bootTime.Add(last),
+			SrcPort:  be.Uint16(pkt[off+32:]),
+			DstPort:  be.Uint16(pkt[off+34:]),
+			TCPFlags: pkt[off+37],
+			Proto:    flowrec.Proto(pkt[off+38]),
+			SrcAS:    uint32(be.Uint16(pkt[off+40:])),
+			DstAS:    uint32(be.Uint16(pkt[off+42:])),
+		}
+		out.Records = append(out.Records, r)
+	}
+	return out, nil
+}

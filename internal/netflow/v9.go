@@ -1,0 +1,309 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"lockdown/internal/flowrec"
+)
+
+// NetFlow v9 field type numbers (RFC 3954 / Cisco registry) used by the
+// standard template below.
+const (
+	fieldInBytes   = 1
+	fieldInPkts    = 2
+	fieldProtocol  = 4
+	fieldTCPFlags  = 6
+	fieldL4SrcPort = 7
+	fieldIPv4Src   = 8
+	fieldInputSNMP = 10
+	fieldL4DstPort = 11
+	fieldIPv4Dst   = 12
+	fieldOutSNMP   = 14
+	fieldSrcAS     = 16
+	fieldDstAS     = 17
+	fieldLastSwt   = 21
+	fieldFirstSwt  = 22
+	fieldDirection = 61
+)
+
+const (
+	v9Version     = 9
+	v9HeaderLen   = 20
+	v9TemplateSet = 0
+	// V9TemplateID is the template this package exports records with.
+	V9TemplateID = 256
+)
+
+// v9Field describes one field of a template: its type and length in bytes.
+type v9Field struct {
+	Type   uint16
+	Length uint16
+}
+
+// standardTemplate is the single template the exporter emits; it carries
+// everything flowrec.Record stores for IPv4 flows.
+var standardTemplate = []v9Field{
+	{fieldIPv4Src, 4},
+	{fieldIPv4Dst, 4},
+	{fieldInBytes, 8},
+	{fieldInPkts, 8},
+	{fieldFirstSwt, 4},
+	{fieldLastSwt, 4},
+	{fieldL4SrcPort, 2},
+	{fieldL4DstPort, 2},
+	{fieldProtocol, 1},
+	{fieldTCPFlags, 1},
+	{fieldDirection, 1},
+	{fieldInputSNMP, 2},
+	{fieldOutSNMP, 2},
+	{fieldSrcAS, 4},
+	{fieldDstAS, 4},
+}
+
+func templateRecordLen(tpl []v9Field) int {
+	n := 0
+	for _, f := range tpl {
+		n += int(f.Length)
+	}
+	return n
+}
+
+// V9Encoder serialises flow records into NetFlow v9 packets. Each packet
+// carries the template flowset followed by one data flowset, so decoders
+// never observe data before its template.
+type V9Encoder struct {
+	SourceID uint32
+	seq      uint32
+}
+
+// Encode produces one v9 packet containing the template and the given
+// records. Records must be IPv4.
+func (e *V9Encoder) Encode(recs []flowrec.Record, exportTime time.Time) ([]byte, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("netflow: no records to encode")
+	}
+	be := binary.BigEndian
+
+	// Template flowset.
+	tplBody := make([]byte, 4+4*len(standardTemplate))
+	be.PutUint16(tplBody[0:], V9TemplateID)
+	be.PutUint16(tplBody[2:], uint16(len(standardTemplate)))
+	for i, f := range standardTemplate {
+		be.PutUint16(tplBody[4+4*i:], f.Type)
+		be.PutUint16(tplBody[6+4*i:], f.Length)
+	}
+	tplSet := make([]byte, 4+len(tplBody))
+	be.PutUint16(tplSet[0:], v9TemplateSet)
+	be.PutUint16(tplSet[2:], uint16(len(tplSet)))
+	copy(tplSet[4:], tplBody)
+
+	// Data flowset.
+	recLen := templateRecordLen(standardTemplate)
+	dataBody := make([]byte, 0, len(recs)*recLen)
+	for i, r := range recs {
+		if !r.SrcIP.Is4() || !r.DstIP.Is4() {
+			return nil, fmt.Errorf("netflow: record %d is not IPv4", i)
+		}
+		rec := make([]byte, recLen)
+		src, dst := r.SrcIP.As4(), r.DstIP.As4()
+		off := 0
+		copy(rec[off:], src[:])
+		off += 4
+		copy(rec[off:], dst[:])
+		off += 4
+		be.PutUint64(rec[off:], r.Bytes)
+		off += 8
+		be.PutUint64(rec[off:], r.Packets)
+		off += 8
+		be.PutUint32(rec[off:], uint32(r.Start.Unix()))
+		off += 4
+		be.PutUint32(rec[off:], uint32(r.End.Unix()))
+		off += 4
+		be.PutUint16(rec[off:], r.SrcPort)
+		off += 2
+		be.PutUint16(rec[off:], r.DstPort)
+		off += 2
+		rec[off] = byte(r.Proto)
+		off++
+		rec[off] = r.TCPFlags
+		off++
+		rec[off] = byte(r.Dir)
+		off++
+		be.PutUint16(rec[off:], r.InIf)
+		off += 2
+		be.PutUint16(rec[off:], r.OutIf)
+		off += 2
+		be.PutUint32(rec[off:], r.SrcAS)
+		off += 4
+		be.PutUint32(rec[off:], r.DstAS)
+		dataBody = append(dataBody, rec...)
+	}
+	// Pad the data set to a 4-byte boundary.
+	pad := (4 - (4+len(dataBody))%4) % 4
+	dataSet := make([]byte, 4+len(dataBody)+pad)
+	be.PutUint16(dataSet[0:], V9TemplateID)
+	be.PutUint16(dataSet[2:], uint16(len(dataSet)))
+	copy(dataSet[4:], dataBody)
+
+	// Header: count is the number of records (template + data records).
+	pkt := make([]byte, v9HeaderLen, v9HeaderLen+len(tplSet)+len(dataSet))
+	be.PutUint16(pkt[0:], v9Version)
+	be.PutUint16(pkt[2:], uint16(1+len(recs)))
+	be.PutUint32(pkt[4:], uint32(time.Hour.Milliseconds()))
+	be.PutUint32(pkt[8:], uint32(exportTime.Unix()))
+	be.PutUint32(pkt[12:], e.seq)
+	be.PutUint32(pkt[16:], e.SourceID)
+	e.seq++
+	pkt = append(pkt, tplSet...)
+	pkt = append(pkt, dataSet...)
+	return pkt, nil
+}
+
+// V9Decoder parses NetFlow v9 packets, maintaining the template cache
+// required to interpret data flowsets. Templates are cached per source ID.
+type V9Decoder struct {
+	templates map[uint64][]v9Field // key: sourceID<<16 | templateID
+}
+
+// NewV9Decoder returns a decoder with an empty template cache.
+func NewV9Decoder() *V9Decoder {
+	return &V9Decoder{templates: make(map[uint64][]v9Field)}
+}
+
+func tplKey(sourceID uint32, tplID uint16) uint64 {
+	return uint64(sourceID)<<16 | uint64(tplID)
+}
+
+// Decode parses one packet and returns the flow records of all data
+// flowsets whose templates are known. Unknown templates cause an error
+// (the exporter in this package always sends the template first).
+func (d *V9Decoder) Decode(pkt []byte) ([]flowrec.Record, error) {
+	be := binary.BigEndian
+	if len(pkt) < v9HeaderLen {
+		return nil, fmt.Errorf("netflow: v9 packet too short")
+	}
+	if v := be.Uint16(pkt[0:]); v != v9Version {
+		return nil, fmt.Errorf("netflow: unexpected version %d", v)
+	}
+	sourceID := be.Uint32(pkt[16:])
+	var out []flowrec.Record
+	off := v9HeaderLen
+	for off+4 <= len(pkt) {
+		setID := be.Uint16(pkt[off:])
+		setLen := int(be.Uint16(pkt[off+2:]))
+		if setLen < 4 || off+setLen > len(pkt) {
+			return nil, fmt.Errorf("netflow: invalid flowset length %d at offset %d", setLen, off)
+		}
+		body := pkt[off+4 : off+setLen]
+		switch {
+		case setID == v9TemplateSet:
+			if err := d.parseTemplates(sourceID, body); err != nil {
+				return nil, err
+			}
+		case setID >= 256:
+			recs, err := d.parseData(sourceID, setID, body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, recs...)
+		default:
+			// Options templates (set 1) and other reserved sets are skipped.
+		}
+		off += setLen
+	}
+	return out, nil
+}
+
+func (d *V9Decoder) parseTemplates(sourceID uint32, body []byte) error {
+	be := binary.BigEndian
+	off := 0
+	for off+4 <= len(body) {
+		tplID := be.Uint16(body[off:])
+		fieldCount := int(be.Uint16(body[off+2:]))
+		off += 4
+		if off+4*fieldCount > len(body) {
+			return fmt.Errorf("netflow: truncated template %d", tplID)
+		}
+		fields := make([]v9Field, fieldCount)
+		for i := 0; i < fieldCount; i++ {
+			fields[i] = v9Field{
+				Type:   be.Uint16(body[off+4*i:]),
+				Length: be.Uint16(body[off+4*i+2:]),
+			}
+		}
+		d.templates[tplKey(sourceID, tplID)] = fields
+		off += 4 * fieldCount
+	}
+	return nil
+}
+
+func (d *V9Decoder) parseData(sourceID uint32, tplID uint16, body []byte) ([]flowrec.Record, error) {
+	tpl, ok := d.templates[tplKey(sourceID, tplID)]
+	if !ok {
+		return nil, fmt.Errorf("netflow: data flowset %d before its template", tplID)
+	}
+	recLen := templateRecordLen(tpl)
+	if recLen == 0 {
+		return nil, fmt.Errorf("netflow: template %d has zero length", tplID)
+	}
+	be := binary.BigEndian
+	var out []flowrec.Record
+	for off := 0; off+recLen <= len(body); off += recLen {
+		var r flowrec.Record
+		pos := off
+		for _, f := range tpl {
+			v := body[pos : pos+int(f.Length)]
+			switch f.Type {
+			case fieldIPv4Src:
+				var a [4]byte
+				copy(a[:], v)
+				r.SrcIP = netip.AddrFrom4(a)
+			case fieldIPv4Dst:
+				var a [4]byte
+				copy(a[:], v)
+				r.DstIP = netip.AddrFrom4(a)
+			case fieldInBytes:
+				r.Bytes = beUint(v)
+			case fieldInPkts:
+				r.Packets = beUint(v)
+			case fieldFirstSwt:
+				r.Start = time.Unix(int64(be.Uint32(v)), 0).UTC()
+			case fieldLastSwt:
+				r.End = time.Unix(int64(be.Uint32(v)), 0).UTC()
+			case fieldL4SrcPort:
+				r.SrcPort = be.Uint16(v)
+			case fieldL4DstPort:
+				r.DstPort = be.Uint16(v)
+			case fieldProtocol:
+				r.Proto = flowrec.Proto(v[0])
+			case fieldTCPFlags:
+				r.TCPFlags = v[0]
+			case fieldDirection:
+				r.Dir = flowrec.Direction(v[0])
+			case fieldInputSNMP:
+				r.InIf = uint16(beUint(v))
+			case fieldOutSNMP:
+				r.OutIf = uint16(beUint(v))
+			case fieldSrcAS:
+				r.SrcAS = uint32(beUint(v))
+			case fieldDstAS:
+				r.DstAS = uint32(beUint(v))
+			}
+			pos += int(f.Length)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// beUint reads a big-endian unsigned integer of 1-8 bytes.
+func beUint(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}

@@ -1,0 +1,162 @@
+// Package report renders experiment results (package core) as aligned
+// plain-text tables, CSV and compact ASCII bar charts, for the CLI and the
+// examples.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lockdown/internal/core"
+)
+
+// WriteText renders the result as aligned text tables followed by the
+// metrics and notes.
+func WriteText(w io.Writer, r *core.Result) error {
+	if _, err := fmt.Fprintf(w, "== %s — %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := writeTable(w, t); err != nil {
+			return err
+		}
+	}
+	if len(r.Metrics) > 0 {
+		fmt.Fprintln(w, "metrics:")
+		for _, k := range sortedKeys(r.Metrics) {
+			fmt.Fprintf(w, "  %-60s %10.3f\n", k, r.Metrics[k])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writeTable(w io.Writer, t core.Table) error {
+	if _, err := fmt.Fprintf(w, "\n%s\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(sep, "  ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// WriteCSV renders every table of the result as CSV, separated by a line
+// naming the table.
+func WriteCSV(w io.Writer, r *core.Result) error {
+	for _, t := range r.Tables {
+		if _, err := fmt.Fprintf(w, "# %s: %s\n", r.ID, t.Title); err != nil {
+			return err
+		}
+		cw := csv.NewWriter(w)
+		if err := cw.Write(t.Columns); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bar renders a single horizontal ASCII bar of the given relative value
+// (1.0 = full width).
+func Bar(value, max float64, width int) string {
+	if width <= 0 || max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Chart renders labelled values as an ASCII bar chart, ordered as given.
+func Chart(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("report: %d labels for %d values", len(labels), len(values))
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	max := 0.0
+	labelWidth := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for i, v := range values {
+		if _, err := fmt.Fprintf(w, "  %s  %s %s\n", pad(labels[i], labelWidth), Bar(v, max, width),
+			strconv.FormatFloat(v, 'f', 2, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package synth
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"lockdown/internal/flowrec"
+)
+
+// flowBasePerHour is the baseline number of flow records the sampler emits
+// per component and hour (before shape/response scaling and FlowScale).
+// Flow counts track the component's connection response so connection-level
+// analyses (Section 7, Figure 8, Figure 12) see the documented growth
+// factors; bytes are distributed over however many records are emitted, so
+// volume analyses remain consistent with the volume model.
+const flowBasePerHour = 40
+
+// hourSeed derives a deterministic RNG seed for a component-hour.
+func hourSeed(seed int64, name string, t time.Time) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(name))
+	u := uint64(t.UTC().Unix() / 3600)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+// connMultiplier returns the connection-count multiplier of a component at
+// t: the dedicated connection response if present, otherwise the volume
+// response (with the weekend override applied the same way VolumeAt does).
+func connMultiplier(c Component, t time.Time) float64 {
+	weekend := isWeekendOrHoliday(t)
+	resp := c.Resp
+	if weekend && c.WeekendResp != nil {
+		resp = *c.WeekendResp
+	}
+	if c.ConnResp != nil && !weekend {
+		resp = *c.ConnResp
+	}
+	return resp.At(t)
+}
+
+// flowCount returns how many flow records the sampler emits for component c
+// in the hour starting at t.
+func (g *Generator) flowCount(c Component, t time.Time) int {
+	prof := c.Workday
+	if isWeekendOrHoliday(t) {
+		prof = c.Weekend
+	}
+	mean := prof.Mean()
+	if mean == 0 {
+		return 0
+	}
+	shape := prof.At(t.UTC().Hour()) / mean
+	n := int(flowBasePerHour * shape * connMultiplier(c, t) * g.cfg.FlowScale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// pickWeighted picks an index from Zipf weights using the RNG.
+func pickWeighted(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	w := zipfWeights(n)
+	r := rng.Float64()
+	var acc float64
+	for i, wi := range w {
+		acc += wi
+		if r < acc {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// FlowsForHour samples synthetic flow records for the hour starting at t.
+// The records' byte counters sum (approximately) to the hour's modelled
+// volume; their count follows the components' connection responses; their
+// endpoint addresses are minted from the components' AS prefixes with a
+// pool that widens as usage grows (so unique-IP counts rise during the
+// lockdown, as in Figure 8).
+func (g *Generator) FlowsForHour(t time.Time) []flowrec.Record {
+	t = t.UTC().Truncate(time.Hour)
+	var out []flowrec.Record
+	for _, c := range g.cfg.Components {
+		out = append(out, g.componentFlows(c, t)...)
+	}
+	return out
+}
+
+// ComponentFlowsForHour samples flow records for a single named component.
+func (g *Generator) ComponentFlowsForHour(name string, t time.Time) []flowrec.Record {
+	t = t.UTC().Truncate(time.Hour)
+	for _, c := range g.cfg.Components {
+		if c.Name == name {
+			return g.componentFlows(c, t)
+		}
+	}
+	return nil
+}
+
+func (g *Generator) componentFlows(c Component, t time.Time) []flowrec.Record {
+	vol := c.VolumeAt(t, g.cfg.Seed)
+	if vol <= 0 {
+		return nil
+	}
+	n := g.flowCount(c, t)
+	rng := rand.New(rand.NewSource(hourSeed(g.cfg.Seed, c.Name, t)))
+	bytesPerFlow := vol / float64(n)
+	if bytesPerFlow < 64 {
+		bytesPerFlow = 64
+	}
+
+	pool := c.EndpointPool
+	if pool <= 0 {
+		pool = 1000
+	}
+	mult := connMultiplier(c, t)
+	scaledPool := int(float64(pool) * mult)
+	if scaledPool < 1 {
+		scaledPool = 1
+	}
+
+	recs := make([]flowrec.Record, 0, n)
+	for i := 0; i < n; i++ {
+		srcASN := c.SrcASNs[pickWeighted(rng, len(c.SrcASNs))]
+		dstASN := c.DstASNs[pickWeighted(rng, len(c.DstASNs))]
+
+		srcIP := g.addrFor(srcASN, uint32(rng.Intn(scaledPool)))
+		dstIP := g.addrFor(dstASN, uint32(rng.Intn(scaledPool)))
+		// VPN-over-TLS components pin the enterprise (source) side to the
+		// known gateway addresses so domain-based detection can find them.
+		if c.Class == ClassVPNTLS && len(g.vpnGateways) > 0 {
+			srcIP = g.vpnGateways[rng.Intn(len(g.vpnGateways))]
+			if a, ok := g.reg.LookupIP(srcIP); ok {
+				srcASN = a.ASN
+			}
+		}
+
+		pp := c.Ports[0]
+		if len(c.Ports) > 1 && rng.Float64() > 0.6 {
+			pp = c.Ports[1+rng.Intn(len(c.Ports)-1)]
+		}
+
+		start := t.Add(time.Duration(rng.Intn(3600)) * time.Second)
+		dur := time.Duration(5+rng.Intn(290)) * time.Second
+		end := start.Add(dur)
+		if end.After(t.Add(time.Hour)) {
+			end = t.Add(time.Hour)
+		}
+
+		bytes := uint64(bytesPerFlow * (0.5 + rng.Float64()))
+		if bytes == 0 {
+			bytes = 64
+		}
+		packets := bytes / 1200
+		if packets == 0 {
+			packets = 1
+		}
+
+		dir := c.Dir
+		if c.ConnDir != flowrec.DirUnknown {
+			dir = c.ConnDir
+		}
+		rec := flowrec.Record{
+			Start:   start,
+			End:     end,
+			SrcIP:   srcIP,
+			DstIP:   dstIP,
+			SrcAS:   srcASN,
+			DstAS:   dstASN,
+			Proto:   pp.Proto,
+			SrcPort: pp.Port,
+			DstPort: uint16(49152 + rng.Intn(16000)),
+			Bytes:   bytes,
+			Packets: packets,
+			Dir:     dir,
+			InIf:    1,
+			OutIf:   2,
+		}
+		if pp.Proto == flowrec.ProtoGRE || pp.Proto == flowrec.ProtoESP {
+			rec.SrcPort, rec.DstPort = 0, 0
+		}
+		if pp.Proto == flowrec.ProtoTCP {
+			rec.TCPFlags = 0x1b
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// FlowsBetween samples flows for every hour in [from, to). It is a
+// convenience wrapper used by the flow-level experiments.
+func (g *Generator) FlowsBetween(from, to time.Time) []flowrec.Record {
+	var out []flowrec.Record
+	for t := from.UTC().Truncate(time.Hour); t.Before(to); t = t.Add(time.Hour) {
+		out = append(out, g.FlowsForHour(t)...)
+	}
+	return out
+}
+
+func (g *Generator) addrFor(asn uint32, n uint32) netip.Addr {
+	a, err := g.reg.AddrFor(asn, n)
+	if err != nil {
+		return netip.AddrFrom4([4]byte{192, 0, 2, 1})
+	}
+	return a
+}
+
+func isWeekendOrHoliday(t time.Time) bool {
+	wd := t.UTC().Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		return true
+	}
+	// Easter 2020 (Apr 10-13) and New Year holidays, mirroring package
+	// calendar without importing it here to keep the sampler allocation
+	// free on the hot path.
+	y, m, d := t.UTC().Date()
+	if y != 2020 {
+		return false
+	}
+	switch {
+	case m == time.April && d >= 10 && d <= 13:
+		return true
+	case m == time.January && (d == 1 || d == 6):
+		return true
+	}
+	return false
+}

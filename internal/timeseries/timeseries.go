@@ -1,0 +1,373 @@
+// Package timeseries provides the time-series container and operations the
+// lockdown analyses are built from: regular binning, resampling,
+// normalisation against a reference window, hour-of-day and day-of-week
+// profiles, differences between weeks and empirical CDFs.
+//
+// A Series is a sequence of (timestamp, value) points kept sorted by time.
+// The zero value is an empty, ready-to-use series.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is a single observation.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series is an ordered sequence of observations. Methods never modify their
+// receiver unless documented otherwise; transforming methods return new
+// series so pipelines can share inputs safely.
+type Series struct {
+	Name   string
+	points []Point
+	sorted bool
+}
+
+// New returns an empty series with the given name.
+func New(name string) *Series {
+	return &Series{Name: name}
+}
+
+// FromPoints builds a series from pre-existing points. The slice is copied.
+func FromPoints(name string, pts []Point) *Series {
+	s := &Series{Name: name, points: append([]Point(nil), pts...)}
+	s.sort()
+	return s
+}
+
+// Add appends an observation.
+func (s *Series) Add(t time.Time, v float64) {
+	s.points = append(s.points, Point{T: t, V: v})
+	s.sorted = false
+}
+
+// AddPoint appends an observation given as a Point.
+func (s *Series) AddPoint(p Point) { s.Add(p.T, p.V) }
+
+func (s *Series) sort() {
+	if s.sorted {
+		return
+	}
+	sort.SliceStable(s.points, func(i, j int) bool { return s.points[i].T.Before(s.points[j].T) })
+	s.sorted = true
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns the observations in time order. The returned slice must
+// not be modified.
+func (s *Series) Points() []Point {
+	s.sort()
+	return s.points
+}
+
+// Values returns just the observation values in time order.
+func (s *Series) Values() []float64 {
+	s.sort()
+	out := make([]float64, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Times returns just the observation timestamps in time order.
+func (s *Series) Times() []time.Time {
+	s.sort()
+	out := make([]time.Time, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.T
+	}
+	return out
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	return FromPoints(s.Name, s.Points())
+}
+
+// Total returns the sum of all values.
+func (s *Series) Total() float64 {
+	var t float64
+	for _, p := range s.points {
+		t += p.V
+	}
+	return t
+}
+
+// Mean returns the mean value, or NaN for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.points) == 0 {
+		return math.NaN()
+	}
+	return s.Total() / float64(len(s.points))
+}
+
+// Min returns the smallest value, or NaN for an empty series.
+func (s *Series) Min() float64 {
+	if len(s.points) == 0 {
+		return math.NaN()
+	}
+	m := s.points[0].V
+	for _, p := range s.points[1:] {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or NaN for an empty series.
+func (s *Series) Max() float64 {
+	if len(s.points) == 0 {
+		return math.NaN()
+	}
+	m := s.points[0].V
+	for _, p := range s.points[1:] {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Slice returns the sub-series with from <= t < to.
+func (s *Series) Slice(from, to time.Time) *Series {
+	s.sort()
+	out := New(s.Name)
+	for _, p := range s.points {
+		if !p.T.Before(from) && p.T.Before(to) {
+			out.AddPoint(p)
+		}
+	}
+	return out
+}
+
+// Resample aggregates observations into regular bins of the given width.
+// Each output point is stamped with the bin start and carries the sum of
+// the input values falling into the bin. Empty bins between the first and
+// last observation are emitted with value zero so downstream hour-of-day
+// profiles see a complete grid.
+func (s *Series) Resample(bin time.Duration) *Series {
+	if bin <= 0 {
+		panic("timeseries: non-positive bin width")
+	}
+	s.sort()
+	out := New(s.Name)
+	if len(s.points) == 0 {
+		return out
+	}
+	start := s.points[0].T.Truncate(bin)
+	end := s.points[len(s.points)-1].T.Truncate(bin).Add(bin)
+	sums := make(map[time.Time]float64)
+	for _, p := range s.points {
+		sums[p.T.Truncate(bin)] += p.V
+	}
+	for t := start; t.Before(end); t = t.Add(bin) {
+		out.Add(t, sums[t])
+	}
+	return out
+}
+
+// Scale returns a copy of the series with every value multiplied by f.
+func (s *Series) Scale(f float64) *Series {
+	out := New(s.Name)
+	for _, p := range s.Points() {
+		out.Add(p.T, p.V*f)
+	}
+	return out
+}
+
+// Normalize divides every value by ref and returns the result. A zero or
+// non-finite ref yields a series of NaNs; callers normally pass the
+// baseline-week mean or the series minimum.
+func (s *Series) Normalize(ref float64) *Series {
+	out := New(s.Name)
+	for _, p := range s.Points() {
+		if ref == 0 || math.IsNaN(ref) || math.IsInf(ref, 0) {
+			out.Add(p.T, math.NaN())
+			continue
+		}
+		out.Add(p.T, p.V/ref)
+	}
+	return out
+}
+
+// NormalizeByMin normalises by the series minimum, the convention of
+// Figures 3 and 8 ("normalized to minimum").
+func (s *Series) NormalizeByMin() *Series { return s.Normalize(s.Min()) }
+
+// NormalizeByMax normalises by the series maximum, the convention of
+// Figure 2a.
+func (s *Series) NormalizeByMax() *Series { return s.Normalize(s.Max()) }
+
+// MeanBetween returns the mean value of observations with from <= t < to.
+func (s *Series) MeanBetween(from, to time.Time) float64 {
+	return s.Slice(from, to).Mean()
+}
+
+// HourOfDayProfile averages values by hour of day (0-23) over the whole
+// series, returning a 24-element profile. Hours with no observations are
+// NaN.
+func (s *Series) HourOfDayProfile() [24]float64 {
+	var sum [24]float64
+	var n [24]int
+	for _, p := range s.Points() {
+		h := p.T.UTC().Hour()
+		sum[h] += p.V
+		n[h]++
+	}
+	var out [24]float64
+	for h := 0; h < 24; h++ {
+		if n[h] == 0 {
+			out[h] = math.NaN()
+			continue
+		}
+		out[h] = sum[h] / float64(n[h])
+	}
+	return out
+}
+
+// DailyTotals sums values per UTC day and returns a new series stamped at
+// day midnights.
+func (s *Series) DailyTotals() *Series {
+	return s.Resample(24 * time.Hour)
+}
+
+// WeeklyMeans averages values per ISO calendar week. The result maps the
+// ISO week number to the mean of the observations in that week. The study
+// window lies within one year, so the year component is dropped.
+func (s *Series) WeeklyMeans() map[int]float64 {
+	sums := make(map[int]float64)
+	counts := make(map[int]int)
+	for _, p := range s.Points() {
+		_, w := p.T.UTC().ISOWeek()
+		sums[w] += p.V
+		counts[w]++
+	}
+	out := make(map[int]float64, len(sums))
+	for w, sum := range sums {
+		out[w] = sum / float64(counts[w])
+	}
+	return out
+}
+
+// Filter returns the sub-series of points satisfying keep.
+func (s *Series) Filter(keep func(Point) bool) *Series {
+	out := New(s.Name)
+	for _, p := range s.Points() {
+		if keep(p) {
+			out.AddPoint(p)
+		}
+	}
+	return out
+}
+
+// Map returns a new series with f applied to every value.
+func (s *Series) Map(f func(float64) float64) *Series {
+	out := New(s.Name)
+	for _, p := range s.Points() {
+		out.Add(p.T, f(p.V))
+	}
+	return out
+}
+
+// MovingAverage returns the centred moving average over a window of the
+// given number of points (must be odd and >= 1). Edge points average over
+// the available neighbours.
+func (s *Series) MovingAverage(window int) *Series {
+	if window < 1 || window%2 == 0 {
+		panic("timeseries: window must be odd and >= 1")
+	}
+	pts := s.Points()
+	out := New(s.Name)
+	half := window / 2
+	for i := range pts {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		var sum float64
+		for _, p := range pts[lo:hi] {
+			sum += p.V
+		}
+		out.Add(pts[i].T, sum/float64(hi-lo))
+	}
+	return out
+}
+
+// AlignError is returned by binary series operations when the two series do
+// not cover the same timestamps.
+type AlignError struct {
+	A, B string
+	At   time.Time
+}
+
+func (e *AlignError) Error() string {
+	return fmt.Sprintf("timeseries: %q and %q not aligned at %v", e.A, e.B, e.At)
+}
+
+// binaryOp applies op pointwise to two series that must share timestamps.
+func binaryOp(name string, a, b *Series, op func(x, y float64) float64) (*Series, error) {
+	pa, pb := a.Points(), b.Points()
+	if len(pa) != len(pb) {
+		return nil, &AlignError{A: a.Name, B: b.Name}
+	}
+	out := New(name)
+	for i := range pa {
+		if !pa[i].T.Equal(pb[i].T) {
+			return nil, &AlignError{A: a.Name, B: b.Name, At: pa[i].T}
+		}
+		out.Add(pa[i].T, op(pa[i].V, pb[i].V))
+	}
+	return out, nil
+}
+
+// Sub returns a - b for aligned series.
+func Sub(a, b *Series) (*Series, error) {
+	return binaryOp(a.Name+"-"+b.Name, a, b, func(x, y float64) float64 { return x - y })
+}
+
+// AddSeries returns a + b for aligned series.
+func AddSeries(a, b *Series) (*Series, error) {
+	return binaryOp(a.Name+"+"+b.Name, a, b, func(x, y float64) float64 { return x + y })
+}
+
+// Div returns a / b for aligned series; division by zero yields NaN.
+func Div(a, b *Series) (*Series, error) {
+	return binaryOp(a.Name+"/"+b.Name, a, b, func(x, y float64) float64 {
+		if y == 0 {
+			return math.NaN()
+		}
+		return x / y
+	})
+}
+
+// Sum adds any number of series that are pairwise aligned.
+func Sum(name string, series ...*Series) (*Series, error) {
+	if len(series) == 0 {
+		return New(name), nil
+	}
+	acc := series[0].Clone()
+	acc.Name = name
+	for _, s := range series[1:] {
+		next, err := AddSeries(acc, s)
+		if err != nil {
+			return nil, err
+		}
+		next.Name = name
+		acc = next
+	}
+	return acc, nil
+}

@@ -1,0 +1,323 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2020, 2, 19, 0, 0, 0, 0, time.UTC)
+
+func hourly(vals ...float64) *Series {
+	s := New("test")
+	for i, v := range vals {
+		s.Add(t0.Add(time.Duration(i)*time.Hour), v)
+	}
+	return s
+}
+
+func TestAddSortAndLen(t *testing.T) {
+	s := New("x")
+	s.Add(t0.Add(2*time.Hour), 3)
+	s.Add(t0, 1)
+	s.Add(t0.Add(time.Hour), 2)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	pts := s.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T.Before(pts[i-1].T) {
+			t.Fatal("points not sorted by time")
+		}
+	}
+	if vals := s.Values(); vals[0] != 1 || vals[1] != 2 || vals[2] != 3 {
+		t.Errorf("Values = %v", vals)
+	}
+	if ts := s.Times(); !ts[0].Equal(t0) {
+		t.Errorf("Times[0] = %v", ts[0])
+	}
+}
+
+func TestTotalMeanMinMax(t *testing.T) {
+	s := hourly(2, 4, 6)
+	if s.Total() != 12 || s.Mean() != 4 || s.Min() != 2 || s.Max() != 6 {
+		t.Errorf("stats wrong: total=%v mean=%v min=%v max=%v", s.Total(), s.Mean(), s.Min(), s.Max())
+	}
+	empty := New("e")
+	if !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.Min()) || !math.IsNaN(empty.Max()) {
+		t.Error("empty series stats should be NaN")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := hourly(1, 2, 3, 4, 5)
+	sub := s.Slice(t0.Add(time.Hour), t0.Add(3*time.Hour))
+	if sub.Len() != 2 || sub.Values()[0] != 2 || sub.Values()[1] != 3 {
+		t.Errorf("Slice = %v", sub.Values())
+	}
+}
+
+func TestResamplePreservesTotal(t *testing.T) {
+	s := New("x")
+	for i := 0; i < 48; i++ {
+		s.Add(t0.Add(time.Duration(i)*30*time.Minute), float64(i))
+	}
+	r := s.Resample(6 * time.Hour)
+	if math.Abs(r.Total()-s.Total()) > 1e-9 {
+		t.Errorf("resample changed total: %v vs %v", r.Total(), s.Total())
+	}
+	if r.Len() != 4 {
+		t.Errorf("Resample bins = %d, want 4", r.Len())
+	}
+}
+
+func TestResampleFillsGaps(t *testing.T) {
+	s := New("x")
+	s.Add(t0, 1)
+	s.Add(t0.Add(3*time.Hour), 1)
+	r := s.Resample(time.Hour)
+	if r.Len() != 4 {
+		t.Fatalf("Resample with gaps produced %d bins, want 4", r.Len())
+	}
+	if r.Values()[1] != 0 || r.Values()[2] != 0 {
+		t.Errorf("gap bins not zero: %v", r.Values())
+	}
+}
+
+func TestResamplePanicsOnBadBin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive bin")
+		}
+	}()
+	hourly(1).Resample(0)
+}
+
+func TestScaleNormalize(t *testing.T) {
+	s := hourly(2, 4, 8)
+	if got := s.Scale(0.5).Values(); got[2] != 4 {
+		t.Errorf("Scale = %v", got)
+	}
+	n := s.Normalize(2)
+	if got := n.Values(); got[0] != 1 || got[2] != 4 {
+		t.Errorf("Normalize = %v", got)
+	}
+	if got := s.NormalizeByMin().Values(); got[0] != 1 || got[2] != 4 {
+		t.Errorf("NormalizeByMin = %v", got)
+	}
+	if got := s.NormalizeByMax().Values(); got[2] != 1 || got[0] != 0.25 {
+		t.Errorf("NormalizeByMax = %v", got)
+	}
+	for _, v := range s.Normalize(0).Values() {
+		if !math.IsNaN(v) {
+			t.Error("Normalize by zero should yield NaN")
+		}
+	}
+}
+
+func TestHourOfDayProfile(t *testing.T) {
+	s := New("x")
+	// Two days: value equals hour on day one, hour+2 on day two.
+	for d := 0; d < 2; d++ {
+		for h := 0; h < 24; h++ {
+			s.Add(t0.AddDate(0, 0, d).Add(time.Duration(h)*time.Hour), float64(h+2*d))
+		}
+	}
+	prof := s.HourOfDayProfile()
+	for h := 0; h < 24; h++ {
+		want := float64(h) + 1 // mean of h and h+2
+		if math.Abs(prof[h]-want) > 1e-9 {
+			t.Errorf("profile[%d] = %v, want %v", h, prof[h], want)
+		}
+	}
+}
+
+func TestHourOfDayProfileMissingHours(t *testing.T) {
+	s := hourly(5) // only hour 0 present
+	prof := s.HourOfDayProfile()
+	if prof[0] != 5 {
+		t.Errorf("profile[0] = %v, want 5", prof[0])
+	}
+	if !math.IsNaN(prof[13]) {
+		t.Error("missing hour should be NaN")
+	}
+}
+
+func TestDailyTotalsAndWeeklyMeans(t *testing.T) {
+	s := New("x")
+	for d := 0; d < 14; d++ {
+		for h := 0; h < 24; h++ {
+			s.Add(t0.AddDate(0, 0, d).Add(time.Duration(h)*time.Hour), 1)
+		}
+	}
+	dt := s.DailyTotals()
+	if dt.Len() != 14 {
+		t.Fatalf("DailyTotals bins = %d, want 14", dt.Len())
+	}
+	for _, v := range dt.Values() {
+		if v != 24 {
+			t.Errorf("daily total = %v, want 24", v)
+		}
+	}
+	wm := s.WeeklyMeans()
+	for w, m := range wm {
+		if m != 1 {
+			t.Errorf("weekly mean for week %d = %v, want 1", w, m)
+		}
+	}
+	if len(wm) < 2 {
+		t.Errorf("expected at least 2 weeks, got %d", len(wm))
+	}
+}
+
+func TestFilterMap(t *testing.T) {
+	s := hourly(1, 2, 3, 4)
+	even := s.Filter(func(p Point) bool { return int(p.V)%2 == 0 })
+	if even.Len() != 2 {
+		t.Errorf("Filter kept %d, want 2", even.Len())
+	}
+	sq := s.Map(func(v float64) float64 { return v * v })
+	if sq.Values()[3] != 16 {
+		t.Errorf("Map = %v", sq.Values())
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	s := hourly(1, 2, 3, 4, 5)
+	ma := s.MovingAverage(3)
+	want := []float64{1.5, 2, 3, 4, 4.5}
+	for i, v := range ma.Values() {
+		if math.Abs(v-want[i]) > 1e-9 {
+			t.Errorf("MovingAverage[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for even window")
+		}
+	}()
+	s.MovingAverage(2)
+}
+
+func TestBinaryOps(t *testing.T) {
+	a := hourly(10, 20, 30)
+	b := hourly(1, 2, 3)
+	sub, err := Sub(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.Values(); got[2] != 27 {
+		t.Errorf("Sub = %v", got)
+	}
+	add, err := AddSeries(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := add.Values(); got[0] != 11 {
+		t.Errorf("Add = %v", got)
+	}
+	div, err := Div(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := div.Values(); got[1] != 10 {
+		t.Errorf("Div = %v", got)
+	}
+	zero := hourly(0, 0, 0)
+	dz, err := Div(a, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(dz.Values()[0]) {
+		t.Error("division by zero should be NaN")
+	}
+	// Misaligned series must error.
+	c := hourly(1, 2)
+	if _, err := Sub(a, c); err == nil {
+		t.Error("misaligned Sub accepted")
+	}
+	shifted := New("s")
+	for i, v := range []float64{1, 2, 3} {
+		shifted.Add(t0.Add(time.Duration(i)*time.Hour+time.Minute), v)
+	}
+	if _, err := Sub(a, shifted); err == nil {
+		t.Error("time-shifted Sub accepted")
+	}
+}
+
+func TestSumSeries(t *testing.T) {
+	a := hourly(1, 1, 1)
+	b := hourly(2, 2, 2)
+	c := hourly(3, 3, 3)
+	total, err := Sum("total", a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range total.Values() {
+		if v != 6 {
+			t.Errorf("Sum value = %v, want 6", v)
+		}
+	}
+	if total.Name != "total" {
+		t.Errorf("Sum name = %q", total.Name)
+	}
+	empty, err := Sum("none")
+	if err != nil || empty.Len() != 0 {
+		t.Error("Sum of nothing should be empty and nil error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := hourly(1, 2, 3)
+	b := a.Clone()
+	b.Add(t0.Add(10*time.Hour), 99)
+	if a.Len() != 3 || b.Len() != 4 {
+		t.Error("Clone is not independent of the original")
+	}
+}
+
+// Property: resampling preserves the total for arbitrary positive inputs.
+func TestResampleTotalQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New("q")
+		for i, v := range raw {
+			s.Add(t0.Add(time.Duration(i)*17*time.Minute), float64(v))
+		}
+		r := s.Resample(2 * time.Hour)
+		return math.Abs(r.Total()-s.Total()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NormalizeByMax yields values in [0, 1] for non-negative input
+// with a positive maximum.
+func TestNormalizeBoundsQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := New("q")
+		anyPositive := false
+		for i, v := range raw {
+			if v > 0 {
+				anyPositive = true
+			}
+			s.Add(t0.Add(time.Duration(i)*time.Hour), float64(v))
+		}
+		if !anyPositive {
+			return true
+		}
+		for _, v := range s.NormalizeByMax().Values() {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

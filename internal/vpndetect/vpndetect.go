@@ -1,0 +1,94 @@
+// Package vpndetect implements the two-pronged VPN traffic classification
+// of Section 6: (1) flows on well-known VPN ports and protocols (IPsec,
+// OpenVPN, L2TP, PPTP, GRE, ESP), and (2) TCP/443 flows whose non-eyeball
+// endpoint address belongs to the *vpn* domain candidate set derived from
+// the DNS corpus (package dnsdb).
+package vpndetect
+
+import (
+	"net/netip"
+
+	"lockdown/internal/dnsdb"
+	"lockdown/internal/flowrec"
+	"lockdown/internal/ports"
+)
+
+// Method says how a flow was identified as VPN traffic.
+type Method int
+
+// Detection methods.
+const (
+	// NotVPN marks flows that neither method identifies.
+	NotVPN Method = iota
+	// ByPort marks flows on a well-known VPN port or protocol.
+	ByPort
+	// ByDomain marks TCP/443 flows towards a *vpn* candidate address.
+	ByDomain
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case ByPort:
+		return "port"
+	case ByDomain:
+		return "domain"
+	default:
+		return "none"
+	}
+}
+
+// Detector classifies flow records as VPN traffic.
+type Detector struct {
+	vpnPorts   map[flowrec.PortProto]bool
+	candidates map[netip.Addr]bool
+}
+
+// New builds a detector from the candidate address set (may be nil, in
+// which case only port-based detection is available).
+func New(candidates map[netip.Addr]bool) *Detector {
+	d := &Detector{
+		vpnPorts:   make(map[flowrec.PortProto]bool),
+		candidates: candidates,
+	}
+	for _, p := range ports.VPNPorts() {
+		d.vpnPorts[p] = true
+	}
+	return d
+}
+
+// NewFromCorpus builds a detector whose candidate set is computed from the
+// DNS corpus using the Section 6 algorithm.
+func NewFromCorpus(c *dnsdb.Corpus) *Detector {
+	return New(dnsdb.VPNCandidates(c))
+}
+
+// Candidates returns the number of candidate VPN addresses known to the
+// detector.
+func (d *Detector) Candidates() int { return len(d.candidates) }
+
+// Classify returns how (if at all) the record is identified as VPN
+// traffic. Port-based identification takes precedence; the domain-based
+// method only considers HTTPS (TCP/443) flows, mirroring the paper's
+// conservative approach.
+func (d *Detector) Classify(r flowrec.Record) Method {
+	if d.vpnPorts[r.ServerPort()] {
+		return ByPort
+	}
+	sp := r.ServerPort()
+	if sp.Proto == flowrec.ProtoTCP && sp.Port == 443 && d.candidates != nil {
+		if d.candidates[r.SrcIP] || d.candidates[r.DstIP] {
+			return ByDomain
+		}
+	}
+	return NotVPN
+}
+
+// Split sums the byte volume of the records per detection method.
+func (d *Detector) Split(recs []flowrec.Record) map[Method]float64 {
+	out := map[Method]float64{NotVPN: 0, ByPort: 0, ByDomain: 0}
+	for _, r := range recs {
+		out[d.Classify(r)] += float64(r.Bytes)
+	}
+	return out
+}
