@@ -10,6 +10,7 @@
 package lockdown_bench
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -169,6 +170,47 @@ func BenchmarkAblationPatternBinSize(b *testing.B) {
 	runExperiment(b, "ablation-binsize", map[string]string{
 		"bin6": "bin6_agreement",
 	})
+}
+
+// --- full-suite engine benchmarks ---------------------------------------
+//
+// The three RunAll benchmarks quantify the engine's two levers on the full
+// 21-experiment suite: the shared dataset cache (SeedSequential vs
+// Sequential) and the bounded worker pool (Sequential vs Parallel8).
+// Results are bit-identical across all three (see
+// TestRunAllParallelDeterminism), so only the wall time moves.
+
+// BenchmarkRunAllSeedSequential reproduces the pre-engine execution model:
+// every experiment runs on its own single-use engine, so nothing is shared
+// and each experiment regenerates its inputs from scratch.
+func BenchmarkRunAllSeedSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range core.All() {
+			if _, err := core.Run(e.ID, benchOptions); err != nil {
+				b.Fatalf("experiment %s: %v", e.ID, err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunAllSequential runs the suite on one engine with a single
+// worker: the speedup over SeedSequential is the dataset cache alone.
+func BenchmarkRunAllSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewEngine(benchOptions).RunAll(context.Background(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllParallel8 runs the suite on one engine with eight
+// workers: cache sharing plus parallel execution.
+func BenchmarkRunAllParallel8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewEngine(benchOptions).RunAll(context.Background(), 8); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- substrate micro-benchmarks -----------------------------------------

@@ -5,19 +5,27 @@
 //
 //	lockdown list                 list all experiments
 //	lockdown run <id> [flags]     run one experiment (e.g. fig1, tab1, fig11a)
-//	lockdown all [flags]          run every experiment
+//	lockdown all [flags]          run every experiment on the parallel engine
+//	lockdown doc [flags]          emit the generated EXPERIMENTS.md to stdout
 //
-// Flags for run/all:
+// Flags for run/all/doc:
 //
-//	-csv          emit CSV instead of aligned text tables
+//	-csv          emit CSV instead of aligned text tables (run/all)
+//	-json         emit JSON instead of text tables (run/all)
 //	-scale f      flow sampling density for flow-level experiments (default 0.5)
 //	-seed n       generator seed override
+//	-parallel n   worker count for all/doc (default GOMAXPROCS)
+//
+// `all` prints a bench-style timing summary and the dataset-cache stats to
+// stderr after the results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"lockdown/internal/core"
 	"lockdown/internal/report"
@@ -26,8 +34,9 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   lockdown list
-  lockdown run <experiment-id> [-csv] [-scale f] [-seed n]
-  lockdown all [-csv] [-scale f] [-seed n]
+  lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n]
+  lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n]
+  lockdown doc [-scale f] [-seed n] [-parallel n]
 
 experiments:
 `)
@@ -37,13 +46,19 @@ experiments:
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// After the first interrupt has cancelled ctx, stop capturing SIGINT
+	// so a second Ctrl-C terminates the process immediately instead of
+	// waiting for in-flight experiments to finish.
+	context.AfterFunc(ctx, stop)
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "lockdown:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing command")
@@ -54,42 +69,81 @@ func run(args []string) error {
 			fmt.Printf("%-18s %-22s %s\n", e.ID, e.Artifact, e.Title)
 		}
 		return nil
-	case "run", "all":
+	case "run", "all", "doc":
 		fs := flag.NewFlagSet(args[0], flag.ContinueOnError)
 		csvOut := fs.Bool("csv", false, "emit CSV instead of text tables")
+		jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
 		scale := fs.Float64("scale", 0.5, "flow sampling density for flow-level experiments")
 		seed := fs.Int64("seed", 0, "generator seed override (0 = default)")
-		var rest []string
+		parallel := fs.Int("parallel", 0, "worker count for all/doc (0 = GOMAXPROCS)")
+
+		rest := args[1:]
+		var id string
 		if args[0] == "run" {
 			if len(args) < 2 {
 				usage()
 				return fmt.Errorf("run needs an experiment id")
 			}
+			id = args[1]
 			rest = args[2:]
-			if err := fs.Parse(rest); err != nil {
-				return err
+		}
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *csvOut && *jsonOut {
+			return fmt.Errorf("-csv and -json are mutually exclusive")
+		}
+		// The flag set is shared across subcommands; reject flags that do
+		// not apply to the one being run instead of silently ignoring them.
+		switch args[0] {
+		case "run":
+			if *parallel != 0 {
+				return fmt.Errorf("-parallel only applies to all/doc")
 			}
-			opts := core.Options{FlowScale: *scale, Seed: *seed}
-			res, err := core.Run(args[1], opts)
+		case "doc":
+			if *csvOut || *jsonOut {
+				return fmt.Errorf("doc always emits markdown; -csv/-json only apply to run/all")
+			}
+		}
+		engine := core.NewEngine(core.Options{FlowScale: *scale, Seed: *seed})
+
+		switch args[0] {
+		case "run":
+			res, err := engine.Run(ctx, id)
 			if err != nil {
 				return err
 			}
-			return emit(res, *csvOut)
-		}
-		if err := fs.Parse(args[1:]); err != nil {
-			return err
-		}
-		opts := core.Options{FlowScale: *scale, Seed: *seed}
-		results, err := core.RunAll(opts)
-		if err != nil {
-			return err
-		}
-		for _, res := range results {
-			if err := emit(res, *csvOut); err != nil {
+			return emit(res, *csvOut, *jsonOut)
+		case "all":
+			results, err := engine.RunAll(ctx, *parallel)
+			if err != nil {
 				return err
 			}
+			if *jsonOut {
+				if err := report.WriteJSONAll(os.Stdout, results); err != nil {
+					return err
+				}
+			} else {
+				for _, res := range results {
+					if err := emit(res, *csvOut, false); err != nil {
+						return err
+					}
+				}
+			}
+			if err := report.WriteTimings(os.Stderr, results); err != nil {
+				return err
+			}
+			stats := engine.Data().Stats()
+			fmt.Fprintf(os.Stderr, "\ndataset cache: %d entries, %d hits, %d misses\n",
+				stats.Entries, stats.Hits, stats.Misses)
+			return nil
+		default: // doc
+			results, err := engine.RunAll(ctx, *parallel)
+			if err != nil {
+				return err
+			}
+			return report.WriteExperimentsDoc(os.Stdout, results)
 		}
-		return nil
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -99,9 +153,13 @@ func run(args []string) error {
 	}
 }
 
-func emit(res *core.Result, asCSV bool) error {
-	if asCSV {
+func emit(res *core.Result, asCSV, asJSON bool) error {
+	switch {
+	case asJSON:
+		return report.WriteJSON(os.Stdout, res)
+	case asCSV:
 		return report.WriteCSV(os.Stdout, res)
+	default:
+		return report.WriteText(os.Stdout, res)
 	}
-	return report.WriteText(os.Stdout, res)
 }

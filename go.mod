@@ -1,0 +1,3 @@
+module lockdown
+
+go 1.24

@@ -1,5 +1,5 @@
 // Package anon implements the address anonymisation described in the
-// paper's ethics section (2.1): IP addresses are hashed with a keyed
+// ethics section (2.1) of "The Lockdown Effect" (IMC 2020): IP addresses are hashed with a keyed
 // function before any analysis so raw addresses never leave the vantage
 // point.
 //

@@ -1,5 +1,6 @@
 // Package appclass implements the application-class traffic classification
-// of Section 5 (Table 1) and the EDU traffic classes of Appendix B.
+// of Section 5 (Table 1) of "The Lockdown Effect" (IMC 2020) and the EDU
+// traffic classes of its Appendix B.
 //
 // Classification works exactly as in the paper: each class is defined by a
 // set of filters, where a filter matches on the source/destination AS, on

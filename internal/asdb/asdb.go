@@ -1,6 +1,6 @@
 // Package asdb is the autonomous-system registry the analyses classify
-// traffic sources and sinks with. It embeds the paper's 15 hypergiants
-// (Appendix A, Table 2), a set of well-known content, cloud, conferencing,
+// traffic sources and sinks with. It embeds the 15 hypergiants of "The
+// Lockdown Effect" (IMC 2020) (Appendix A, Table 2), a set of well-known content, cloud, conferencing,
 // gaming, messaging, social, CDN and educational ASes used by the
 // application-class filters (Table 1), and synthetic eyeball and enterprise
 // ASes used by the traffic generator.

@@ -1,5 +1,5 @@
-// Package calendar captures the 2020 calendar knowledge the paper's
-// analyses depend on: ISO calendar weeks, weekends, the Central/Southern
+// Package calendar captures the 2020 calendar knowledge the analyses of
+// "The Lockdown Effect" (IMC 2020) depend on: ISO calendar weeks, weekends, the Central/Southern
 // European holidays in the measurement window, the lockdown phases and the
 // specific analysis weeks chosen per vantage point.
 //

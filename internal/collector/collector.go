@@ -1,7 +1,8 @@
 // Package collector turns wire-format flow export (NetFlow v5/v9, IPFIX)
 // into streams of flowrec.Record, and provides the matching exporters. It
 // is the glue that lets the analysis pipeline consume either live UDP
-// export (as the paper's vantage points do) or in-memory record batches
+// export (as the vantage points of "The Lockdown Effect" (IMC 2020) do)
+// or in-memory record batches
 // (as the synthetic generator produces).
 package collector
 

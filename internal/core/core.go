@@ -1,7 +1,17 @@
 // Package core is the lockdown-analysis pipeline: it wires the synthetic
 // vantage-point generator and the analysis packages together into one
-// Experiment per table and figure of the paper, so that `lockdown run
-// <id>` or the benchmark harness can regenerate any of them.
+// Experiment per table and figure of "The Lockdown Effect" (IMC 2020), so
+// that `lockdown run <id>`, `lockdown all` or the benchmark harness can
+// regenerate any of them.
+//
+// Execution is organised around an Engine: experiments receive an Env
+// carrying the run Options plus a shared Dataset cache that memoizes every
+// synthetic input (generators, hourly series, per-hour flow samples) per
+// generator fingerprint, so inputs consumed by several experiments are
+// generated once. Engine.RunAll executes the registry on a bounded worker
+// pool with context cancellation and assembles results in paper order;
+// because the generator is a pure function of its fingerprint, the metrics
+// are bit-identical at every parallelism level.
 //
 // Each experiment returns a Result holding human-readable tables plus a
 // set of named metrics; the metrics are what EXPERIMENTS.md records and
@@ -9,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -71,8 +82,9 @@ type Experiment struct {
 	Artifact string
 	// Title is a one-line description.
 	Title string
-	// Run executes the experiment.
-	Run func(Options) (*Result, error)
+	// Run executes the experiment against the environment's options and
+	// shared dataset cache.
+	Run func(*Env) (*Result, error)
 }
 
 // registry holds all experiments keyed by ID.
@@ -133,26 +145,18 @@ func ByID(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// Run executes the experiment with the given identifier.
+// Run executes the experiment with the given identifier on a fresh
+// single-use engine. Callers running several experiments should construct
+// one Engine instead so the experiments share the dataset cache.
 func Run(id string, opts Options) (*Result, error) {
-	e, ok := ByID(id)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown experiment %q (known: %v)", id, IDs())
-	}
-	return e.Run(opts)
+	return NewEngine(opts).Run(context.Background(), id)
 }
 
-// RunAll executes every experiment and returns the results in paper order.
+// RunAll executes every experiment sequentially on one shared dataset
+// cache and returns the results in paper order. Use Engine.RunAll directly
+// for parallel execution and cancellation.
 func RunAll(opts Options) ([]*Result, error) {
-	var out []*Result
-	for _, e := range All() {
-		r, err := e.Run(opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: experiment %s: %w", e.ID, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return NewEngine(opts).RunAll(context.Background(), 1)
 }
 
 // f2 formats a float with two decimals for table cells.

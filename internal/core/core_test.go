@@ -366,16 +366,27 @@ func TestResultsRenderableAndNoted(t *testing.T) {
 	}
 }
 
-func TestGeneratorHelperRespectsOptions(t *testing.T) {
-	g, err := newGenerator(synth.ISPCE, Options{FlowScale: 0.2, Seed: 77})
+func TestDatasetRespectsOptions(t *testing.T) {
+	d := NewDataset(Options{FlowScale: 0.2, Seed: 77})
+	g, err := d.Generator(synth.ISPCE)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.VP() != synth.ISPCE {
 		t.Errorf("unexpected vantage point %v", g.VP())
 	}
+	if !strings.Contains(g.Fingerprint(), "seed=77") {
+		t.Errorf("fingerprint %q should carry the seed override", g.Fingerprint())
+	}
 	day := time.Date(2020, 2, 20, 0, 0, 0, 0, time.UTC)
-	if !strings.Contains(g.TotalSeries(day, day.AddDate(0, 0, 1)).Name, "ISP-CE") {
+	s, err := d.Series(synth.ISPCE, day, day.AddDate(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Name, "ISP-CE") {
 		t.Error("series naming should mention the vantage point")
+	}
+	if s.Len() != 24 {
+		t.Errorf("one-day series has %d points, want 24", s.Len())
 	}
 }

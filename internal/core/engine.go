@@ -1,0 +1,457 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lockdown/internal/calendar"
+	"lockdown/internal/dnsdb"
+	"lockdown/internal/flowrec"
+	"lockdown/internal/synth"
+	"lockdown/internal/timeseries"
+	"lockdown/internal/vpndetect"
+)
+
+// Runtime-metric keys the engine stamps onto every result. They describe
+// the execution, not the experiment, so they are excluded from determinism
+// comparisons and from the generated EXPERIMENTS.md.
+const (
+	// MetricWallMS is the experiment's wall-clock time in milliseconds.
+	MetricWallMS = "_runtime/wall-ms"
+	// MetricAllocMB is the heap allocated while the experiment ran, in
+	// MiB. The counter is process-global, so under a parallel RunAll it
+	// includes allocations of concurrently running experiments and is
+	// only an upper bound.
+	MetricAllocMB = "_runtime/alloc-mb"
+)
+
+// IsRuntimeMetric reports whether the metric key was stamped by the engine
+// rather than produced by the experiment itself.
+func IsRuntimeMetric(key string) bool {
+	return strings.HasPrefix(key, "_runtime/")
+}
+
+// Env is the execution environment handed to each experiment: the run
+// options plus the dataset cache shared by every experiment of the same
+// engine. Experiments draw all synthetic inputs (generators, hourly
+// series, sampled flows) from the cache so that inputs consumed by several
+// experiments are generated exactly once.
+type Env struct {
+	Options
+	Data *Dataset
+}
+
+// Convenience accessors so experiment code stays terse.
+
+func (env *Env) gen(vp synth.VantagePoint) (*synth.Generator, error) {
+	return env.Data.Generator(vp)
+}
+
+func (env *Env) series(vp synth.VantagePoint, from, to time.Time) (*timeseries.Series, error) {
+	return env.Data.Series(vp, from, to)
+}
+
+func (env *Env) flows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record, error) {
+	return env.Data.Flows(vp, hour)
+}
+
+func (env *Env) flowsBetween(vp synth.VantagePoint, from, to time.Time) ([]flowrec.Record, error) {
+	var out []flowrec.Record
+	for t := from.UTC().Truncate(time.Hour); t.Before(to); t = t.Add(time.Hour) {
+		recs, err := env.Data.Flows(vp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// CacheStats summarises the dataset cache's effectiveness.
+type CacheStats struct {
+	Entries int
+	Hits    int64
+	Misses  int64
+}
+
+// Dataset is the memoized input layer of an engine. Every synthetic input
+// an experiment can consume — generators, VPN-detection datasets, hourly
+// volume series and per-hour flow samples — is generated at most once per
+// key and shared across experiments. Keys incorporate the generator
+// fingerprint (vantage point, seed, flow scale), so one Dataset serves
+// exactly one Options value.
+//
+// Concurrency model: a per-key entry is installed under a short mutex, and
+// the expensive generation runs inside the entry's sync.Once, so
+// concurrent consumers of the same key block only on that key while other
+// keys generate in parallel. Cached values are immutable by convention:
+// callers must not modify returned slices or call mutating methods (e.g.
+// synth.Generator.SetVPNGateways) on shared instances.
+type Dataset struct {
+	opts Options
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewDataset returns an empty dataset cache for the given options.
+func NewDataset(opts Options) *Dataset {
+	return &Dataset{opts: opts, entries: make(map[string]*cacheEntry)}
+}
+
+// get memoizes build under key with a per-key once.
+func (d *Dataset) get(key string, build func() (any, error)) (any, error) {
+	d.mu.Lock()
+	e, ok := d.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		d.entries[key] = e
+		d.misses.Add(1)
+	} else {
+		d.hits.Add(1)
+	}
+	d.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// Stats returns the cache's entry and hit/miss counters.
+func (d *Dataset) Stats() CacheStats {
+	d.mu.Lock()
+	n := len(d.entries)
+	d.mu.Unlock()
+	return CacheStats{Entries: n, Hits: d.hits.Load(), Misses: d.misses.Load()}
+}
+
+// config builds the synth configuration for a vantage point under the
+// dataset's options.
+func (d *Dataset) config(vp synth.VantagePoint) synth.Config {
+	cfg := synth.DefaultConfig(vp)
+	cfg.FlowScale = d.opts.flowScale()
+	if d.opts.Seed != 0 {
+		cfg.Seed = d.opts.Seed
+	}
+	return cfg
+}
+
+// Generator returns the shared generator of a vantage point. The instance
+// is safe for concurrent read-only use; never call its mutating methods.
+func (d *Dataset) Generator(vp synth.VantagePoint) (*synth.Generator, error) {
+	cfg := d.config(vp)
+	v, err := d.get("gen/"+cfg.Fingerprint(), func() (any, error) {
+		return synth.New(cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*synth.Generator), nil
+}
+
+// VPNData bundles the inputs of the domain-based VPN analyses: a
+// gateway-pinned variant of the vantage point's generator and the matching
+// detector built from the synthetic DNS corpus.
+type VPNData struct {
+	Gen      *synth.Generator
+	Detector *vpndetect.Detector
+}
+
+// VPN returns the shared VPN-detection dataset of a vantage point.
+func (d *Dataset) VPN(vp synth.VantagePoint) (*VPNData, error) {
+	cfg := d.config(vp)
+	v, err := d.get("vpn/"+cfg.Fingerprint(), func() (any, error) {
+		g, err := d.Generator(vp)
+		if err != nil {
+			return nil, err
+		}
+		corpus, gateways := dnsdb.Generate(g.Registry(), dnsdb.DefaultGenerateOptions())
+		return &VPNData{
+			Gen:      g.WithVPNGateways(gateways),
+			Detector: vpndetect.NewFromCorpus(corpus),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*VPNData), nil
+}
+
+// hourKey identifies one whole hour in cache keys.
+func hourKey(t time.Time) string {
+	return strconv.FormatInt(t.UTC().Truncate(time.Hour).Unix()/3600, 10)
+}
+
+// studySeries returns the memoized full study-window total-volume series
+// of a vantage point. The series is sorted before it is published, so the
+// read-only methods of the returned instance are safe for concurrent use.
+func (d *Dataset) studySeries(vp synth.VantagePoint) (*timeseries.Series, error) {
+	cfg := d.config(vp)
+	v, err := d.get("study-series/"+cfg.Fingerprint(), func() (any, error) {
+		g, err := d.Generator(vp)
+		if err != nil {
+			return nil, err
+		}
+		s := g.TotalSeries(calendar.StudyStart, calendar.StudyEnd)
+		s.Points() // force the sort before the series is shared
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*timeseries.Series), nil
+}
+
+// Series returns the hourly total-volume series of [from, to). Ranges
+// inside the study window are sliced from the memoized study series;
+// anything else is generated (and memoized) directly. Values are identical
+// either way because the generator is a pure function of its fingerprint.
+func (d *Dataset) Series(vp synth.VantagePoint, from, to time.Time) (*timeseries.Series, error) {
+	from, to = from.UTC().Truncate(time.Hour), to.UTC().Truncate(time.Hour)
+	if !from.Before(calendar.StudyStart) && !to.After(calendar.StudyEnd) {
+		s, err := d.studySeries(vp)
+		if err != nil {
+			return nil, err
+		}
+		return s.Slice(from, to), nil
+	}
+	cfg := d.config(vp)
+	key := fmt.Sprintf("series/%s/%s-%s", cfg.Fingerprint(), hourKey(from), hourKey(to))
+	v, err := d.get(key, func() (any, error) {
+		g, err := d.Generator(vp)
+		if err != nil {
+			return nil, err
+		}
+		s := g.TotalSeries(from, to)
+		s.Points()
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*timeseries.Series).Slice(from, to), nil
+}
+
+// ClassSeries returns the hourly series of one traffic class over [from,
+// to), memoized by range.
+func (d *Dataset) ClassSeries(vp synth.VantagePoint, class synth.Class, from, to time.Time) (*timeseries.Series, error) {
+	from, to = from.UTC().Truncate(time.Hour), to.UTC().Truncate(time.Hour)
+	cfg := d.config(vp)
+	key := fmt.Sprintf("class-series/%s/%s/%s-%s", cfg.Fingerprint(), class, hourKey(from), hourKey(to))
+	v, err := d.get(key, func() (any, error) {
+		g, err := d.Generator(vp)
+		if err != nil {
+			return nil, err
+		}
+		s := g.ClassSeries(class, from, to)
+		s.Points()
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*timeseries.Series), nil
+}
+
+// Flows returns the sampled flow records of one hour, memoized per hour so
+// experiments iterating overlapping hour grids (e.g. the port analysis and
+// the application-class heatmap over the same weeks) share one sample. The
+// returned slice is shared; callers must not modify it.
+func (d *Dataset) Flows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record, error) {
+	cfg := d.config(vp)
+	key := "flows/" + cfg.Fingerprint() + "/" + hourKey(hour)
+	v, err := d.get(key, func() (any, error) {
+		g, err := d.Generator(vp)
+		if err != nil {
+			return nil, err
+		}
+		return g.FlowsForHour(hour), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]flowrec.Record), nil
+}
+
+// VPNFlows is Flows for the gateway-pinned generator of the VPN analyses.
+func (d *Dataset) VPNFlows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record, error) {
+	cfg := d.config(vp)
+	key := "vpn-flows/" + cfg.Fingerprint() + "/" + hourKey(hour)
+	v, err := d.get(key, func() (any, error) {
+		vd, err := d.VPN(vp)
+		if err != nil {
+			return nil, err
+		}
+		return vd.Gen.FlowsForHour(hour), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]flowrec.Record), nil
+}
+
+// ComponentFlows returns the sampled flow records of one named component
+// for one hour, memoized per hour.
+func (d *Dataset) ComponentFlows(vp synth.VantagePoint, name string, hour time.Time) ([]flowrec.Record, error) {
+	cfg := d.config(vp)
+	key := "component-flows/" + cfg.Fingerprint() + "/" + name + "/" + hourKey(hour)
+	v, err := d.get(key, func() (any, error) {
+		g, err := d.Generator(vp)
+		if err != nil {
+			return nil, err
+		}
+		return g.ComponentFlowsForHour(name, hour), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]flowrec.Record), nil
+}
+
+// Engine executes experiments against one shared dataset cache. A zero
+// Engine is not usable; construct it with NewEngine. The engine is safe
+// for concurrent use.
+type Engine struct {
+	opts Options
+	data *Dataset
+}
+
+// NewEngine returns an engine whose experiments share one dataset cache
+// built from opts.
+func NewEngine(opts Options) *Engine {
+	return &Engine{opts: opts, data: NewDataset(opts)}
+}
+
+// Options returns the options the engine was built with.
+func (e *Engine) Options() Options { return e.opts }
+
+// Data returns the engine's dataset cache (for stats and tests).
+func (e *Engine) Data() *Dataset { return e.data }
+
+// Run executes one experiment by ID, stamping runtime metrics onto the
+// result.
+func (e *Engine) Run(ctx context.Context, id string) (*Result, error) {
+	exp, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown experiment %q (known: %v)", id, IDs())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.runTimed(exp)
+}
+
+// runTimed executes an experiment and records wall time and (approximate,
+// process-global) allocation growth into the result's runtime metrics.
+func (e *Engine) runTimed(exp Experiment) (*Result, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := exp.Run(&Env{Options: e.opts, Data: e.data})
+	if err != nil {
+		return nil, fmt.Errorf("core: experiment %s: %w", exp.ID, err)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	res.Metrics[MetricWallMS] = float64(wall) / float64(time.Millisecond)
+	res.Metrics[MetricAllocMB] = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+	return res, nil
+}
+
+// RunAll executes every registered experiment on a bounded worker pool and
+// returns the results in paper order regardless of completion order.
+// parallel <= 0 selects GOMAXPROCS workers. The first failing experiment
+// cancels the remaining work and its error is returned; ctx cancellation
+// does the same with ctx's error.
+func (e *Engine) RunAll(ctx context.Context, parallel int) ([]*Result, error) {
+	return e.RunMany(ctx, nil, parallel)
+}
+
+// RunMany is RunAll restricted to the given experiment IDs (nil means all,
+// in paper order). Results are returned in the order the IDs were given.
+func (e *Engine) RunMany(ctx context.Context, ids []string, parallel int) ([]*Result, error) {
+	var exps []Experiment
+	if ids == nil {
+		exps = All()
+	} else {
+		for _, id := range ids {
+			exp, ok := ByID(id)
+			if !ok {
+				return nil, fmt.Errorf("core: unknown experiment %q (known: %v)", id, IDs())
+			}
+			exps = append(exps, exp)
+		}
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(exps) {
+		parallel = len(exps)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(exps))
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				res, err := e.runTimed(exps[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range exps {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"lockdown/internal/synth"
+)
+
+// stripRuntime returns the experiment-produced metrics only, dropping the
+// engine's nondeterministic wall-time/allocation stamps.
+func stripRuntime(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		if !IsRuntimeMetric(k) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// TestRunAllParallelDeterminism is the acceptance check of the engine: the
+// same seed must yield byte-identical experiment metrics, tables and notes
+// at every parallelism level, because all generation is a pure function of
+// the generator fingerprint.
+func TestRunAllParallelDeterminism(t *testing.T) {
+	opts := Options{FlowScale: 0.1, Seed: 7}
+	seq, err := NewEngine(opts).RunAll(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("sequential RunAll: %v", err)
+	}
+	par, err := NewEngine(opts).RunAll(context.Background(), 8)
+	if err != nil {
+		t.Fatalf("parallel RunAll: %v", err)
+	}
+	if len(seq) != len(par) || len(seq) != len(All()) {
+		t.Fatalf("result counts differ: sequential %d, parallel %d, registry %d", len(seq), len(par), len(All()))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.ID != p.ID {
+			t.Fatalf("result %d: order differs (%q vs %q)", i, s.ID, p.ID)
+		}
+		sm, pm := stripRuntime(s.Metrics), stripRuntime(p.Metrics)
+		if len(sm) != len(pm) {
+			t.Errorf("%s: metric counts differ (%d vs %d)", s.ID, len(sm), len(pm))
+		}
+		for k, sv := range sm {
+			pv, ok := pm[k]
+			if !ok {
+				t.Errorf("%s: metric %q missing from parallel run", s.ID, k)
+				continue
+			}
+			if math.Float64bits(sv) != math.Float64bits(pv) {
+				t.Errorf("%s: metric %q differs bitwise: %v vs %v", s.ID, k, sv, pv)
+			}
+		}
+		if !reflect.DeepEqual(s.Tables, p.Tables) {
+			t.Errorf("%s: tables differ between sequential and parallel runs", s.ID)
+		}
+		if !reflect.DeepEqual(s.Notes, p.Notes) {
+			t.Errorf("%s: notes differ between sequential and parallel runs", s.ID)
+		}
+	}
+}
+
+func TestRunAllPaperOrder(t *testing.T) {
+	results, err := NewEngine(Options{FlowScale: 0.1}).RunMany(context.Background(), []string{"tab2", "appB", "tab1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{results[0].ID, results[1].ID, results[2].ID}
+	want := []string{"tab2", "appB", "tab1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RunMany order = %v, want the requested order %v", got, want)
+	}
+}
+
+func TestRunAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewEngine(Options{FlowScale: 0.1}).RunAll(ctx, 4); err == nil {
+		t.Error("RunAll with a cancelled context should fail")
+	}
+	if _, err := NewEngine(Options{FlowScale: 0.1}).Run(ctx, "tab2"); err == nil {
+		t.Error("Run with a cancelled context should fail")
+	}
+}
+
+func TestRunAllUnknownID(t *testing.T) {
+	if _, err := NewEngine(Options{}).RunMany(context.Background(), []string{"no-such-figure"}, 2); err == nil {
+		t.Error("unknown experiment ID should fail")
+	}
+}
+
+func TestDatasetSharing(t *testing.T) {
+	d := NewDataset(Options{FlowScale: 0.1})
+	g1, err := d.Generator(synth.ISPCE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := d.Generator(synth.ISPCE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("repeated Generator calls should return the shared instance")
+	}
+	v1, err := d.VPN(synth.IXPCE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := d.VPN(synth.IXPCE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Error("repeated VPN calls should return the shared dataset")
+	}
+	if base, _ := d.Generator(synth.IXPCE); base == v1.Gen {
+		t.Error("the VPN generator must be a distinct, gateway-pinned copy")
+	}
+	stats := d.Stats()
+	if stats.Hits == 0 || stats.Misses == 0 || stats.Entries == 0 {
+		t.Errorf("cache stats should record entries, hits and misses: %+v", stats)
+	}
+}
+
+func TestEngineStampsRuntimeMetrics(t *testing.T) {
+	res, err := NewEngine(Options{}).Run(context.Background(), "tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Metrics[MetricWallMS]; !ok {
+		t.Errorf("result lacks %s", MetricWallMS)
+	}
+	if _, ok := res.Metrics[MetricAllocMB]; !ok {
+		t.Errorf("result lacks %s", MetricAllocMB)
+	}
+	if !IsRuntimeMetric(MetricWallMS) || !IsRuntimeMetric(MetricAllocMB) {
+		t.Error("runtime metric keys should classify as runtime metrics")
+	}
+	if IsRuntimeMetric("hypergiants") {
+		t.Error("experiment metrics must not classify as runtime metrics")
+	}
+}

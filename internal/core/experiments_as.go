@@ -22,9 +22,9 @@ func init() {
 
 // runFig4 reproduces Figure 4: normalised weekly growth of hypergiant and
 // other-AS traffic at the ISP-CE, split by daypart.
-func runFig4(opts Options) (*Result, error) {
+func runFig4(env *Env) (*Result, error) {
 	res := newResult("fig4", "Hypergiant vs other-AS weekly growth (ISP-CE)")
-	g, err := newGenerator(synth.ISPCE, opts)
+	g, err := env.gen(synth.ISPCE)
 	if err != nil {
 		return nil, err
 	}
@@ -62,9 +62,9 @@ func runFig4(opts Options) (*Result, error) {
 
 // runFig5 reproduces Figure 5: ECDFs of per-member link utilisation at the
 // IXP-CE for a base-week workday and a stage-2 workday.
-func runFig5(opts Options) (*Result, error) {
+func runFig5(env *Env) (*Result, error) {
 	res := newResult("fig5", "IXP-CE member link utilisation before and during the lockdown")
-	g, err := newGenerator(synth.IXPCE, opts)
+	g, err := env.gen(synth.IXPCE)
 	if err != nil {
 		return nil, err
 	}
@@ -111,9 +111,9 @@ func runFig5(opts Options) (*Result, error) {
 // runFig6 reproduces Figure 6: the per-AS scatter of total vs residential
 // traffic shift between the February base week and the March lockdown
 // week, using the ISP's full view including transit.
-func runFig6(opts Options) (*Result, error) {
+func runFig6(env *Env) (*Result, error) {
 	res := newResult("fig6", "Total vs residential traffic shift per AS (ISP-CE incl. transit)")
-	g, err := newGenerator(synth.ISPCE, opts)
+	g, err := env.gen(synth.ISPCE)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +168,7 @@ func runFig6(opts Options) (*Result, error) {
 }
 
 // runTab2 reproduces Table 2 / Appendix A: the hypergiant AS list.
-func runTab2(Options) (*Result, error) {
+func runTab2(*Env) (*Result, error) {
 	res := newResult("tab2", "Hypergiant ASes (Appendix A)")
 	reg := asdb.Default()
 	table := Table{Title: "Hypergiant ASes", Columns: []string{"organisation", "ASN"}}

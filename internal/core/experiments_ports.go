@@ -29,7 +29,7 @@ type portWeekVolumes struct {
 	weekend map[flowrec.PortProto]float64
 }
 
-func collectPortVolumes(g *synth.Generator, week calendar.Week, keep map[flowrec.PortProto]bool) portWeekVolumes {
+func collectPortVolumes(env *Env, vp synth.VantagePoint, week calendar.Week, keep map[flowrec.PortProto]bool) (portWeekVolumes, error) {
 	sums := portWeekVolumes{
 		workday: make(map[flowrec.PortProto]float64),
 		weekend: make(map[flowrec.PortProto]float64),
@@ -42,7 +42,11 @@ func collectPortVolumes(g *synth.Generator, week calendar.Week, keep map[flowrec
 		} else {
 			workdayHours++
 		}
-		for _, r := range g.FlowsForHour(hour) {
+		recs, err := env.flows(vp, hour)
+		if err != nil {
+			return portWeekVolumes{}, err
+		}
+		for _, r := range recs {
 			pp := r.ServerPort()
 			if !keep[pp] {
 				continue
@@ -60,22 +64,22 @@ func collectPortVolumes(g *synth.Generator, week calendar.Week, keep map[flowrec
 	for p := range sums.weekend {
 		sums.weekend[p] /= weekendHours
 	}
-	return sums
+	return sums, nil
 }
 
-func runPortExperiment(id, title string, vp synth.VantagePoint, weeks []calendar.Week, topPorts []flowrec.PortProto, opts Options) (*Result, error) {
+func runPortExperiment(env *Env, id, title string, vp synth.VantagePoint, weeks []calendar.Week, topPorts []flowrec.PortProto) (*Result, error) {
 	res := newResult(id, title)
-	g, err := newGenerator(vp, opts)
-	if err != nil {
-		return nil, err
-	}
 	keep := make(map[flowrec.PortProto]bool, len(topPorts))
 	for _, p := range topPorts {
 		keep[p] = true
 	}
 	perWeek := make([]portWeekVolumes, len(weeks))
 	for i, w := range weeks {
-		perWeek[i] = collectPortVolumes(g, w, keep)
+		var err error
+		perWeek[i], err = collectPortVolumes(env, vp, w, keep)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	table := Table{
@@ -102,9 +106,9 @@ func runPortExperiment(id, title string, vp synth.VantagePoint, weeks []calendar
 	return res, nil
 }
 
-func runFig7a(opts Options) (*Result, error) {
-	res, err := runPortExperiment("fig7a", "ISP-CE top ports (TCP/80 and TCP/443 omitted)", synth.ISPCE,
-		calendar.AppWeeksISP(), ports.TopPortsISP(), opts)
+func runFig7a(env *Env) (*Result, error) {
+	res, err := runPortExperiment(env, "fig7a", "ISP-CE top ports (TCP/80 and TCP/443 omitted)", synth.ISPCE,
+		calendar.AppWeeksISP(), ports.TopPortsISP())
 	if err != nil {
 		return nil, err
 	}
@@ -112,9 +116,9 @@ func runFig7a(opts Options) (*Result, error) {
 	return res, nil
 }
 
-func runFig7b(opts Options) (*Result, error) {
-	res, err := runPortExperiment("fig7b", "IXP-CE top ports (TCP/80 and TCP/443 omitted)", synth.IXPCE,
-		calendar.AppWeeksIXP(), ports.TopPortsIXP(), opts)
+func runFig7b(env *Env) (*Result, error) {
+	res, err := runPortExperiment(env, "fig7b", "IXP-CE top ports (TCP/80 and TCP/443 omitted)", synth.IXPCE,
+		calendar.AppWeeksIXP(), ports.TopPortsIXP())
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +128,7 @@ func runFig7b(opts Options) (*Result, error) {
 
 // runTab1 reproduces Table 1: the filter inventory of the application
 // classification.
-func runTab1(Options) (*Result, error) {
+func runTab1(*Env) (*Result, error) {
 	res := newResult("tab1", "Application-class filters")
 	c := appclass.NewDefault(nil)
 	table := Table{Title: "Filters per application class", Columns: []string{"application class", "# of filters", "# of distinct ASNs", "# of distinct transport ports"}}
@@ -140,12 +144,8 @@ func runTab1(Options) (*Result, error) {
 // runFig8 reproduces Figure 8: unique IP addresses and traffic volume of
 // the gaming class at the IXP-SE, per calendar week 7-17, normalised to
 // the observed minimum.
-func runFig8(opts Options) (*Result, error) {
+func runFig8(env *Env) (*Result, error) {
 	res := newResult("fig8", "IXP-SE gaming: unique IPs and volume, weeks 7-17")
-	g, err := newGenerator(synth.IXPSE, opts)
-	if err != nil {
-		return nil, err
-	}
 	start := time.Date(2020, 2, 10, 0, 0, 0, 0, time.UTC) // Monday of week 7
 	end := time.Date(2020, 4, 27, 0, 0, 0, 0, time.UTC)   // end of week 17
 
@@ -155,7 +155,10 @@ func runFig8(opts Options) (*Result, error) {
 	}
 	byWeek := make(map[int]*weekAgg)
 	for t := start; t.Before(end); t = t.Add(time.Hour) {
-		recs := g.ComponentFlowsForHour("gaming", t)
+		recs, err := env.Data.ComponentFlows(synth.IXPSE, "gaming", t)
+		if err != nil {
+			return nil, err
+		}
 		w := calendar.ISOWeek(t)
 		agg, ok := byWeek[w]
 		if !ok {
@@ -196,9 +199,15 @@ func runFig8(opts Options) (*Result, error) {
 
 	// Outage: within the first lockdown week the daily volume plunges for
 	// two days (March 16-17).
-	outage := g.ClassSeries(synth.ClassGaming, time.Date(2020, 3, 16, 0, 0, 0, 0, time.UTC), time.Date(2020, 3, 18, 0, 0, 0, 0, time.UTC)).Mean()
-	after := g.ClassSeries(synth.ClassGaming, time.Date(2020, 3, 19, 0, 0, 0, 0, time.UTC), time.Date(2020, 3, 21, 0, 0, 0, 0, time.UTC)).Mean()
-	res.Metrics["outage-ratio"] = outage / after
+	outageSeries, err := env.Data.ClassSeries(synth.IXPSE, synth.ClassGaming, time.Date(2020, 3, 16, 0, 0, 0, 0, time.UTC), time.Date(2020, 3, 18, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		return nil, err
+	}
+	afterSeries, err := env.Data.ClassSeries(synth.IXPSE, synth.ClassGaming, time.Date(2020, 3, 19, 0, 0, 0, 0, time.UTC), time.Date(2020, 3, 21, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics["outage-ratio"] = outageSeries.Mean() / afterSeries.Mean()
 	res.note("Unique IPs and volume rise steeply from week 10/11; the outage of a major gaming provider is visible in week 12 (volume at %.0f%% of the surrounding days).", res.Metrics["outage-ratio"]*100)
 	return res, nil
 }
@@ -225,7 +234,7 @@ func classGrowth(base, stage map[appclass.Class]float64, cls appclass.Class) flo
 // volumes, restricted to working hours of workdays (the paper removes the
 // early-morning hours and the condensed comparison focuses on business
 // hours, where the Figure 9 effects are strongest).
-func collectClassVolumes(g *synth.Generator, clf *appclass.Classifier, week calendar.Week) map[appclass.Class]float64 {
+func collectClassVolumes(env *Env, vp synth.VantagePoint, clf *appclass.Classifier, week calendar.Week) (map[appclass.Class]float64, error) {
 	out := make(map[appclass.Class]float64)
 	for _, hour := range week.Hours() {
 		h := hour.UTC().Hour()
@@ -235,17 +244,21 @@ func collectClassVolumes(g *synth.Generator, clf *appclass.Classifier, week cale
 		if calendar.IsWeekend(hour) || calendar.IsHoliday(hour) {
 			continue
 		}
-		for _, r := range g.FlowsForHour(hour) {
+		recs, err := env.flows(vp, hour)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
 			out[clf.Classify(r)] += float64(r.Bytes)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // runFig9 reproduces Figure 9 in condensed form: per vantage point and
 // application class, the working-hours growth of stage 1 and stage 2 over
 // the base week, clipped to [-100%, +200%] like the heatmap colour scale.
-func runFig9(opts Options) (*Result, error) {
+func runFig9(env *Env) (*Result, error) {
 	res := newResult("fig9", "Application-class growth (working hours, % vs base week)")
 	clf := appclass.NewDefault(nil)
 	vps := []struct {
@@ -258,13 +271,18 @@ func runFig9(opts Options) (*Result, error) {
 		{synth.ISPCE, calendar.AppWeeksISP()},
 	}
 	for _, entry := range vps {
-		g, err := newGenerator(entry.vp, opts)
+		base, err := collectClassVolumes(env, entry.vp, clf, entry.weeks[0])
 		if err != nil {
 			return nil, err
 		}
-		base := collectClassVolumes(g, clf, entry.weeks[0])
-		stage1 := collectClassVolumes(g, clf, entry.weeks[1])
-		stage2 := collectClassVolumes(g, clf, entry.weeks[2])
+		stage1, err := collectClassVolumes(env, entry.vp, clf, entry.weeks[1])
+		if err != nil {
+			return nil, err
+		}
+		stage2, err := collectClassVolumes(env, entry.vp, clf, entry.weeks[2])
+		if err != nil {
+			return nil, err
+		}
 
 		table := Table{Title: fmt.Sprintf("%s: class growth in %% (clipped to [-100, 200])", entry.vp), Columns: []string{"class", "stage1 - base", "stage2 - base"}}
 		for _, cls := range appclass.AllClasses() {

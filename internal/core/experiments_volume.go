@@ -19,18 +19,9 @@ func init() {
 	register(Experiment{ID: "fig3b", Artifact: "Figure 3b", Title: "IXP hourly volume (workday/weekend) for the four selected weeks", Run: runFig3b})
 }
 
-func newGenerator(vp synth.VantagePoint, opts Options) (*synth.Generator, error) {
-	cfg := synth.DefaultConfig(vp)
-	cfg.FlowScale = opts.flowScale()
-	if opts.Seed != 0 {
-		cfg.Seed = opts.Seed
-	}
-	return synth.New(cfg)
-}
-
 // runFig1 reproduces Figure 1: daily traffic averaged per calendar week,
 // normalised by week 3, for all vantage points.
-func runFig1(opts Options) (*Result, error) {
+func runFig1(env *Env) (*Result, error) {
 	res := newResult("fig1", "Weekly normalised traffic volume, calendar weeks 1-18")
 	const baselineWeek = 3
 	vps := synth.AllVantagePoints()
@@ -38,11 +29,11 @@ func runFig1(opts Options) (*Result, error) {
 	perVP := make(map[synth.VantagePoint]map[int]float64)
 	weekSet := make(map[int]bool)
 	for _, vp := range vps {
-		g, err := newGenerator(vp, opts)
+		s, err := env.series(vp, calendar.StudyStart, calendar.StudyEnd)
 		if err != nil {
 			return nil, err
 		}
-		weekly := g.TotalSeries(calendar.StudyStart, calendar.StudyEnd).WeeklyMeans()
+		weekly := s.WeeklyMeans()
 		base, ok := weekly[baselineWeek]
 		if !ok || base == 0 {
 			return nil, fmt.Errorf("fig1: %s has no baseline week", vp)
@@ -90,12 +81,8 @@ func runFig1(opts Options) (*Result, error) {
 // runFig2a reproduces Figure 2a: normalised hourly volume of the ISP-CE
 // for a pre-lockdown Wednesday, a pre-lockdown Saturday and a lockdown
 // Wednesday.
-func runFig2a(opts Options) (*Result, error) {
+func runFig2a(env *Env) (*Result, error) {
 	res := newResult("fig2a", "ISP-CE hourly traffic for Feb 19 (Wed), Feb 22 (Sat), Mar 25 (Wed)")
-	g, err := newGenerator(synth.ISPCE, opts)
-	if err != nil {
-		return nil, err
-	}
 	days := []struct {
 		label string
 		day   time.Time
@@ -106,8 +93,11 @@ func runFig2a(opts Options) (*Result, error) {
 	}
 	curves := make(map[string][]float64)
 	for _, d := range days {
-		s := g.TotalSeries(d.day, d.day.AddDate(0, 0, 1)).NormalizeByMax()
-		curves[d.label] = s.Values()
+		s, err := env.series(synth.ISPCE, d.day, d.day.AddDate(0, 0, 1))
+		if err != nil {
+			return nil, err
+		}
+		curves[d.label] = s.NormalizeByMax().Values()
 	}
 	table := Table{Title: "Normalised hourly volume (per-day maximum = 1)", Columns: []string{"hour", days[0].label, days[1].label, days[2].label}}
 	for h := 0; h < 24; h++ {
@@ -128,14 +118,13 @@ func runFig2a(opts Options) (*Result, error) {
 // runFig2bc reproduces Figures 2b/2c: the per-day workday-like vs
 // weekend-like classification for the ISP-CE and IXP-CE from January 1 to
 // May 11.
-func runFig2bc(opts Options) (*Result, error) {
+func runFig2bc(env *Env) (*Result, error) {
 	res := newResult("fig2bc", "Workday-like vs weekend-like classification, Jan 1 - May 11")
 	for _, vp := range []synth.VantagePoint{synth.ISPCE, synth.IXPCE} {
-		g, err := newGenerator(vp, opts)
+		hourly, err := env.series(vp, calendar.StudyStart, time.Date(2020, 5, 12, 0, 0, 0, 0, time.UTC))
 		if err != nil {
 			return nil, err
 		}
-		hourly := g.TotalSeries(calendar.StudyStart, time.Date(2020, 5, 12, 0, 0, 0, 0, time.UTC))
 		clf, err := patterns.Train(hourly, time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC), time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC), patterns.DefaultBinHours)
 		if err != nil {
 			return nil, fmt.Errorf("fig2bc: training on %s: %w", vp, err)
@@ -184,13 +173,17 @@ type weekStats struct {
 	weekendGrowth float64
 }
 
-func statsForWeeks(g *synth.Generator, weeks []calendar.Week) ([]weekStats, error) {
+func statsForWeeks(env *Env, vp synth.VantagePoint, weeks []calendar.Week) ([]weekStats, error) {
 	if len(weeks) == 0 {
 		return nil, fmt.Errorf("no weeks given")
 	}
 	series := make([]*timeseries.Series, len(weeks))
 	for i, w := range weeks {
-		series[i] = g.TotalSeries(w.Start, w.End)
+		s, err := env.series(vp, w.Start, w.End)
+		if err != nil {
+			return nil, err
+		}
+		series[i] = s
 	}
 	base := series[0]
 	baseMean := base.Mean()
@@ -222,13 +215,9 @@ func statsForWeeks(g *synth.Generator, weeks []calendar.Week) ([]weekStats, erro
 
 // runFig3a reproduces Figure 3a: the ISP-CE's traffic across the base,
 // stage-1, stage-2 and stage-3 weeks.
-func runFig3a(opts Options) (*Result, error) {
+func runFig3a(env *Env) (*Result, error) {
 	res := newResult("fig3a", "ISP-CE traffic across the four selected weeks")
-	g, err := newGenerator(synth.ISPCE, opts)
-	if err != nil {
-		return nil, err
-	}
-	stats, err := statsForWeeks(g, calendar.ISPWeeks())
+	stats, err := statsForWeeks(env, synth.ISPCE, calendar.ISPWeeks())
 	if err != nil {
 		return nil, err
 	}
@@ -247,14 +236,10 @@ func runFig3a(opts Options) (*Result, error) {
 
 // runFig3b reproduces Figure 3b: the three IXPs' traffic across the four
 // selected weeks, split into workdays and weekends.
-func runFig3b(opts Options) (*Result, error) {
+func runFig3b(env *Env) (*Result, error) {
 	res := newResult("fig3b", "IXP traffic across the four selected weeks (workday/weekend)")
 	for _, vp := range []synth.VantagePoint{synth.IXPCE, synth.IXPUS, synth.IXPSE} {
-		g, err := newGenerator(vp, opts)
-		if err != nil {
-			return nil, err
-		}
-		stats, err := statsForWeeks(g, calendar.IXPWeeks())
+		stats, err := statsForWeeks(env, vp, calendar.IXPWeeks())
 		if err != nil {
 			return nil, err
 		}

@@ -6,7 +6,6 @@ import (
 
 	"lockdown/internal/appclass"
 	"lockdown/internal/calendar"
-	"lockdown/internal/dnsdb"
 	"lockdown/internal/edu"
 	"lockdown/internal/flowrec"
 	"lockdown/internal/patterns"
@@ -32,11 +31,15 @@ type vpnWeekSplit struct {
 	domainWork, domainOther float64
 }
 
-func collectVPNSplit(g *synth.Generator, det *vpndetect.Detector, week calendar.Week) vpnWeekSplit {
+func collectVPNSplit(env *Env, vp synth.VantagePoint, det *vpndetect.Detector, week calendar.Week) (vpnWeekSplit, error) {
 	var out vpnWeekSplit
 	for _, hour := range week.Hours() {
 		working := calendar.WorkingHours(hour.UTC().Hour()) && !calendar.IsWeekend(hour) && !calendar.IsHoliday(hour)
-		for _, r := range g.FlowsForHour(hour) {
+		recs, err := env.Data.VPNFlows(vp, hour)
+		if err != nil {
+			return vpnWeekSplit{}, err
+		}
+		for _, r := range recs {
 			switch det.Classify(r) {
 			case vpndetect.ByPort:
 				if working {
@@ -53,26 +56,26 @@ func collectVPNSplit(g *synth.Generator, det *vpndetect.Detector, week calendar.
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // runFig10 reproduces Figure 10: VPN traffic at the IXP-CE identified by
 // well-known ports vs by *vpn* domains, for the base, March and April
 // weeks.
-func runFig10(opts Options) (*Result, error) {
+func runFig10(env *Env) (*Result, error) {
 	res := newResult("fig10", "VPN traffic at the IXP-CE (port- vs domain-identified)")
-	g, err := newGenerator(synth.IXPCE, opts)
+	vpn, err := env.Data.VPN(synth.IXPCE)
 	if err != nil {
 		return nil, err
 	}
-	corpus, gateways := dnsdb.Generate(g.Registry(), dnsdb.DefaultGenerateOptions())
-	g.SetVPNGateways(gateways)
-	det := vpndetect.NewFromCorpus(corpus)
 
 	weeks := calendar.AppWeeksIXP()
 	splits := make([]vpnWeekSplit, len(weeks))
 	for i, w := range weeks {
-		splits[i] = collectVPNSplit(g, det, w)
+		splits[i], err = collectVPNSplit(env, synth.IXPCE, vpn.Detector, w)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	table := Table{Title: "VPN volume per identification method (normalised to the base week, working hours of workdays)",
@@ -85,21 +88,20 @@ func runFig10(opts Options) (*Result, error) {
 		res.Metrics[w.Label+"/domain"] = d
 	}
 	res.addTable(table)
-	res.Metrics["candidates"] = float64(det.Candidates())
+	res.Metrics["candidates"] = float64(vpn.Detector.Candidates())
 	res.note("Port-identified VPN traffic barely changes while domain-identified VPN traffic grows by more than 200%% during March working hours and recedes partially in April.")
 	return res, nil
 }
 
 // runFig11a reproduces Figure 11a: the EDU network's normalised daily
 // volume for the base, transition and online-lecturing weeks.
-func runFig11a(opts Options) (*Result, error) {
+func runFig11a(env *Env) (*Result, error) {
 	res := newResult("fig11a", "EDU normalised traffic volume")
-	g, err := newGenerator(synth.EDU, opts)
+	weeks := calendar.EDUWeeks()
+	hourly, err := env.series(synth.EDU, weeks[0].Start, weeks[len(weeks)-1].End)
 	if err != nil {
 		return nil, err
 	}
-	weeks := calendar.EDUWeeks()
-	hourly := g.TotalSeries(weeks[0].Start, weeks[len(weeks)-1].End)
 	profiles, err := edu.VolumeByWeek(hourly, weeks)
 	if err != nil {
 		return nil, err
@@ -119,9 +121,9 @@ func runFig11a(opts Options) (*Result, error) {
 }
 
 // runFig11b reproduces Figure 11b: the EDU network's ingress/egress ratio.
-func runFig11b(opts Options) (*Result, error) {
+func runFig11b(env *Env) (*Result, error) {
 	res := newResult("fig11b", "EDU ingress vs egress traffic ratio")
-	g, err := newGenerator(synth.EDU, opts)
+	g, err := env.gen(synth.EDU)
 	if err != nil {
 		return nil, err
 	}
@@ -163,12 +165,8 @@ func runFig11b(opts Options) (*Result, error) {
 // February 27 baseline for the selected traffic categories. To keep the
 // experiment affordable it samples three days per week across the 72-day
 // window instead of every day.
-func runFig12(opts Options) (*Result, error) {
+func runFig12(env *Env) (*Result, error) {
 	res := newResult("fig12", "EDU daily connection growth per traffic class")
-	g, err := newGenerator(synth.EDU, opts)
-	if err != nil {
-		return nil, err
-	}
 	start := time.Date(2020, 2, 27, 0, 0, 0, 0, time.UTC)
 	end := time.Date(2020, 5, 8, 0, 0, 0, 0, time.UTC)
 	byDay := make(map[time.Time][]flowrec.Record)
@@ -181,7 +179,11 @@ func runFig12(opts Options) (*Result, error) {
 				continue
 			}
 		}
-		byDay[d] = g.FlowsBetween(d, d.AddDate(0, 0, 1))
+		recs, err := env.flowsBetween(synth.EDU, d, d.AddDate(0, 0, 1))
+		if err != nil {
+			return nil, err
+		}
+		byDay[d] = recs
 	}
 	counts := edu.CountConnections(byDay)
 	cats := append(edu.DefaultCategories(), edu.ExtraCategories()...)
@@ -200,7 +202,7 @@ func runFig12(opts Options) (*Result, error) {
 }
 
 // runAppB reproduces Appendix B: the EDU traffic class port map.
-func runAppB(Options) (*Result, error) {
+func runAppB(*Env) (*Result, error) {
 	res := newResult("appB", "EDU traffic classes (Appendix B)")
 	table := Table{Title: "Traffic classes and example ports", Columns: []string{"class", "example ports"}}
 	examples := map[appclass.EDUClass]string{
@@ -225,21 +227,22 @@ func runAppB(Options) (*Result, error) {
 // classifier vastly undercounts VPN traffic: the share of true VPN volume
 // (port- or domain-identified) that the port-only view misses during the
 // March week.
-func runAblationVPN(opts Options) (*Result, error) {
+func runAblationVPN(env *Env) (*Result, error) {
 	res := newResult("ablation-vpn", "VPN volume missed by a port-only classifier (IXP-CE, March week)")
-	g, err := newGenerator(synth.IXPCE, opts)
+	vpn, err := env.Data.VPN(synth.IXPCE)
 	if err != nil {
 		return nil, err
 	}
-	corpus, gateways := dnsdb.Generate(g.Registry(), dnsdb.DefaultGenerateOptions())
-	g.SetVPNGateways(gateways)
-	det := vpndetect.NewFromCorpus(corpus)
 
 	week := calendar.AppWeeksIXP()[1]
 	var portVol, domainVol float64
 	for _, hour := range week.Hours() {
-		for _, r := range g.FlowsForHour(hour) {
-			switch det.Classify(r) {
+		recs, err := env.Data.VPNFlows(synth.IXPCE, hour)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			switch vpn.Detector.Classify(r) {
 			case vpndetect.ByPort:
 				portVol += float64(r.Bytes)
 			case vpndetect.ByDomain:
@@ -263,13 +266,12 @@ func runAblationVPN(opts Options) (*Result, error) {
 
 // runAblationBinSize evaluates the pattern classifier of Figure 2 at
 // different aggregation bin sizes (the paper uses 6 hours).
-func runAblationBinSize(opts Options) (*Result, error) {
+func runAblationBinSize(env *Env) (*Result, error) {
 	res := newResult("ablation-binsize", "Pattern-classifier agreement vs aggregation bin size (ISP-CE, February)")
-	g, err := newGenerator(synth.ISPCE, opts)
+	hourly, err := env.series(synth.ISPCE, time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC), time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC))
 	if err != nil {
 		return nil, err
 	}
-	hourly := g.TotalSeries(time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC), time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC))
 	table := Table{Title: "February agreement between calendar and classification", Columns: []string{"bin size (h)", "agreement"}}
 	for _, bin := range []int{1, 2, 3, 4, 6, 8, 12} {
 		agreement, err := februaryAgreement(hourly, bin)

@@ -3,7 +3,8 @@
 // the pattern classifier's tests use them as ground truth.
 //
 // A Profile is a 24-element weight vector normalised so its maximum is 1.
-// The shapes encode the paper's qualitative observations: residential
+// The shapes encode the qualitative observations of "The Lockdown Effect"
+// (IMC 2020): residential
 // workday traffic peaks in the evening, weekend traffic gains momentum at
 // 09:00-10:00 already, and the lockdown workday pattern looks like a
 // weekend with a small lunch dip and a late-evening spike.

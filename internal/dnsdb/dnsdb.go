@@ -1,5 +1,6 @@
 // Package dnsdb provides the domain-name corpus and the matching rules
-// behind the paper's domain-based VPN detection (Section 6).
+// behind the domain-based VPN detection (Section 6) of "The Lockdown
+// Effect" (IMC 2020).
 //
 // The paper searches 2.7B certificate-transparency domains, 1.9B forward
 // DNS names and the Cisco Umbrella top list for names carrying a "*vpn*"

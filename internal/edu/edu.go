@@ -1,4 +1,5 @@
-// Package edu implements the educational-network analysis of Section 7:
+// Package edu implements the educational-network analysis of Section 7
+// of "The Lockdown Effect" (IMC 2020):
 // weekly volume profiles (Figure 11a), ingress/egress ratios (Figure 11b)
 // and per-class daily connection growth (Figure 12). The functions operate
 // on time series and per-day connection counts; the experiments in package

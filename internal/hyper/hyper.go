@@ -1,5 +1,5 @@
 // Package hyper implements the hypergiant vs. other-AS growth analysis of
-// Section 3.2 (Figure 4): weekly traffic of the two AS groups, split by
+// Section 3.2 (Figure 4) of "The Lockdown Effect" (IMC 2020): weekly traffic of the two AS groups, split by
 // daypart (working hours vs. evening) and day type (workday vs. weekend),
 // normalised to a baseline calendar week.
 package hyper

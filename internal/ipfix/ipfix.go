@@ -1,5 +1,5 @@
 // Package ipfix implements the IPFIX (RFC 7011) export format used by the
-// IXP vantage points of the paper. As with package netflow, only IPv4 flow
+// IXP vantage points of "The Lockdown Effect" (IMC 2020). As with package netflow, only IPv4 flow
 // records with the fields the analyses need are supported, but message
 // framing, template sets and data sets follow the RFC so the codec
 // interoperates with standard collectors.

@@ -1,5 +1,5 @@
 // Package linkutil computes the IXP member link-utilisation distributions
-// of Section 3.3 (Figure 5): for each member port, the minimum, average and
+// of Section 3.3 (Figure 5) of "The Lockdown Effect" (IMC 2020): for each member port, the minimum, average and
 // maximum utilisation over a day, compared between the pre-lockdown base
 // week and a lockdown week as empirical CDFs.
 package linkutil

@@ -1,6 +1,6 @@
 // Package netflow implements the Cisco NetFlow version 5 and version 9
-// export formats used by the ISP, EDU and mobile vantage points of the
-// paper. Only the features the analyses need are implemented — IPv4 flow
+// export formats used by the ISP, EDU and mobile vantage points of "The
+// Lockdown Effect" (IMC 2020). Only the features the analyses need are implemented — IPv4 flow
 // records with byte/packet counters, ports, protocol, AS numbers and
 // interfaces — but the wire formats follow the published specifications so
 // the codecs interoperate with standard tooling.

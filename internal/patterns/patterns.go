@@ -1,5 +1,5 @@
 // Package patterns implements the workday-vs-weekend traffic pattern
-// classification of Figure 2: a day whose traffic concentrates in the
+// classification of Figure 2 of "The Lockdown Effect" (IMC 2020): a day whose traffic concentrates in the
 // evening is "workday-like", a day whose activity already gains momentum
 // at 09:00-10:00 is "weekend-like". The classifier is trained on February
 // baseline data aggregated into 6-hour bins, exactly as described in

@@ -1,6 +1,7 @@
 // Package ports is the transport-port registry used by the port-level
-// analysis (Section 4) and the EDU traffic classes (Appendix B). It maps
-// well-known port/protocol pairs to the service names the paper uses and
+// analysis (Section 4) and the EDU traffic classes (Appendix B) of "The
+// Lockdown Effect" (IMC 2020). It maps well-known port/protocol pairs to
+// the service names the paper uses and
 // groups them into coarse service categories.
 package ports
 

@@ -1,5 +1,5 @@
 // Package remotework implements the remote-work AS analysis of Section 3.4
-// (Figure 6): grouping ASes by their workday/weekend traffic ratio and
+// (Figure 6) of "The Lockdown Effect" (IMC 2020): grouping ASes by their workday/weekend traffic ratio and
 // relating each AS's total traffic shift between a February base week and a
 // March lockdown week to its shift in traffic exchanged with eyeball
 // (residential) networks.

@@ -85,6 +85,36 @@ func (g *Generator) SetVPNGateways(addrs []netip.Addr) {
 	}
 }
 
+// WithVPNGateways returns a copy of g with the VPN gateways pinned as in
+// SetVPNGateways, leaving g untouched. Callers that share one generator
+// (e.g. a dataset cache) use this to derive the gateway-pinned variant
+// without mutating the shared instance.
+func (g *Generator) WithVPNGateways(addrs []netip.Addr) *Generator {
+	c := *g
+	c.vpnGateways = nil
+	for _, a := range addrs {
+		if _, ok := c.reg.LookupIP(a); ok {
+			c.vpnGateways = append(c.vpnGateways, a)
+		}
+	}
+	return &c
+}
+
+// Fingerprint returns a stable identifier of the generator's input space:
+// vantage point, seed and flow-sampling scale. For generators built from
+// the built-in component model (DefaultConfig), equal fingerprints imply
+// byte-identical series and flow samples, so the fingerprint is a safe
+// memoization key for derived datasets. It does not cover hand-edited
+// Components or a custom Registry; do not key caches on it for such
+// configurations.
+func (g *Generator) Fingerprint() string { return g.cfg.Fingerprint() }
+
+// Fingerprint returns the memoization key of the configuration; see
+// Generator.Fingerprint.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("%s|seed=%d|scale=%g", c.VP, c.Seed, c.FlowScale)
+}
+
 // VP returns the vantage point this generator models.
 func (g *Generator) VP() VantagePoint { return g.cfg.VP }
 

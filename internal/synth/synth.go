@@ -1,6 +1,7 @@
 // Package synth is the deterministic vantage-point traffic generator that
-// substitutes for the paper's proprietary NetFlow/IPFIX datasets (see
-// DESIGN.md, "Data substitution").
+// substitutes for the proprietary NetFlow/IPFIX datasets of "The Lockdown
+// Effect" (IMC 2020); docs/ARCHITECTURE.md ("Data substitution") explains
+// how it fits into the pipeline.
 //
 // A Generator models one vantage point (the ISP-CE, one of the three IXPs,
 // the EDU network, the mobile operator or the roaming IPX) as a set of

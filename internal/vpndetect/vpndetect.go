@@ -1,5 +1,5 @@
 // Package vpndetect implements the two-pronged VPN traffic classification
-// of Section 6: (1) flows on well-known VPN ports and protocols (IPsec,
+// of Section 6 of "The Lockdown Effect" (IMC 2020): (1) flows on well-known VPN ports and protocols (IPsec,
 // OpenVPN, L2TP, PPTP, GRE, ESP), and (2) TCP/443 flows whose non-eyeball
 // endpoint address belongs to the *vpn* domain candidate set derived from
 // the DNS corpus (package dnsdb).
