@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"lockdown/internal/appclass"
 	"lockdown/internal/core"
 	"lockdown/internal/flowrec"
 	"lockdown/internal/ipfix"
@@ -274,6 +275,113 @@ func BenchmarkCodecIPFIX(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100, "records/op")
+}
+
+// --- batch-path micro-benchmarks ----------------------------------------
+//
+// The *Batch codec benchmarks exercise the steady-state export/collect
+// loop: one reused packet buffer and one reused decode batch. Run with
+// -benchmem; the CI bench gate fails the build if allocs/op regresses by
+// more than 10% against the BENCH_pr2.json baseline (~0 allocs/op).
+
+func BenchmarkCodecNetflowV5Batch(b *testing.B) {
+	src := flowrec.FromRecords(benchRecords(netflow.V5MaxRecords))
+	export := time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC)
+	var buf []byte
+	dec := flowrec.NewBatch(netflow.V5MaxRecords)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = netflow.EncodeV5Batch(buf[:0], src, 0, src.Len(), export, uint32(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec.Reset()
+		if _, err := netflow.DecodeV5Batch(dec, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(netflow.V5MaxRecords), "records/op")
+}
+
+func BenchmarkCodecNetflowV9Batch(b *testing.B) {
+	src := flowrec.FromRecords(benchRecords(100))
+	export := time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC)
+	enc := &netflow.V9Encoder{SourceID: 1}
+	decoder := netflow.NewV9Decoder()
+	var buf []byte
+	dec := flowrec.NewBatch(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = enc.EncodeBatch(buf[:0], src, 0, src.Len(), export)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec.Reset()
+		if _, err := decoder.DecodeBatch(dec, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100, "records/op")
+}
+
+func BenchmarkCodecIPFIXBatch(b *testing.B) {
+	src := flowrec.FromRecords(benchRecords(100))
+	export := time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC)
+	enc := &ipfix.Encoder{DomainID: 1}
+	decoder := ipfix.NewDecoder()
+	var buf []byte
+	dec := flowrec.NewBatch(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = enc.EncodeBatch(buf[:0], src, 0, src.Len(), export)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec.Reset()
+		if _, err := decoder.DecodeBatch(dec, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100, "records/op")
+}
+
+// BenchmarkGeneratorFlowsForHourBatch measures batch-native generation:
+// the component-hour is sampled straight into preallocated columns.
+func BenchmarkGeneratorFlowsForHourBatch(b *testing.B) {
+	g := synth.MustNewDefault(synth.ISPCE)
+	t := time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = g.FlowsForHourBatch(t.Add(time.Duration(i%168) * time.Hour)).Len()
+	}
+	b.ReportMetric(float64(n), "flows/op")
+}
+
+// The Scan pair quantifies the aggregation speedup of the columnar
+// layout: identical classification work over a record slice vs a batch.
+
+func BenchmarkScanClassifyRecords(b *testing.B) {
+	recs := benchRecords(4096)
+	clf := appclass.NewDefault(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = clf.VolumeByClass(recs)
+	}
+	b.ReportMetric(4096, "records/op")
+}
+
+func BenchmarkScanClassifyBatch(b *testing.B) {
+	batch := flowrec.FromRecords(benchRecords(4096))
+	clf := appclass.NewDefault(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = clf.VolumeByClassBatch(batch)
+	}
+	b.ReportMetric(4096, "records/op")
 }
 
 func BenchmarkGeneratorHourlyVolume(b *testing.B) {

@@ -15,9 +15,15 @@
 //	-scale f      flow sampling density for flow-level experiments (default 0.5)
 //	-seed n       generator seed override
 //	-parallel n   worker count for all/doc (default GOMAXPROCS)
+//	-cpuprofile f write a pprof CPU profile of the command to f
+//	-memprofile f write a pprof heap profile (after the run) to f
 //
 // `all` prints a bench-style timing summary and the dataset-cache stats to
-// stderr after the results.
+// stderr after the results. The profile flags exist so performance work on
+// the flow path can be driven by pprof evidence instead of guesswork:
+//
+//	lockdown all -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -26,6 +32,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"lockdown/internal/core"
 	"lockdown/internal/report"
@@ -34,9 +42,9 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   lockdown list
-  lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n]
-  lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n]
-  lockdown doc [-scale f] [-seed n] [-parallel n]
+  lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n] [-cpuprofile f] [-memprofile f]
+  lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
+  lockdown doc [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
 
 experiments:
 `)
@@ -76,6 +84,8 @@ func run(ctx context.Context, args []string) error {
 		scale := fs.Float64("scale", 0.5, "flow sampling density for flow-level experiments")
 		seed := fs.Int64("seed", 0, "generator seed override (0 = default)")
 		parallel := fs.Int("parallel", 0, "worker count for all/doc (0 = GOMAXPROCS)")
+		cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 
 		rest := args[1:]
 		var id string
@@ -104,6 +114,31 @@ func run(ctx context.Context, args []string) error {
 			if *csvOut || *jsonOut {
 				return fmt.Errorf("doc always emits markdown; -csv/-json only apply to run/all")
 			}
+		}
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+			defer f.Close()
+			if err := pprof.StartCPUProfile(f); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+			defer pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			defer func() {
+				f, err := os.Create(*memProfile)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "lockdown: memprofile:", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // materialise the live heap before snapshotting
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "lockdown: memprofile:", err)
+				}
+			}()
 		}
 		engine := core.NewEngine(core.Options{FlowScale: *scale, Seed: *seed})
 

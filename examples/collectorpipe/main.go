@@ -1,7 +1,8 @@
-// collectorpipe demonstrates the wire-format substrate: it exports one
-// hour of synthetic IXP-CE flows as IPFIX over UDP loopback, collects and
-// decodes them, and classifies the received records into the paper's
-// application classes.
+// collectorpipe demonstrates the wire-format substrate end to end on the
+// batch path: it generates one hour of synthetic IXP-CE flows as a
+// columnar batch, exports it as IPFIX over UDP loopback, collects the
+// decoded batches, and classifies the received rows into the paper's
+// application classes without ever materialising per-record structs.
 //
 //	go run ./examples/collectorpipe
 package main
@@ -15,12 +16,13 @@ import (
 
 	"lockdown/internal/appclass"
 	"lockdown/internal/collector"
+	"lockdown/internal/flowrec"
 	"lockdown/internal/synth"
 )
 
 func main() {
-	// Collector side.
-	col, err := collector.NewCollector(collector.FormatIPFIX, "127.0.0.1:0")
+	// Collector side: batch mode streams one flowrec.Batch per datagram.
+	col, err := collector.NewBatchCollector(collector.FormatIPFIX, "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,31 +31,47 @@ func main() {
 	defer cancel()
 	go col.Run(ctx)
 
-	// Exporter side: one lockdown-evening hour of IXP-CE flows.
+	// Exporter side: one lockdown-evening hour of IXP-CE flows as a batch.
 	cfg := synth.DefaultConfig(synth.IXPCE)
 	cfg.FlowScale = 0.3
 	g, err := synth.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	flows := g.FlowsForHour(time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC))
+	flows := g.FlowsForHourBatch(time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC))
 
 	exp, err := collector.NewExporter(collector.FormatIPFIX, col.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer exp.Close()
-	if err := exp.Export(flows); err != nil {
+	if err := exp.ExportBatch(flows); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("exported %d flow records as IPFIX to %s\n", len(flows), col.Addr())
+	fmt.Printf("exported %d flow records as IPFIX to %s\n", flows.Len(), col.Addr())
 
-	received := collector.Collect(col, len(flows), 5*time.Second)
-	fmt.Printf("collected %d records back\n\n", len(received))
-
-	// Classify what arrived.
+	// Classify arriving batches column-wise; received batches go back to
+	// the pool so the receive loop stays allocation-free.
 	clf := appclass.NewDefault(nil)
-	volumes := clf.VolumeByClass(received)
+	volumes := make(map[appclass.Class]float64)
+	got := 0
+	deadline := time.After(5 * time.Second)
+loop:
+	for got < flows.Len() {
+		select {
+		case b, ok := <-col.Batches():
+			if !ok {
+				break loop
+			}
+			got += b.Len()
+			clf.VolumeByClassInto(volumes, b)
+			flowrec.PutBatch(b)
+		case <-deadline:
+			break loop
+		}
+	}
+	fmt.Printf("collected and classified %d records back\n\n", got)
+
 	type kv struct {
 		class appclass.Class
 		gb    float64

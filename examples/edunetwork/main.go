@@ -58,9 +58,9 @@ func main() {
 	// Connection growth for the remote-access classes.
 	baseline := time.Date(2020, 2, 27, 0, 0, 0, 0, time.UTC)
 	days := []time.Time{baseline, time.Date(2020, 4, 21, 0, 0, 0, 0, time.UTC)}
-	byDay := map[time.Time][]flowrec.Record{}
+	byDay := map[time.Time]*flowrec.Batch{}
 	for _, d := range days {
-		byDay[d] = g.FlowsBetween(d, d.AddDate(0, 0, 1))
+		byDay[d] = g.FlowsBetweenBatch(d, d.AddDate(0, 0, 1))
 	}
 	counts := edu.CountConnections(byDay)
 	growth := edu.ConnectionGrowth(counts, baseline, append(edu.DefaultCategories(), edu.ExtraCategories()...))

@@ -37,16 +37,10 @@ func main() {
 			if !calendar.WorkingHours(hour.Hour()) || calendar.IsWeekend(hour) {
 				continue
 			}
-			for _, r := range g.FlowsForHour(hour) {
-				switch det.Classify(r) {
-				case vpndetect.ByPort:
-					port += float64(r.Bytes)
-				case vpndetect.ByDomain:
-					domain += float64(r.Bytes)
-				default:
-					other += float64(r.Bytes)
-				}
-			}
+			split := det.SplitBatch(g.FlowsForHourBatch(hour))
+			port += split[vpndetect.ByPort]
+			domain += split[vpndetect.ByDomain]
+			other += split[vpndetect.NotVPN]
 		}
 		fmt.Printf("%-8s working hours: port-identified %6.1f TB, domain-identified %6.1f TB\n",
 			week.Label, port/1e12, domain/1e12)

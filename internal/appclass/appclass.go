@@ -54,12 +54,15 @@ type Filter struct {
 	Ports []flowrec.PortProto
 }
 
-// matches reports whether the record satisfies the filter.
-func (f Filter) matches(r flowrec.Record) bool {
+// matches reports whether a flow with the given AS endpoints and
+// service-side port satisfies the filter. Classification depends on
+// nothing else, which is what lets the batch path scan three columns
+// instead of materialising records.
+func (f Filter) matches(srcAS, dstAS uint32, sp flowrec.PortProto) bool {
 	if len(f.ASNs) > 0 {
 		found := false
 		for _, asn := range f.ASNs {
-			if r.SrcAS == asn || r.DstAS == asn {
+			if srcAS == asn || dstAS == asn {
 				found = true
 				break
 			}
@@ -69,7 +72,6 @@ func (f Filter) matches(r flowrec.Record) bool {
 		}
 	}
 	if len(f.Ports) > 0 {
-		sp := r.ServerPort()
 		found := false
 		for _, p := range f.Ports {
 			if p == sp {
@@ -198,16 +200,29 @@ func NewDefault(reg *asdb.Registry) *Classifier {
 	return c
 }
 
-// Classify returns the application class of the record, or Unclassified.
-func (c *Classifier) Classify(r flowrec.Record) Class {
+// classify attributes one flow, given the three values classification
+// depends on. The server port is computed once per flow (the record path
+// used to recompute it per filter).
+func (c *Classifier) classify(srcAS, dstAS uint32, sp flowrec.PortProto) Class {
 	for _, cls := range c.order {
 		for _, f := range c.filters[cls] {
-			if f.matches(r) {
+			if f.matches(srcAS, dstAS, sp) {
 				return cls
 			}
 		}
 	}
 	return Unclassified
+}
+
+// Classify returns the application class of the record, or Unclassified.
+func (c *Classifier) Classify(r flowrec.Record) Class {
+	return c.classify(r.SrcAS, r.DstAS, r.ServerPort())
+}
+
+// ClassifyAt returns the application class of batch row i, reading only
+// the AS and port columns.
+func (c *Classifier) ClassifyAt(b *flowrec.Batch, i int) Class {
+	return c.classify(b.SrcAS[i], b.DstAS[i], b.ServerPortAt(i))
 }
 
 // Filters returns the filter list of one class (the rows behind Table 1).
@@ -253,6 +268,24 @@ func (c *Classifier) VolumeByClass(recs []flowrec.Record) map[Class]float64 {
 		out[c.Classify(r)] += float64(r.Bytes)
 	}
 	return out
+}
+
+// VolumeByClassBatch is VolumeByClass over a columnar batch: it scans the
+// AS, port and byte columns directly, accumulating in row order so the
+// sums are bit-identical to the record path.
+func (c *Classifier) VolumeByClassBatch(b *flowrec.Batch) map[Class]float64 {
+	out := make(map[Class]float64)
+	c.VolumeByClassInto(out, b)
+	return out
+}
+
+// VolumeByClassInto accumulates the batch's per-class byte volume into
+// sums, letting multi-batch scans (a week of component-hours) share one
+// result map.
+func (c *Classifier) VolumeByClassInto(sums map[Class]float64, b *flowrec.Batch) {
+	for i := 0; i < b.Len(); i++ {
+		sums[c.ClassifyAt(b, i)] += float64(b.Bytes[i])
+	}
 }
 
 // Classes returns the classes in evaluation order.

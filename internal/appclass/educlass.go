@@ -71,18 +71,30 @@ var eduPortClasses = map[flowrec.PortProto]EDUClass{
 	{Proto: flowrec.ProtoTCP, Port: 4070}: EDUSpotify,
 }
 
+// classifyEDU attributes one educational-network flow from the values the
+// Appendix B rules depend on: the service-side port and the AS endpoints.
+func classifyEDU(srcAS, dstAS uint32, sp flowrec.PortProto) EDUClass {
+	if cls, ok := eduPortClasses[sp]; ok {
+		return cls
+	}
+	if srcAS == spotifyASN || dstAS == spotifyASN {
+		return EDUSpotify
+	}
+	return EDUOther
+}
+
 // ClassifyEDU attributes a flow record of the educational network to its
 // Appendix B class. Port matching is attempted first; the Spotify AS rule
 // applies afterwards; everything else is EDUOther (the paper reports that
 // 39% of flows cannot be labelled).
 func ClassifyEDU(r flowrec.Record) EDUClass {
-	if cls, ok := eduPortClasses[r.ServerPort()]; ok {
-		return cls
-	}
-	if r.SrcAS == spotifyASN || r.DstAS == spotifyASN {
-		return EDUSpotify
-	}
-	return EDUOther
+	return classifyEDU(r.SrcAS, r.DstAS, r.ServerPort())
+}
+
+// ClassifyEDUAt attributes batch row i, reading only the AS and port
+// columns.
+func ClassifyEDUAt(b *flowrec.Batch, i int) EDUClass {
+	return classifyEDU(b.SrcAS[i], b.DstAS[i], b.ServerPortAt(i))
 }
 
 // CountEDUByClassDir counts connections (records) per class and direction.
@@ -94,6 +106,20 @@ func CountEDUByClassDir(recs []flowrec.Record) map[EDUClass]map[flowrec.Directio
 			out[cls] = make(map[flowrec.Direction]int)
 		}
 		out[cls][r.Dir]++
+	}
+	return out
+}
+
+// CountEDUByClassDirBatch counts connections (rows) per class and
+// direction over a columnar batch, without materialising records.
+func CountEDUByClassDirBatch(b *flowrec.Batch) map[EDUClass]map[flowrec.Direction]int {
+	out := make(map[EDUClass]map[flowrec.Direction]int)
+	for i := 0; i < b.Len(); i++ {
+		cls := ClassifyEDUAt(b, i)
+		if out[cls] == nil {
+			out[cls] = make(map[flowrec.Direction]int)
+		}
+		out[cls][b.Dir[i]]++
 	}
 	return out
 }

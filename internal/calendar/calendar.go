@@ -161,27 +161,25 @@ func EDUWeeks() []Week {
 	}
 }
 
-// easterHolidays2020 lists the Easter break days the paper treats as
-// weekend-like (April 10-13, 2020).
-var easterHolidays2020 = map[string]bool{
-	"2020-04-10": true, // Good Friday
-	"2020-04-11": true,
-	"2020-04-12": true, // Easter Sunday
-	"2020-04-13": true, // Easter Monday
-}
-
-// newYearHolidays2020 lists the public holidays at the start of the year
-// that make the first calendar week weekend-like.
-var newYearHolidays2020 = map[string]bool{
-	"2020-01-01": true,
-	"2020-01-06": true, // Epiphany, public holiday in parts of the region
-}
-
 // IsHoliday reports whether day is one of the regional public holidays in
-// the study window.
+// the study window: the Easter break the paper treats as weekend-like
+// (Good Friday through Easter Monday, April 10-13), New Year's Day and
+// Epiphany (a public holiday in parts of the region). The check compares
+// date components directly — it sits inside the generator's volume model
+// and the per-hour experiment filters, where a formatted-string lookup
+// would allocate on every call.
 func IsHoliday(day time.Time) bool {
-	k := day.UTC().Format("2006-01-02")
-	return easterHolidays2020[k] || newYearHolidays2020[k]
+	y, m, d := day.UTC().Date()
+	if y != 2020 {
+		return false
+	}
+	switch m {
+	case time.April:
+		return d >= 10 && d <= 13
+	case time.January:
+		return d == 1 || d == 6
+	}
+	return false
 }
 
 // IsWeekend reports whether day is a Saturday or Sunday.

@@ -1,9 +1,17 @@
 // Package collector turns wire-format flow export (NetFlow v5/v9, IPFIX)
-// into streams of flowrec.Record, and provides the matching exporters. It
+// into streams of flow records, and provides the matching exporters. It
 // is the glue that lets the analysis pipeline consume either live UDP
 // export (as the vantage points of "The Lockdown Effect" (IMC 2020) do)
 // or in-memory record batches
 // (as the synthetic generator produces).
+//
+// The collector has two delivery modes. NewBatchCollector streams one
+// columnar flowrec.Batch per decoded datagram on Batches(); the batches
+// come from the flowrec pool, so a consumer that returns them with
+// flowrec.PutBatch keeps the receive loop allocation-free. NewCollector
+// delivers individual records on Records() for legacy consumers; it
+// decodes into one reused scratch batch, so only the channel sends
+// remain per-record work.
 package collector
 
 import (
@@ -47,14 +55,20 @@ func (f Format) String() string {
 // within a standard UDP datagram.
 const maxDatagram = 9000
 
+// batchHint sizes pooled batches for the usual records-per-packet count.
+const batchHint = 128
+
 // Collector listens on a UDP socket, decodes arriving export packets and
-// delivers records on its channel. It is safe to run one goroutine per
-// Collector; Close releases the socket and closes the record channel.
+// delivers them on its channel — whole batches in batch mode, individual
+// records otherwise. It is safe to run one goroutine per Collector; Close
+// releases the socket and closes the delivery channel.
 type Collector struct {
-	format Format
-	conn   *net.UDPConn
-	out    chan flowrec.Record
-	errs   chan error
+	format    Format
+	conn      *net.UDPConn
+	batchMode bool
+	out       chan flowrec.Record
+	batches   chan *flowrec.Batch
+	errs      chan error
 
 	v9  *netflow.V9Decoder
 	ipf *ipfix.Decoder
@@ -64,8 +78,21 @@ type Collector struct {
 }
 
 // NewCollector opens a UDP listener on addr ("127.0.0.1:0" for an
-// ephemeral port) for the given format. Call Run to start receiving.
+// ephemeral port) for the given format, delivering individual records on
+// Records(). Call Run to start receiving.
 func NewCollector(format Format, addr string) (*Collector, error) {
+	return newCollector(format, addr, false)
+}
+
+// NewBatchCollector is NewCollector in batch mode: every decoded datagram
+// is delivered as one columnar batch on Batches(). Batches are drawn from
+// the flowrec pool; consumers should hand processed batches back with
+// flowrec.PutBatch to keep the receive path allocation-free.
+func NewBatchCollector(format Format, addr string) (*Collector, error) {
+	return newCollector(format, addr, true)
+}
+
+func newCollector(format Format, addr string, batchMode bool) (*Collector, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collector: resolve %q: %w", addr, err)
@@ -74,32 +101,47 @@ func NewCollector(format Format, addr string) (*Collector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("collector: listen %q: %w", addr, err)
 	}
-	return &Collector{
-		format: format,
-		conn:   conn,
-		out:    make(chan flowrec.Record, 1024),
-		errs:   make(chan error, 16),
-		v9:     netflow.NewV9Decoder(),
-		ipf:    ipfix.NewDecoder(),
-		done:   make(chan struct{}),
-	}, nil
+	c := &Collector{
+		format:    format,
+		conn:      conn,
+		batchMode: batchMode,
+		errs:      make(chan error, 16),
+		v9:        netflow.NewV9Decoder(),
+		ipf:       ipfix.NewDecoder(),
+		done:      make(chan struct{}),
+	}
+	if batchMode {
+		c.batches = make(chan *flowrec.Batch, 64)
+	} else {
+		c.out = make(chan flowrec.Record, 1024)
+	}
+	return c, nil
 }
 
 // Addr returns the local address the collector listens on.
 func (c *Collector) Addr() string { return c.conn.LocalAddr().String() }
 
-// Records returns the channel decoded flow records are delivered on. The
-// channel is closed when the collector stops.
+// Records returns the channel decoded flow records are delivered on (nil
+// in batch mode). The channel is closed when the collector stops.
 func (c *Collector) Records() <-chan flowrec.Record { return c.out }
+
+// Batches returns the channel decoded batches are delivered on (nil
+// outside batch mode). The channel is closed when the collector stops.
+// Return consumed batches with flowrec.PutBatch.
+func (c *Collector) Batches() <-chan *flowrec.Batch { return c.batches }
 
 // Errors returns the channel decode errors are reported on. Errors are
 // dropped if the channel is full; the collector never blocks on them.
 func (c *Collector) Errors() <-chan error { return c.errs }
 
 // Run receives packets until ctx is cancelled or Close is called. It always
-// closes the record channel before returning.
+// closes the delivery channel before returning.
 func (c *Collector) Run(ctx context.Context) {
-	defer close(c.out)
+	if c.batchMode {
+		defer close(c.batches)
+	} else {
+		defer close(c.out)
+	}
 	go func() {
 		select {
 		case <-ctx.Done():
@@ -108,6 +150,11 @@ func (c *Collector) Run(ctx context.Context) {
 		c.conn.SetReadDeadline(time.Now()) // unblock the read loop
 	}()
 	buf := make([]byte, maxDatagram)
+	var scratch *flowrec.Batch // record mode: one reused decode target
+	if !c.batchMode {
+		scratch = flowrec.GetBatch(batchHint)
+		defer flowrec.PutBatch(scratch)
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -126,16 +173,38 @@ func (c *Collector) Run(ctx context.Context) {
 			c.reportErr(err)
 			continue
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		recs, err := c.decode(pkt)
-		if err != nil {
+		// The decoders copy every value out of the datagram, so the read
+		// buffer is reused without a per-packet copy.
+		if c.batchMode {
+			b := flowrec.GetBatch(batchHint)
+			if err := c.decodeInto(b, buf[:n]); err != nil {
+				flowrec.PutBatch(b)
+				c.reportErr(err)
+				continue
+			}
+			if b.Len() == 0 {
+				flowrec.PutBatch(b)
+				continue
+			}
+			select {
+			case c.batches <- b:
+			case <-ctx.Done():
+				flowrec.PutBatch(b)
+				return
+			case <-c.done:
+				flowrec.PutBatch(b)
+				return
+			}
+			continue
+		}
+		scratch.Reset()
+		if err := c.decodeInto(scratch, buf[:n]); err != nil {
 			c.reportErr(err)
 			continue
 		}
-		for _, r := range recs {
+		for i := 0; i < scratch.Len(); i++ {
 			select {
-			case c.out <- r:
+			case c.out <- scratch.Record(i):
 			case <-ctx.Done():
 				return
 			case <-c.done:
@@ -145,20 +214,21 @@ func (c *Collector) Run(ctx context.Context) {
 	}
 }
 
-func (c *Collector) decode(pkt []byte) ([]flowrec.Record, error) {
+// decodeInto appends the packet's records to b using the format's batch
+// decoder.
+func (c *Collector) decodeInto(b *flowrec.Batch, pkt []byte) error {
 	switch c.format {
 	case FormatNetflowV5:
-		p, err := netflow.DecodeV5(pkt)
-		if err != nil {
-			return nil, err
-		}
-		return p.Records, nil
+		_, err := netflow.DecodeV5Batch(b, pkt)
+		return err
 	case FormatNetflowV9:
-		return c.v9.Decode(pkt)
+		_, err := c.v9.DecodeBatch(b, pkt)
+		return err
 	case FormatIPFIX:
-		return c.ipf.Decode(pkt)
+		_, err := c.ipf.DecodeBatch(b, pkt)
+		return err
 	default:
-		return nil, fmt.Errorf("collector: unsupported format %v", c.format)
+		return fmt.Errorf("collector: unsupported format %v", c.format)
 	}
 }
 
@@ -176,7 +246,10 @@ func (c *Collector) Close() error {
 }
 
 // Exporter sends flow records to a collector address using the chosen wire
-// format, batching records into appropriately sized packets.
+// format, batching records into appropriately sized packets. The packet
+// buffer is reused across packets, so a steady-state ExportBatch loop
+// allocates nothing per record. An Exporter is not safe for concurrent
+// use (it carries sequence state).
 type Exporter struct {
 	format Format
 	conn   *net.UDPConn
@@ -184,6 +257,7 @@ type Exporter struct {
 	v9  netflow.V9Encoder
 	ipf ipfix.Encoder
 	seq uint32
+	buf []byte
 }
 
 // NewExporter dials the given UDP collector address.
@@ -209,39 +283,46 @@ func (e *Exporter) batchSize() int {
 	}
 }
 
-// Export encodes and sends the records, splitting them into as many packets
-// as needed. The export timestamp is now.
-func (e *Exporter) Export(recs []flowrec.Record) error {
+// ExportBatch encodes and sends the batch, splitting it into as many
+// packets as needed. The export timestamp is now.
+func (e *Exporter) ExportBatch(b *flowrec.Batch) error {
 	now := time.Now().UTC()
 	bs := e.batchSize()
-	for len(recs) > 0 {
-		n := bs
-		if len(recs) < n {
-			n = len(recs)
+	for lo := 0; lo < b.Len(); lo += bs {
+		hi := lo + bs
+		if hi > b.Len() {
+			hi = b.Len()
 		}
-		batch := recs[:n]
-		recs = recs[n:]
-		var pkt []byte
 		var err error
+		e.buf = e.buf[:0]
 		switch e.format {
 		case FormatNetflowV5:
-			pkt, err = netflow.EncodeV5(batch, now, e.seq)
-			e.seq += uint32(n)
+			e.buf, err = netflow.EncodeV5Batch(e.buf, b, lo, hi, now, e.seq)
+			e.seq += uint32(hi - lo)
 		case FormatNetflowV9:
-			pkt, err = e.v9.Encode(batch, now)
+			e.buf, err = e.v9.EncodeBatch(e.buf, b, lo, hi, now)
 		case FormatIPFIX:
-			pkt, err = e.ipf.Encode(batch, now)
+			e.buf, err = e.ipf.EncodeBatch(e.buf, b, lo, hi, now)
 		default:
 			err = fmt.Errorf("exporter: unsupported format %v", e.format)
 		}
 		if err != nil {
 			return err
 		}
-		if _, err := e.conn.Write(pkt); err != nil {
+		if _, err := e.conn.Write(e.buf); err != nil {
 			return fmt.Errorf("exporter: send: %w", err)
 		}
 	}
 	return nil
+}
+
+// Export encodes and sends the records (record-slice adapter over
+// ExportBatch; the packets are byte-identical).
+func (e *Exporter) Export(recs []flowrec.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	return e.ExportBatch(flowrec.FromRecords(recs))
 }
 
 // Close releases the exporter socket.
@@ -263,5 +344,29 @@ func Collect(c *Collector, want int, timeout time.Duration) []flowrec.Record {
 			return out
 		}
 	}
+	return out
+}
+
+// CollectBatch gathers up to want rows from a batch-mode collector into
+// one batch, waiting at most timeout. Received batches are returned to
+// the flowrec pool after their rows are copied; rows beyond want in the
+// final datagram are dropped, so the result never exceeds want (matching
+// Collect).
+func CollectBatch(c *Collector, want int, timeout time.Duration) *flowrec.Batch {
+	out := flowrec.NewBatch(want)
+	deadline := time.After(timeout)
+	for out.Len() < want {
+		select {
+		case b, ok := <-c.Batches():
+			if !ok {
+				return out
+			}
+			out.AppendBatch(b)
+			flowrec.PutBatch(b)
+		case <-deadline:
+			return out
+		}
+	}
+	out.Truncate(want)
 	return out
 }

@@ -79,6 +79,65 @@ func TestRoundTripIPFIX(t *testing.T) {
 	}
 }
 
+// batchRoundTrip is roundTrip through a batch-mode collector and the
+// batch export path.
+func batchRoundTrip(t *testing.T, format Format, n int) *flowrec.Batch {
+	t.Helper()
+	col, err := NewBatchCollector(format, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go col.Run(ctx)
+	defer col.Close()
+
+	exp, err := NewExporter(format, col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.ExportBatch(flowrec.FromRecords(testRecords(n))); err != nil {
+		t.Fatal(err)
+	}
+	return CollectBatch(col, n, 3*time.Second)
+}
+
+func TestBatchRoundTripAllFormats(t *testing.T) {
+	for _, tc := range []struct {
+		format Format
+		n      int
+	}{
+		{FormatNetflowV5, 45}, // spans two v5 packets
+		{FormatNetflowV9, 10},
+		{FormatIPFIX, 250}, // spans multiple messages
+	} {
+		got := batchRoundTrip(t, tc.format, tc.n)
+		if got.Len() != tc.n {
+			t.Fatalf("%v: collected %d rows, want %d", tc.format, got.Len(), tc.n)
+		}
+		if got.DstPort[0] != 443 || got.Proto[0] != flowrec.ProtoTCP {
+			t.Errorf("%v: row content mangled: %+v", tc.format, got.Record(0))
+		}
+	}
+}
+
+// TestBatchAndRecordCollectorsAgree exports the same records through both
+// collector modes and checks the decoded flows match.
+func TestBatchAndRecordCollectorsAgree(t *testing.T) {
+	const n = 30
+	fromBatches := batchRoundTrip(t, FormatIPFIX, n).Records()
+	fromRecords := roundTrip(t, FormatIPFIX, n)
+	if len(fromBatches) != n || len(fromRecords) != n {
+		t.Fatalf("collected %d batch rows and %d records, want %d of both", len(fromBatches), len(fromRecords), n)
+	}
+	for i := range fromRecords {
+		if fromBatches[i] != fromRecords[i] {
+			t.Fatalf("row %d differs between modes: %+v vs %+v", i, fromBatches[i], fromRecords[i])
+		}
+	}
+}
+
 func TestCollectorErrorsOnGarbage(t *testing.T) {
 	col, err := NewCollector(FormatIPFIX, "127.0.0.1:0")
 	if err != nil {

@@ -57,18 +57,30 @@ func (env *Env) series(vp synth.VantagePoint, from, to time.Time) (*timeseries.S
 	return env.Data.Series(vp, from, to)
 }
 
-func (env *Env) flows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record, error) {
-	return env.Data.Flows(vp, hour)
+func (env *Env) flowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
+	return env.Data.FlowBatch(vp, hour)
 }
 
-func (env *Env) flowsBetween(vp synth.VantagePoint, from, to time.Time) ([]flowrec.Record, error) {
-	var out []flowrec.Record
-	for t := from.UTC().Truncate(time.Hour); t.Before(to); t = t.Add(time.Hour) {
-		recs, err := env.Data.Flows(vp, t)
+// flowBatchBetween concatenates the cached per-hour batches of [from, to)
+// into one batch, preallocated from the summed hour lengths (two passes
+// over the cache, one bulk allocation, no append growth).
+func (env *Env) flowBatchBetween(vp synth.VantagePoint, from, to time.Time) (*flowrec.Batch, error) {
+	from = from.UTC().Truncate(time.Hour)
+	total := 0
+	for t := from; t.Before(to); t = t.Add(time.Hour) {
+		b, err := env.Data.FlowBatch(vp, t)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, recs...)
+		total += b.Len()
+	}
+	out := flowrec.NewBatch(total)
+	for t := from; t.Before(to); t = t.Add(time.Hour) {
+		b, err := env.Data.FlowBatch(vp, t)
+		if err != nil {
+			return nil, err
+		}
+		out.AppendBatch(b)
 	}
 	return out, nil
 }
@@ -266,11 +278,12 @@ func (d *Dataset) ClassSeries(vp synth.VantagePoint, class synth.Class, from, to
 	return v.(*timeseries.Series), nil
 }
 
-// Flows returns the sampled flow records of one hour, memoized per hour so
-// experiments iterating overlapping hour grids (e.g. the port analysis and
-// the application-class heatmap over the same weeks) share one sample. The
-// returned slice is shared; callers must not modify it.
-func (d *Dataset) Flows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record, error) {
+// FlowBatch returns the sampled flows of one hour as a columnar batch,
+// memoized per hour so experiments iterating overlapping hour grids (e.g.
+// the port analysis and the application-class heatmap over the same weeks)
+// share one sample. The returned batch is shared; callers must not modify
+// it.
+func (d *Dataset) FlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
 	cfg := d.config(vp)
 	key := "flows/" + cfg.Fingerprint() + "/" + hourKey(hour)
 	v, err := d.get(key, func() (any, error) {
@@ -278,16 +291,17 @@ func (d *Dataset) Flows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record
 		if err != nil {
 			return nil, err
 		}
-		return g.FlowsForHour(hour), nil
+		return g.FlowsForHourBatch(hour), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.([]flowrec.Record), nil
+	return v.(*flowrec.Batch), nil
 }
 
-// VPNFlows is Flows for the gateway-pinned generator of the VPN analyses.
-func (d *Dataset) VPNFlows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record, error) {
+// VPNFlowBatch is FlowBatch for the gateway-pinned generator of the VPN
+// analyses.
+func (d *Dataset) VPNFlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
 	cfg := d.config(vp)
 	key := "vpn-flows/" + cfg.Fingerprint() + "/" + hourKey(hour)
 	v, err := d.get(key, func() (any, error) {
@@ -295,17 +309,17 @@ func (d *Dataset) VPNFlows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Rec
 		if err != nil {
 			return nil, err
 		}
-		return vd.Gen.FlowsForHour(hour), nil
+		return vd.Gen.FlowsForHourBatch(hour), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.([]flowrec.Record), nil
+	return v.(*flowrec.Batch), nil
 }
 
-// ComponentFlows returns the sampled flow records of one named component
-// for one hour, memoized per hour.
-func (d *Dataset) ComponentFlows(vp synth.VantagePoint, name string, hour time.Time) ([]flowrec.Record, error) {
+// ComponentFlowBatch returns the sampled flows of one named component for
+// one hour as a columnar batch, memoized per hour.
+func (d *Dataset) ComponentFlowBatch(vp synth.VantagePoint, name string, hour time.Time) (*flowrec.Batch, error) {
 	cfg := d.config(vp)
 	key := "component-flows/" + cfg.Fingerprint() + "/" + name + "/" + hourKey(hour)
 	v, err := d.get(key, func() (any, error) {
@@ -313,12 +327,44 @@ func (d *Dataset) ComponentFlows(vp synth.VantagePoint, name string, hour time.T
 		if err != nil {
 			return nil, err
 		}
-		return g.ComponentFlowsForHour(name, hour), nil
+		return g.ComponentFlowsForHourBatch(name, hour), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.([]flowrec.Record), nil
+	return v.(*flowrec.Batch), nil
+}
+
+// Flows returns the sampled flow records of one hour: a thin record-slice
+// adapter over FlowBatch for call sites that have not migrated to
+// batches. The slice is materialised per call (one exact allocation) —
+// deliberately not memoized, so legacy callers never double the cache's
+// resident memory with parallel record copies of every hour.
+func (d *Dataset) Flows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record, error) {
+	b, err := d.FlowBatch(vp, hour)
+	if err != nil {
+		return nil, err
+	}
+	return b.Records(), nil
+}
+
+// VPNFlows is Flows for the gateway-pinned generator of the VPN analyses.
+func (d *Dataset) VPNFlows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record, error) {
+	b, err := d.VPNFlowBatch(vp, hour)
+	if err != nil {
+		return nil, err
+	}
+	return b.Records(), nil
+}
+
+// ComponentFlows returns the sampled flow records of one named component
+// for one hour (per-call record-slice adapter over ComponentFlowBatch).
+func (d *Dataset) ComponentFlows(vp synth.VantagePoint, name string, hour time.Time) ([]flowrec.Record, error) {
+	b, err := d.ComponentFlowBatch(vp, name, hour)
+	if err != nil {
+		return nil, err
+	}
+	return b.Records(), nil
 }
 
 // Engine executes experiments against one shared dataset cache. A zero

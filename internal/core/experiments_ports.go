@@ -42,19 +42,19 @@ func collectPortVolumes(env *Env, vp synth.VantagePoint, week calendar.Week, kee
 		} else {
 			workdayHours++
 		}
-		recs, err := env.flows(vp, hour)
+		b, err := env.flowBatch(vp, hour)
 		if err != nil {
 			return portWeekVolumes{}, err
 		}
-		for _, r := range recs {
-			pp := r.ServerPort()
+		for i := 0; i < b.Len(); i++ {
+			pp := b.ServerPortAt(i)
 			if !keep[pp] {
 				continue
 			}
 			if weekend {
-				sums.weekend[pp] += float64(r.Bytes)
+				sums.weekend[pp] += float64(b.Bytes[i])
 			} else {
-				sums.workday[pp] += float64(r.Bytes)
+				sums.workday[pp] += float64(b.Bytes[i])
 			}
 		}
 	}
@@ -155,7 +155,7 @@ func runFig8(env *Env) (*Result, error) {
 	}
 	byWeek := make(map[int]*weekAgg)
 	for t := start; t.Before(end); t = t.Add(time.Hour) {
-		recs, err := env.Data.ComponentFlows(synth.IXPSE, "gaming", t)
+		b, err := env.Data.ComponentFlowBatch(synth.IXPSE, "gaming", t)
 		if err != nil {
 			return nil, err
 		}
@@ -165,9 +165,9 @@ func runFig8(env *Env) (*Result, error) {
 			agg = &weekAgg{uniques: make(map[netip.Addr]bool)}
 			byWeek[w] = agg
 		}
-		for _, r := range recs {
-			agg.volume += float64(r.Bytes)
-			agg.uniques[r.DstIP] = true // eyeball side
+		for i := 0; i < b.Len(); i++ {
+			agg.volume += float64(b.Bytes[i])
+			agg.uniques[b.DstIP[i]] = true // eyeball side
 		}
 	}
 
@@ -244,13 +244,11 @@ func collectClassVolumes(env *Env, vp synth.VantagePoint, clf *appclass.Classifi
 		if calendar.IsWeekend(hour) || calendar.IsHoliday(hour) {
 			continue
 		}
-		recs, err := env.flows(vp, hour)
+		b, err := env.flowBatch(vp, hour)
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range recs {
-			out[clf.Classify(r)] += float64(r.Bytes)
-		}
+		clf.VolumeByClassInto(out, b)
 	}
 	return out, nil
 }

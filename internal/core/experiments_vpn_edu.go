@@ -35,23 +35,23 @@ func collectVPNSplit(env *Env, vp synth.VantagePoint, det *vpndetect.Detector, w
 	var out vpnWeekSplit
 	for _, hour := range week.Hours() {
 		working := calendar.WorkingHours(hour.UTC().Hour()) && !calendar.IsWeekend(hour) && !calendar.IsHoliday(hour)
-		recs, err := env.Data.VPNFlows(vp, hour)
+		b, err := env.Data.VPNFlowBatch(vp, hour)
 		if err != nil {
 			return vpnWeekSplit{}, err
 		}
-		for _, r := range recs {
-			switch det.Classify(r) {
+		for i := 0; i < b.Len(); i++ {
+			switch det.ClassifyAt(b, i) {
 			case vpndetect.ByPort:
 				if working {
-					out.portWork += float64(r.Bytes)
+					out.portWork += float64(b.Bytes[i])
 				} else {
-					out.portOther += float64(r.Bytes)
+					out.portOther += float64(b.Bytes[i])
 				}
 			case vpndetect.ByDomain:
 				if working {
-					out.domainWork += float64(r.Bytes)
+					out.domainWork += float64(b.Bytes[i])
 				} else {
-					out.domainOther += float64(r.Bytes)
+					out.domainOther += float64(b.Bytes[i])
 				}
 			}
 		}
@@ -169,7 +169,7 @@ func runFig12(env *Env) (*Result, error) {
 	res := newResult("fig12", "EDU daily connection growth per traffic class")
 	start := time.Date(2020, 2, 27, 0, 0, 0, 0, time.UTC)
 	end := time.Date(2020, 5, 8, 0, 0, 0, 0, time.UTC)
-	byDay := make(map[time.Time][]flowrec.Record)
+	byDay := make(map[time.Time]*flowrec.Batch)
 	for d := start; d.Before(end); d = d.AddDate(0, 0, 1) {
 		// Sample Tuesdays, Thursdays and Saturdays plus the baseline day.
 		switch d.Weekday() {
@@ -179,11 +179,11 @@ func runFig12(env *Env) (*Result, error) {
 				continue
 			}
 		}
-		recs, err := env.flowsBetween(synth.EDU, d, d.AddDate(0, 0, 1))
+		b, err := env.flowBatchBetween(synth.EDU, d, d.AddDate(0, 0, 1))
 		if err != nil {
 			return nil, err
 		}
-		byDay[d] = recs
+		byDay[d] = b
 	}
 	counts := edu.CountConnections(byDay)
 	cats := append(edu.DefaultCategories(), edu.ExtraCategories()...)
@@ -237,16 +237,16 @@ func runAblationVPN(env *Env) (*Result, error) {
 	week := calendar.AppWeeksIXP()[1]
 	var portVol, domainVol float64
 	for _, hour := range week.Hours() {
-		recs, err := env.Data.VPNFlows(synth.IXPCE, hour)
+		b, err := env.Data.VPNFlowBatch(synth.IXPCE, hour)
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range recs {
-			switch vpn.Detector.Classify(r) {
+		for i := 0; i < b.Len(); i++ {
+			switch vpn.Detector.ClassifyAt(b, i) {
 			case vpndetect.ByPort:
-				portVol += float64(r.Bytes)
+				portVol += float64(b.Bytes[i])
 			case vpndetect.ByDomain:
-				domainVol += float64(r.Bytes)
+				domainVol += float64(b.Bytes[i])
 			}
 		}
 	}

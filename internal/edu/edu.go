@@ -143,8 +143,19 @@ func ExtraCategories() []Category {
 // DailyCounts are connection counts per day, class and direction.
 type DailyCounts map[time.Time]map[appclass.EDUClass]map[flowrec.Direction]int
 
-// CountConnections builds DailyCounts from per-day flow records.
-func CountConnections(byDay map[time.Time][]flowrec.Record) DailyCounts {
+// CountConnections builds DailyCounts from per-day flow batches (the
+// native input of the Figure 12 pipeline: one columnar batch per day).
+func CountConnections(byDay map[time.Time]*flowrec.Batch) DailyCounts {
+	out := make(DailyCounts, len(byDay))
+	for day, b := range byDay {
+		out[calendar.DayStart(day)] = appclass.CountEDUByClassDirBatch(b)
+	}
+	return out
+}
+
+// CountConnectionRecords is CountConnections for per-day record slices
+// (adapter kept for call sites that have not migrated to batches).
+func CountConnectionRecords(byDay map[time.Time][]flowrec.Record) DailyCounts {
 	out := make(DailyCounts, len(byDay))
 	for day, recs := range byDay {
 		out[calendar.DayStart(day)] = appclass.CountEDUByClassDir(recs)

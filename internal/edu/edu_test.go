@@ -1,6 +1,7 @@
 package edu
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -107,11 +108,11 @@ func TestInOutRatioZeroEgress(t *testing.T) {
 	}
 }
 
-// collectEDUDays samples flows for a set of representative days.
-func collectEDUDays(g *synth.Generator, days []time.Time) map[time.Time][]flowrec.Record {
-	out := make(map[time.Time][]flowrec.Record, len(days))
+// collectEDUDays samples flow batches for a set of representative days.
+func collectEDUDays(g *synth.Generator, days []time.Time) map[time.Time]*flowrec.Batch {
+	out := make(map[time.Time]*flowrec.Batch, len(days))
 	for _, d := range days {
-		out[d] = g.FlowsBetween(d, d.AddDate(0, 0, 1))
+		out[d] = g.FlowsBetweenBatch(d, d.AddDate(0, 0, 1))
 	}
 	return out
 }
@@ -148,6 +149,22 @@ func TestConnectionGrowthMatchesSection7(t *testing.T) {
 	}
 	if push > 0.7 {
 		t.Errorf("outgoing push connection growth = %.2fx, want a collapse (paper: -65%%)", push)
+	}
+}
+
+// TestCountConnectionsBatchRecordEquivalence pins the batch and record
+// counting paths to identical results on real generator output.
+func TestCountConnectionsBatchRecordEquivalence(t *testing.T) {
+	g := eduGenerator(t)
+	day := date(2020, 3, 5)
+	b := g.FlowsBetweenBatch(day, day.AddDate(0, 0, 1))
+	if b.Len() == 0 {
+		t.Fatal("expected flows for the sample day")
+	}
+	fromBatch := CountConnections(map[time.Time]*flowrec.Batch{day: b})
+	fromRecs := CountConnectionRecords(map[time.Time][]flowrec.Record{day: b.Records()})
+	if !reflect.DeepEqual(fromBatch, fromRecs) {
+		t.Error("CountConnections (batch) and CountConnectionRecords disagree")
 	}
 }
 

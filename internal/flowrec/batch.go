@@ -1,0 +1,291 @@
+package flowrec
+
+import (
+	"net/netip"
+	"slices"
+	"sync"
+	"time"
+)
+
+// Batch is a columnar (struct-of-arrays) collection of flow records: every
+// Record field lives in its own parallel slice, and row i across all
+// columns is one flow. The layout exists for the scan-heavy analyses of
+// "The Lockdown Effect" (IMC 2020): aggregators touch only the columns
+// they need (bytes, ports, AS numbers), the whole component-hour lives in
+// a handful of contiguous allocations instead of one struct per record,
+// and the wire codecs encode/decode straight from/into the columns.
+//
+// Timestamps are stored as Unix nanoseconds so the column is a flat int64
+// array; the conversion is lossless for every time the generator or the
+// codecs produce. Appending never fails: rows are plain value copies.
+//
+// A Batch is not safe for concurrent mutation. Shared read-only use (as
+// practiced by the core.Dataset cache) is safe.
+type Batch struct {
+	StartNs  []int64
+	EndNs    []int64
+	SrcIP    []netip.Addr
+	DstIP    []netip.Addr
+	SrcPort  []uint16
+	DstPort  []uint16
+	Proto    []Proto
+	Bytes    []uint64
+	Packets  []uint64
+	SrcAS    []uint32
+	DstAS    []uint32
+	InIf     []uint16
+	OutIf    []uint16
+	Dir      []Direction
+	TCPFlags []uint8
+}
+
+// NewBatch returns an empty batch with capacity for n rows in every
+// column (one bulk allocation per column, no reallocation until row n+1).
+func NewBatch(n int) *Batch {
+	b := &Batch{}
+	b.Grow(n)
+	return b
+}
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return len(b.Bytes) }
+
+// Grow ensures capacity for at least n more rows without reallocation.
+func (b *Batch) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	b.StartNs = slices.Grow(b.StartNs, n)
+	b.EndNs = slices.Grow(b.EndNs, n)
+	b.SrcIP = slices.Grow(b.SrcIP, n)
+	b.DstIP = slices.Grow(b.DstIP, n)
+	b.SrcPort = slices.Grow(b.SrcPort, n)
+	b.DstPort = slices.Grow(b.DstPort, n)
+	b.Proto = slices.Grow(b.Proto, n)
+	b.Bytes = slices.Grow(b.Bytes, n)
+	b.Packets = slices.Grow(b.Packets, n)
+	b.SrcAS = slices.Grow(b.SrcAS, n)
+	b.DstAS = slices.Grow(b.DstAS, n)
+	b.InIf = slices.Grow(b.InIf, n)
+	b.OutIf = slices.Grow(b.OutIf, n)
+	b.Dir = slices.Grow(b.Dir, n)
+	b.TCPFlags = slices.Grow(b.TCPFlags, n)
+}
+
+// Reset truncates the batch to zero rows, keeping the column capacity for
+// reuse (the basis of the pool below and of steady-state zero-allocation
+// decode loops).
+func (b *Batch) Reset() {
+	b.StartNs = b.StartNs[:0]
+	b.EndNs = b.EndNs[:0]
+	b.SrcIP = b.SrcIP[:0]
+	b.DstIP = b.DstIP[:0]
+	b.SrcPort = b.SrcPort[:0]
+	b.DstPort = b.DstPort[:0]
+	b.Proto = b.Proto[:0]
+	b.Bytes = b.Bytes[:0]
+	b.Packets = b.Packets[:0]
+	b.SrcAS = b.SrcAS[:0]
+	b.DstAS = b.DstAS[:0]
+	b.InIf = b.InIf[:0]
+	b.OutIf = b.OutIf[:0]
+	b.Dir = b.Dir[:0]
+	b.TCPFlags = b.TCPFlags[:0]
+}
+
+// Truncate shortens the batch to n rows, keeping capacity. Decoders use
+// it to roll back partially appended packets on error.
+func (b *Batch) Truncate(n int) {
+	if n < 0 || n >= b.Len() {
+		return
+	}
+	b.StartNs = b.StartNs[:n]
+	b.EndNs = b.EndNs[:n]
+	b.SrcIP = b.SrcIP[:n]
+	b.DstIP = b.DstIP[:n]
+	b.SrcPort = b.SrcPort[:n]
+	b.DstPort = b.DstPort[:n]
+	b.Proto = b.Proto[:n]
+	b.Bytes = b.Bytes[:n]
+	b.Packets = b.Packets[:n]
+	b.SrcAS = b.SrcAS[:n]
+	b.DstAS = b.DstAS[:n]
+	b.InIf = b.InIf[:n]
+	b.OutIf = b.OutIf[:n]
+	b.Dir = b.Dir[:n]
+	b.TCPFlags = b.TCPFlags[:n]
+}
+
+// timeNs converts a timestamp to its column representation. The zero
+// time.Time maps to 0 (UnixNano is undefined for it); timeAt maps 0
+// back, so unset timestamps round-trip as unset. The one ambiguity is a
+// flow stamped exactly at the Unix epoch, which also round-trips as the
+// zero time — nothing the generator or the codecs produce.
+func timeNs(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// timeAt is the inverse of timeNs.
+func timeAt(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// Append adds one record as a new row.
+func (b *Batch) Append(r Record) {
+	b.StartNs = append(b.StartNs, timeNs(r.Start))
+	b.EndNs = append(b.EndNs, timeNs(r.End))
+	b.SrcIP = append(b.SrcIP, r.SrcIP)
+	b.DstIP = append(b.DstIP, r.DstIP)
+	b.SrcPort = append(b.SrcPort, r.SrcPort)
+	b.DstPort = append(b.DstPort, r.DstPort)
+	b.Proto = append(b.Proto, r.Proto)
+	b.Bytes = append(b.Bytes, r.Bytes)
+	b.Packets = append(b.Packets, r.Packets)
+	b.SrcAS = append(b.SrcAS, r.SrcAS)
+	b.DstAS = append(b.DstAS, r.DstAS)
+	b.InIf = append(b.InIf, r.InIf)
+	b.OutIf = append(b.OutIf, r.OutIf)
+	b.Dir = append(b.Dir, r.Dir)
+	b.TCPFlags = append(b.TCPFlags, r.TCPFlags)
+}
+
+// AppendBatch appends all rows of o.
+func (b *Batch) AppendBatch(o *Batch) {
+	b.StartNs = append(b.StartNs, o.StartNs...)
+	b.EndNs = append(b.EndNs, o.EndNs...)
+	b.SrcIP = append(b.SrcIP, o.SrcIP...)
+	b.DstIP = append(b.DstIP, o.DstIP...)
+	b.SrcPort = append(b.SrcPort, o.SrcPort...)
+	b.DstPort = append(b.DstPort, o.DstPort...)
+	b.Proto = append(b.Proto, o.Proto...)
+	b.Bytes = append(b.Bytes, o.Bytes...)
+	b.Packets = append(b.Packets, o.Packets...)
+	b.SrcAS = append(b.SrcAS, o.SrcAS...)
+	b.DstAS = append(b.DstAS, o.DstAS...)
+	b.InIf = append(b.InIf, o.InIf...)
+	b.OutIf = append(b.OutIf, o.OutIf...)
+	b.Dir = append(b.Dir, o.Dir...)
+	b.TCPFlags = append(b.TCPFlags, o.TCPFlags...)
+}
+
+// StartAt returns row i's flow start time.
+func (b *Batch) StartAt(i int) time.Time { return timeAt(b.StartNs[i]) }
+
+// EndAt returns row i's flow end time.
+func (b *Batch) EndAt(i int) time.Time { return timeAt(b.EndNs[i]) }
+
+// Record materialises row i as a Record.
+func (b *Batch) Record(i int) Record {
+	return Record{
+		Start:    b.StartAt(i),
+		End:      b.EndAt(i),
+		SrcIP:    b.SrcIP[i],
+		DstIP:    b.DstIP[i],
+		SrcPort:  b.SrcPort[i],
+		DstPort:  b.DstPort[i],
+		Proto:    b.Proto[i],
+		Bytes:    b.Bytes[i],
+		Packets:  b.Packets[i],
+		SrcAS:    b.SrcAS[i],
+		DstAS:    b.DstAS[i],
+		InIf:     b.InIf[i],
+		OutIf:    b.OutIf[i],
+		Dir:      b.Dir[i],
+		TCPFlags: b.TCPFlags[i],
+	}
+}
+
+// Records materialises the whole batch as a record slice (one exact
+// allocation). It returns nil for an empty batch, matching the historic
+// behaviour of the record-slice APIs it adapts.
+func (b *Batch) Records() []Record {
+	if b.Len() == 0 {
+		return nil
+	}
+	out := make([]Record, b.Len())
+	for i := range out {
+		out[i] = b.Record(i)
+	}
+	return out
+}
+
+// FromRecords builds a batch from a record slice (the inverse of Records).
+func FromRecords(recs []Record) *Batch {
+	b := NewBatch(len(recs))
+	for _, r := range recs {
+		b.Append(r)
+	}
+	return b
+}
+
+// ServerPortAt returns row i's service-side port/protocol pair, using the
+// same lower-port heuristic as Record.ServerPort but reading only the
+// three columns involved.
+func (b *Batch) ServerPortAt(i int) PortProto {
+	p := b.Proto[i]
+	if p == ProtoGRE || p == ProtoESP || p == ProtoICMP {
+		return PortProto{Proto: p}
+	}
+	s, d := b.SrcPort[i], b.DstPort[i]
+	switch {
+	case s == 0:
+		return PortProto{p, d}
+	case d == 0:
+		return PortProto{p, s}
+	case d < s:
+		return PortProto{p, d}
+	default:
+		return PortProto{p, s}
+	}
+}
+
+// Filter appends the rows for which keep returns true to a new batch and
+// returns it. The receiver is unchanged.
+func (b *Batch) Filter(keep func(b *Batch, i int) bool) *Batch {
+	out := NewBatch(0)
+	for i := 0; i < b.Len(); i++ {
+		if keep(b, i) {
+			out.Append(b.Record(i))
+		}
+	}
+	return out
+}
+
+// TotalBytes sums the byte column (a common aggregate, kept here so the
+// compiler can keep the loop tight over one contiguous array).
+func (b *Batch) TotalBytes() uint64 {
+	var sum uint64
+	for _, v := range b.Bytes {
+		sum += v
+	}
+	return sum
+}
+
+// batchPool recycles batches (and, transitively, their column arrays) for
+// the decode paths of the collector and the codecs: a steady-state decode
+// loop gets a batch once, resets it per packet and never allocates again.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns an empty pooled batch with capacity for at least n
+// rows. Return it with PutBatch when done.
+func GetBatch(n int) *Batch {
+	b := batchPool.Get().(*Batch)
+	b.Reset()
+	b.Grow(n)
+	return b
+}
+
+// PutBatch returns a batch obtained from GetBatch to the pool. The caller
+// must not use b afterwards.
+func PutBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	batchPool.Put(b)
+}

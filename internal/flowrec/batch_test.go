@@ -1,0 +1,166 @@
+package flowrec
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// sampleRecords builds a deterministic set of records covering the corner
+// cases the batch must preserve: port-less protocols, millisecond
+// timestamps, all directions.
+func sampleRecords(n int) []Record {
+	base := time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC)
+	out := make([]Record, n)
+	for i := range out {
+		r := Record{
+			Start:    base.Add(time.Duration(i) * time.Second),
+			End:      base.Add(time.Duration(i)*time.Second + 90*time.Second + 250*time.Millisecond),
+			SrcIP:    netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+			DstIP:    netip.AddrFrom4([4]byte{192, 168, byte(i >> 8), byte(i)}),
+			SrcPort:  uint16(443),
+			DstPort:  uint16(49152 + i),
+			Proto:    ProtoTCP,
+			Bytes:    uint64(1500 * (i + 1)),
+			Packets:  uint64(i + 1),
+			SrcAS:    uint32(64500 + i),
+			DstAS:    uint32(64600 + i),
+			InIf:     1,
+			OutIf:    2,
+			Dir:      Direction(i % 3),
+			TCPFlags: 0x1b,
+		}
+		if i%5 == 4 {
+			r.Proto = ProtoGRE
+			r.SrcPort, r.DstPort, r.TCPFlags = 0, 0, 0
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	recs := sampleRecords(37)
+	b := FromRecords(recs)
+	if b.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(recs))
+	}
+	got := b.Records()
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("Batch -> Records round trip is not identical")
+	}
+	for i, r := range recs {
+		if one := b.Record(i); !reflect.DeepEqual(one, r) {
+			t.Fatalf("Record(%d) = %+v, want %+v", i, one, r)
+		}
+	}
+}
+
+// TestBatchZeroTimeRoundTrip pins the unset-timestamp contract: a
+// record whose Start/End were never set (e.g. decoded from a wire
+// template without the flow-time fields) must come back with zero
+// times, not an overflowed UnixNano date.
+func TestBatchZeroTimeRoundTrip(t *testing.T) {
+	b := NewBatch(1)
+	b.Append(Record{Proto: ProtoUDP, Bytes: 10, Packets: 1})
+	got := b.Record(0)
+	if !got.Start.IsZero() || !got.End.IsZero() {
+		t.Errorf("unset timestamps round-tripped as %v / %v, want zero times", got.Start, got.End)
+	}
+}
+
+func TestBatchEmptyRecordsNil(t *testing.T) {
+	if NewBatch(8).Records() != nil {
+		t.Error("empty batch should materialise as nil (record-slice API parity)")
+	}
+}
+
+func TestBatchServerPortMatchesRecord(t *testing.T) {
+	recs := sampleRecords(25)
+	// Add the asymmetric cases the heuristic distinguishes.
+	recs = append(recs,
+		Record{Proto: ProtoUDP, SrcPort: 0, DstPort: 53},
+		Record{Proto: ProtoUDP, SrcPort: 53, DstPort: 0},
+		Record{Proto: ProtoTCP, SrcPort: 50000, DstPort: 443},
+		Record{Proto: ProtoICMP},
+	)
+	b := FromRecords(recs)
+	for i, r := range recs {
+		if got, want := b.ServerPortAt(i), r.ServerPort(); got != want {
+			t.Errorf("row %d: ServerPortAt = %v, Record.ServerPort = %v", i, got, want)
+		}
+	}
+}
+
+func TestBatchAppendBatchAndGrow(t *testing.T) {
+	recs := sampleRecords(12)
+	a := FromRecords(recs[:5])
+	c := FromRecords(recs[5:])
+	b := NewBatch(len(recs))
+	before := cap(b.Bytes)
+	b.AppendBatch(a)
+	b.AppendBatch(c)
+	if cap(b.Bytes) != before {
+		t.Errorf("preallocated batch reallocated: cap %d -> %d", before, cap(b.Bytes))
+	}
+	if !reflect.DeepEqual(b.Records(), recs) {
+		t.Error("AppendBatch concatenation differs from the source records")
+	}
+}
+
+func TestBatchFilter(t *testing.T) {
+	recs := sampleRecords(20)
+	b := FromRecords(recs)
+	got := b.Filter(func(b *Batch, i int) bool { return b.Proto[i] == ProtoGRE })
+	var want []Record
+	for _, r := range recs {
+		if r.Proto == ProtoGRE {
+			want = append(want, r)
+		}
+	}
+	if !reflect.DeepEqual(got.Records(), want) {
+		t.Errorf("Filter kept %d rows, want %d GRE rows", got.Len(), len(want))
+	}
+	if b.Len() != len(recs) {
+		t.Error("Filter must not mutate the receiver")
+	}
+}
+
+func TestBatchTotalBytes(t *testing.T) {
+	recs := sampleRecords(9)
+	var want uint64
+	for _, r := range recs {
+		want += r.Bytes
+	}
+	if got := FromRecords(recs).TotalBytes(); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+}
+
+func TestBatchPoolReuse(t *testing.T) {
+	b := GetBatch(64)
+	if b.Len() != 0 || cap(b.Bytes) < 64 {
+		t.Fatalf("GetBatch: len=%d cap=%d, want empty with capacity >= 64", b.Len(), cap(b.Bytes))
+	}
+	b.Append(sampleRecords(1)[0])
+	PutBatch(b)
+	c := GetBatch(8)
+	if c.Len() != 0 {
+		t.Error("pooled batch must come back reset")
+	}
+	PutBatch(c)
+	PutBatch(nil) // must not panic
+}
+
+func TestBatchResetKeepsCapacity(t *testing.T) {
+	b := FromRecords(sampleRecords(30))
+	capBefore := cap(b.Bytes)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("Reset should truncate to zero rows")
+	}
+	if cap(b.Bytes) != capBefore {
+		t.Error("Reset should keep column capacity")
+	}
+}

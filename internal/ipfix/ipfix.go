@@ -3,12 +3,19 @@
 // records with the fields the analyses need are supported, but message
 // framing, template sets and data sets follow the RFC so the codec
 // interoperates with standard collectors.
+//
+// Like package netflow, the codec has a batch layer (Encoder.EncodeBatch,
+// Decoder.DecodeBatch) that appends messages to a caller-supplied byte
+// slice and rows to a caller-supplied flowrec.Batch — zero allocations
+// per record in the steady state — and a record layer (Encode, Decode)
+// that adapts []flowrec.Record through it with byte-identical messages.
 package ipfix
 
 import (
 	"encoding/binary"
 	"fmt"
 	"net/netip"
+	"slices"
 	"time"
 
 	"lockdown/internal/flowrec"
@@ -81,82 +88,102 @@ type Encoder struct {
 	seq      uint32
 }
 
+// EncodeBatch appends one IPFIX message carrying the template set and
+// rows [lo, hi) of b to dst and returns the extended slice. Rows must be
+// IPv4. The message is written in place: a caller that reuses the
+// returned slice across messages encodes with zero allocations once the
+// buffer has grown to message size. On error dst is returned unmodified
+// and the sequence number is not consumed.
+func (e *Encoder) EncodeBatch(dst []byte, b *flowrec.Batch, lo, hi int, exportTime time.Time) ([]byte, error) {
+	n := hi - lo
+	if n <= 0 {
+		return dst, fmt.Errorf("ipfix: no records to encode")
+	}
+	for i := lo; i < hi; i++ {
+		if !b.SrcIP[i].Is4() || !b.DstIP[i].Is4() {
+			return dst, fmt.Errorf("ipfix: record %d is not IPv4", i-lo)
+		}
+	}
+	be := binary.BigEndian
+	tplSetLen := 4 + 4 + 4*len(standardTemplate)
+	rl := recordLen(standardTemplate)
+	dataSetLen := 4 + n*rl
+	total := headerLen + tplSetLen + dataSetLen
+
+	off0 := len(dst)
+	dst = slices.Grow(dst, total)[:off0+total]
+	msg := dst[off0:]
+
+	be.PutUint16(msg[0:], version)
+	be.PutUint16(msg[2:], uint16(total))
+	be.PutUint32(msg[4:], uint32(exportTime.Unix()))
+	be.PutUint32(msg[8:], e.seq)
+	be.PutUint32(msg[12:], e.DomainID)
+
+	// Template set.
+	tpl := msg[headerLen:]
+	be.PutUint16(tpl[0:], TemplateSetID)
+	be.PutUint16(tpl[2:], uint16(tplSetLen))
+	be.PutUint16(tpl[4:], TemplateID)
+	be.PutUint16(tpl[6:], uint16(len(standardTemplate)))
+	for i, f := range standardTemplate {
+		be.PutUint16(tpl[8+4*i:], f.ID)
+		be.PutUint16(tpl[10+4*i:], f.Length)
+	}
+
+	// Data set.
+	data := msg[headerLen+tplSetLen:]
+	be.PutUint16(data[0:], TemplateID)
+	be.PutUint16(data[2:], uint16(dataSetLen))
+	for i := lo; i < hi; i++ {
+		rec := data[4+(i-lo)*rl:]
+		src, dip := b.SrcIP[i].As4(), b.DstIP[i].As4()
+		off := 0
+		copy(rec[off:], src[:])
+		off += 4
+		copy(rec[off:], dip[:])
+		off += 4
+		be.PutUint64(rec[off:], b.Bytes[i])
+		off += 8
+		be.PutUint64(rec[off:], b.Packets[i])
+		off += 8
+		be.PutUint32(rec[off:], uint32(b.StartNs[i]/int64(time.Second)))
+		off += 4
+		be.PutUint32(rec[off:], uint32(b.EndNs[i]/int64(time.Second)))
+		off += 4
+		be.PutUint16(rec[off:], b.SrcPort[i])
+		off += 2
+		be.PutUint16(rec[off:], b.DstPort[i])
+		off += 2
+		rec[off] = byte(b.Proto[i])
+		off++
+		rec[off] = b.TCPFlags[i]
+		off++
+		rec[off] = byte(b.Dir[i])
+		off++
+		be.PutUint32(rec[off:], uint32(b.InIf[i]))
+		off += 4
+		be.PutUint32(rec[off:], uint32(b.OutIf[i]))
+		off += 4
+		be.PutUint32(rec[off:], b.SrcAS[i])
+		off += 4
+		be.PutUint32(rec[off:], b.DstAS[i])
+	}
+	e.seq += uint32(n)
+	return dst, nil
+}
+
 // Encode builds one IPFIX message containing the template set and a data
-// set with the given records. Records must be IPv4.
+// set with the given records (record-slice adapter over EncodeBatch; the
+// messages are byte-identical). Records must be IPv4.
 func (e *Encoder) Encode(recs []flowrec.Record, exportTime time.Time) ([]byte, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("ipfix: no records to encode")
 	}
-	be := binary.BigEndian
-
-	// Template set.
-	tplBody := make([]byte, 4+4*len(standardTemplate))
-	be.PutUint16(tplBody[0:], TemplateID)
-	be.PutUint16(tplBody[2:], uint16(len(standardTemplate)))
-	for i, f := range standardTemplate {
-		be.PutUint16(tplBody[4+4*i:], f.ID)
-		be.PutUint16(tplBody[6+4*i:], f.Length)
+	msg, err := e.EncodeBatch(nil, flowrec.FromRecords(recs), 0, len(recs), exportTime)
+	if err != nil {
+		return nil, err
 	}
-	tplSet := make([]byte, 4+len(tplBody))
-	be.PutUint16(tplSet[0:], TemplateSetID)
-	be.PutUint16(tplSet[2:], uint16(len(tplSet)))
-	copy(tplSet[4:], tplBody)
-
-	// Data set.
-	rl := recordLen(standardTemplate)
-	dataBody := make([]byte, 0, len(recs)*rl)
-	for i, r := range recs {
-		if !r.SrcIP.Is4() || !r.DstIP.Is4() {
-			return nil, fmt.Errorf("ipfix: record %d is not IPv4", i)
-		}
-		rec := make([]byte, rl)
-		src, dst := r.SrcIP.As4(), r.DstIP.As4()
-		off := 0
-		copy(rec[off:], src[:])
-		off += 4
-		copy(rec[off:], dst[:])
-		off += 4
-		be.PutUint64(rec[off:], r.Bytes)
-		off += 8
-		be.PutUint64(rec[off:], r.Packets)
-		off += 8
-		be.PutUint32(rec[off:], uint32(r.Start.Unix()))
-		off += 4
-		be.PutUint32(rec[off:], uint32(r.End.Unix()))
-		off += 4
-		be.PutUint16(rec[off:], r.SrcPort)
-		off += 2
-		be.PutUint16(rec[off:], r.DstPort)
-		off += 2
-		rec[off] = byte(r.Proto)
-		off++
-		rec[off] = r.TCPFlags
-		off++
-		rec[off] = byte(r.Dir)
-		off++
-		be.PutUint32(rec[off:], uint32(r.InIf))
-		off += 4
-		be.PutUint32(rec[off:], uint32(r.OutIf))
-		off += 4
-		be.PutUint32(rec[off:], r.SrcAS)
-		off += 4
-		be.PutUint32(rec[off:], r.DstAS)
-		dataBody = append(dataBody, rec...)
-	}
-	dataSet := make([]byte, 4+len(dataBody))
-	be.PutUint16(dataSet[0:], TemplateID)
-	be.PutUint16(dataSet[2:], uint16(len(dataSet)))
-	copy(dataSet[4:], dataBody)
-
-	msg := make([]byte, headerLen, headerLen+len(tplSet)+len(dataSet))
-	msg = append(msg, tplSet...)
-	msg = append(msg, dataSet...)
-	be.PutUint16(msg[0:], version)
-	be.PutUint16(msg[2:], uint16(len(msg)))
-	be.PutUint32(msg[4:], uint32(exportTime.Unix()))
-	be.PutUint32(msg[8:], e.seq)
-	be.PutUint32(msg[12:], e.DomainID)
-	e.seq += uint32(len(recs))
 	return msg, nil
 }
 
@@ -172,44 +199,59 @@ func NewDecoder() *Decoder {
 
 func key(domain uint32, tpl uint16) uint64 { return uint64(domain)<<16 | uint64(tpl) }
 
-// Decode parses one IPFIX message and returns the records of all data sets
-// whose templates are known.
-func (d *Decoder) Decode(msg []byte) ([]flowrec.Record, error) {
+// DecodeBatch parses one IPFIX message, appending the records of all data
+// sets whose templates are known to dst, and returns how many rows were
+// appended. On error dst is rolled back to its original length.
+// Re-announcements of an unchanged template do not allocate, so a
+// steady-state decode loop over a reused dst performs zero allocations
+// per message.
+func (d *Decoder) DecodeBatch(dst *flowrec.Batch, msg []byte) (int, error) {
 	be := binary.BigEndian
+	before := dst.Len()
 	if len(msg) < headerLen {
-		return nil, fmt.Errorf("ipfix: message too short")
+		return 0, fmt.Errorf("ipfix: message too short")
 	}
 	if v := be.Uint16(msg[0:]); v != version {
-		return nil, fmt.Errorf("ipfix: unexpected version %d", v)
+		return 0, fmt.Errorf("ipfix: unexpected version %d", v)
 	}
 	if l := int(be.Uint16(msg[2:])); l != len(msg) {
-		return nil, fmt.Errorf("ipfix: length field %d does not match message size %d", l, len(msg))
+		return 0, fmt.Errorf("ipfix: length field %d does not match message size %d", l, len(msg))
 	}
 	domain := be.Uint32(msg[12:])
-	var out []flowrec.Record
 	off := headerLen
 	for off+4 <= len(msg) {
 		setID := be.Uint16(msg[off:])
 		setLen := int(be.Uint16(msg[off+2:]))
 		if setLen < 4 || off+setLen > len(msg) {
-			return nil, fmt.Errorf("ipfix: invalid set length %d at offset %d", setLen, off)
+			dst.Truncate(before)
+			return 0, fmt.Errorf("ipfix: invalid set length %d at offset %d", setLen, off)
 		}
 		body := msg[off+4 : off+setLen]
 		switch {
 		case setID == TemplateSetID:
 			if err := d.parseTemplates(domain, body); err != nil {
-				return nil, err
+				dst.Truncate(before)
+				return 0, err
 			}
 		case setID >= 256:
-			recs, err := d.parseData(domain, setID, body)
-			if err != nil {
-				return nil, err
+			if err := d.parseData(dst, domain, setID, body); err != nil {
+				dst.Truncate(before)
+				return 0, err
 			}
-			out = append(out, recs...)
 		}
 		off += setLen
 	}
-	return out, nil
+	return dst.Len() - before, nil
+}
+
+// Decode parses one IPFIX message and returns the records of all data sets
+// whose templates are known (record-slice adapter over DecodeBatch).
+func (d *Decoder) Decode(msg []byte) ([]flowrec.Record, error) {
+	var b flowrec.Batch
+	if _, err := d.DecodeBatch(&b, msg); err != nil {
+		return nil, err
+	}
+	return b.Records(), nil
 }
 
 func (d *Decoder) parseTemplates(domain uint32, body []byte) error {
@@ -222,30 +264,50 @@ func (d *Decoder) parseTemplates(domain uint32, body []byte) error {
 		if off+4*count > len(body) {
 			return fmt.Errorf("ipfix: truncated template %d", tplID)
 		}
-		fields := make([]field, count)
-		for i := 0; i < count; i++ {
-			fields[i] = field{
-				ID:     be.Uint16(body[off+4*i:]),
-				Length: be.Uint16(body[off+4*i+2:]),
+		k := key(domain, tplID)
+		// Exporters send the template set in every message; only allocate
+		// and store when the template actually changed.
+		if !templateUnchanged(d.templates[k], body[off:], count) {
+			fields := make([]field, count)
+			for i := 0; i < count; i++ {
+				fields[i] = field{
+					ID:     be.Uint16(body[off+4*i:]),
+					Length: be.Uint16(body[off+4*i+2:]),
+				}
 			}
+			d.templates[k] = fields
 		}
-		d.templates[key(domain, tplID)] = fields
 		off += 4 * count
 	}
 	return nil
 }
 
-func (d *Decoder) parseData(domain uint32, tplID uint16, body []byte) ([]flowrec.Record, error) {
+// templateUnchanged reports whether the cached template matches the
+// wire-format field list starting at body.
+func templateUnchanged(cached []field, body []byte, count int) bool {
+	if len(cached) != count {
+		return false
+	}
+	be := binary.BigEndian
+	for i, f := range cached {
+		if f.ID != be.Uint16(body[4*i:]) || f.Length != be.Uint16(body[4*i+2:]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Decoder) parseData(dst *flowrec.Batch, domain uint32, tplID uint16, body []byte) error {
 	tpl, ok := d.templates[key(domain, tplID)]
 	if !ok {
-		return nil, fmt.Errorf("ipfix: data set %d before its template", tplID)
+		return fmt.Errorf("ipfix: data set %d before its template", tplID)
 	}
 	rl := recordLen(tpl)
 	if rl == 0 {
-		return nil, fmt.Errorf("ipfix: template %d has zero length", tplID)
+		return fmt.Errorf("ipfix: template %d has zero length", tplID)
 	}
 	be := binary.BigEndian
-	var out []flowrec.Record
+	dst.Grow(len(body) / rl)
 	for off := 0; off+rl <= len(body); off += rl {
 		var r flowrec.Record
 		pos := off
@@ -289,9 +351,9 @@ func (d *Decoder) parseData(domain uint32, tplID uint16, body []byte) ([]flowrec
 			}
 			pos += int(f.Length)
 		}
-		out = append(out, r)
+		dst.Append(r)
 	}
-	return out, nil
+	return nil
 }
 
 func beUint(b []byte) uint64 {

@@ -4,12 +4,22 @@
 // records with byte/packet counters, ports, protocol, AS numbers and
 // interfaces — but the wire formats follow the published specifications so
 // the codecs interoperate with standard tooling.
+//
+// Both versions expose two API layers. The batch layer (EncodeV5Batch,
+// DecodeV5Batch, V9Encoder.EncodeBatch, V9Decoder.DecodeBatch) is
+// append-style: encoders append one packet to a caller-supplied byte
+// slice and decoders append rows to a caller-supplied flowrec.Batch, so a
+// steady-state export or collect loop that reuses its buffer and batch
+// performs zero allocations per record. The record layer (EncodeV5,
+// DecodeV5, V9Encoder.Encode, V9Decoder.Decode) adapts []flowrec.Record
+// through the batch layer and produces byte-identical packets.
 package netflow
 
 import (
 	"encoding/binary"
 	"fmt"
 	"net/netip"
+	"slices"
 	"time"
 
 	"lockdown/internal/flowrec"
@@ -27,6 +37,14 @@ const (
 	v5SamplingMode = 0
 )
 
+// V5Header is the export metadata of one NetFlow v5 packet.
+type V5Header struct {
+	SysUptime    time.Duration
+	ExportTime   time.Time
+	FlowSequence uint32
+	Count        int
+}
+
 // V5Packet is a decoded NetFlow v5 packet: export metadata plus records.
 type V5Packet struct {
 	SysUptime    time.Duration
@@ -35,26 +53,32 @@ type V5Packet struct {
 	Records      []flowrec.Record
 }
 
-// EncodeV5 serialises up to V5MaxRecords flow records into one NetFlow v5
-// packet. exportTime stamps the header; seq is the cumulative flow sequence
-// counter. Records must carry IPv4 addresses.
+// EncodeV5Batch appends one NetFlow v5 packet carrying rows [lo, hi) of b
+// to dst and returns the extended slice. At most V5MaxRecords rows fit in
+// one packet; rows must be IPv4. dst may be nil; a caller that reuses the
+// returned slice across packets encodes with zero allocations once the
+// buffer has grown to packet size. On error dst is returned unmodified.
 //
-// NetFlow v5 expresses flow start/end as router-uptime offsets in
+// exportTime stamps the header; seq is the cumulative flow sequence
+// counter. NetFlow v5 expresses flow start/end as router-uptime offsets in
 // milliseconds. The encoder places the export time at an uptime of one
 // hour, so flows that started up to an hour before export remain
 // representable.
-func EncodeV5(recs []flowrec.Record, exportTime time.Time, seq uint32) ([]byte, error) {
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("netflow: no records to encode")
+func EncodeV5Batch(dst []byte, b *flowrec.Batch, lo, hi int, exportTime time.Time, seq uint32) ([]byte, error) {
+	n := hi - lo
+	if n <= 0 {
+		return dst, fmt.Errorf("netflow: no records to encode")
 	}
-	if len(recs) > V5MaxRecords {
-		return nil, fmt.Errorf("netflow: %d records exceed the v5 packet limit of %d", len(recs), V5MaxRecords)
+	if n > V5MaxRecords {
+		return dst, fmt.Errorf("netflow: %d records exceed the v5 packet limit of %d", n, V5MaxRecords)
 	}
 	const uptimeAtExport = time.Hour
-	buf := make([]byte, v5HeaderLen+len(recs)*v5RecordLen)
+	off0 := len(dst)
+	dst = slices.Grow(dst, v5HeaderLen+n*v5RecordLen)[:off0+v5HeaderLen+n*v5RecordLen]
+	buf := dst[off0:]
 	be := binary.BigEndian
 	be.PutUint16(buf[0:], v5Version)
-	be.PutUint16(buf[2:], uint16(len(recs)))
+	be.PutUint16(buf[2:], uint16(n))
 	be.PutUint32(buf[4:], uint32(uptimeAtExport.Milliseconds()))
 	be.PutUint32(buf[8:], uint32(exportTime.Unix()))
 	be.PutUint32(buf[12:], uint32(exportTime.Nanosecond()))
@@ -63,21 +87,22 @@ func EncodeV5(recs []flowrec.Record, exportTime time.Time, seq uint32) ([]byte, 
 	buf[21] = v5EngineID
 	be.PutUint16(buf[22:], v5SamplingMode)
 
-	for i, r := range recs {
-		if !r.SrcIP.Is4() || !r.DstIP.Is4() {
-			return nil, fmt.Errorf("netflow: record %d is not IPv4", i)
+	exportNs := exportTime.UnixNano()
+	for i := lo; i < hi; i++ {
+		if !b.SrcIP[i].Is4() || !b.DstIP[i].Is4() {
+			return dst[:off0], fmt.Errorf("netflow: record %d is not IPv4", i-lo)
 		}
-		off := v5HeaderLen + i*v5RecordLen
-		src, dst := r.SrcIP.As4(), r.DstIP.As4()
+		off := v5HeaderLen + (i-lo)*v5RecordLen
+		src, dip := b.SrcIP[i].As4(), b.DstIP[i].As4()
 		copy(buf[off+0:], src[:])
-		copy(buf[off+4:], dst[:])
-		// next hop left as 0.0.0.0
-		be.PutUint16(buf[off+12:], r.InIf)
-		be.PutUint16(buf[off+14:], r.OutIf)
-		be.PutUint32(buf[off+16:], uint32(r.Packets))
-		be.PutUint32(buf[off+20:], uint32(r.Bytes))
-		first := uptimeAtExport - exportTime.Sub(r.Start)
-		last := uptimeAtExport - exportTime.Sub(r.End)
+		copy(buf[off+4:], dip[:])
+		be.PutUint32(buf[off+8:], 0) // next hop 0.0.0.0 (buffer may be reused)
+		be.PutUint16(buf[off+12:], b.InIf[i])
+		be.PutUint16(buf[off+14:], b.OutIf[i])
+		be.PutUint32(buf[off+16:], uint32(b.Packets[i]))
+		be.PutUint32(buf[off+20:], uint32(b.Bytes[i]))
+		first := uptimeAtExport - time.Duration(exportNs-b.StartNs[i])
+		last := uptimeAtExport - time.Duration(exportNs-b.EndNs[i])
 		if first < 0 {
 			first = 0
 		}
@@ -86,55 +111,74 @@ func EncodeV5(recs []flowrec.Record, exportTime time.Time, seq uint32) ([]byte, 
 		}
 		be.PutUint32(buf[off+24:], uint32(first.Milliseconds()))
 		be.PutUint32(buf[off+28:], uint32(last.Milliseconds()))
-		be.PutUint16(buf[off+32:], r.SrcPort)
-		be.PutUint16(buf[off+34:], r.DstPort)
+		be.PutUint16(buf[off+32:], b.SrcPort[i])
+		be.PutUint16(buf[off+34:], b.DstPort[i])
 		buf[off+36] = 0 // pad
-		buf[off+37] = r.TCPFlags
-		buf[off+38] = byte(r.Proto)
+		buf[off+37] = b.TCPFlags[i]
+		buf[off+38] = byte(b.Proto[i])
 		buf[off+39] = 0 // ToS
-		be.PutUint16(buf[off+40:], uint16(r.SrcAS))
-		be.PutUint16(buf[off+42:], uint16(r.DstAS))
-		buf[off+44] = 24 // src mask (informational)
-		buf[off+45] = 24 // dst mask
-		// 2 bytes pad
+		be.PutUint16(buf[off+40:], uint16(b.SrcAS[i]))
+		be.PutUint16(buf[off+42:], uint16(b.DstAS[i]))
+		buf[off+44] = 24              // src mask (informational)
+		buf[off+45] = 24              // dst mask
+		be.PutUint16(buf[off+46:], 0) // pad
 	}
-	return buf, nil
+	return dst, nil
 }
 
-// DecodeV5 parses a NetFlow v5 packet.
-func DecodeV5(pkt []byte) (*V5Packet, error) {
+// EncodeV5 serialises up to V5MaxRecords flow records into one NetFlow v5
+// packet (record-slice adapter over EncodeV5Batch; the packets are
+// byte-identical).
+func EncodeV5(recs []flowrec.Record, exportTime time.Time, seq uint32) ([]byte, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("netflow: no records to encode")
+	}
+	pkt, err := EncodeV5Batch(nil, flowrec.FromRecords(recs), 0, len(recs), exportTime, seq)
+	if err != nil {
+		return nil, err
+	}
+	return pkt, nil
+}
+
+// DecodeV5Batch parses a NetFlow v5 packet, appending its records to dst
+// and returning the header metadata. A caller that reuses dst across
+// packets (Reset between packets, or one growing batch) decodes with zero
+// allocations in the steady state. On error dst is left as it was.
+func DecodeV5Batch(dst *flowrec.Batch, pkt []byte) (V5Header, error) {
 	be := binary.BigEndian
 	if len(pkt) < v5HeaderLen {
-		return nil, fmt.Errorf("netflow: packet too short (%d bytes)", len(pkt))
+		return V5Header{}, fmt.Errorf("netflow: packet too short (%d bytes)", len(pkt))
 	}
 	if v := be.Uint16(pkt[0:]); v != v5Version {
-		return nil, fmt.Errorf("netflow: unexpected version %d", v)
+		return V5Header{}, fmt.Errorf("netflow: unexpected version %d", v)
 	}
 	count := int(be.Uint16(pkt[2:]))
 	if count == 0 || count > V5MaxRecords {
-		return nil, fmt.Errorf("netflow: implausible record count %d", count)
+		return V5Header{}, fmt.Errorf("netflow: implausible record count %d", count)
 	}
 	if len(pkt) < v5HeaderLen+count*v5RecordLen {
-		return nil, fmt.Errorf("netflow: truncated packet: %d bytes for %d records", len(pkt), count)
+		return V5Header{}, fmt.Errorf("netflow: truncated packet: %d bytes for %d records", len(pkt), count)
 	}
 	uptime := time.Duration(be.Uint32(pkt[4:])) * time.Millisecond
 	export := time.Unix(int64(be.Uint32(pkt[8:])), int64(be.Uint32(pkt[12:]))).UTC()
-	out := &V5Packet{
+	h := V5Header{
 		SysUptime:    uptime,
 		ExportTime:   export,
 		FlowSequence: be.Uint32(pkt[16:]),
+		Count:        count,
 	}
 	bootTime := export.Add(-uptime)
+	dst.Grow(count)
 	for i := 0; i < count; i++ {
 		off := v5HeaderLen + i*v5RecordLen
-		var src, dst [4]byte
+		var src, dip [4]byte
 		copy(src[:], pkt[off+0:off+4])
-		copy(dst[:], pkt[off+4:off+8])
+		copy(dip[:], pkt[off+4:off+8])
 		first := time.Duration(be.Uint32(pkt[off+24:])) * time.Millisecond
 		last := time.Duration(be.Uint32(pkt[off+28:])) * time.Millisecond
-		r := flowrec.Record{
+		dst.Append(flowrec.Record{
 			SrcIP:    netip.AddrFrom4(src),
-			DstIP:    netip.AddrFrom4(dst),
+			DstIP:    netip.AddrFrom4(dip),
 			InIf:     be.Uint16(pkt[off+12:]),
 			OutIf:    be.Uint16(pkt[off+14:]),
 			Packets:  uint64(be.Uint32(pkt[off+16:])),
@@ -147,8 +191,23 @@ func DecodeV5(pkt []byte) (*V5Packet, error) {
 			Proto:    flowrec.Proto(pkt[off+38]),
 			SrcAS:    uint32(be.Uint16(pkt[off+40:])),
 			DstAS:    uint32(be.Uint16(pkt[off+42:])),
-		}
-		out.Records = append(out.Records, r)
+		})
 	}
-	return out, nil
+	return h, nil
+}
+
+// DecodeV5 parses a NetFlow v5 packet (record-slice adapter over
+// DecodeV5Batch).
+func DecodeV5(pkt []byte) (*V5Packet, error) {
+	var b flowrec.Batch
+	h, err := DecodeV5Batch(&b, pkt)
+	if err != nil {
+		return nil, err
+	}
+	return &V5Packet{
+		SysUptime:    h.SysUptime,
+		ExportTime:   h.ExportTime,
+		FlowSequence: h.FlowSequence,
+		Records:      b.Records(),
+	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net/netip"
+	"slices"
 	"time"
 
 	"lockdown/internal/flowrec"
@@ -79,86 +80,108 @@ type V9Encoder struct {
 	seq      uint32
 }
 
-// Encode produces one v9 packet containing the template and the given
-// records. Records must be IPv4.
-func (e *V9Encoder) Encode(recs []flowrec.Record, exportTime time.Time) ([]byte, error) {
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("netflow: no records to encode")
+// EncodeBatch appends one v9 packet carrying the template and rows
+// [lo, hi) of b to dst and returns the extended slice. Rows must be IPv4.
+// The packet bytes are written in place: a caller that reuses the
+// returned slice across packets encodes with zero allocations once the
+// buffer has grown to packet size. On error dst is returned unmodified
+// and the sequence number is not consumed.
+func (e *V9Encoder) EncodeBatch(dst []byte, b *flowrec.Batch, lo, hi int, exportTime time.Time) ([]byte, error) {
+	n := hi - lo
+	if n <= 0 {
+		return dst, fmt.Errorf("netflow: no records to encode")
+	}
+	for i := lo; i < hi; i++ {
+		if !b.SrcIP[i].Is4() || !b.DstIP[i].Is4() {
+			return dst, fmt.Errorf("netflow: record %d is not IPv4", i-lo)
+		}
 	}
 	be := binary.BigEndian
-
-	// Template flowset.
-	tplBody := make([]byte, 4+4*len(standardTemplate))
-	be.PutUint16(tplBody[0:], V9TemplateID)
-	be.PutUint16(tplBody[2:], uint16(len(standardTemplate)))
-	for i, f := range standardTemplate {
-		be.PutUint16(tplBody[4+4*i:], f.Type)
-		be.PutUint16(tplBody[6+4*i:], f.Length)
-	}
-	tplSet := make([]byte, 4+len(tplBody))
-	be.PutUint16(tplSet[0:], v9TemplateSet)
-	be.PutUint16(tplSet[2:], uint16(len(tplSet)))
-	copy(tplSet[4:], tplBody)
-
-	// Data flowset.
+	tplSetLen := 4 + 4 + 4*len(standardTemplate)
 	recLen := templateRecordLen(standardTemplate)
-	dataBody := make([]byte, 0, len(recs)*recLen)
-	for i, r := range recs {
-		if !r.SrcIP.Is4() || !r.DstIP.Is4() {
-			return nil, fmt.Errorf("netflow: record %d is not IPv4", i)
-		}
-		rec := make([]byte, recLen)
-		src, dst := r.SrcIP.As4(), r.DstIP.As4()
-		off := 0
-		copy(rec[off:], src[:])
-		off += 4
-		copy(rec[off:], dst[:])
-		off += 4
-		be.PutUint64(rec[off:], r.Bytes)
-		off += 8
-		be.PutUint64(rec[off:], r.Packets)
-		off += 8
-		be.PutUint32(rec[off:], uint32(r.Start.Unix()))
-		off += 4
-		be.PutUint32(rec[off:], uint32(r.End.Unix()))
-		off += 4
-		be.PutUint16(rec[off:], r.SrcPort)
-		off += 2
-		be.PutUint16(rec[off:], r.DstPort)
-		off += 2
-		rec[off] = byte(r.Proto)
-		off++
-		rec[off] = r.TCPFlags
-		off++
-		rec[off] = byte(r.Dir)
-		off++
-		be.PutUint16(rec[off:], r.InIf)
-		off += 2
-		be.PutUint16(rec[off:], r.OutIf)
-		off += 2
-		be.PutUint32(rec[off:], r.SrcAS)
-		off += 4
-		be.PutUint32(rec[off:], r.DstAS)
-		dataBody = append(dataBody, rec...)
-	}
-	// Pad the data set to a 4-byte boundary.
-	pad := (4 - (4+len(dataBody))%4) % 4
-	dataSet := make([]byte, 4+len(dataBody)+pad)
-	be.PutUint16(dataSet[0:], V9TemplateID)
-	be.PutUint16(dataSet[2:], uint16(len(dataSet)))
-	copy(dataSet[4:], dataBody)
+	pad := (4 - (4+n*recLen)%4) % 4
+	dataSetLen := 4 + n*recLen + pad
+	total := v9HeaderLen + tplSetLen + dataSetLen
+
+	off0 := len(dst)
+	dst = slices.Grow(dst, total)[:off0+total]
+	pkt := dst[off0:]
 
 	// Header: count is the number of records (template + data records).
-	pkt := make([]byte, v9HeaderLen, v9HeaderLen+len(tplSet)+len(dataSet))
 	be.PutUint16(pkt[0:], v9Version)
-	be.PutUint16(pkt[2:], uint16(1+len(recs)))
+	be.PutUint16(pkt[2:], uint16(1+n))
 	be.PutUint32(pkt[4:], uint32(time.Hour.Milliseconds()))
 	be.PutUint32(pkt[8:], uint32(exportTime.Unix()))
 	be.PutUint32(pkt[12:], e.seq)
 	be.PutUint32(pkt[16:], e.SourceID)
+
+	// Template flowset.
+	tpl := pkt[v9HeaderLen:]
+	be.PutUint16(tpl[0:], v9TemplateSet)
+	be.PutUint16(tpl[2:], uint16(tplSetLen))
+	be.PutUint16(tpl[4:], V9TemplateID)
+	be.PutUint16(tpl[6:], uint16(len(standardTemplate)))
+	for i, f := range standardTemplate {
+		be.PutUint16(tpl[8+4*i:], f.Type)
+		be.PutUint16(tpl[10+4*i:], f.Length)
+	}
+
+	// Data flowset.
+	data := pkt[v9HeaderLen+tplSetLen:]
+	be.PutUint16(data[0:], V9TemplateID)
+	be.PutUint16(data[2:], uint16(dataSetLen))
+	for i := lo; i < hi; i++ {
+		rec := data[4+(i-lo)*recLen:]
+		src, dip := b.SrcIP[i].As4(), b.DstIP[i].As4()
+		off := 0
+		copy(rec[off:], src[:])
+		off += 4
+		copy(rec[off:], dip[:])
+		off += 4
+		be.PutUint64(rec[off:], b.Bytes[i])
+		off += 8
+		be.PutUint64(rec[off:], b.Packets[i])
+		off += 8
+		be.PutUint32(rec[off:], uint32(b.StartNs[i]/int64(time.Second)))
+		off += 4
+		be.PutUint32(rec[off:], uint32(b.EndNs[i]/int64(time.Second)))
+		off += 4
+		be.PutUint16(rec[off:], b.SrcPort[i])
+		off += 2
+		be.PutUint16(rec[off:], b.DstPort[i])
+		off += 2
+		rec[off] = byte(b.Proto[i])
+		off++
+		rec[off] = b.TCPFlags[i]
+		off++
+		rec[off] = byte(b.Dir[i])
+		off++
+		be.PutUint16(rec[off:], b.InIf[i])
+		off += 2
+		be.PutUint16(rec[off:], b.OutIf[i])
+		off += 2
+		be.PutUint32(rec[off:], b.SrcAS[i])
+		off += 4
+		be.PutUint32(rec[off:], b.DstAS[i])
+	}
+	for i := 0; i < pad; i++ {
+		data[4+n*recLen+i] = 0 // pad to a 4-byte boundary (buffer may be reused)
+	}
 	e.seq++
-	pkt = append(pkt, tplSet...)
-	pkt = append(pkt, dataSet...)
+	return dst, nil
+}
+
+// Encode produces one v9 packet containing the template and the given
+// records (record-slice adapter over EncodeBatch; the packets are
+// byte-identical). Records must be IPv4.
+func (e *V9Encoder) Encode(recs []flowrec.Record, exportTime time.Time) ([]byte, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("netflow: no records to encode")
+	}
+	pkt, err := e.EncodeBatch(nil, flowrec.FromRecords(recs), 0, len(recs), exportTime)
+	if err != nil {
+		return nil, err
+	}
 	return pkt, nil
 }
 
@@ -177,44 +200,60 @@ func tplKey(sourceID uint32, tplID uint16) uint64 {
 	return uint64(sourceID)<<16 | uint64(tplID)
 }
 
-// Decode parses one packet and returns the flow records of all data
-// flowsets whose templates are known. Unknown templates cause an error
-// (the exporter in this package always sends the template first).
-func (d *V9Decoder) Decode(pkt []byte) ([]flowrec.Record, error) {
+// DecodeBatch parses one packet, appending the flow records of all data
+// flowsets whose templates are known to dst, and returns how many rows
+// were appended. Unknown templates cause an error (the exporter in this
+// package always sends the template first); on error dst is rolled back
+// to its original length. Re-announcements of an unchanged template do
+// not allocate, so a steady-state decode loop over a reused dst performs
+// zero allocations per packet.
+func (d *V9Decoder) DecodeBatch(dst *flowrec.Batch, pkt []byte) (int, error) {
 	be := binary.BigEndian
+	before := dst.Len()
 	if len(pkt) < v9HeaderLen {
-		return nil, fmt.Errorf("netflow: v9 packet too short")
+		return 0, fmt.Errorf("netflow: v9 packet too short")
 	}
 	if v := be.Uint16(pkt[0:]); v != v9Version {
-		return nil, fmt.Errorf("netflow: unexpected version %d", v)
+		return 0, fmt.Errorf("netflow: unexpected version %d", v)
 	}
 	sourceID := be.Uint32(pkt[16:])
-	var out []flowrec.Record
 	off := v9HeaderLen
 	for off+4 <= len(pkt) {
 		setID := be.Uint16(pkt[off:])
 		setLen := int(be.Uint16(pkt[off+2:]))
 		if setLen < 4 || off+setLen > len(pkt) {
-			return nil, fmt.Errorf("netflow: invalid flowset length %d at offset %d", setLen, off)
+			dst.Truncate(before)
+			return 0, fmt.Errorf("netflow: invalid flowset length %d at offset %d", setLen, off)
 		}
 		body := pkt[off+4 : off+setLen]
 		switch {
 		case setID == v9TemplateSet:
 			if err := d.parseTemplates(sourceID, body); err != nil {
-				return nil, err
+				dst.Truncate(before)
+				return 0, err
 			}
 		case setID >= 256:
-			recs, err := d.parseData(sourceID, setID, body)
-			if err != nil {
-				return nil, err
+			if err := d.parseData(dst, sourceID, setID, body); err != nil {
+				dst.Truncate(before)
+				return 0, err
 			}
-			out = append(out, recs...)
 		default:
 			// Options templates (set 1) and other reserved sets are skipped.
 		}
 		off += setLen
 	}
-	return out, nil
+	return dst.Len() - before, nil
+}
+
+// Decode parses one packet and returns the flow records of all data
+// flowsets whose templates are known (record-slice adapter over
+// DecodeBatch).
+func (d *V9Decoder) Decode(pkt []byte) ([]flowrec.Record, error) {
+	var b flowrec.Batch
+	if _, err := d.DecodeBatch(&b, pkt); err != nil {
+		return nil, err
+	}
+	return b.Records(), nil
 }
 
 func (d *V9Decoder) parseTemplates(sourceID uint32, body []byte) error {
@@ -227,30 +266,50 @@ func (d *V9Decoder) parseTemplates(sourceID uint32, body []byte) error {
 		if off+4*fieldCount > len(body) {
 			return fmt.Errorf("netflow: truncated template %d", tplID)
 		}
-		fields := make([]v9Field, fieldCount)
-		for i := 0; i < fieldCount; i++ {
-			fields[i] = v9Field{
-				Type:   be.Uint16(body[off+4*i:]),
-				Length: be.Uint16(body[off+4*i+2:]),
+		key := tplKey(sourceID, tplID)
+		// Exporters re-announce templates in every packet; only allocate
+		// and store when the template actually changed.
+		if !v9TemplateUnchanged(d.templates[key], body[off:], fieldCount) {
+			fields := make([]v9Field, fieldCount)
+			for i := 0; i < fieldCount; i++ {
+				fields[i] = v9Field{
+					Type:   be.Uint16(body[off+4*i:]),
+					Length: be.Uint16(body[off+4*i+2:]),
+				}
 			}
+			d.templates[key] = fields
 		}
-		d.templates[tplKey(sourceID, tplID)] = fields
 		off += 4 * fieldCount
 	}
 	return nil
 }
 
-func (d *V9Decoder) parseData(sourceID uint32, tplID uint16, body []byte) ([]flowrec.Record, error) {
+// v9TemplateUnchanged reports whether the cached template matches the
+// wire-format field list starting at body.
+func v9TemplateUnchanged(cached []v9Field, body []byte, fieldCount int) bool {
+	if len(cached) != fieldCount {
+		return false
+	}
+	be := binary.BigEndian
+	for i, f := range cached {
+		if f.Type != be.Uint16(body[4*i:]) || f.Length != be.Uint16(body[4*i+2:]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *V9Decoder) parseData(dst *flowrec.Batch, sourceID uint32, tplID uint16, body []byte) error {
 	tpl, ok := d.templates[tplKey(sourceID, tplID)]
 	if !ok {
-		return nil, fmt.Errorf("netflow: data flowset %d before its template", tplID)
+		return fmt.Errorf("netflow: data flowset %d before its template", tplID)
 	}
 	recLen := templateRecordLen(tpl)
 	if recLen == 0 {
-		return nil, fmt.Errorf("netflow: template %d has zero length", tplID)
+		return fmt.Errorf("netflow: template %d has zero length", tplID)
 	}
 	be := binary.BigEndian
-	var out []flowrec.Record
+	dst.Grow(len(body) / recLen)
 	for off := 0; off+recLen <= len(body); off += recLen {
 		var r flowrec.Record
 		pos := off
@@ -294,9 +353,9 @@ func (d *V9Decoder) parseData(sourceID uint32, tplID uint16, body []byte) ([]flo
 			}
 			pos += int(f.Length)
 		}
-		out = append(out, r)
+		dst.Append(r)
 	}
-	return out, nil
+	return nil
 }
 
 // beUint reads a big-endian unsigned integer of 1-8 bytes.

@@ -68,12 +68,14 @@ func (g *Generator) flowCount(c Component, t time.Time) int {
 	return n
 }
 
-// pickWeighted picks an index from Zipf weights using the RNG.
-func pickWeighted(rng *rand.Rand, n int) int {
-	if n <= 1 {
+// pickWeighted picks an index from precomputed Zipf weights using the
+// RNG. The RNG consumption contract matters for determinism: exactly one
+// Float64 is drawn when len(w) > 1 and none otherwise, matching the
+// historic per-flow sampler.
+func pickWeighted(rng *rand.Rand, w []float64) int {
+	if len(w) <= 1 {
 		return 0
 	}
-	w := zipfWeights(n)
 	r := rng.Float64()
 	var acc float64
 	for i, wi := range w {
@@ -82,39 +84,94 @@ func pickWeighted(rng *rand.Rand, n int) int {
 			return i
 		}
 	}
-	return n - 1
+	return len(w) - 1
 }
 
-// FlowsForHour samples synthetic flow records for the hour starting at t.
-// The records' byte counters sum (approximately) to the hour's modelled
-// volume; their count follows the components' connection responses; their
-// endpoint addresses are minted from the components' AS prefixes with a
-// pool that widens as usage grows (so unique-IP counts rise during the
-// lockdown, as in Figure 8).
-func (g *Generator) FlowsForHour(t time.Time) []flowrec.Record {
-	t = t.UTC().Truncate(time.Hour)
-	var out []flowrec.Record
-	for _, c := range g.cfg.Components {
-		out = append(out, g.componentFlows(c, t)...)
+// zipfFor returns the cached weight vector for an endpoint fan of n.
+func (g *Generator) zipfFor(n int) []float64 {
+	if n < len(g.zipf) {
+		return g.zipf[n]
 	}
-	return out
+	return zipfWeights(n) // config mutated after New; fall back to computing
 }
 
-// ComponentFlowsForHour samples flow records for a single named component.
-func (g *Generator) ComponentFlowsForHour(name string, t time.Time) []flowrec.Record {
+// FlowsForHourBatch samples synthetic flows for the hour starting at t
+// into one columnar batch sized from the components' flow counts, so a
+// component-hour costs one bulk allocation per column instead of one
+// record struct per flow. The records' byte counters sum (approximately)
+// to the hour's modelled volume; their count follows the components'
+// connection responses; their endpoint addresses are minted from the
+// components' AS prefixes with a pool that widens as usage grows (so
+// unique-IP counts rise during the lockdown, as in Figure 8).
+func (g *Generator) FlowsForHourBatch(t time.Time) *flowrec.Batch {
+	t = t.UTC().Truncate(time.Hour)
+	b := flowrec.NewBatch(0)
+	g.flowsForHourInto(b, t, make([]float64, len(g.cfg.Components)))
+	return b
+}
+
+// flowsForHourInto appends one hour's flows of every component to b. The
+// hour's volumes are evaluated once into the vols scratch slice (len ==
+// number of components) and the batch is grown by the hour's exact flow
+// count before any row is appended — one bulk (re)allocation per column
+// per component-hour, none when the caller pre-sized or reuses b.
+func (g *Generator) flowsForHourInto(b *flowrec.Batch, t time.Time, vols []float64) {
+	comps := g.cfg.Components
+	n := 0
+	for i, c := range comps {
+		vols[i] = c.VolumeAt(t, g.cfg.Seed)
+		if vols[i] > 0 {
+			n += g.flowCount(c, t)
+		}
+	}
+	b.Grow(n)
+	for i, c := range comps {
+		g.componentFlowsInto(b, c, t, vols[i])
+	}
+}
+
+// FlowsForHour samples synthetic flow records for the hour starting at t
+// as a record slice. It is a thin adapter over FlowsForHourBatch: the
+// batch is generated with exact capacity and materialised with one exact
+// allocation. Batch consumers should use FlowsForHourBatch directly.
+func (g *Generator) FlowsForHour(t time.Time) []flowrec.Record {
+	return g.FlowsForHourBatch(t).Records()
+}
+
+// ComponentFlowsForHourBatch samples one named component's flows for the
+// hour starting at t into a columnar batch sized from its flow count.
+func (g *Generator) ComponentFlowsForHourBatch(name string, t time.Time) *flowrec.Batch {
 	t = t.UTC().Truncate(time.Hour)
 	for _, c := range g.cfg.Components {
 		if c.Name == name {
-			return g.componentFlows(c, t)
+			vol := c.VolumeAt(t, g.cfg.Seed)
+			n := 0
+			if vol > 0 {
+				n = g.flowCount(c, t)
+			}
+			b := flowrec.NewBatch(n)
+			g.componentFlowsInto(b, c, t, vol)
+			return b
 		}
 	}
-	return nil
+	return flowrec.NewBatch(0)
 }
 
-func (g *Generator) componentFlows(c Component, t time.Time) []flowrec.Record {
-	vol := c.VolumeAt(t, g.cfg.Seed)
+// ComponentFlowsForHour samples flow records for a single named component,
+// preallocated from the component's flow count (adapter over
+// ComponentFlowsForHourBatch).
+func (g *Generator) ComponentFlowsForHour(name string, t time.Time) []flowrec.Record {
+	return g.ComponentFlowsForHourBatch(name, t).Records()
+}
+
+// componentFlowsInto appends component c's flows for the hour starting at
+// t (already truncated) to b; vol is the component's precomputed modelled
+// volume for that hour. The RNG draw order is the contract here: it is a
+// pure function of (seed, component, hour), so batches, record slices and
+// the dataset cache all observe identical flows.
+func (g *Generator) componentFlowsInto(b *flowrec.Batch, c Component, t time.Time, vol float64) {
 	if vol <= 0 {
-		return nil
+		return
 	}
 	n := g.flowCount(c, t)
 	rng := rand.New(rand.NewSource(hourSeed(g.cfg.Seed, c.Name, t)))
@@ -133,10 +190,10 @@ func (g *Generator) componentFlows(c Component, t time.Time) []flowrec.Record {
 		scaledPool = 1
 	}
 
-	recs := make([]flowrec.Record, 0, n)
+	srcW, dstW := g.zipfFor(len(c.SrcASNs)), g.zipfFor(len(c.DstASNs))
 	for i := 0; i < n; i++ {
-		srcASN := c.SrcASNs[pickWeighted(rng, len(c.SrcASNs))]
-		dstASN := c.DstASNs[pickWeighted(rng, len(c.DstASNs))]
+		srcASN := c.SrcASNs[pickWeighted(rng, srcW)]
+		dstASN := c.DstASNs[pickWeighted(rng, dstW)]
 
 		srcIP := g.addrFor(srcASN, uint32(rng.Intn(scaledPool)))
 		dstIP := g.addrFor(dstASN, uint32(rng.Intn(scaledPool)))
@@ -196,19 +253,27 @@ func (g *Generator) componentFlows(c Component, t time.Time) []flowrec.Record {
 		if pp.Proto == flowrec.ProtoTCP {
 			rec.TCPFlags = 0x1b
 		}
-		recs = append(recs, rec)
+		b.Append(rec)
 	}
-	return recs
 }
 
-// FlowsBetween samples flows for every hour in [from, to). It is a
-// convenience wrapper used by the flow-level experiments.
-func (g *Generator) FlowsBetween(from, to time.Time) []flowrec.Record {
-	var out []flowrec.Record
-	for t := from.UTC().Truncate(time.Hour); t.Before(to); t = t.Add(time.Hour) {
-		out = append(out, g.FlowsForHour(t)...)
+// FlowsBetweenBatch samples flows for every hour in [from, to) into one
+// batch. Each hour is generated with an exact pre-grow; across hours the
+// columns grow amortised.
+func (g *Generator) FlowsBetweenBatch(from, to time.Time) *flowrec.Batch {
+	from = from.UTC().Truncate(time.Hour)
+	b := flowrec.NewBatch(0)
+	vols := make([]float64, len(g.cfg.Components))
+	for t := from; t.Before(to); t = t.Add(time.Hour) {
+		g.flowsForHourInto(b, t, vols)
 	}
-	return out
+	return b
+}
+
+// FlowsBetween samples flows for every hour in [from, to) as a record
+// slice (adapter over FlowsBetweenBatch, one exact allocation).
+func (g *Generator) FlowsBetween(from, to time.Time) []flowrec.Record {
+	return g.FlowsBetweenBatch(from, to).Records()
 }
 
 func (g *Generator) addrFor(asn uint32, n uint32) netip.Addr {

@@ -18,6 +18,10 @@ type Generator struct {
 	// vpnGateways are the addresses the vpn-tls components should pin
 	// their enterprise-side endpoints to (see Config and Section 6).
 	vpnGateways []netip.Addr
+	// zipf[n] caches zipfWeights(n) for every endpoint-fan size the
+	// components use, so the flow sampler picks AS endpoints without
+	// recomputing (and reallocating) the weight vector per flow.
+	zipf [][]float64
 }
 
 // New validates cfg and returns a Generator. Missing optional fields are
@@ -53,7 +57,20 @@ func New(cfg Config) (*Generator, error) {
 			}
 		}
 	}
-	return &Generator{cfg: cfg, reg: cfg.Registry}, nil
+	maxFan := 0
+	for _, c := range cfg.Components {
+		if len(c.SrcASNs) > maxFan {
+			maxFan = len(c.SrcASNs)
+		}
+		if len(c.DstASNs) > maxFan {
+			maxFan = len(c.DstASNs)
+		}
+	}
+	zipf := make([][]float64, maxFan+1)
+	for n := 1; n <= maxFan; n++ {
+		zipf[n] = zipfWeights(n)
+	}
+	return &Generator{cfg: cfg, reg: cfg.Registry, zipf: zipf}, nil
 }
 
 // NewDefault builds a generator for the built-in model of the vantage

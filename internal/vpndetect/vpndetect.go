@@ -67,21 +67,32 @@ func NewFromCorpus(c *dnsdb.Corpus) *Detector {
 // detector.
 func (d *Detector) Candidates() int { return len(d.candidates) }
 
+// classify is the shared core of the record and batch paths: the two
+// methods need only the service-side port and the endpoint addresses.
+func (d *Detector) classify(sp flowrec.PortProto, src, dst netip.Addr) Method {
+	if d.vpnPorts[sp] {
+		return ByPort
+	}
+	if sp.Proto == flowrec.ProtoTCP && sp.Port == 443 && d.candidates != nil {
+		if d.candidates[src] || d.candidates[dst] {
+			return ByDomain
+		}
+	}
+	return NotVPN
+}
+
 // Classify returns how (if at all) the record is identified as VPN
 // traffic. Port-based identification takes precedence; the domain-based
 // method only considers HTTPS (TCP/443) flows, mirroring the paper's
 // conservative approach.
 func (d *Detector) Classify(r flowrec.Record) Method {
-	if d.vpnPorts[r.ServerPort()] {
-		return ByPort
-	}
-	sp := r.ServerPort()
-	if sp.Proto == flowrec.ProtoTCP && sp.Port == 443 && d.candidates != nil {
-		if d.candidates[r.SrcIP] || d.candidates[r.DstIP] {
-			return ByDomain
-		}
-	}
-	return NotVPN
+	return d.classify(r.ServerPort(), r.SrcIP, r.DstIP)
+}
+
+// ClassifyAt classifies batch row i, reading only the port and address
+// columns.
+func (d *Detector) ClassifyAt(b *flowrec.Batch, i int) Method {
+	return d.classify(b.ServerPortAt(i), b.SrcIP[i], b.DstIP[i])
 }
 
 // Split sums the byte volume of the records per detection method.
@@ -89,6 +100,17 @@ func (d *Detector) Split(recs []flowrec.Record) map[Method]float64 {
 	out := map[Method]float64{NotVPN: 0, ByPort: 0, ByDomain: 0}
 	for _, r := range recs {
 		out[d.Classify(r)] += float64(r.Bytes)
+	}
+	return out
+}
+
+// SplitBatch is Split over a columnar batch, scanning the port, address
+// and byte columns without materialising records. Accumulation order is
+// row order, so the sums are bit-identical to the record path.
+func (d *Detector) SplitBatch(b *flowrec.Batch) map[Method]float64 {
+	out := map[Method]float64{NotVPN: 0, ByPort: 0, ByDomain: 0}
+	for i := 0; i < b.Len(); i++ {
+		out[d.ClassifyAt(b, i)] += float64(b.Bytes[i])
 	}
 	return out
 }
