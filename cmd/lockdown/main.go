@@ -7,16 +7,26 @@
 //	lockdown run <id> [flags]     run one experiment (e.g. fig1, tab1, fig11a)
 //	lockdown all [flags]          run every experiment on the parallel engine
 //	lockdown doc [flags]          emit the generated EXPERIMENTS.md to stdout
+//	lockdown replay [flags]       run every experiment over live wire export
 //
-// Flags for run/all/doc:
+// Flags for run/all/doc/replay:
 //
-//	-csv          emit CSV instead of aligned text tables (run/all)
-//	-json         emit JSON instead of text tables (run/all)
+//	-csv          emit CSV instead of aligned text tables (run/all/replay)
+//	-json         emit JSON instead of text tables (run/all/replay)
 //	-scale f      flow sampling density for flow-level experiments (default 0.5)
 //	-seed n       generator seed override
-//	-parallel n   worker count for all/doc (default GOMAXPROCS)
+//	-parallel n   worker count for all/doc/replay (default GOMAXPROCS)
 //	-cpuprofile f write a pprof CPU profile of the command to f
 //	-memprofile f write a pprof heap profile (after the run) to f
+//	-format f     replay wire format: v5, v9 or ipfix (default ipfix)
+//	-addr a       replay bridge UDP listen address (default 127.0.0.1:0)
+//
+// `replay` runs the same suite as `all`, but every flow batch travels a
+// real UDP wire first: a pump exports the synthetic component-hours as
+// NetFlow v5/v9 or IPFIX packets and the bridge decodes, demuxes and
+// verifies them bit-for-bit before the engine consumes them (see
+// internal/replay). The results are byte-identical to `all`; the wire
+// and loss accounting is printed to stderr.
 //
 // `all` prints a bench-style timing summary and the dataset-cache stats to
 // stderr after the results. The profile flags exist so performance work on
@@ -35,7 +45,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"lockdown/internal/collector"
 	"lockdown/internal/core"
+	"lockdown/internal/replay"
 	"lockdown/internal/report"
 )
 
@@ -45,6 +57,7 @@ func usage() {
   lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n] [-cpuprofile f] [-memprofile f]
   lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
   lockdown doc [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
+  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
 
 experiments:
 `)
@@ -77,15 +90,17 @@ func run(ctx context.Context, args []string) error {
 			fmt.Printf("%-18s %-22s %s\n", e.ID, e.Artifact, e.Title)
 		}
 		return nil
-	case "run", "all", "doc":
+	case "run", "all", "doc", "replay":
 		fs := flag.NewFlagSet(args[0], flag.ContinueOnError)
 		csvOut := fs.Bool("csv", false, "emit CSV instead of text tables")
 		jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
 		scale := fs.Float64("scale", 0.5, "flow sampling density for flow-level experiments")
 		seed := fs.Int64("seed", 0, "generator seed override (0 = default)")
-		parallel := fs.Int("parallel", 0, "worker count for all/doc (0 = GOMAXPROCS)")
+		parallel := fs.Int("parallel", 0, "worker count for all/doc/replay (0 = GOMAXPROCS)")
 		cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+		formatName := fs.String("format", "ipfix", "replay wire format: v5, v9 or ipfix")
+		addr := fs.String("addr", "127.0.0.1:0", "replay bridge UDP listen address")
 
 		rest := args[1:]
 		var id string
@@ -108,11 +123,16 @@ func run(ctx context.Context, args []string) error {
 		switch args[0] {
 		case "run":
 			if *parallel != 0 {
-				return fmt.Errorf("-parallel only applies to all/doc")
+				return fmt.Errorf("-parallel only applies to all/doc/replay")
 			}
 		case "doc":
 			if *csvOut || *jsonOut {
-				return fmt.Errorf("doc always emits markdown; -csv/-json only apply to run/all")
+				return fmt.Errorf("doc always emits markdown; -csv/-json only apply to run/all/replay")
+			}
+		}
+		if args[0] != "replay" {
+			if *formatName != "ipfix" || *addr != "127.0.0.1:0" {
+				return fmt.Errorf("-format/-addr only apply to replay")
 			}
 		}
 		if *cpuProfile != "" {
@@ -140,7 +160,12 @@ func run(ctx context.Context, args []string) error {
 				}
 			}()
 		}
-		engine := core.NewEngine(core.Options{FlowScale: *scale, Seed: *seed})
+		opts := core.Options{FlowScale: *scale, Seed: *seed}
+
+		if args[0] == "replay" {
+			return runReplay(ctx, opts, *formatName, *addr, *parallel, *csvOut, *jsonOut)
+		}
+		engine := core.NewEngine(opts)
 
 		switch args[0] {
 		case "run":
@@ -154,24 +179,7 @@ func run(ctx context.Context, args []string) error {
 			if err != nil {
 				return err
 			}
-			if *jsonOut {
-				if err := report.WriteJSONAll(os.Stdout, results); err != nil {
-					return err
-				}
-			} else {
-				for _, res := range results {
-					if err := emit(res, *csvOut, false); err != nil {
-						return err
-					}
-				}
-			}
-			if err := report.WriteTimings(os.Stderr, results); err != nil {
-				return err
-			}
-			stats := engine.Data().Stats()
-			fmt.Fprintf(os.Stderr, "\ndataset cache: %d entries, %d hits, %d misses\n",
-				stats.Entries, stats.Hits, stats.Misses)
-			return nil
+			return emitSuite(results, engine.Data(), *csvOut, *jsonOut)
 		default: // doc
 			results, err := engine.RunAll(ctx, *parallel)
 			if err != nil {
@@ -186,6 +194,78 @@ func run(ctx context.Context, args []string) error {
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// runReplay executes the full experiment suite over a live loopback wire
+// pair: a replay.Pump exports every requested component-hour as real
+// NetFlow/IPFIX packets, and a replay.Bridge feeds the decoded,
+// bit-for-bit verified batches into the engine as its FlowSource. The
+// emitted results are byte-identical to `lockdown all` at the same
+// options; the wire and loss accounting goes to stderr.
+func runReplay(ctx context.Context, opts core.Options, formatName, addr string, parallel int, asCSV, asJSON bool) error {
+	format, err := collector.ParseFormat(formatName)
+	if err != nil {
+		return err
+	}
+	br, err := replay.NewBridge(replay.Config{Format: format, ListenAddr: addr, Options: opts})
+	if err != nil {
+		return err
+	}
+	defer br.Close()
+	pump, err := replay.NewPump(format, br.DataAddr(), "127.0.0.1:0", opts)
+	if err != nil {
+		return err
+	}
+	defer pump.Close()
+	if err := br.ConnectPump(pump.CtrlAddr()); err != nil {
+		return err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go pump.Run(runCtx)
+	br.Start(runCtx)
+	fmt.Fprintf(os.Stderr, "replay: %v bridge on %s, pump control on %s\n",
+		format, br.DataAddr(), pump.CtrlAddr())
+
+	engine := core.NewEngineWithSource(opts, br)
+	results, err := engine.RunAll(runCtx, parallel)
+	if err != nil {
+		return err
+	}
+	if err := emitSuite(results, engine.Data(), asCSV, asJSON); err != nil {
+		return err
+	}
+	bs, ps := br.Stats(), pump.Stats()
+	fmt.Fprintf(os.Stderr, "wire bridge: %d buckets, %d rows verified, %d retries, %d rows lost, %d orphan rows, %d decode errors\n",
+		bs.Keys, bs.Rows, bs.Retries, bs.LostRows, bs.OrphanRows, bs.DecodeErrors)
+	fmt.Fprintf(os.Stderr, "wire pump: %d requests, %d rows exported, %d nacks\n",
+		ps.Requests, ps.RowsSent, ps.Nacks)
+	return nil
+}
+
+// emitSuite writes a full-suite run the way `all` and `replay` share it:
+// the results to stdout (text, CSV or JSON), then the timing summary and
+// dataset-cache stats to stderr — keeping the two commands' output
+// byte-identical by construction.
+func emitSuite(results []*core.Result, data *core.Dataset, asCSV, asJSON bool) error {
+	if asJSON {
+		if err := report.WriteJSONAll(os.Stdout, results); err != nil {
+			return err
+		}
+	} else {
+		for _, res := range results {
+			if err := emit(res, asCSV, false); err != nil {
+				return err
+			}
+		}
+	}
+	if err := report.WriteTimings(os.Stderr, results); err != nil {
+		return err
+	}
+	stats := data.Stats()
+	fmt.Fprintf(os.Stderr, "\ndataset cache: %d entries, %d hits, %d misses\n",
+		stats.Entries, stats.Hits, stats.Misses)
+	return nil
 }
 
 func emit(res *core.Result, asCSV, asJSON bool) error {

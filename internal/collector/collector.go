@@ -12,6 +12,11 @@
 // delivers individual records on Records() for legacy consumers; it
 // decodes into one reused scratch batch, so only the channel sends
 // remain per-record work.
+//
+// Datagrams prefixed with ControlMagic are not flow export: they are
+// delivered verbatim on Control(), giving in-band protocols (the
+// wire-replay harness in package replay) a control plane that stays
+// ordered with the data packets of the same sender socket.
 package collector
 
 import (
@@ -19,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,6 +57,30 @@ func (f Format) String() string {
 	}
 }
 
+// ParseFormat maps the common spellings of the wire formats ("v5",
+// "netflow-v5", "nf5"; "v9", "netflow-v9"; "ipfix") to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "v5", "nf5", "netflow-v5", "netflow5":
+		return FormatNetflowV5, nil
+	case "v9", "nf9", "netflow-v9", "netflow9":
+		return FormatNetflowV9, nil
+	case "ipfix", "v10", "netflow-v10":
+		return FormatIPFIX, nil
+	default:
+		return 0, fmt.Errorf("collector: unknown format %q (want v5, v9 or ipfix)", s)
+	}
+}
+
+// ControlMagic is the 4-byte prefix of replay control datagrams. Packets
+// starting with it are not flow export: the collector delivers them
+// verbatim on Control() instead of decoding them, which gives the
+// wire-replay protocol (package replay) an in-band control plane that
+// stays FIFO-ordered with the data packets of the same sender socket. No
+// NetFlow/IPFIX packet can collide with it: their first two bytes are the
+// version field (5, 9 or 10).
+const ControlMagic = "LKRW"
+
 // maxDatagram is the read buffer size; all supported formats fit well
 // within a standard UDP datagram.
 const maxDatagram = 9000
@@ -68,6 +98,7 @@ type Collector struct {
 	batchMode bool
 	out       chan flowrec.Record
 	batches   chan *flowrec.Batch
+	ctrl      chan []byte
 	errs      chan error
 
 	v9  *netflow.V9Decoder
@@ -105,6 +136,7 @@ func newCollector(format Format, addr string, batchMode bool) (*Collector, error
 		format:    format,
 		conn:      conn,
 		batchMode: batchMode,
+		ctrl:      make(chan []byte, 16),
 		errs:      make(chan error, 16),
 		v9:        netflow.NewV9Decoder(),
 		ipf:       ipfix.NewDecoder(),
@@ -130,18 +162,36 @@ func (c *Collector) Records() <-chan flowrec.Record { return c.out }
 // Return consumed batches with flowrec.PutBatch.
 func (c *Collector) Batches() <-chan *flowrec.Batch { return c.batches }
 
+// Control returns the channel replay control datagrams (packets prefixed
+// with ControlMagic) are delivered on, each as its own copied slice.
+// Frames are dropped if the channel is full — the collector never blocks
+// on them, so an unconsumed control channel cannot stall flow delivery.
+// The channel is closed when the collector stops. Consuming it is only
+// necessary when a peer actually sends control packets (the wire-replay
+// pump does); plain flow export never produces any.
+func (c *Collector) Control() <-chan []byte { return c.ctrl }
+
 // Errors returns the channel decode errors are reported on. Errors are
 // dropped if the channel is full; the collector never blocks on them.
+// The channel is closed when the collector stops.
 func (c *Collector) Errors() <-chan error { return c.errs }
 
-// Run receives packets until ctx is cancelled or Close is called. It always
-// closes the delivery channel before returning.
+// SetReadBuffer sets the kernel receive buffer of the collector socket.
+// Replay bridges raise it so request/response bursts survive consumer
+// scheduling hiccups without datagram loss.
+func (c *Collector) SetReadBuffer(bytes int) error { return c.conn.SetReadBuffer(bytes) }
+
+// Run receives packets until ctx is cancelled or Close is called. It
+// always closes the delivery, control and error channels before
+// returning, so consumers ranging over any of them terminate.
 func (c *Collector) Run(ctx context.Context) {
 	if c.batchMode {
 		defer close(c.batches)
 	} else {
 		defer close(c.out)
 	}
+	defer close(c.ctrl)
+	defer close(c.errs)
 	go func() {
 		select {
 		case <-ctx.Done():
@@ -171,6 +221,22 @@ func (c *Collector) Run(ctx context.Context) {
 				continue
 			}
 			c.reportErr(err)
+			continue
+		}
+		if n >= len(ControlMagic) && string(buf[:len(ControlMagic)]) == ControlMagic {
+			// Replay control packet: deliver a copy (the read buffer is
+			// reused) without decoding. Control packets are rare, so the
+			// copy does not affect the zero-alloc steady state. Like
+			// decode errors, frames are dropped when the channel is
+			// full: a consumer that never reads Control() (every
+			// non-replay collector) must not let a stray or hostile
+			// "LKRW" sender wedge the receive loop, and the replay
+			// protocol treats a lost frame like any lost datagram — the
+			// bridge re-requests the bucket.
+			select {
+			case c.ctrl <- append([]byte(nil), buf[:n]...):
+			default:
+			}
 			continue
 		}
 		// The decoders copy every value out of the datagram, so the read
@@ -286,7 +352,17 @@ func (e *Exporter) batchSize() int {
 // ExportBatch encodes and sends the batch, splitting it into as many
 // packets as needed. The export timestamp is now.
 func (e *Exporter) ExportBatch(b *flowrec.Batch) error {
-	now := time.Now().UTC()
+	return e.ExportBatchAt(b, time.Now().UTC())
+}
+
+// ExportBatchAt is ExportBatch with an explicit export timestamp. Replay
+// of historic flows needs it for NetFlow v5, whose records express flow
+// start/end as router-uptime offsets relative to the export time: stamping
+// the packet near the flows (e.g. at the end of their hour) keeps the
+// offsets inside the representable one-hour uptime window, so the
+// second-resolution timestamps survive the round trip exactly.
+func (e *Exporter) ExportBatchAt(b *flowrec.Batch, exportTime time.Time) error {
+	now := exportTime.UTC()
 	bs := e.batchSize()
 	for lo := 0; lo < b.Len(); lo += bs {
 		hi := lo + bs
@@ -312,6 +388,17 @@ func (e *Exporter) ExportBatch(b *flowrec.Batch) error {
 		if _, err := e.conn.Write(e.buf); err != nil {
 			return fmt.Errorf("exporter: send: %w", err)
 		}
+	}
+	return nil
+}
+
+// WriteRaw sends one raw datagram on the exporter socket. Because it uses
+// the same socket as the flow packets, the datagram stays FIFO-ordered
+// with them on loopback paths; the wire-replay protocol uses this for its
+// BEGIN/END control frames around each exported bucket.
+func (e *Exporter) WriteRaw(pkt []byte) error {
+	if _, err := e.conn.Write(pkt); err != nil {
+		return fmt.Errorf("exporter: send raw: %w", err)
 	}
 	return nil
 }

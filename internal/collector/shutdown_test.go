@@ -1,0 +1,226 @@
+package collector
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"lockdown/internal/flowrec"
+	"lockdown/internal/synth"
+)
+
+// checkNoGoroutineLeak snapshots the goroutine count and returns a
+// function that asserts the count returned to (at most) the snapshot,
+// retrying while the runtime winds goroutines down.
+func checkNoGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var now int
+		for time.Now().Before(deadline) {
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after shutdown", before, now)
+	}
+}
+
+// exportHour sends one synthetic hour to the collector address.
+func exportHour(t *testing.T, format Format, addr string) *flowrec.Batch {
+	t.Helper()
+	g := synth.MustNewDefault(synth.EDU)
+	b := g.FlowsForHourBatch(time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC))
+	exp, err := NewExporter(format, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.ExportBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCloseDuringRun closes the collector while traffic is in flight;
+// Run must return promptly, close every channel and leak nothing.
+func TestCloseDuringRun(t *testing.T) {
+	leak := checkNoGoroutineLeak(t)
+	c, err := NewBatchCollector(FormatIPFIX, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(context.Background())
+	}()
+	exportHour(t, FormatIPFIX, c.Addr())
+	// Consume a little, then close mid-stream.
+	select {
+	case <-c.Batches():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no batch arrived before Close")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Close")
+	}
+	// All delivery channels must be closed now.
+	for range c.Batches() {
+	}
+	for range c.Control() {
+	}
+	for range c.Errors() {
+	}
+	leak()
+}
+
+// TestSlowConsumerClose fills the batch channel until the receive loop
+// blocks on delivery, then closes; Run must unblock and return instead
+// of leaking a goroutine stuck on the channel send.
+func TestSlowConsumerClose(t *testing.T) {
+	leak := checkNoGoroutineLeak(t)
+	c, err := NewBatchCollector(FormatNetflowV5, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(context.Background())
+	}()
+	// No consumer: the channel (cap 64) fills and the loop blocks on send.
+	sent := exportHour(t, FormatNetflowV5, c.Addr())
+	if sent.Len() < 65*30 {
+		// Make sure there is enough traffic to exceed the channel
+		// capacity in packets (v5 packs 30 rows per packet).
+		for i := 0; sent.Len()*(i+1) < 65*30; i++ {
+			exportHour(t, FormatNetflowV5, c.Addr())
+		}
+	}
+	time.Sleep(200 * time.Millisecond) // let the loop wedge on a full channel
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Close with a blocked consumer")
+	}
+	leak()
+}
+
+// TestErrorOverflowKeepsCollecting drowns the error channel (cap 16,
+// drop-on-full, no consumer) in garbage and then verifies the collector
+// still decodes valid traffic.
+func TestErrorOverflowKeepsCollecting(t *testing.T) {
+	leak := checkNoGoroutineLeak(t)
+	c, err := NewBatchCollector(FormatIPFIX, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(ctx)
+	}()
+	exp, err := NewExporter(FormatIPFIX, c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	for i := 0; i < 100; i++ {
+		if err := exp.WriteRaw([]byte("definitely not ipfix")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := exportHour(t, FormatIPFIX, c.Addr())
+	got := CollectBatch(c, want.Len(), 5*time.Second)
+	if got.Len() != want.Len() {
+		t.Fatalf("collected %d of %d rows after error-channel overflow", got.Len(), want.Len())
+	}
+	cancel()
+	<-done
+	c.Close()
+	leak()
+}
+
+// TestControlChannelDelivery exercises the control plane: datagrams
+// prefixed with ControlMagic arrive on Control() verbatim and are not
+// decoded as flow packets.
+func TestControlChannelDelivery(t *testing.T) {
+	leak := checkNoGoroutineLeak(t)
+	c, err := NewBatchCollector(FormatIPFIX, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(ctx)
+	}()
+	exp, err := NewExporter(FormatIPFIX, c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	payload := ControlMagic + "\x01hello"
+	if err := exp.WriteRaw([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pkt := <-c.Control():
+		if string(pkt) != payload {
+			t.Fatalf("control payload = %q, want %q", pkt, payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("control datagram not delivered")
+	}
+	select {
+	case err := <-c.Errors():
+		t.Fatalf("control datagram leaked into the decoder: %v", err)
+	case b := <-c.Batches():
+		t.Fatalf("control datagram decoded as %d flow rows", b.Len())
+	case <-time.After(100 * time.Millisecond):
+	}
+	cancel()
+	<-done
+	c.Close()
+	leak()
+}
+
+// TestCloseBeforeRun makes sure a collector closed before Run was ever
+// started still terminates Run immediately when it is called late.
+func TestCloseBeforeRun(t *testing.T) {
+	leak := checkNoGoroutineLeak(t)
+	c, err := NewBatchCollector(FormatNetflowV9, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(context.Background())
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return for a pre-closed collector")
+	}
+	leak()
+}

@@ -22,6 +22,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"lockdown/internal/synth"
 )
 
 // Options tune how expensive the flow-level experiments are. The zero
@@ -41,6 +43,20 @@ func (o Options) flowScale() float64 {
 		return 0.5
 	}
 	return o.FlowScale
+}
+
+// synthConfig derives the generator configuration of a vantage point
+// from the options. It is the single Options→synth.Config mapping: the
+// dataset cache and the replay oracles (SyntheticSource) both use it, so
+// a pump, a bridge and an engine built from equal Options can never
+// model different flows.
+func (o Options) synthConfig(vp synth.VantagePoint) synth.Config {
+	cfg := synth.DefaultConfig(vp)
+	cfg.FlowScale = o.flowScale()
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
 }
 
 // Table is a rendered result table: a title, column headers and rows of

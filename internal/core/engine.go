@@ -11,11 +11,9 @@ import (
 	"time"
 
 	"lockdown/internal/calendar"
-	"lockdown/internal/dnsdb"
 	"lockdown/internal/flowrec"
 	"lockdown/internal/synth"
 	"lockdown/internal/timeseries"
-	"lockdown/internal/vpndetect"
 )
 
 // Runtime-metric keys the engine stamps onto every result. They describe
@@ -92,12 +90,19 @@ type CacheStats struct {
 	Misses  int64
 }
 
-// Dataset is the memoized input layer of an engine. Every synthetic input
-// an experiment can consume — generators, VPN-detection datasets, hourly
-// volume series and per-hour flow samples — is generated at most once per
+// Dataset is the memoized input layer of an engine. Every input an
+// experiment can consume — generators, VPN-detection datasets, hourly
+// volume series and per-hour flow samples — is produced at most once per
 // key and shared across experiments. Keys incorporate the generator
 // fingerprint (vantage point, seed, flow scale), so one Dataset serves
 // exactly one Options value.
+//
+// Flow batches (FlowBatch, VPNFlowBatch, ComponentFlowBatch) are drawn
+// from the dataset's FlowSource: by default the in-process synthetic
+// generator, or — via NewDatasetWithSource — any other implementation,
+// e.g. the wire-replay bridge that serves the same batches off live
+// NetFlow/IPFIX export. Volume series always come from the local
+// generator model; only the flow-record path is sourced.
 //
 // Concurrency model: a per-key entry is installed under a short mutex, and
 // the expensive generation runs inside the entry's sync.Once, so
@@ -107,6 +112,7 @@ type CacheStats struct {
 // synth.Generator.SetVPNGateways) on shared instances.
 type Dataset struct {
 	opts Options
+	src  FlowSource
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
@@ -121,9 +127,24 @@ type cacheEntry struct {
 	err  error
 }
 
-// NewDataset returns an empty dataset cache for the given options.
+// NewDataset returns an empty dataset cache for the given options, backed
+// by the in-process synthetic generator.
 func NewDataset(opts Options) *Dataset {
-	return &Dataset{opts: opts, entries: make(map[string]*cacheEntry)}
+	return NewDatasetWithSource(opts, nil)
+}
+
+// NewDatasetWithSource returns an empty dataset cache whose flow batches
+// are drawn from src (nil selects the synthetic generator). The source
+// must produce batches bit-identical to the generator at the same options
+// for the suite's determinism guarantees to hold; the replay bridge
+// verifies this per batch.
+func NewDatasetWithSource(opts Options, src FlowSource) *Dataset {
+	d := &Dataset{opts: opts, entries: make(map[string]*cacheEntry)}
+	if src == nil {
+		src = datasetSource{d}
+	}
+	d.src = src
+	return d
 }
 
 // get memoizes build under key with a per-key once.
@@ -153,12 +174,7 @@ func (d *Dataset) Stats() CacheStats {
 // config builds the synth configuration for a vantage point under the
 // dataset's options.
 func (d *Dataset) config(vp synth.VantagePoint) synth.Config {
-	cfg := synth.DefaultConfig(vp)
-	cfg.FlowScale = d.opts.flowScale()
-	if d.opts.Seed != 0 {
-		cfg.Seed = d.opts.Seed
-	}
-	return cfg
+	return d.opts.synthConfig(vp)
 }
 
 // Generator returns the shared generator of a vantage point. The instance
@@ -174,14 +190,6 @@ func (d *Dataset) Generator(vp synth.VantagePoint) (*synth.Generator, error) {
 	return v.(*synth.Generator), nil
 }
 
-// VPNData bundles the inputs of the domain-based VPN analyses: a
-// gateway-pinned variant of the vantage point's generator and the matching
-// detector built from the synthetic DNS corpus.
-type VPNData struct {
-	Gen      *synth.Generator
-	Detector *vpndetect.Detector
-}
-
 // VPN returns the shared VPN-detection dataset of a vantage point.
 func (d *Dataset) VPN(vp synth.VantagePoint) (*VPNData, error) {
 	cfg := d.config(vp)
@@ -190,11 +198,7 @@ func (d *Dataset) VPN(vp synth.VantagePoint) (*VPNData, error) {
 		if err != nil {
 			return nil, err
 		}
-		corpus, gateways := dnsdb.Generate(g.Registry(), dnsdb.DefaultGenerateOptions())
-		return &VPNData{
-			Gen:      g.WithVPNGateways(gateways),
-			Detector: vpndetect.NewFromCorpus(corpus),
-		}, nil
+		return buildVPNData(g), nil
 	})
 	if err != nil {
 		return nil, err
@@ -281,17 +285,13 @@ func (d *Dataset) ClassSeries(vp synth.VantagePoint, class synth.Class, from, to
 // FlowBatch returns the sampled flows of one hour as a columnar batch,
 // memoized per hour so experiments iterating overlapping hour grids (e.g.
 // the port analysis and the application-class heatmap over the same weeks)
-// share one sample. The returned batch is shared; callers must not modify
-// it.
+// share one sample. The batch comes from the dataset's FlowSource; the
+// returned batch is shared and callers must not modify it.
 func (d *Dataset) FlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
 	cfg := d.config(vp)
 	key := "flows/" + cfg.Fingerprint() + "/" + hourKey(hour)
 	v, err := d.get(key, func() (any, error) {
-		g, err := d.Generator(vp)
-		if err != nil {
-			return nil, err
-		}
-		return g.FlowsForHourBatch(hour), nil
+		return d.src.FlowBatch(vp, hour.UTC().Truncate(time.Hour))
 	})
 	if err != nil {
 		return nil, err
@@ -305,11 +305,7 @@ func (d *Dataset) VPNFlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.
 	cfg := d.config(vp)
 	key := "vpn-flows/" + cfg.Fingerprint() + "/" + hourKey(hour)
 	v, err := d.get(key, func() (any, error) {
-		vd, err := d.VPN(vp)
-		if err != nil {
-			return nil, err
-		}
-		return vd.Gen.FlowsForHourBatch(hour), nil
+		return d.src.VPNFlowBatch(vp, hour.UTC().Truncate(time.Hour))
 	})
 	if err != nil {
 		return nil, err
@@ -323,11 +319,7 @@ func (d *Dataset) ComponentFlowBatch(vp synth.VantagePoint, name string, hour ti
 	cfg := d.config(vp)
 	key := "component-flows/" + cfg.Fingerprint() + "/" + name + "/" + hourKey(hour)
 	v, err := d.get(key, func() (any, error) {
-		g, err := d.Generator(vp)
-		if err != nil {
-			return nil, err
-		}
-		return g.ComponentFlowsForHourBatch(name, hour), nil
+		return d.src.ComponentFlowBatch(vp, name, hour.UTC().Truncate(time.Hour))
 	})
 	if err != nil {
 		return nil, err
@@ -379,6 +371,14 @@ type Engine struct {
 // built from opts.
 func NewEngine(opts Options) *Engine {
 	return &Engine{opts: opts, data: NewDataset(opts)}
+}
+
+// NewEngineWithSource is NewEngine with the dataset's flow batches drawn
+// from src instead of the in-process generator (nil selects the
+// generator). The engine's determinism contract then rests on src
+// returning batches bit-identical to the generator at the same options.
+func NewEngineWithSource(opts Options, src FlowSource) *Engine {
+	return &Engine{opts: opts, data: NewDatasetWithSource(opts, src)}
 }
 
 // Options returns the options the engine was built with.

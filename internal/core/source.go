@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"lockdown/internal/dnsdb"
+	"lockdown/internal/flowrec"
+	"lockdown/internal/synth"
+	"lockdown/internal/vpndetect"
+)
+
+// FlowSource supplies the flow-level inputs of the experiment suite: the
+// per-hour flow batches of a vantage point, the gateway-pinned variant
+// used by the VPN analyses, and the per-component batches. The Dataset
+// cache consumes exactly one FlowSource and memoizes every batch it
+// returns behind the per-key sync.Once, so a source is asked for each key
+// at most once per engine.
+//
+// Two implementations exist: the in-process synthetic generator (the
+// default, see SyntheticSource) and the wire-replay bridge in package
+// replay, which serves the same batches off live NetFlow/IPFIX export.
+// Returned batches are published read-only through the cache; a source
+// must never retain or mutate a batch after returning it.
+type FlowSource interface {
+	FlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error)
+	VPNFlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error)
+	ComponentFlowBatch(vp synth.VantagePoint, name string, hour time.Time) (*flowrec.Batch, error)
+}
+
+// VPNData bundles the inputs of the domain-based VPN analyses: a
+// gateway-pinned variant of the vantage point's generator and the matching
+// detector built from the synthetic DNS corpus.
+type VPNData struct {
+	Gen      *synth.Generator
+	Detector *vpndetect.Detector
+}
+
+// buildVPNData derives the VPN-analysis dataset from a vantage point's
+// base generator: the synthetic DNS corpus names the VPN gateways, the
+// generator is re-pinned to them, and the detector is built from the same
+// corpus. Dataset.VPN and SyntheticSource share this derivation so the
+// in-memory path and the wire-replay oracle can never drift apart.
+func buildVPNData(g *synth.Generator) *VPNData {
+	corpus, gateways := dnsdb.Generate(g.Registry(), dnsdb.DefaultGenerateOptions())
+	return &VPNData{
+		Gen:      g.WithVPNGateways(gateways),
+		Detector: vpndetect.NewFromCorpus(corpus),
+	}
+}
+
+// datasetSource is the default FlowSource of a Dataset: it draws batches
+// from the dataset's own memoized generators, so the default path does no
+// extra work over the pre-FlowSource code.
+type datasetSource struct{ d *Dataset }
+
+func (s datasetSource) FlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
+	g, err := s.d.Generator(vp)
+	if err != nil {
+		return nil, err
+	}
+	return g.FlowsForHourBatch(hour), nil
+}
+
+func (s datasetSource) VPNFlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
+	vd, err := s.d.VPN(vp)
+	if err != nil {
+		return nil, err
+	}
+	return vd.Gen.FlowsForHourBatch(hour), nil
+}
+
+func (s datasetSource) ComponentFlowBatch(vp synth.VantagePoint, name string, hour time.Time) (*flowrec.Batch, error) {
+	g, err := s.d.Generator(vp)
+	if err != nil {
+		return nil, err
+	}
+	return g.ComponentFlowsForHourBatch(name, hour), nil
+}
+
+// SyntheticSource is a standalone generator-backed FlowSource: it
+// memoizes the generators (and the VPN gateway derivation) per vantage
+// point but generates every requested batch on demand, without caching
+// it. It is the model oracle of the wire-replay harness — both the pump
+// (which exports the batches) and the bridge (which verifies the received
+// rows bit-for-bit) hold one — and can serve anywhere a FlowSource is
+// needed without the memory footprint of a full Dataset.
+type SyntheticSource struct {
+	opts Options
+
+	mu   sync.Mutex
+	gens map[synth.VantagePoint]*sourceEntry
+	vpns map[synth.VantagePoint]*sourceEntry
+}
+
+type sourceEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewSyntheticSource returns a generator-backed FlowSource for the given
+// options.
+func NewSyntheticSource(opts Options) *SyntheticSource {
+	return &SyntheticSource{
+		opts: opts,
+		gens: make(map[synth.VantagePoint]*sourceEntry),
+		vpns: make(map[synth.VantagePoint]*sourceEntry),
+	}
+}
+
+// Options returns the options the source was built with.
+func (s *SyntheticSource) Options() Options { return s.opts }
+
+func (s *SyntheticSource) entry(m map[synth.VantagePoint]*sourceEntry, vp synth.VantagePoint) *sourceEntry {
+	s.mu.Lock()
+	e, ok := m[vp]
+	if !ok {
+		e = &sourceEntry{}
+		m[vp] = e
+	}
+	s.mu.Unlock()
+	return e
+}
+
+// Generator returns the memoized generator of a vantage point. As with
+// Dataset.Generator, the instance is shared: never call its mutating
+// methods.
+func (s *SyntheticSource) Generator(vp synth.VantagePoint) (*synth.Generator, error) {
+	e := s.entry(s.gens, vp)
+	e.once.Do(func() {
+		e.val, e.err = synth.New(s.opts.synthConfig(vp))
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.val.(*synth.Generator), nil
+}
+
+// VPN returns the memoized VPN-analysis dataset of a vantage point (the
+// same derivation as Dataset.VPN).
+func (s *SyntheticSource) VPN(vp synth.VantagePoint) (*VPNData, error) {
+	e := s.entry(s.vpns, vp)
+	e.once.Do(func() {
+		g, err := s.Generator(vp)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.val = buildVPNData(g)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.val.(*VPNData), nil
+}
+
+// FlowBatch generates the sampled flows of one hour (not memoized).
+func (s *SyntheticSource) FlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
+	g, err := s.Generator(vp)
+	if err != nil {
+		return nil, err
+	}
+	return g.FlowsForHourBatch(hour), nil
+}
+
+// VPNFlowBatch generates one hour of the gateway-pinned generator's flows
+// (not memoized).
+func (s *SyntheticSource) VPNFlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
+	vd, err := s.VPN(vp)
+	if err != nil {
+		return nil, err
+	}
+	return vd.Gen.FlowsForHourBatch(hour), nil
+}
+
+// ComponentFlowBatch generates one named component's flows for one hour
+// (not memoized).
+func (s *SyntheticSource) ComponentFlowBatch(vp synth.VantagePoint, name string, hour time.Time) (*flowrec.Batch, error) {
+	g, err := s.Generator(vp)
+	if err != nil {
+		return nil, err
+	}
+	return g.ComponentFlowsForHourBatch(name, hour), nil
+}

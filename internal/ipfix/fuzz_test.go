@@ -1,0 +1,157 @@
+package ipfix
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"lockdown/internal/flowrec"
+	"lockdown/internal/synth"
+)
+
+func FuzzDecodeBatch(f *testing.F) {
+	cfg := synth.DefaultConfig(synth.IXPCE)
+	cfg.FlowScale = 0.05
+	g, err := synth.New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	b := g.FlowsForHourBatch(time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC))
+	var enc Encoder
+	hour := time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC)
+	for lo := 0; lo < b.Len() && lo < 300; lo += 100 {
+		hi := lo + 100
+		if hi > b.Len() {
+			hi = b.Len()
+		}
+		msg, err := enc.EncodeBatch(nil, b, lo, hi, hour)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(msg)
+		f.Add(msg[:len(msg)/2])
+		f.Add(msg[:headerLen])
+	}
+	f.Add(shortFieldMessage())
+	f.Add(zeroLengthFieldMessage())
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		dst := flowrec.NewBatch(1)
+		dst.Append(flowrec.Record{Bytes: 1, Packets: 1})
+		before := dst.Len()
+		n, err := NewDecoder().DecodeBatch(dst, msg)
+		if err != nil && dst.Len() != before {
+			t.Fatalf("error left %d rows appended", dst.Len()-before)
+		}
+		if err == nil && dst.Len() != before+n {
+			t.Fatalf("DecodeBatch returned %d rows but appended %d", n, dst.Len()-before)
+		}
+		if len(dst.StartNs) != dst.Len() || len(dst.SrcIP) != dst.Len() || len(dst.TCPFlags) != dst.Len() {
+			t.Fatalf("ragged columns after decode")
+		}
+	})
+}
+
+// shortFieldMessage builds a well-framed IPFIX message whose template
+// declares numeric information elements narrower than their natural
+// width. Template lengths are untrusted input: this shape crashed the
+// decoder before the beUint fix.
+func shortFieldMessage() []byte {
+	be := binary.BigEndian
+	var msg []byte
+	u16 := func(v uint16) { var b [2]byte; be.PutUint16(b[:], v); msg = append(msg, b[:]...) }
+	u32 := func(v uint32) { var b [4]byte; be.PutUint32(b[:], v); msg = append(msg, b[:]...) }
+	u16(version)
+	u16(0) // total length, patched below
+	u32(uint32(time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC).Unix()))
+	u32(0) // sequence
+	u32(9) // domain
+	// Template set: id 500, three narrow fields.
+	u16(TemplateSetID)
+	u16(20)
+	u16(500)
+	u16(3)
+	u16(ieFlowStartSeconds)
+	u16(2)
+	u16(ieSrcPort)
+	u16(1)
+	u16(ieOctetDeltaCount)
+	u16(3)
+	// Data set: one 6-byte record.
+	u16(500)
+	u16(10)
+	msg = append(msg, 0x5e, 0x7b, 0x21, 0x01, 0x02, 0x03)
+	be.PutUint16(msg[2:], uint16(len(msg)))
+	return msg
+}
+
+// zeroLengthFieldMessage declares a zero-length single-byte IE
+// (ieProtocol) next to a real one. The single-byte reads of the decoder
+// (protocol, TCP control bits, direction) must not index the empty value
+// slice; this shape panicked the decoder before the skip guard.
+func zeroLengthFieldMessage() []byte {
+	be := binary.BigEndian
+	var msg []byte
+	u16 := func(v uint16) { var b [2]byte; be.PutUint16(b[:], v); msg = append(msg, b[:]...) }
+	u32 := func(v uint32) { var b [4]byte; be.PutUint32(b[:], v); msg = append(msg, b[:]...) }
+	u16(version)
+	u16(0) // patched below
+	u32(uint32(time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC).Unix()))
+	u32(0)
+	u32(9)
+	u16(TemplateSetID)
+	u16(16) // 4 + 4 + 2*4
+	u16(501)
+	u16(2)
+	u16(ieProtocol)
+	u16(0) // zero-length IE
+	u16(ieSrcPort)
+	u16(2)
+	u16(501) // data set: one 2-byte record
+	u16(6)
+	msg = append(msg, 0x01, 0xbb)
+	be.PutUint16(msg[2:], uint16(len(msg)))
+	return msg
+}
+
+// TestDecodeZeroLengthField is the regression test for the review-found
+// panic: a hostile template declaring a zero-length single-byte IE must
+// decode without crashing.
+func TestDecodeZeroLengthField(t *testing.T) {
+	var b flowrec.Batch
+	n, err := NewDecoder().DecodeBatch(&b, zeroLengthFieldMessage())
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if n != 1 || b.Len() != 1 {
+		t.Fatalf("decoded %d rows (batch %d), want 1", n, b.Len())
+	}
+	if b.SrcPort[0] != 0x01bb {
+		t.Errorf("SrcPort = %d, want %d", b.SrcPort[0], 0x01bb)
+	}
+	if b.Proto[0] != 0 {
+		t.Errorf("Proto = %d, want 0 (zero-length IE carries no value)", b.Proto[0])
+	}
+}
+
+// TestDecodeShortTemplateFields is the regression test for the fuzz
+// finding: field lengths below the IE's natural width decode
+// (zero-extended) instead of panicking.
+func TestDecodeShortTemplateFields(t *testing.T) {
+	var b flowrec.Batch
+	n, err := NewDecoder().DecodeBatch(&b, shortFieldMessage())
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if n != 1 || b.Len() != 1 {
+		t.Fatalf("decoded %d rows (batch %d), want 1", n, b.Len())
+	}
+	if got := b.StartAt(0).Unix(); got != 0x5e7b {
+		t.Errorf("Start = %d, want %d", got, 0x5e7b)
+	}
+	if b.SrcPort[0] != 0x21 {
+		t.Errorf("SrcPort = %d, want %d", b.SrcPort[0], 0x21)
+	}
+	if b.Bytes[0] != 0x010203 {
+		t.Errorf("Bytes = %d, want %d", b.Bytes[0], 0x010203)
+	}
+}

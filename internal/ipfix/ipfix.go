@@ -44,6 +44,9 @@ const (
 const (
 	version   = 10
 	headerLen = 16
+	// maxGrowRows bounds the per-data-set batch reservation; see
+	// parseData.
+	maxGrowRows = 4096
 	// TemplateSetID is the set identifier of template sets (RFC 7011).
 	TemplateSetID = 2
 	// TemplateID is the template this package exports data records with.
@@ -306,12 +309,21 @@ func (d *Decoder) parseData(dst *flowrec.Batch, domain uint32, tplID uint16, bod
 	if rl == 0 {
 		return fmt.Errorf("ipfix: template %d has zero length", tplID)
 	}
-	be := binary.BigEndian
-	dst.Grow(len(body) / rl)
+	// Cap the up-front reservation: a hostile template with tiny records
+	// would otherwise amplify every input byte into ~100 bytes of column
+	// reservation. Real export packets stay far below the cap, so the
+	// steady-state decode path still performs exactly one bulk grow.
+	dst.Grow(min(len(body)/rl, maxGrowRows))
 	for off := 0; off+rl <= len(body); off += rl {
 		var r flowrec.Record
 		pos := off
 		for _, f := range tpl {
+			if f.Length == 0 {
+				// Zero-length fields carry no value; skipping them here
+				// also keeps the single-byte reads below (v[0]) safe
+				// against hostile templates.
+				continue
+			}
 			v := body[pos : pos+int(f.Length)]
 			switch f.ID {
 			case ieSrcIPv4:
@@ -327,13 +339,13 @@ func (d *Decoder) parseData(dst *flowrec.Batch, domain uint32, tplID uint16, bod
 			case iePacketDeltaCount:
 				r.Packets = beUint(v)
 			case ieFlowStartSeconds:
-				r.Start = time.Unix(int64(be.Uint32(v)), 0).UTC()
+				r.Start = time.Unix(int64(beUint(v)), 0).UTC()
 			case ieFlowEndSeconds:
-				r.End = time.Unix(int64(be.Uint32(v)), 0).UTC()
+				r.End = time.Unix(int64(beUint(v)), 0).UTC()
 			case ieSrcPort:
-				r.SrcPort = be.Uint16(v)
+				r.SrcPort = uint16(beUint(v))
 			case ieDstPort:
-				r.DstPort = be.Uint16(v)
+				r.DstPort = uint16(beUint(v))
 			case ieProtocol:
 				r.Proto = flowrec.Proto(v[0])
 			case ieTCPControlBits:

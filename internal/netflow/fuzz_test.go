@@ -1,0 +1,203 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"lockdown/internal/flowrec"
+	"lockdown/internal/synth"
+)
+
+// fuzzSeedBatch returns a realistic synthetic batch to derive seed
+// packets from: one lockdown-evening hour of ISP-CE flows.
+func fuzzSeedBatch(tb testing.TB) *flowrec.Batch {
+	tb.Helper()
+	cfg := synth.DefaultConfig(synth.ISPCE)
+	cfg.FlowScale = 0.05
+	g, err := synth.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g.FlowsForHourBatch(time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC))
+}
+
+// checkColumns asserts the batch invariant every decoder must preserve:
+// all columns have the same length.
+func checkColumns(t *testing.T, b *flowrec.Batch) {
+	t.Helper()
+	n := b.Len()
+	if len(b.StartNs) != n || len(b.EndNs) != n || len(b.SrcIP) != n || len(b.DstIP) != n ||
+		len(b.SrcPort) != n || len(b.DstPort) != n || len(b.Proto) != n || len(b.Packets) != n ||
+		len(b.SrcAS) != n || len(b.DstAS) != n || len(b.InIf) != n || len(b.OutIf) != n ||
+		len(b.Dir) != n || len(b.TCPFlags) != n {
+		t.Fatalf("ragged columns after decode: len=%d", n)
+	}
+}
+
+func FuzzDecodeV5Batch(f *testing.F) {
+	b := fuzzSeedBatch(f)
+	hour := time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC)
+	for lo := 0; lo < b.Len() && lo < 3*V5MaxRecords; lo += V5MaxRecords {
+		hi := lo + V5MaxRecords
+		if hi > b.Len() {
+			hi = b.Len()
+		}
+		pkt, err := EncodeV5Batch(nil, b, lo, hi, hour, uint32(lo))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(pkt)
+		f.Add(pkt[:len(pkt)/2]) // truncated packet
+		f.Add(pkt[:v5HeaderLen])
+	}
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		dst := flowrec.NewBatch(1)
+		dst.Append(flowrec.Record{Bytes: 1, Packets: 1})
+		before := dst.Len()
+		if _, err := DecodeV5Batch(dst, pkt); err != nil && dst.Len() != before {
+			t.Fatalf("error left %d rows appended", dst.Len()-before)
+		}
+		checkColumns(t, dst)
+	})
+}
+
+func FuzzDecodeV9Batch(f *testing.F) {
+	b := fuzzSeedBatch(f)
+	var enc V9Encoder
+	hour := time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC)
+	for lo := 0; lo < b.Len() && lo < 300; lo += 100 {
+		hi := lo + 100
+		if hi > b.Len() {
+			hi = b.Len()
+		}
+		pkt, err := enc.EncodeBatch(nil, b, lo, hi, hour)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(pkt)
+		f.Add(pkt[:len(pkt)/2])
+	}
+	f.Add(shortFieldV9Packet())
+	f.Add(zeroLengthFieldV9Packet())
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		dst := flowrec.NewBatch(1)
+		dst.Append(flowrec.Record{Bytes: 1, Packets: 1})
+		before := dst.Len()
+		n, err := NewV9Decoder().DecodeBatch(dst, pkt)
+		if err != nil && dst.Len() != before {
+			t.Fatalf("error left %d rows appended", dst.Len()-before)
+		}
+		if err == nil && dst.Len() != before+n {
+			t.Fatalf("DecodeBatch returned %d rows but appended %d", n, dst.Len()-before)
+		}
+		checkColumns(t, dst)
+	})
+}
+
+// shortFieldV9Packet builds a well-framed v9 packet whose template
+// declares numeric fields narrower than their natural width (a timestamp
+// in 2 bytes, a port in 1). Decoders must treat template-declared field
+// lengths as untrusted: this exact shape crashed the decoder before the
+// beUint fix.
+func shortFieldV9Packet() []byte {
+	be := binary.BigEndian
+	var pkt []byte
+	u16 := func(v uint16) { var b [2]byte; be.PutUint16(b[:], v); pkt = append(pkt, b[:]...) }
+	u32 := func(v uint32) { var b [4]byte; be.PutUint32(b[:], v); pkt = append(pkt, b[:]...) }
+	// Header.
+	u16(9)    // version
+	u16(2)    // count: template + 1 data record
+	u32(1000) // uptime
+	u32(uint32(time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC).Unix()))
+	u32(0) // sequence
+	u32(7) // source id
+	// Template flowset: id 300, three narrow fields.
+	u16(0)  // template set
+	u16(20) // set length: 4 + 4 + 3*4
+	u16(300)
+	u16(3)
+	u16(fieldFirstSwt)
+	u16(2) // 2-byte timestamp
+	u16(fieldL4SrcPort)
+	u16(1) // 1-byte port
+	u16(fieldInBytes)
+	u16(3) // 3-byte counter
+	// Data flowset: one 6-byte record + 2 bytes padding.
+	u16(300)
+	u16(12)
+	pkt = append(pkt, 0x5e, 0x7b, 0x21, 0x01, 0x02, 0x03, 0, 0)
+	return pkt
+}
+
+// zeroLengthFieldV9Packet declares a zero-length single-byte field
+// (fieldProtocol) next to a real one. The single-byte reads of the
+// decoder (protocol, TCP flags, direction) must not index the empty
+// value slice; this shape panicked the decoder before the skip guard.
+func zeroLengthFieldV9Packet() []byte {
+	be := binary.BigEndian
+	var pkt []byte
+	u16 := func(v uint16) { var b [2]byte; be.PutUint16(b[:], v); pkt = append(pkt, b[:]...) }
+	u32 := func(v uint32) { var b [4]byte; be.PutUint32(b[:], v); pkt = append(pkt, b[:]...) }
+	u16(9)
+	u16(2)
+	u32(1000)
+	u32(uint32(time.Date(2020, 3, 25, 21, 0, 0, 0, time.UTC).Unix()))
+	u32(0)
+	u32(7)
+	u16(0)  // template set
+	u16(16) // 4 + 4 + 2*4
+	u16(301)
+	u16(2)
+	u16(fieldProtocol)
+	u16(0) // zero-length field
+	u16(fieldL4SrcPort)
+	u16(2)
+	u16(301) // data flowset: exactly one 2-byte record, unpadded so the
+	u16(6)   // padding cannot parse as a second record
+	pkt = append(pkt, 0x01, 0xbb)
+	return pkt
+}
+
+// TestDecodeV9ZeroLengthField is the regression test for the
+// review-found panic: a hostile template declaring a zero-length
+// single-byte field must decode without crashing.
+func TestDecodeV9ZeroLengthField(t *testing.T) {
+	var b flowrec.Batch
+	n, err := NewV9Decoder().DecodeBatch(&b, zeroLengthFieldV9Packet())
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if n != 1 || b.Len() != 1 {
+		t.Fatalf("decoded %d rows (batch %d), want 1", n, b.Len())
+	}
+	if b.SrcPort[0] != 0x01bb {
+		t.Errorf("SrcPort = %d, want %d", b.SrcPort[0], 0x01bb)
+	}
+	if b.Proto[0] != 0 {
+		t.Errorf("Proto = %d, want 0 (zero-length field carries no value)", b.Proto[0])
+	}
+}
+
+// TestDecodeV9ShortTemplateFields is the regression test for the panic
+// the fuzz target surfaced: template-declared field lengths shorter than
+// the field's natural width must decode (zero-extended), not crash.
+func TestDecodeV9ShortTemplateFields(t *testing.T) {
+	var b flowrec.Batch
+	n, err := NewV9Decoder().DecodeBatch(&b, shortFieldV9Packet())
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if n != 1 || b.Len() != 1 {
+		t.Fatalf("decoded %d rows (batch %d), want 1", n, b.Len())
+	}
+	if got := b.StartAt(0).Unix(); got != 0x5e7b {
+		t.Errorf("Start = %d, want %d", got, 0x5e7b)
+	}
+	if b.SrcPort[0] != 0x21 {
+		t.Errorf("SrcPort = %d, want %d", b.SrcPort[0], 0x21)
+	}
+	if b.Bytes[0] != 0x010203 {
+		t.Errorf("Bytes = %d, want %d", b.Bytes[0], 0x010203)
+	}
+}

@@ -36,6 +36,9 @@ const (
 	v9TemplateSet = 0
 	// V9TemplateID is the template this package exports records with.
 	V9TemplateID = 256
+	// maxGrowRows bounds the per-flowset batch reservation; see
+	// parseData.
+	maxGrowRows = 4096
 )
 
 // v9Field describes one field of a template: its type and length in bytes.
@@ -308,12 +311,21 @@ func (d *V9Decoder) parseData(dst *flowrec.Batch, sourceID uint32, tplID uint16,
 	if recLen == 0 {
 		return fmt.Errorf("netflow: template %d has zero length", tplID)
 	}
-	be := binary.BigEndian
-	dst.Grow(len(body) / recLen)
+	// Cap the up-front reservation: a hostile template with tiny records
+	// would otherwise amplify every input byte into ~100 bytes of column
+	// reservation. Real export packets stay far below the cap, so the
+	// steady-state decode path still performs exactly one bulk grow.
+	dst.Grow(min(len(body)/recLen, maxGrowRows))
 	for off := 0; off+recLen <= len(body); off += recLen {
 		var r flowrec.Record
 		pos := off
 		for _, f := range tpl {
+			if f.Length == 0 {
+				// Zero-length fields carry no value; skipping them here
+				// also keeps the single-byte reads below (v[0]) safe
+				// against hostile templates.
+				continue
+			}
 			v := body[pos : pos+int(f.Length)]
 			switch f.Type {
 			case fieldIPv4Src:
@@ -329,13 +341,13 @@ func (d *V9Decoder) parseData(dst *flowrec.Batch, sourceID uint32, tplID uint16,
 			case fieldInPkts:
 				r.Packets = beUint(v)
 			case fieldFirstSwt:
-				r.Start = time.Unix(int64(be.Uint32(v)), 0).UTC()
+				r.Start = time.Unix(int64(beUint(v)), 0).UTC()
 			case fieldLastSwt:
-				r.End = time.Unix(int64(be.Uint32(v)), 0).UTC()
+				r.End = time.Unix(int64(beUint(v)), 0).UTC()
 			case fieldL4SrcPort:
-				r.SrcPort = be.Uint16(v)
+				r.SrcPort = uint16(beUint(v))
 			case fieldL4DstPort:
-				r.DstPort = be.Uint16(v)
+				r.DstPort = uint16(beUint(v))
 			case fieldProtocol:
 				r.Proto = flowrec.Proto(v[0])
 			case fieldTCPFlags:

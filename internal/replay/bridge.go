@@ -1,0 +1,491 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/flowrec"
+	"lockdown/internal/synth"
+)
+
+// Defaults for Config.
+const (
+	DefaultAttemptTimeout = 5 * time.Second
+	DefaultMaxAttempts    = 4
+	DefaultReadBuffer     = 4 << 20
+)
+
+// Config tunes a Bridge.
+type Config struct {
+	// Format is the wire format the bridge decodes.
+	Format collector.Format
+	// ListenAddr is the UDP address of the data socket ("127.0.0.1:0"
+	// for an ephemeral port when empty).
+	ListenAddr string
+	// Options build the bridge's reference model; they must match the
+	// pump's options or verification fails.
+	Options core.Options
+	// AttemptTimeout bounds how long one request waits for its complete
+	// bucket before the bridge retries (DefaultAttemptTimeout if zero).
+	AttemptTimeout time.Duration
+	// MaxAttempts bounds how often a key is requested before the fetch
+	// fails (DefaultMaxAttempts if zero).
+	MaxAttempts int
+	// ReadBuffer sizes the data socket's kernel receive buffer
+	// (DefaultReadBuffer if zero); bursts ride out consumer scheduling
+	// hiccups there instead of being dropped.
+	ReadBuffer int
+}
+
+// Stats counts what a bridge observed. All fields are cumulative.
+type Stats struct {
+	Keys         int64 // buckets fetched successfully
+	Rows         int64 // rows served to the engine
+	Retries      int64 // re-requested buckets (loss, timeout or overrun)
+	LostRows     int64 // rows missing from abandoned attempts
+	OrphanRows   int64 // rows received outside any accepted bucket
+	StaleFrames  int64 // control frames of an abandoned generation
+	BadFrames    int64 // control frames that failed to parse
+	DecodeErrors int64 // malformed flow packets reported by the collector
+}
+
+// Bridge is the collector side of the wire-replay harness: a
+// core.FlowSource that serves the dataset cache's flow batches off live
+// NetFlow/IPFIX export. On each cache miss it requests the key from the
+// pump, demuxes the announced bucket out of the decoded packet stream,
+// verifies the rows bit-for-bit against its own reference model (see the
+// package comment for the NetFlow v5 fidelity rules) and returns the
+// wire batch. Buckets hit by datagram loss are re-requested; everything
+// observed on the way is accounted in Stats.
+//
+// A Bridge serialises bucket fetches: the dataset cache's per-key
+// sync.Once already collapses duplicate requests, and one-in-flight
+// keeps the packet→bucket demux unambiguous without per-packet tags.
+type Bridge struct {
+	cfg Config
+	src *core.SyntheticSource
+	col *collector.Collector
+
+	mu  sync.Mutex // serialises fetches; guards req and gen
+	req *net.UDPConn
+	gen uint32
+
+	keys         atomic.Int64
+	rows         atomic.Int64
+	retries      atomic.Int64
+	lostRows     atomic.Int64
+	orphanRows   atomic.Int64
+	staleFrames  atomic.Int64
+	badFrames    atomic.Int64
+	decodeErrors atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// NewBridge opens the bridge's data socket. Call ConnectPump with the
+// pump's control address and Start before using it as a FlowSource.
+func NewBridge(cfg Config) (*Bridge, error) {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.ReadBuffer <= 0 {
+		cfg.ReadBuffer = DefaultReadBuffer
+	}
+	col, err := collector.NewBatchCollector(cfg.Format, cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	col.SetReadBuffer(cfg.ReadBuffer) // best effort; loss is detected and retried anyway
+	return &Bridge{
+		cfg: cfg,
+		src: core.NewSyntheticSource(cfg.Options),
+		col: col,
+	}, nil
+}
+
+// DataAddr returns the address flow packets must be exported to (the
+// pump's data destination).
+func (b *Bridge) DataAddr() string { return b.col.Addr() }
+
+// ConnectPump dials the pump's request socket.
+func (b *Bridge) ConnectPump(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("replay: resolve pump %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return fmt.Errorf("replay: dial pump %q: %w", addr, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.req != nil {
+		b.req.Close()
+	}
+	b.req = conn
+	return nil
+}
+
+// Start runs the collector receive loop and the decode-error drain until
+// ctx is cancelled or Close is called.
+func (b *Bridge) Start(ctx context.Context) {
+	go b.col.Run(ctx)
+	go func() {
+		for range b.col.Errors() {
+			b.decodeErrors.Add(1)
+		}
+	}()
+}
+
+// Close stops the bridge and releases its sockets.
+func (b *Bridge) Close() error {
+	err := b.col.Close()
+	b.closeOnce.Do(func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.req != nil {
+			b.req.Close()
+		}
+	})
+	return err
+}
+
+// Stats returns a snapshot of the bridge's counters.
+func (b *Bridge) Stats() Stats {
+	return Stats{
+		Keys:         b.keys.Load(),
+		Rows:         b.rows.Load(),
+		Retries:      b.retries.Load(),
+		LostRows:     b.lostRows.Load(),
+		OrphanRows:   b.orphanRows.Load(),
+		StaleFrames:  b.staleFrames.Load(),
+		BadFrames:    b.badFrames.Load(),
+		DecodeErrors: b.decodeErrors.Load(),
+	}
+}
+
+// FlowBatch implements core.FlowSource.
+func (b *Bridge) FlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
+	return b.fetch(Key{Kind: KindFlows, VP: vp, Hour: hour})
+}
+
+// VPNFlowBatch implements core.FlowSource.
+func (b *Bridge) VPNFlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
+	return b.fetch(Key{Kind: KindVPNFlows, VP: vp, Hour: hour})
+}
+
+// ComponentFlowBatch implements core.FlowSource.
+func (b *Bridge) ComponentFlowBatch(vp synth.VantagePoint, name string, hour time.Time) (*flowrec.Batch, error) {
+	return b.fetch(Key{Kind: KindComponentFlows, VP: vp, Name: name, Hour: hour})
+}
+
+// fatalError marks fetch failures that a retry cannot cure (model
+// mismatch, NACK, verification failure).
+type fatalError struct{ err error }
+
+func (e fatalError) Error() string { return e.err.Error() }
+func (e fatalError) Unwrap() error { return e.err }
+
+func fatalf(format string, a ...any) error { return fatalError{fmt.Errorf(format, a...)} }
+
+// fetch requests one bucket off the wire, retrying lost attempts, and
+// returns the verified batch.
+func (b *Bridge) fetch(k Key) (*flowrec.Batch, error) {
+	k.Hour = k.Hour.UTC().Truncate(time.Hour)
+	// Build the reference before taking the fetch lock so reference
+	// generation of one key overlaps the wire wait of another.
+	ref, err := batchForKey(b.src, k)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.req == nil {
+		return nil, fmt.Errorf("replay: bridge has no pump (call ConnectPump)")
+	}
+	var lastErr error
+	for attempt := 0; attempt < b.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			b.retries.Add(1)
+			// Flush leftovers of the failed attempt (late data, its END
+			// frame) so the retry starts from a quiescent stream.
+			b.drainQuiescent(drainIdle)
+		}
+		b.gen++
+		if _, err := b.req.Write(encodeRequest(b.gen, k)); err != nil {
+			lastErr = err
+			continue
+		}
+		got, err := b.collect(b.gen, k, ref.Len())
+		if err != nil {
+			var fe fatalError
+			if errors.As(err, &fe) {
+				return nil, fmt.Errorf("replay: %s: %w", k, err)
+			}
+			lastErr = err
+			continue
+		}
+		if err := verifyAndRepair(b.cfg.Format, ref, got); err != nil {
+			// Usually stray rows that happened to fill the bucket; a
+			// genuine model divergence keeps failing and surfaces after
+			// the attempts run out.
+			lastErr = err
+			continue
+		}
+		b.keys.Add(1)
+		b.rows.Add(int64(got.Len()))
+		return got, nil
+	}
+	return nil, fmt.Errorf("replay: %s: giving up after %d attempts: %w", k, b.cfg.MaxAttempts, lastErr)
+}
+
+// endGrace is how long after an END frame the bridge keeps draining the
+// channels for rows that were delivered but not yet consumed, before it
+// declares the shortfall lost. drainIdle is the quiescence window used to
+// flush stream leftovers between attempts.
+const (
+	endGrace  = 150 * time.Millisecond
+	drainIdle = 50 * time.Millisecond
+)
+
+// collect gathers one announced bucket from the collector channels. The
+// collector's receive loop delivers control frames and data batches in
+// datagram order, but into two channels, and a select over both observes
+// them in arbitrary relative order. The state machine is therefore
+// order-robust within one generation: data arriving before the BEGIN
+// frame is parked and claimed when BEGIN turns up, the bucket completes
+// on row count alone, and an END frame with rows still missing starts a
+// short grace window for channel-buffered data instead of concluding
+// loss immediately.
+func (b *Bridge) collect(gen uint32, k Key, expected int) (*flowrec.Batch, error) {
+	timer := time.NewTimer(b.cfg.AttemptTimeout)
+	defer timer.Stop()
+	out := flowrec.NewBatch(expected)
+	var pending []*flowrec.Batch // data seen before BEGIN
+	defer func() {
+		for _, p := range pending {
+			b.orphanRows.Add(int64(p.Len()))
+			flowrec.PutBatch(p)
+		}
+	}()
+	accepting := false
+	announced := -1
+	var grace *time.Timer
+	var graceC <-chan time.Time
+	defer func() {
+		if grace != nil {
+			grace.Stop()
+		}
+	}()
+
+	// claim moves one data batch into the bucket. Overruns (stale
+	// retransmits or stray rows that slipped in front of the bucket)
+	// abandon the attempt; the excess is accounted as orphan rows.
+	claim := func(batch *flowrec.Batch) error {
+		out.AppendBatch(batch)
+		flowrec.PutBatch(batch)
+		if out.Len() > announced {
+			b.orphanRows.Add(int64(out.Len() - announced))
+			return fmt.Errorf("bucket overran: %d rows announced, %d received", announced, out.Len())
+		}
+		return nil
+	}
+
+	for {
+		if accepting && out.Len() == announced {
+			return out, nil
+		}
+		select {
+		case pkt, ok := <-b.col.Control():
+			if !ok {
+				return nil, fatalf("collector closed")
+			}
+			f, err := parseCtrl(pkt)
+			if err != nil {
+				b.badFrames.Add(1)
+				continue
+			}
+			if f.gen != gen || !f.key.equal(k) {
+				// END frames of earlier generations are expected: a
+				// bucket completes on row count, so its END is usually
+				// consumed by the next fetch. Anything else is stale.
+				if f.typ != frameEnd {
+					b.staleFrames.Add(1)
+				}
+				continue
+			}
+			switch f.typ {
+			case frameBegin:
+				if f.rows != expected {
+					return nil, fatalf("pump announced %d rows, reference model has %d (options mismatch between pump and bridge?)", f.rows, expected)
+				}
+				accepting = true
+				announced = f.rows
+				claimed := pending
+				pending = nil
+				for _, p := range claimed {
+					if err := claim(p); err != nil {
+						return nil, err
+					}
+				}
+			case frameNack:
+				return nil, fatalf("pump: %s", f.msg)
+			case frameEnd:
+				if !accepting {
+					// The BEGIN frame itself was lost; nothing of this
+					// bucket is attributable.
+					b.lostRows.Add(int64(f.rows))
+					return nil, fmt.Errorf("bucket END without BEGIN (%d rows announced)", f.rows)
+				}
+				if grace == nil {
+					grace = time.NewTimer(endGrace)
+					graceC = grace.C
+				}
+			}
+		case batch, ok := <-b.col.Batches():
+			if !ok {
+				return nil, fatalf("collector closed")
+			}
+			if !accepting {
+				pending = append(pending, batch)
+				continue
+			}
+			if err := claim(batch); err != nil {
+				return nil, err
+			}
+		case <-graceC:
+			b.lostRows.Add(int64(announced - out.Len()))
+			return nil, fmt.Errorf("bucket closed with %d of %d rows", out.Len(), announced)
+		case <-timer.C:
+			if announced > out.Len() {
+				b.lostRows.Add(int64(announced - out.Len()))
+			}
+			return nil, fmt.Errorf("timed out after %v with %d of %d rows", b.cfg.AttemptTimeout, out.Len(), expected)
+		}
+	}
+}
+
+// drainQuiescent consumes and discards stream leftovers until the
+// channels have been idle for the given window, bounded overall by the
+// attempt timeout so steady stray traffic cannot livelock a retrying
+// fetch (which holds the bridge mutex). Dropped rows are accounted as
+// orphans, dropped frames as stale.
+func (b *Bridge) drainQuiescent(idle time.Duration) {
+	t := time.NewTimer(idle)
+	defer t.Stop()
+	deadline := time.NewTimer(b.cfg.AttemptTimeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case _, ok := <-b.col.Control():
+			if !ok {
+				return
+			}
+			b.staleFrames.Add(1)
+		case batch, ok := <-b.col.Batches():
+			if !ok {
+				return
+			}
+			b.orphanRows.Add(int64(batch.Len()))
+			flowrec.PutBatch(batch)
+		case <-t.C:
+			return
+		case <-deadline.C:
+			return
+		}
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		t.Reset(idle)
+	}
+}
+
+// verifyAndRepair checks the wire batch against the reference row by row
+// and column by column. For NetFlow v9 and IPFIX every column must match
+// exactly. NetFlow v5 cannot carry direction, 64-bit counters or 32-bit
+// AS numbers: the carried bits are verified (low 32 counter bits, low 16
+// ASN bits) and the lossy columns are then restored from the verified
+// reference, so the engine sees bit-identical inputs in every format.
+func verifyAndRepair(format collector.Format, ref, got *flowrec.Batch) error {
+	if got.Len() != ref.Len() {
+		return fmt.Errorf("verification: %d rows off the wire, %d in the reference", got.Len(), ref.Len())
+	}
+	v5 := format == collector.FormatNetflowV5
+	for i := 0; i < ref.Len(); i++ {
+		switch {
+		case got.SrcIP[i] != ref.SrcIP[i]:
+			return mismatch(i, "SrcIP", ref.SrcIP[i], got.SrcIP[i])
+		case got.DstIP[i] != ref.DstIP[i]:
+			return mismatch(i, "DstIP", ref.DstIP[i], got.DstIP[i])
+		case got.SrcPort[i] != ref.SrcPort[i]:
+			return mismatch(i, "SrcPort", ref.SrcPort[i], got.SrcPort[i])
+		case got.DstPort[i] != ref.DstPort[i]:
+			return mismatch(i, "DstPort", ref.DstPort[i], got.DstPort[i])
+		case got.Proto[i] != ref.Proto[i]:
+			return mismatch(i, "Proto", ref.Proto[i], got.Proto[i])
+		case got.TCPFlags[i] != ref.TCPFlags[i]:
+			return mismatch(i, "TCPFlags", ref.TCPFlags[i], got.TCPFlags[i])
+		case got.InIf[i] != ref.InIf[i]:
+			return mismatch(i, "InIf", ref.InIf[i], got.InIf[i])
+		case got.OutIf[i] != ref.OutIf[i]:
+			return mismatch(i, "OutIf", ref.OutIf[i], got.OutIf[i])
+		case got.StartNs[i] != ref.StartNs[i]:
+			return mismatch(i, "StartNs", ref.StartNs[i], got.StartNs[i])
+		case got.EndNs[i] != ref.EndNs[i]:
+			return mismatch(i, "EndNs", ref.EndNs[i], got.EndNs[i])
+		}
+		if v5 {
+			switch {
+			case got.Bytes[i] != ref.Bytes[i]&0xFFFFFFFF:
+				return mismatch(i, "Bytes (low 32 bits)", ref.Bytes[i]&0xFFFFFFFF, got.Bytes[i])
+			case got.Packets[i] != ref.Packets[i]&0xFFFFFFFF:
+				return mismatch(i, "Packets (low 32 bits)", ref.Packets[i]&0xFFFFFFFF, got.Packets[i])
+			case got.SrcAS[i] != ref.SrcAS[i]&0xFFFF:
+				return mismatch(i, "SrcAS (low 16 bits)", ref.SrcAS[i]&0xFFFF, got.SrcAS[i])
+			case got.DstAS[i] != ref.DstAS[i]&0xFFFF:
+				return mismatch(i, "DstAS (low 16 bits)", ref.DstAS[i]&0xFFFF, got.DstAS[i])
+			}
+			continue
+		}
+		switch {
+		case got.Bytes[i] != ref.Bytes[i]:
+			return mismatch(i, "Bytes", ref.Bytes[i], got.Bytes[i])
+		case got.Packets[i] != ref.Packets[i]:
+			return mismatch(i, "Packets", ref.Packets[i], got.Packets[i])
+		case got.SrcAS[i] != ref.SrcAS[i]:
+			return mismatch(i, "SrcAS", ref.SrcAS[i], got.SrcAS[i])
+		case got.DstAS[i] != ref.DstAS[i]:
+			return mismatch(i, "DstAS", ref.DstAS[i], got.DstAS[i])
+		case got.Dir[i] != ref.Dir[i]:
+			return mismatch(i, "Dir", ref.Dir[i], got.Dir[i])
+		}
+	}
+	if v5 {
+		copy(got.Bytes, ref.Bytes)
+		copy(got.Packets, ref.Packets)
+		copy(got.SrcAS, ref.SrcAS)
+		copy(got.DstAS, ref.DstAS)
+		copy(got.Dir, ref.Dir)
+	}
+	return nil
+}
+
+func mismatch(row int, col string, want, got any) error {
+	return fmt.Errorf("verification: row %d column %s: wire %v != reference %v", row, col, got, want)
+}

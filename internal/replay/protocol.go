@@ -1,0 +1,240 @@
+// Package replay runs the experiment suite over live NetFlow/IPFIX
+// export, verified bit-for-bit against the synthetic model.
+//
+// The suite's flow inputs are keyed component-hours (see core.Dataset):
+// the plain per-hour batch of a vantage point, the gateway-pinned VPN
+// variant, and single-component batches. The replay harness splits the
+// producer and consumer of those keys across a UDP socket pair:
+//
+//   - The Pump owns the synthetic model on the exporter side. It listens
+//     for key requests on a control socket and answers each by exporting
+//     the key's batch as real NetFlow v5/v9 or IPFIX packets
+//     (collector.Exporter), framed by BEGIN/END control datagrams on the
+//     same socket so the receiver can demux the packet stream back into
+//     buckets.
+//   - The Bridge is a core.FlowSource backed by a collector.Collector in
+//     batch mode. On a dataset-cache miss it requests the key, gathers the
+//     decoded batches of the announced bucket, verifies every row
+//     bit-for-bit against its own reference model, and hands the wire
+//     batch to the engine. Lost or timed-out buckets are re-requested and
+//     accounted; rows arriving outside a bucket are counted as orphans.
+//
+// The protocol is deliberately minimal: one request datagram per key from
+// bridge to pump, and BEGIN / END / NACK control datagrams from pump to
+// bridge, in-band with the flow packets (prefixed with
+// collector.ControlMagic so the collector delivers instead of decoding
+// them). Because the bridge serialises keys — one in flight at a time —
+// demux needs no per-packet tagging: every flow packet between a BEGIN
+// and its END belongs to the announced bucket. Retries carry a generation
+// number so data from an abandoned attempt is discarded, not misfiled.
+//
+// NetFlow v5 cannot carry everything the model generates — it has no
+// direction field, 32-bit byte/packet counters and 16-bit AS numbers —
+// so for v5 the bridge verifies every bit the format does carry
+// (addresses, ports, protocol, TCP flags, interfaces, millisecond-exact
+// timestamps, the counters' low 32 bits, the ASNs' low 16 bits) and
+// restores the lossy fields from the verified reference rows. NetFlow v9
+// and IPFIX round-trip every column exactly and are verified for full
+// equality.
+package replay
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/synth"
+)
+
+// requestMagic prefixes key-request datagrams (bridge → pump control
+// socket). Distinct from collector.ControlMagic, which prefixes the
+// pump → bridge control frames on the data path.
+const requestMagic = "LKRQ"
+
+// protocolVersion is bumped on any incompatible change to the datagram
+// layouts below; both sides reject other versions.
+const protocolVersion = 1
+
+// Control frame types.
+const (
+	frameBegin = 1 // announces a bucket: its key and exact row count
+	frameEnd   = 2 // closes a bucket: all rows for the key were sent
+	frameNack  = 3 // the pump could not serve the key; carries an error
+)
+
+// Kind enumerates the flow-batch kinds of core.FlowSource.
+type Kind uint8
+
+// The three keyed batch kinds of the dataset cache.
+const (
+	KindFlows Kind = iota
+	KindVPNFlows
+	KindComponentFlows
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindFlows:
+		return "flows"
+	case KindVPNFlows:
+		return "vpn-flows"
+	case KindComponentFlows:
+		return "component-flows"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Key identifies one replayable bucket: a batch kind, vantage point,
+// optional component name and the hour. It mirrors the key space of the
+// core.Dataset flow-batch cache.
+type Key struct {
+	Kind Kind
+	VP   synth.VantagePoint
+	Name string // component name, KindComponentFlows only
+	Hour time.Time
+}
+
+// String renders the key for errors and logs.
+func (k Key) String() string {
+	h := k.Hour.UTC().Format("2006-01-02T15")
+	if k.Kind == KindComponentFlows {
+		return fmt.Sprintf("%s/%s/%s@%s", k.Kind, k.VP, k.Name, h)
+	}
+	return fmt.Sprintf("%s/%s@%s", k.Kind, k.VP, h)
+}
+
+// equal reports whether two keys identify the same bucket.
+func (k Key) equal(o Key) bool {
+	return k.Kind == o.Kind && k.VP == o.VP && k.Name == o.Name && k.Hour.Equal(o.Hour)
+}
+
+// appendKey appends the wire encoding of k: kind, hour (unix seconds,
+// big endian), then length-prefixed vantage point and component name.
+func appendKey(dst []byte, k Key) []byte {
+	dst = append(dst, byte(k.Kind))
+	var h [8]byte
+	binary.BigEndian.PutUint64(h[:], uint64(k.Hour.UTC().Unix()))
+	dst = append(dst, h[:]...)
+	dst = append(dst, byte(len(k.VP)))
+	dst = append(dst, k.VP...)
+	dst = append(dst, byte(len(k.Name)))
+	dst = append(dst, k.Name...)
+	return dst
+}
+
+// parseKey decodes a key and returns the remaining bytes.
+func parseKey(b []byte) (Key, []byte, error) {
+	if len(b) < 1+8+1 {
+		return Key{}, nil, fmt.Errorf("replay: truncated key")
+	}
+	var k Key
+	k.Kind = Kind(b[0])
+	if k.Kind > KindComponentFlows {
+		return Key{}, nil, fmt.Errorf("replay: unknown batch kind %d", b[0])
+	}
+	k.Hour = time.Unix(int64(binary.BigEndian.Uint64(b[1:9])), 0).UTC()
+	b = b[9:]
+	vpLen := int(b[0])
+	if len(b) < 1+vpLen+1 {
+		return Key{}, nil, fmt.Errorf("replay: truncated vantage point")
+	}
+	k.VP = synth.VantagePoint(b[1 : 1+vpLen])
+	b = b[1+vpLen:]
+	nameLen := int(b[0])
+	if len(b) < 1+nameLen {
+		return Key{}, nil, fmt.Errorf("replay: truncated component name")
+	}
+	k.Name = string(b[1 : 1+nameLen])
+	return k, b[1+nameLen:], nil
+}
+
+// encodeRequest builds a key-request datagram.
+func encodeRequest(gen uint32, k Key) []byte {
+	dst := make([]byte, 0, 64)
+	dst = append(dst, requestMagic...)
+	dst = append(dst, protocolVersion)
+	var g [4]byte
+	binary.BigEndian.PutUint32(g[:], gen)
+	dst = append(dst, g[:]...)
+	return appendKey(dst, k)
+}
+
+// parseRequest decodes a key-request datagram.
+func parseRequest(pkt []byte) (gen uint32, k Key, err error) {
+	if len(pkt) < len(requestMagic)+1+4 || string(pkt[:len(requestMagic)]) != requestMagic {
+		return 0, Key{}, fmt.Errorf("replay: not a request datagram")
+	}
+	if v := pkt[len(requestMagic)]; v != protocolVersion {
+		return 0, Key{}, fmt.Errorf("replay: request protocol version %d (want %d)", v, protocolVersion)
+	}
+	gen = binary.BigEndian.Uint32(pkt[len(requestMagic)+1:])
+	k, rest, err := parseKey(pkt[len(requestMagic)+5:])
+	if err != nil {
+		return 0, Key{}, err
+	}
+	if len(rest) != 0 {
+		return 0, Key{}, fmt.Errorf("replay: %d trailing bytes in request", len(rest))
+	}
+	return gen, k, nil
+}
+
+// ctrlFrame is a decoded pump → bridge control datagram.
+type ctrlFrame struct {
+	typ  byte
+	gen  uint32
+	rows int
+	key  Key
+	msg  string // frameNack only
+}
+
+// encodeCtrl builds a control frame datagram.
+func encodeCtrl(typ byte, gen uint32, rows int, k Key, msg string) []byte {
+	dst := make([]byte, 0, 96)
+	dst = append(dst, collector.ControlMagic...)
+	dst = append(dst, protocolVersion, typ)
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], gen)
+	dst = append(dst, u[:]...)
+	binary.BigEndian.PutUint32(u[:], uint32(rows))
+	dst = append(dst, u[:]...)
+	dst = appendKey(dst, k)
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(msg)))
+	dst = append(dst, l[:]...)
+	dst = append(dst, msg...)
+	return dst
+}
+
+// parseCtrl decodes a control frame datagram.
+func parseCtrl(pkt []byte) (ctrlFrame, error) {
+	hdr := len(collector.ControlMagic)
+	if len(pkt) < hdr+2+8 || string(pkt[:hdr]) != collector.ControlMagic {
+		return ctrlFrame{}, fmt.Errorf("replay: not a control datagram")
+	}
+	if v := pkt[hdr]; v != protocolVersion {
+		return ctrlFrame{}, fmt.Errorf("replay: control protocol version %d (want %d)", v, protocolVersion)
+	}
+	f := ctrlFrame{typ: pkt[hdr+1]}
+	if f.typ != frameBegin && f.typ != frameEnd && f.typ != frameNack {
+		return ctrlFrame{}, fmt.Errorf("replay: unknown control frame type %d", f.typ)
+	}
+	f.gen = binary.BigEndian.Uint32(pkt[hdr+2:])
+	f.rows = int(binary.BigEndian.Uint32(pkt[hdr+6:]))
+	key, rest, err := parseKey(pkt[hdr+10:])
+	if err != nil {
+		return ctrlFrame{}, err
+	}
+	f.key = key
+	if len(rest) < 2 {
+		return ctrlFrame{}, fmt.Errorf("replay: truncated control frame")
+	}
+	msgLen := int(binary.BigEndian.Uint16(rest))
+	if len(rest) != 2+msgLen {
+		return ctrlFrame{}, fmt.Errorf("replay: control frame message length mismatch")
+	}
+	f.msg = string(rest[2 : 2+msgLen])
+	return f, nil
+}

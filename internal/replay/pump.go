@@ -1,0 +1,178 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/flowrec"
+)
+
+// batchForKey resolves a replay key against a model oracle.
+func batchForKey(src *core.SyntheticSource, k Key) (*flowrec.Batch, error) {
+	switch k.Kind {
+	case KindFlows:
+		return src.FlowBatch(k.VP, k.Hour)
+	case KindVPNFlows:
+		return src.VPNFlowBatch(k.VP, k.Hour)
+	case KindComponentFlows:
+		return src.ComponentFlowBatch(k.VP, k.Name, k.Hour)
+	default:
+		return nil, fmt.Errorf("replay: unknown batch kind %d", k.Kind)
+	}
+}
+
+// PumpStats counts what a pump served. All fields are cumulative.
+type PumpStats struct {
+	Requests     int64 // well-formed key requests received
+	BadRequests  int64 // datagrams that failed to parse
+	Nacks        int64 // keys answered with a NACK frame (oracle failures)
+	ExportErrors int64 // transient send failures (the bridge re-requests)
+	RowsSent     int64 // flow rows exported
+}
+
+// Pump is the exporter side of the wire-replay harness: it owns a
+// synthetic model oracle and answers key requests by exporting the key's
+// batch as flow packets framed by BEGIN/END control datagrams. One Pump
+// serves one bridge (the exporter socket is dialed to the bridge's data
+// address); it is driven entirely by requests, so an idle pump costs
+// nothing.
+type Pump struct {
+	format collector.Format
+	src    *core.SyntheticSource
+	exp    *collector.Exporter
+	ctrl   *net.UDPConn
+
+	requests     atomic.Int64
+	badRequests  atomic.Int64
+	nacks        atomic.Int64
+	exportErrors atomic.Int64
+	rowsSent     atomic.Int64
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// NewPump dials dataAddr (the bridge's collector socket) with the given
+// wire format and opens a request socket on ctrlAddr ("127.0.0.1:0" for
+// an ephemeral port). The pump's model oracle is built from opts, which
+// must match the bridge's options for verification to pass.
+func NewPump(format collector.Format, dataAddr, ctrlAddr string, opts core.Options) (*Pump, error) {
+	exp, err := collector.NewExporter(format, dataAddr)
+	if err != nil {
+		return nil, err
+	}
+	ua, err := net.ResolveUDPAddr("udp", ctrlAddr)
+	if err != nil {
+		exp.Close()
+		return nil, fmt.Errorf("replay: resolve pump control %q: %w", ctrlAddr, err)
+	}
+	ctrl, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		exp.Close()
+		return nil, fmt.Errorf("replay: listen pump control %q: %w", ctrlAddr, err)
+	}
+	return &Pump{
+		format: format,
+		src:    core.NewSyntheticSource(opts),
+		exp:    exp,
+		ctrl:   ctrl,
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// CtrlAddr returns the address the pump receives key requests on.
+func (p *Pump) CtrlAddr() string { return p.ctrl.LocalAddr().String() }
+
+// Stats returns a snapshot of the pump's counters.
+func (p *Pump) Stats() PumpStats {
+	return PumpStats{
+		Requests:     p.requests.Load(),
+		BadRequests:  p.badRequests.Load(),
+		Nacks:        p.nacks.Load(),
+		ExportErrors: p.exportErrors.Load(),
+		RowsSent:     p.rowsSent.Load(),
+	}
+}
+
+// Run serves key requests until ctx is cancelled or Close is called.
+func (p *Pump) Run(ctx context.Context) {
+	buf := make([]byte, 2048)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-p.done:
+			return
+		default:
+		}
+		p.ctrl.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, _, err := p.ctrl.ReadFromUDP(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			continue // socket errors are either shutdown (next select exits) or transient
+		}
+		gen, key, err := parseRequest(buf[:n])
+		if err != nil {
+			p.badRequests.Add(1)
+			continue
+		}
+		p.requests.Add(1)
+		p.serve(gen, key)
+	}
+}
+
+// serve exports one requested bucket: BEGIN frame, the batch as flow
+// packets, END frame. Oracle failures turn into a NACK frame so the
+// bridge fails fast instead of timing out.
+func (p *Pump) serve(gen uint32, key Key) {
+	b, err := batchForKey(p.src, key)
+	if err != nil {
+		p.nacks.Add(1)
+		p.exp.WriteRaw(encodeCtrl(frameNack, gen, 0, key, err.Error()))
+		return
+	}
+	if err := p.exp.WriteRaw(encodeCtrl(frameBegin, gen, b.Len(), key, "")); err != nil {
+		// Same policy as the export-error path below: close the bucket
+		// (best effort) so the bridge retries via the fast
+		// END-without-BEGIN path instead of waiting out its attempt
+		// timeout.
+		p.exportErrors.Add(1)
+		p.exp.WriteRaw(encodeCtrl(frameEnd, gen, b.Len(), key, ""))
+		return
+	}
+	if b.Len() > 0 {
+		// Stamp the packets at the end of the bucket's hour: every flow
+		// of the bucket then started at most one hour before export,
+		// which keeps NetFlow v5's uptime-relative timestamps exact.
+		if err := p.exp.ExportBatchAt(b, key.Hour.Add(time.Hour)); err != nil {
+			// A send error is transient wire trouble (e.g. buffer
+			// exhaustion), not a model failure: no NACK — that would
+			// abort the bridge's fetch fatally. Close the bucket so the
+			// bridge sees the shortfall quickly and re-requests it.
+			p.exportErrors.Add(1)
+		} else {
+			p.rowsSent.Add(int64(b.Len()))
+		}
+	}
+	p.exp.WriteRaw(encodeCtrl(frameEnd, gen, b.Len(), key, ""))
+}
+
+// Close stops Run and releases both sockets.
+func (p *Pump) Close() error {
+	p.closeOnce.Do(func() { close(p.done) })
+	err := p.ctrl.Close()
+	if cerr := p.exp.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

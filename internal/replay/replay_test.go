@@ -1,0 +1,344 @@
+package replay
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/flowrec"
+	"lockdown/internal/synth"
+)
+
+var testHour = time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC)
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	keys := []Key{
+		{Kind: KindFlows, VP: synth.ISPCE, Hour: testHour},
+		{Kind: KindVPNFlows, VP: synth.IXPCE, Hour: testHour.Add(31 * 24 * time.Hour)},
+		{Kind: KindComponentFlows, VP: synth.IXPSE, Name: "gaming", Hour: testHour},
+	}
+	for _, k := range keys {
+		gen, got, err := func() (uint32, Key, error) {
+			return parseRequestHelper(t, encodeRequest(7, k))
+		}()
+		if err != nil {
+			t.Fatalf("parseRequest(%v): %v", k, err)
+		}
+		if gen != 7 || !got.equal(k) {
+			t.Fatalf("request round trip: got gen=%d key=%v, want gen=7 key=%v", gen, got, k)
+		}
+		for _, typ := range []byte{frameBegin, frameEnd, frameNack} {
+			f, err := parseCtrl(encodeCtrl(typ, 9, 42, k, "boom"))
+			if err != nil {
+				t.Fatalf("parseCtrl(%v type %d): %v", k, typ, err)
+			}
+			if f.typ != typ || f.gen != 9 || f.rows != 42 || !f.key.equal(k) || f.msg != "boom" {
+				t.Fatalf("ctrl round trip: got %+v", f)
+			}
+		}
+	}
+}
+
+func parseRequestHelper(t *testing.T, pkt []byte) (uint32, Key, error) {
+	t.Helper()
+	return parseRequest(pkt)
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, pkt := range [][]byte{nil, []byte("x"), []byte("LKRQ"), []byte("LKRW\x01\x01"), []byte("LKRQ\x02aaaaaaaaaaaaaaaa")} {
+		if _, _, err := parseRequest(pkt); err == nil {
+			t.Errorf("parseRequest(%q) accepted garbage", pkt)
+		}
+		if _, err := parseCtrl(pkt); err == nil {
+			t.Errorf("parseCtrl(%q) accepted garbage", pkt)
+		}
+	}
+	// A control frame whose key kind is out of range must be rejected.
+	bad := encodeCtrl(frameBegin, 1, 1, Key{Kind: 9, VP: synth.EDU, Hour: testHour}, "")
+	if _, err := parseCtrl(bad); err == nil {
+		t.Error("parseCtrl accepted an out-of-range batch kind")
+	}
+}
+
+// newHarness wires a pump and bridge over loopback for one format.
+func newHarness(t *testing.T, format collector.Format, opts core.Options) (*Bridge, *Pump) {
+	t.Helper()
+	br, err := NewBridge(Config{Format: format, Options: opts})
+	if err != nil {
+		t.Fatalf("NewBridge: %v", err)
+	}
+	pump, err := NewPump(format, br.DataAddr(), "127.0.0.1:0", opts)
+	if err != nil {
+		br.Close()
+		t.Fatalf("NewPump: %v", err)
+	}
+	if err := br.ConnectPump(pump.CtrlAddr()); err != nil {
+		t.Fatalf("ConnectPump: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(func() {
+		cancel()
+		pump.Close()
+		br.Close()
+	})
+	go pump.Run(ctx)
+	br.Start(ctx)
+	return br, pump
+}
+
+// batchesEqual compares every column of two batches.
+func batchesEqual(t *testing.T, want, got *flowrec.Batch) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("row count: want %d, got %d", want.Len(), got.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if want.Record(i) != got.Record(i) {
+			t.Fatalf("row %d differs:\nwant %+v\ngot  %+v", i, want.Record(i), got.Record(i))
+		}
+	}
+}
+
+func TestBridgeServesAllKindsAllFormats(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	ref := core.NewSyntheticSource(opts)
+	for _, format := range []collector.Format{collector.FormatNetflowV5, collector.FormatNetflowV9, collector.FormatIPFIX} {
+		t.Run(format.String(), func(t *testing.T) {
+			br, pump := newHarness(t, format, opts)
+
+			want, err := ref.FlowBatch(synth.ISPCE, testHour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := br.FlowBatch(synth.ISPCE, testHour)
+			if err != nil {
+				t.Fatalf("FlowBatch over %v: %v", format, err)
+			}
+			batchesEqual(t, want, got)
+
+			want, err = ref.VPNFlowBatch(synth.IXPCE, testHour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = br.VPNFlowBatch(synth.IXPCE, testHour)
+			if err != nil {
+				t.Fatalf("VPNFlowBatch over %v: %v", format, err)
+			}
+			batchesEqual(t, want, got)
+
+			want, err = ref.ComponentFlowBatch(synth.IXPSE, "gaming", testHour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = br.ComponentFlowBatch(synth.IXPSE, "gaming", testHour)
+			if err != nil {
+				t.Fatalf("ComponentFlowBatch over %v: %v", format, err)
+			}
+			batchesEqual(t, want, got)
+
+			stats := br.Stats()
+			if stats.Keys != 3 {
+				t.Errorf("stats.Keys = %d, want 3", stats.Keys)
+			}
+			if stats.Rows == 0 || stats.LostRows != 0 || stats.Retries != 0 {
+				t.Errorf("unexpected stats: %+v", stats)
+			}
+			if ps := pump.Stats(); ps.Requests != 3 || ps.RowsSent != stats.Rows {
+				t.Errorf("pump stats %+v do not match bridge stats %+v", ps, stats)
+			}
+		})
+	}
+}
+
+func TestBridgeOptionsMismatchIsFatal(t *testing.T) {
+	br, err := NewBridge(Config{
+		Format:         collector.FormatIPFIX,
+		Options:        core.Options{FlowScale: 0.1},
+		AttemptTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pump models a different flow scale: its announced row counts
+	// disagree with the bridge's reference, which must fail fast (a
+	// retry cannot cure a model mismatch).
+	pump, err := NewPump(collector.FormatIPFIX, br.DataAddr(), "127.0.0.1:0", core.Options{FlowScale: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.ConnectPump(pump.CtrlAddr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); pump.Close(); br.Close() }()
+	go pump.Run(ctx)
+	br.Start(ctx)
+
+	start := time.Now()
+	if _, err := br.FlowBatch(synth.ISPCE, testHour); err == nil {
+		t.Fatal("fetch with mismatched options succeeded")
+	} else if !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("model mismatch took %v; should fail fast, not retry to timeout", d)
+	}
+}
+
+func TestBridgeNackFromPump(t *testing.T) {
+	// An unknown vantage point has no components: the bridge's own
+	// reference build fails before any request, so to exercise the NACK
+	// path we speak the request protocol directly and read the frame
+	// back on a bare socket standing in for the bridge's collector.
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	pump, err := NewPump(collector.FormatIPFIX, sink.LocalAddr().String(), "127.0.0.1:0", core.Options{FlowScale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); pump.Close() }()
+	go pump.Run(ctx)
+
+	req, err := net.Dial("udp", pump.CtrlAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer req.Close()
+	if _, err := req.Write(encodeRequest(1, Key{Kind: KindFlows, VP: "NO-SUCH-VP", Hour: testHour})); err != nil {
+		t.Fatal(err)
+	}
+	sink.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 2048)
+	n, _, err := sink.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatalf("no frame from pump: %v", err)
+	}
+	f, err := parseCtrl(buf[:n])
+	if err != nil {
+		t.Fatalf("parseCtrl: %v", err)
+	}
+	if f.typ != frameNack || f.msg == "" {
+		t.Fatalf("want NACK with message, got %+v", f)
+	}
+	if ps := pump.Stats(); ps.Nacks != 1 {
+		t.Errorf("pump.Stats().Nacks = %d, want 1", ps.Nacks)
+	}
+}
+
+func TestBridgeTimesOutWithoutPump(t *testing.T) {
+	br, err := NewBridge(Config{
+		Format:         collector.FormatIPFIX,
+		Options:        core.Options{FlowScale: 0.1},
+		AttemptTimeout: 50 * time.Millisecond,
+		MaxAttempts:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dial a socket that nobody answers on.
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead.Close() // nothing listens here anymore
+	if err := br.ConnectPump(dead.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); br.Close() }()
+	br.Start(ctx)
+
+	if _, err := br.FlowBatch(synth.ISPCE, testHour); err == nil {
+		t.Fatal("fetch without a pump succeeded")
+	}
+	if s := br.Stats(); s.Retries != 1 {
+		t.Errorf("stats.Retries = %d, want 1 (MaxAttempts=2)", s.Retries)
+	}
+}
+
+func TestBridgeDiscardsOrphanRows(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	br, _ := newHarness(t, collector.FormatIPFIX, opts)
+
+	// Inject flow packets outside any bucket: a second exporter sends
+	// rows the bridge never requested.
+	stray, err := collector.NewExporter(collector.FormatIPFIX, br.DataAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stray.Close()
+	g := synth.MustNewDefault(synth.EDU)
+	strayRows := g.FlowsForHourBatch(testHour)
+	if strayRows.Len() == 0 {
+		t.Fatal("stray batch is empty")
+	}
+	if err := stray.ExportBatch(strayRows); err != nil {
+		t.Fatal(err)
+	}
+
+	// A real fetch must still succeed; the stray rows are orphans.
+	ref := core.NewSyntheticSource(opts)
+	want, err := ref.FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := br.FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatalf("fetch alongside stray traffic: %v", err)
+	}
+	batchesEqual(t, want, got)
+	if s := br.Stats(); s.OrphanRows == 0 {
+		t.Errorf("stats.OrphanRows = 0, want > 0 (stray exporter sent rows)")
+	}
+}
+
+func TestVerifyAndRepair(t *testing.T) {
+	g := synth.MustNewDefault(synth.ISPCE)
+	ref := g.FlowsForHourBatch(testHour)
+	if ref.Len() == 0 {
+		t.Fatal("empty reference batch")
+	}
+
+	// Full-fidelity formats: an identical copy passes, a tampered byte
+	// count fails.
+	cp := flowrec.NewBatch(ref.Len())
+	cp.AppendBatch(ref)
+	if err := verifyAndRepair(collector.FormatIPFIX, ref, cp); err != nil {
+		t.Fatalf("identical batch rejected: %v", err)
+	}
+	cp.Bytes[0]++
+	if err := verifyAndRepair(collector.FormatIPFIX, ref, cp); err == nil {
+		t.Fatal("tampered Bytes column accepted")
+	}
+
+	// v5: a batch with the format's documented losses applied (truncated
+	// counters and ASNs, no direction) verifies and is repaired to full
+	// fidelity.
+	lossy := flowrec.NewBatch(ref.Len())
+	lossy.AppendBatch(ref)
+	for i := 0; i < lossy.Len(); i++ {
+		lossy.Bytes[i] &= 0xFFFFFFFF
+		lossy.Packets[i] &= 0xFFFFFFFF
+		lossy.SrcAS[i] &= 0xFFFF
+		lossy.DstAS[i] &= 0xFFFF
+		lossy.Dir[i] = flowrec.DirUnknown
+	}
+	if err := verifyAndRepair(collector.FormatNetflowV5, ref, lossy); err != nil {
+		t.Fatalf("v5-lossy batch rejected: %v", err)
+	}
+	batchesEqual(t, ref, lossy)
+
+	// v5 with a carried field tampered must still fail.
+	lossy.SrcPort[0]++
+	if err := verifyAndRepair(collector.FormatNetflowV5, ref, lossy); err == nil {
+		t.Fatal("tampered SrcPort accepted on the v5 path")
+	}
+}
