@@ -8,18 +8,25 @@
 //	lockdown all [flags]          run every experiment on the parallel engine
 //	lockdown doc [flags]          emit the generated EXPERIMENTS.md to stdout
 //	lockdown replay [flags]       run every experiment over live wire export
+//	lockdown cluster [flags]      run every experiment over N sharded pumps
+//	lockdown pump [flags]         serve one cluster shard (spawned by cluster)
 //
-// Flags for run/all/doc/replay:
+// Flags for run/all/doc/replay/cluster:
 //
-//	-csv          emit CSV instead of aligned text tables (run/all/replay)
-//	-json         emit JSON instead of text tables (run/all/replay)
+//	-csv          emit CSV instead of aligned text tables (run/all/replay/cluster)
+//	-json         emit JSON instead of text tables (run/all/replay/cluster)
 //	-scale f      flow sampling density for flow-level experiments (default 0.5)
 //	-seed n       generator seed override
-//	-parallel n   worker count for all/doc/replay (default GOMAXPROCS)
+//	-parallel n   worker count for all/doc/replay/cluster (default GOMAXPROCS)
 //	-cpuprofile f write a pprof CPU profile of the command to f
 //	-memprofile f write a pprof heap profile (after the run) to f
-//	-format f     replay wire format: v5, v9 or ipfix (default ipfix)
-//	-addr a       replay bridge UDP listen address (default 127.0.0.1:0)
+//	-format f     replay/cluster wire format: v5, v9 or ipfix (default ipfix)
+//	-addr a       replay/cluster bridge UDP listen address (default 127.0.0.1:0)
+//	-pps f        replay/cluster pump pacing, datagrams per second (0 = unlimited)
+//	-unverified   replay only: capture mode, serve wire rows without failing on
+//	              verification mismatches (accounted in the bridge stats)
+//	-shards n     cluster only: number of pump shards (default 4)
+//	-subprocess   cluster only: run each pump as its own `lockdown pump` process
 //
 // `replay` runs the same suite as `all`, but every flow batch travels a
 // real UDP wire first: a pump exports the synthetic component-hours as
@@ -27,6 +34,16 @@
 // verifies them bit-for-bit before the engine consumes them (see
 // internal/replay). The results are byte-identical to `all`; the wire
 // and loss accounting is printed to stderr.
+//
+// `cluster` is `replay` distributed the way the paper's measurement
+// actually was: the vantage points are partitioned over N pumps — each
+// with its own wire stream identity (IPFIX observation domain, NetFlow
+// v9 source ID, v5 engine ID) — and the bridge demuxes their
+// interleaved export per stream, with N buckets in flight concurrently
+// (see internal/cluster). With -subprocess each pump is a separate
+// `lockdown pump` process under supervisor restart handling. The
+// results remain byte-identical to `all`; per-shard wire accounting is
+// printed to stderr.
 //
 // `all` prints a bench-style timing summary and the dataset-cache stats to
 // stderr after the results. The profile flags exist so performance work on
@@ -45,6 +62,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"lockdown/internal/cluster"
 	"lockdown/internal/collector"
 	"lockdown/internal/core"
 	"lockdown/internal/replay"
@@ -57,7 +75,9 @@ func usage() {
   lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n] [-cpuprofile f] [-memprofile f]
   lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
   lockdown doc [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
-  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
+  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-unverified] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
+  lockdown cluster [-shards n] [-subprocess] [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
+  lockdown pump -data host:port [-format v5|v9|ipfix] [-ctrl host:port] [-shard i/n] [-scale f] [-seed n] [-pps f]
 
 experiments:
 `)
@@ -90,17 +110,26 @@ func run(ctx context.Context, args []string) error {
 			fmt.Printf("%-18s %-22s %s\n", e.ID, e.Artifact, e.Title)
 		}
 		return nil
-	case "run", "all", "doc", "replay":
+	case "pump":
+		// The exporter half of a subprocess cluster; it has its own flag
+		// shape and speaks the READY handshake on stdout, so it bypasses
+		// the shared flag set below.
+		return cluster.PumpMain(ctx, args[1:], os.Stdin, os.Stdout)
+	case "run", "all", "doc", "replay", "cluster":
 		fs := flag.NewFlagSet(args[0], flag.ContinueOnError)
 		csvOut := fs.Bool("csv", false, "emit CSV instead of text tables")
 		jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
 		scale := fs.Float64("scale", 0.5, "flow sampling density for flow-level experiments")
 		seed := fs.Int64("seed", 0, "generator seed override (0 = default)")
-		parallel := fs.Int("parallel", 0, "worker count for all/doc/replay (0 = GOMAXPROCS)")
+		parallel := fs.Int("parallel", 0, "worker count for all/doc/replay/cluster (0 = GOMAXPROCS)")
 		cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
-		formatName := fs.String("format", "ipfix", "replay wire format: v5, v9 or ipfix")
-		addr := fs.String("addr", "127.0.0.1:0", "replay bridge UDP listen address")
+		formatName := fs.String("format", "ipfix", "replay/cluster wire format: v5, v9 or ipfix")
+		addr := fs.String("addr", "127.0.0.1:0", "replay/cluster bridge UDP listen address")
+		pps := fs.Float64("pps", 0, "pump pacing in datagrams per second (0 = unlimited)")
+		unverified := fs.Bool("unverified", false, "replay capture mode: serve wire rows without failing verification")
+		shards := fs.Int("shards", cluster.DefaultShards, "cluster pump shard count")
+		subprocess := fs.Bool("subprocess", false, "cluster: run each pump as its own process")
 
 		rest := args[1:]
 		var id string
@@ -123,17 +152,23 @@ func run(ctx context.Context, args []string) error {
 		switch args[0] {
 		case "run":
 			if *parallel != 0 {
-				return fmt.Errorf("-parallel only applies to all/doc/replay")
+				return fmt.Errorf("-parallel only applies to all/doc/replay/cluster")
 			}
 		case "doc":
 			if *csvOut || *jsonOut {
-				return fmt.Errorf("doc always emits markdown; -csv/-json only apply to run/all/replay")
+				return fmt.Errorf("doc always emits markdown; -csv/-json only apply to run/all/replay/cluster")
 			}
 		}
-		if args[0] != "replay" {
-			if *formatName != "ipfix" || *addr != "127.0.0.1:0" {
-				return fmt.Errorf("-format/-addr only apply to replay")
+		if args[0] != "replay" && args[0] != "cluster" {
+			if *formatName != "ipfix" || *addr != "127.0.0.1:0" || *pps != 0 {
+				return fmt.Errorf("-format/-addr/-pps only apply to replay/cluster")
 			}
+		}
+		if args[0] != "replay" && *unverified {
+			return fmt.Errorf("-unverified only applies to replay")
+		}
+		if args[0] != "cluster" && (*shards != cluster.DefaultShards || *subprocess) {
+			return fmt.Errorf("-shards/-subprocess only apply to cluster")
 		}
 		if *cpuProfile != "" {
 			f, err := os.Create(*cpuProfile)
@@ -163,7 +198,10 @@ func run(ctx context.Context, args []string) error {
 		opts := core.Options{FlowScale: *scale, Seed: *seed}
 
 		if args[0] == "replay" {
-			return runReplay(ctx, opts, *formatName, *addr, *parallel, *csvOut, *jsonOut)
+			return runReplay(ctx, opts, *formatName, *addr, *pps, *unverified, *parallel, *csvOut, *jsonOut)
+		}
+		if args[0] == "cluster" {
+			return runCluster(ctx, opts, *formatName, *addr, *pps, *shards, *subprocess, *parallel, *csvOut, *jsonOut)
 		}
 		engine := core.NewEngine(opts)
 
@@ -202,17 +240,17 @@ func run(ctx context.Context, args []string) error {
 // bit-for-bit verified batches into the engine as its FlowSource. The
 // emitted results are byte-identical to `lockdown all` at the same
 // options; the wire and loss accounting goes to stderr.
-func runReplay(ctx context.Context, opts core.Options, formatName, addr string, parallel int, asCSV, asJSON bool) error {
+func runReplay(ctx context.Context, opts core.Options, formatName, addr string, pps float64, unverified bool, parallel int, asCSV, asJSON bool) error {
 	format, err := collector.ParseFormat(formatName)
 	if err != nil {
 		return err
 	}
-	br, err := replay.NewBridge(replay.Config{Format: format, ListenAddr: addr, Options: opts})
+	br, err := replay.NewBridge(replay.Config{Format: format, ListenAddr: addr, Options: opts, Unverified: unverified})
 	if err != nil {
 		return err
 	}
 	defer br.Close()
-	pump, err := replay.NewPump(format, br.DataAddr(), "127.0.0.1:0", opts)
+	pump, err := replay.NewPump(replay.PumpConfig{Format: format, DataAddr: br.DataAddr(), Rate: pps, Options: opts})
 	if err != nil {
 		return err
 	}
@@ -236,10 +274,70 @@ func runReplay(ctx context.Context, opts core.Options, formatName, addr string, 
 		return err
 	}
 	bs, ps := br.Stats(), pump.Stats()
-	fmt.Fprintf(os.Stderr, "wire bridge: %d buckets, %d rows verified, %d retries, %d rows lost, %d orphan rows, %d decode errors\n",
-		bs.Keys, bs.Rows, bs.Retries, bs.LostRows, bs.OrphanRows, bs.DecodeErrors)
+	fmt.Fprintf(os.Stderr, "wire bridge: %d buckets, %d rows verified, %d retries, %d rows lost, %d orphan rows, %d decode errors, %d unverified\n",
+		bs.Keys, bs.Rows, bs.Retries, bs.LostRows, bs.OrphanRows, bs.DecodeErrors, bs.Unverified)
 	fmt.Fprintf(os.Stderr, "wire pump: %d requests, %d rows exported, %d nacks\n",
 		ps.Requests, ps.RowsSent, ps.Nacks)
+	return nil
+}
+
+// runCluster executes the full experiment suite over a sharded pump
+// fleet: the vantage points are partitioned over N pumps (in-process
+// goroutines, or supervised `lockdown pump` subprocesses), each pump
+// exports with its own wire stream identity, and one bridge demuxes,
+// verifies and serves the interleaved export to the engine. The emitted
+// results are byte-identical to `lockdown all` at the same options;
+// per-shard wire accounting goes to stderr.
+func runCluster(ctx context.Context, opts core.Options, formatName, addr string, pps float64, shards int, subprocess bool, parallel int, asCSV, asJSON bool) error {
+	format, err := collector.ParseFormat(formatName)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.New(cluster.Spec{
+		Shards:       shards,
+		Format:       format,
+		Options:      opts,
+		Rate:         pps,
+		Subprocess:   subprocess,
+		BridgeListen: addr,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if err := c.Start(runCtx); err != nil {
+		return err
+	}
+	mode := "in-process"
+	if subprocess {
+		mode = "subprocess"
+	}
+	fmt.Fprintf(os.Stderr, "cluster: %v bridge on %s, %d %s pump shards\n",
+		format, c.Bridge().DataAddr(), shards, mode)
+
+	engine := core.NewEngineWithSource(opts, c.Source())
+	results, err := engine.RunAll(runCtx, parallel)
+	if err != nil {
+		return err
+	}
+	if err := emitSuite(results, engine.Data(), asCSV, asJSON); err != nil {
+		return err
+	}
+	stats := c.Stats()
+	bs := stats.Bridge
+	fmt.Fprintf(os.Stderr, "wire bridge: %d buckets, %d rows verified, %d retries, %d rows lost, %d orphan rows, %d decode errors\n",
+		bs.Keys, bs.Rows, bs.Retries, bs.LostRows, bs.OrphanRows, bs.DecodeErrors)
+	for _, sh := range stats.Shards {
+		ss := stats.Streams[sh.Stream]
+		health := "healthy"
+		if !sh.Healthy {
+			health = "DOWN"
+		}
+		fmt.Fprintf(os.Stderr, "  shard %d (%s, %d restarts): %d buckets, %d rows, %d retries, %d rows lost\n",
+			sh.Shard, health, sh.Restarts, ss.Keys, ss.Rows, ss.Retries, ss.LostRows)
+	}
 	return nil
 }
 

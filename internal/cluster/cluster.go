@@ -1,0 +1,498 @@
+// Package cluster shards the wire-replay harness over several exporter
+// processes, reproducing the multi-vantage-point topology of "The
+// Lockdown Effect" (IMC 2020): the paper's observations come from an
+// ISP, IXPs, an EDU network and a mobile operator measured
+// simultaneously, and here each vantage point's flow export likewise
+// comes from its own pump.
+//
+// A Spec partitions the vantage points over N shards. Each shard is one
+// replay.Pump carrying the shard index as its wire stream identity
+// (IPFIX observation domain, NetFlow v9 source ID, v5 engine ID), so
+// all pumps share one bridge socket and the bridge demuxes their
+// interleaved export per stream (see internal/replay). The Cluster
+// supervisor launches the pumps — in-process goroutines, or `lockdown
+// pump` subprocesses with a READY handshake, restart-with-backoff and
+// health tracking — wires every stream to the bridge, and aggregates
+// the per-shard accounting.
+//
+// The bridge verifies every bucket bit-for-bit against its reference
+// model regardless of which pump served it, so an engine drawing from a
+// cluster produces output byte-identical to the in-memory engine —
+// `lockdown cluster -shards 4` versus `lockdown all` — which the
+// race-enabled golden test in this package pins.
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/replay"
+	"lockdown/internal/synth"
+)
+
+// Defaults for Spec.
+const (
+	DefaultShards      = 4
+	DefaultMaxRestarts = 3
+	readyTimeout       = 10 * time.Second
+)
+
+// Spec configures a sharded replay cluster.
+type Spec struct {
+	// Shards is the number of pumps (DefaultShards if zero). NetFlow v5
+	// carries only 8 bits of stream identity, so v5 clusters are capped
+	// at collector.MaxV5Stream+1 shards.
+	Shards int
+	// Format is the wire format every pump exports.
+	Format collector.Format
+	// Options build the model on both sides; pumps and bridge must
+	// agree or verification fails.
+	Options core.Options
+	// Rate caps each pump at this many datagrams per second (0 =
+	// unlimited); see replay.PumpConfig.Rate.
+	Rate float64
+	// Partition overrides the shard of individual vantage points.
+	// Unnamed vantage points keep the default partition: the paper's
+	// vantage points (synth.AllVantagePoints) round-robin over the
+	// shards in order, so every shard owns whole vantage points and all
+	// keys of one vantage point route to one pump.
+	Partition map[synth.VantagePoint]int
+	// Subprocess launches each pump as its own OS process (`<Exe> pump
+	// -shard i/N …`) instead of an in-process goroutine. The supervisor
+	// restarts crashed pumps with backoff, up to MaxRestarts each.
+	Subprocess bool
+	// Exe is the binary spawned in subprocess mode (the running
+	// executable if empty).
+	Exe string
+	// MaxRestarts bounds how often one subprocess shard is restarted
+	// before it is declared unhealthy (DefaultMaxRestarts if zero).
+	MaxRestarts int
+	// BridgeListen is the bridge's UDP listen address ("127.0.0.1:0"
+	// if empty).
+	BridgeListen string
+	// AttemptTimeout and MaxAttempts tune the bridge's retry policy
+	// (replay defaults if zero). MaxAttempts also covers pump-restart
+	// windows: a fetch hitting a dead pump keeps re-requesting until
+	// the supervisor has revived it or the attempts run out.
+	AttemptTimeout time.Duration
+	MaxAttempts    int
+}
+
+func (s Spec) shards() int {
+	if s.Shards <= 0 {
+		return DefaultShards
+	}
+	return s.Shards
+}
+
+func (s Spec) maxRestarts() int {
+	if s.MaxRestarts <= 0 {
+		return DefaultMaxRestarts
+	}
+	return s.MaxRestarts
+}
+
+// validate rejects specs the wire or the partition cannot express.
+func (s Spec) validate() error {
+	n := s.shards()
+	if s.Format == collector.FormatNetflowV5 && n > collector.MaxV5Stream+1 {
+		return fmt.Errorf("cluster: %d shards do not fit NetFlow v5's 8-bit engine ID (max %d)", n, collector.MaxV5Stream+1)
+	}
+	for vp, shard := range s.Partition {
+		if shard < 0 || shard >= n {
+			return fmt.Errorf("cluster: partition maps %s to shard %d, outside 0..%d", vp, shard, n-1)
+		}
+	}
+	return nil
+}
+
+// partition returns the full vantage-point→shard map: the round-robin
+// default overlaid with the spec's explicit entries.
+func (s Spec) partition() map[synth.VantagePoint]int {
+	n := s.shards()
+	part := make(map[synth.VantagePoint]int)
+	for i, vp := range synth.AllVantagePoints() {
+		part[vp] = i % n
+	}
+	for vp, shard := range s.Partition {
+		part[vp] = shard
+	}
+	return part
+}
+
+// Route builds the bridge's key→stream route from the partition.
+// Vantage points outside the partition (none in the standard suite)
+// route by a stable hash so the route is total and deterministic.
+func (s Spec) Route() replay.Route {
+	n := s.shards()
+	part := s.partition()
+	return func(k replay.Key) uint32 {
+		if shard, ok := part[k.VP]; ok {
+			return uint32(shard)
+		}
+		h := fnv.New32a()
+		io.WriteString(h, string(k.VP))
+		return h.Sum32() % uint32(n)
+	}
+}
+
+// ShardStatus is one shard's health snapshot.
+type ShardStatus struct {
+	Shard    int
+	Stream   uint32
+	Addr     string // pump control address ("" until the shard is up)
+	Healthy  bool
+	Restarts int
+	// Pump carries the pump's own counters for in-process shards (a
+	// subprocess pump's counters live in its process; InProcess is
+	// false and Pump zero).
+	InProcess bool
+	Pump      replay.PumpStats
+}
+
+// Stats aggregates what a cluster observed: the bridge totals, the
+// per-stream demux accounting, and each shard's health.
+type Stats struct {
+	Bridge  replay.Stats
+	Streams map[uint32]replay.Stats
+	Shards  []ShardStatus
+}
+
+// shard is the supervisor's handle on one pump.
+type shard struct {
+	id int
+
+	mu       sync.Mutex
+	addr     string
+	healthy  bool
+	restarts int
+	pump     *replay.Pump // in-process mode
+	cmd      *exec.Cmd    // subprocess mode
+	stdin    io.Closer    // closing it tells the child to exit
+}
+
+func (sh *shard) status(inProcess bool) ShardStatus {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := ShardStatus{
+		Shard:     sh.id,
+		Stream:    uint32(sh.id),
+		Addr:      sh.addr,
+		Healthy:   sh.healthy,
+		Restarts:  sh.restarts,
+		InProcess: inProcess,
+	}
+	if inProcess && sh.pump != nil {
+		st.Pump = sh.pump.Stats()
+	}
+	return st
+}
+
+// Cluster is a running sharded replay topology: one bridge, N pumps,
+// and the supervisor goroutines keeping subprocess pumps alive. Create
+// it with New, launch with Start, and hand Source() to
+// core.NewEngineWithSource.
+type Cluster struct {
+	spec   Spec
+	bridge *replay.Bridge
+	shards []*shard
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New validates the spec and opens the bridge socket. No pumps run
+// until Start.
+func New(spec Spec) (*Cluster, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	bridge, err := replay.NewBridge(replay.Config{
+		Format:         spec.Format,
+		ListenAddr:     spec.BridgeListen,
+		Options:        spec.Options,
+		Route:          spec.Route(),
+		AttemptTimeout: spec.AttemptTimeout,
+		MaxAttempts:    spec.MaxAttempts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{spec: spec, bridge: bridge}
+	for i := 0; i < spec.shards(); i++ {
+		c.shards = append(c.shards, &shard{id: i})
+	}
+	return c, nil
+}
+
+// Bridge returns the cluster's bridge (stats, stream accounting).
+func (c *Cluster) Bridge() *replay.Bridge { return c.bridge }
+
+// Source returns the cluster as a flow source for an engine.
+func (c *Cluster) Source() core.FlowSource { return c.bridge }
+
+// Start launches every pump, connects its stream to the bridge and
+// starts the bridge's demux. It blocks until all shards answered (in
+// subprocess mode: printed their READY line); a shard that cannot start
+// fails the whole cluster.
+func (c *Cluster) Start(ctx context.Context) error {
+	c.ctx, c.cancel = context.WithCancel(ctx)
+	c.bridge.Start(c.ctx)
+	for _, sh := range c.shards {
+		if err := c.launchShard(sh); err != nil {
+			c.Close()
+			return fmt.Errorf("cluster: shard %d: %w", sh.id, err)
+		}
+	}
+	return nil
+}
+
+// launchShard brings one shard up and wires its stream.
+func (c *Cluster) launchShard(sh *shard) error {
+	if c.spec.Subprocess {
+		if err := c.spawn(sh); err != nil {
+			return err
+		}
+		c.wg.Add(1)
+		go c.supervise(sh)
+	} else {
+		pump, err := replay.NewPump(replay.PumpConfig{
+			Format:   c.spec.Format,
+			DataAddr: c.bridge.DataAddr(),
+			Stream:   uint32(sh.id),
+			Rate:     c.spec.Rate,
+			Options:  c.spec.Options,
+		})
+		if err != nil {
+			return err
+		}
+		sh.mu.Lock()
+		sh.pump = pump
+		sh.addr = pump.CtrlAddr()
+		sh.healthy = true
+		sh.mu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			pump.Run(c.ctx)
+		}()
+	}
+	sh.mu.Lock()
+	addr := sh.addr
+	sh.mu.Unlock()
+	return c.bridge.ConnectStream(uint32(sh.id), addr)
+}
+
+// spawn starts one subprocess pump and waits for its READY handshake;
+// the caller owns supervision.
+func (c *Cluster) spawn(sh *shard) error {
+	exe := c.spec.Exe
+	if exe == "" {
+		var err error
+		if exe, err = os.Executable(); err != nil {
+			return fmt.Errorf("resolve executable: %w", err)
+		}
+	}
+	args := []string{
+		"pump",
+		"-format", c.spec.Format.String(),
+		"-data", c.bridge.DataAddr(),
+		"-ctrl", "127.0.0.1:0",
+		"-shard", fmt.Sprintf("%d/%d", sh.id, c.spec.shards()),
+		"-scale", strconv.FormatFloat(c.spec.Options.FlowScale, 'g', -1, 64),
+		"-seed", strconv.FormatInt(c.spec.Options.Seed, 10),
+		"-pps", strconv.FormatFloat(c.spec.Rate, 'g', -1, 64),
+	}
+	cmd := exec.Command(exe, args...)
+	// The env flag lets a test binary impersonate `lockdown pump` (its
+	// TestMain dispatches on it); the real binary dispatches on argv and
+	// ignores it.
+	cmd.Env = append(os.Environ(), "LOCKDOWN_PUMP_CHILD=1")
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s pump: %w", exe, err)
+	}
+
+	// READY handshake: the pump prints its ephemeral control address
+	// once it listens; everything after is drained so the child never
+	// blocks on a full pipe.
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		r := bufio.NewReader(stdout)
+		line, err := r.ReadString('\n')
+		if err != nil {
+			errCh <- fmt.Errorf("pump exited before READY: %w", err)
+			return
+		}
+		addr, ok := strings.CutPrefix(strings.TrimSpace(line), "READY ")
+		if !ok {
+			errCh <- fmt.Errorf("unexpected pump handshake %q", strings.TrimSpace(line))
+			return
+		}
+		addrCh <- addr
+		io.Copy(io.Discard, r)
+	}()
+	select {
+	case addr := <-addrCh:
+		sh.mu.Lock()
+		sh.cmd = cmd
+		sh.stdin = stdin
+		sh.addr = addr
+		sh.healthy = true
+		sh.mu.Unlock()
+	case err := <-errCh:
+		cmd.Process.Kill()
+		cmd.Wait()
+		return err
+	case <-time.After(readyTimeout):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("pump did not answer READY within %v", readyTimeout)
+	case <-c.ctx.Done():
+		cmd.Process.Kill()
+		cmd.Wait()
+		return c.ctx.Err()
+	}
+	return nil
+}
+
+// supervise owns one subprocess shard's lifecycle: it waits on the
+// process and restarts it with capped exponential backoff when it dies
+// while the cluster is still running. Each restart re-dials the shard's
+// stream (the bridge keeps the stream's generation counter and
+// accounting across the reconnect), so in-flight fetches recover on
+// their next retry attempt; beyond MaxRestarts the shard stays down and
+// is reported unhealthy.
+func (c *Cluster) supervise(sh *shard) {
+	defer c.wg.Done()
+	for {
+		sh.mu.Lock()
+		cmd := sh.cmd
+		sh.mu.Unlock()
+		if cmd == nil { // detached by the Close race path below
+			return
+		}
+		cmd.Wait()
+		sh.mu.Lock()
+		sh.healthy = false
+		sh.mu.Unlock()
+		if c.ctx.Err() != nil {
+			return
+		}
+		sh.mu.Lock()
+		sh.restarts++
+		restarts := sh.restarts
+		if sh.stdin != nil {
+			sh.stdin.Close()
+			sh.stdin = nil
+		}
+		sh.mu.Unlock()
+		if restarts > c.spec.maxRestarts() {
+			fmt.Fprintf(os.Stderr, "cluster: shard %d exceeded %d restarts, giving up\n", sh.id, c.spec.maxRestarts())
+			return
+		}
+		// Capped exponential backoff: a crash-looping pump must not
+		// busy-spin the supervisor, but a one-off crash should recover
+		// well inside the bridge's retry budget. The shift is capped
+		// before the min so a large restart budget cannot overflow the
+		// duration into a negative (= zero) backoff.
+		backoff := min(100*time.Millisecond<<min(restarts, 5), 2*time.Second)
+		select {
+		case <-time.After(backoff):
+		case <-c.ctx.Done():
+			return
+		}
+		if err := c.spawn(sh); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: shard %d restart failed: %v\n", sh.id, err)
+			continue // counts against the restart budget on the next pass
+		}
+		if c.ctx.Err() != nil {
+			// Close raced the restart: it already swept this shard, so
+			// nothing else will reap the fresh child. Kill it here or it
+			// leaks and wg.Wait hangs on this loop's next cmd.Wait.
+			sh.mu.Lock()
+			cmd, stdin := sh.cmd, sh.stdin
+			sh.cmd, sh.stdin = nil, nil
+			sh.healthy = false
+			sh.mu.Unlock()
+			if stdin != nil {
+				stdin.Close()
+			}
+			if cmd != nil && cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+			return
+		}
+		sh.mu.Lock()
+		addr := sh.addr
+		sh.mu.Unlock()
+		if err := c.bridge.ConnectStream(uint32(sh.id), addr); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: shard %d reconnect failed: %v\n", sh.id, err)
+		}
+	}
+}
+
+// Stats returns the cluster's aggregated accounting.
+func (c *Cluster) Stats() Stats {
+	s := Stats{
+		Bridge:  c.bridge.Stats(),
+		Streams: c.bridge.StreamStats(),
+	}
+	for _, sh := range c.shards {
+		s.Shards = append(s.Shards, sh.status(!c.spec.Subprocess))
+	}
+	return s
+}
+
+// Close tears the cluster down: pumps first (in-process closed,
+// subprocesses told to exit via stdin and then killed), then the
+// bridge. Safe to call more than once.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		if c.cancel != nil {
+			c.cancel()
+		}
+		for _, sh := range c.shards {
+			sh.mu.Lock()
+			if sh.pump != nil {
+				sh.pump.Close()
+			}
+			if sh.stdin != nil {
+				sh.stdin.Close()
+			}
+			if sh.cmd != nil && sh.cmd.Process != nil {
+				sh.cmd.Process.Kill()
+			}
+			sh.healthy = false
+			sh.mu.Unlock()
+		}
+		c.wg.Wait()
+		c.closeErr = c.bridge.Close()
+	})
+	return c.closeErr
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/replay"
+	"lockdown/internal/synth"
+)
+
+// TestMain lets the test binary impersonate `lockdown pump`: the
+// subprocess-mode tests point Spec.Exe at the running test binary, and
+// the supervisor's LOCKDOWN_PUMP_CHILD env flag routes the child into
+// PumpMain instead of the test runner.
+func TestMain(m *testing.M) {
+	if os.Getenv("LOCKDOWN_PUMP_CHILD") == "1" && len(os.Args) > 1 && os.Args[1] == "pump" {
+		if err := PumpMain(context.Background(), os.Args[2:], os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pump:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+var testHour = time.Date(2020, 3, 25, 20, 0, 0, 0, time.UTC)
+
+func TestSpecValidation(t *testing.T) {
+	if err := (Spec{Shards: 300, Format: collector.FormatNetflowV5}).validate(); err == nil {
+		t.Error("v5 spec with 300 shards validated; the engine ID carries 8 bits")
+	}
+	if err := (Spec{Shards: 256, Format: collector.FormatNetflowV5}).validate(); err != nil {
+		t.Errorf("v5 spec with 256 shards rejected: %v", err)
+	}
+	if err := (Spec{Shards: 300, Format: collector.FormatIPFIX}).validate(); err != nil {
+		t.Errorf("ipfix spec with 300 shards rejected: %v", err)
+	}
+	bad := Spec{Shards: 2, Partition: map[synth.VantagePoint]int{synth.EDU: 5}}
+	if err := bad.validate(); err == nil {
+		t.Error("partition outside the shard range validated")
+	}
+}
+
+func TestSpecPartitionAndRoute(t *testing.T) {
+	spec := Spec{Shards: 3, Partition: map[synth.VantagePoint]int{synth.EDU: 0}}
+	part := spec.partition()
+	vps := synth.AllVantagePoints()
+	for i, vp := range vps {
+		want := i % 3
+		if vp == synth.EDU {
+			want = 0 // the explicit override
+		}
+		if part[vp] != want {
+			t.Errorf("partition[%s] = %d, want %d", vp, part[vp], want)
+		}
+	}
+	route := spec.Route()
+	for vp, shard := range part {
+		for _, kind := range []replay.Kind{replay.KindFlows, replay.KindVPNFlows, replay.KindComponentFlows} {
+			k := replay.Key{Kind: kind, VP: vp, Name: "x", Hour: testHour}
+			if got := route(k); got != uint32(shard) {
+				t.Errorf("route(%s %s) = %d, want %d: all kinds of one vantage point must share a shard", kind, vp, got, shard)
+			}
+		}
+	}
+	// A foreign vantage point still routes deterministically in range.
+	k := replay.Key{Kind: replay.KindFlows, VP: "NOT-IN-THE-PAPER", Hour: testHour}
+	if a, b := route(k), route(k); a != b || a >= 3 {
+		t.Errorf("foreign vantage point routed unstably or out of range: %d, %d", a, b)
+	}
+}
+
+// parseShard is load-bearing for the subprocess handshake; pin its
+// edges.
+func TestParseShard(t *testing.T) {
+	if i, n, err := parseShard("2/4"); err != nil || i != 2 || n != 4 {
+		t.Errorf("parseShard(2/4) = %d, %d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "3", "4/4", "-1/4", "a/4", "1/b", "1/0"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Errorf("parseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// newTestCluster starts an in-process cluster and registers cleanup.
+func newTestCluster(t testing.TB, spec Spec) *Cluster {
+	t.Helper()
+	c, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestInProcessClusterServesShardedKeys runs a three-shard in-process
+// cluster and checks that keys of different vantage points are served
+// by their own pumps, bit-identical to the reference model.
+func TestInProcessClusterServesShardedKeys(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	c := newTestCluster(t, Spec{Shards: 3, Format: collector.FormatIPFIX, Options: opts})
+	ref := core.NewSyntheticSource(opts)
+
+	// ISP-CE, IXP-CE, IXP-SE land on shards 0, 1, 2 under the default
+	// round-robin partition.
+	for i, vp := range []synth.VantagePoint{synth.ISPCE, synth.IXPCE, synth.IXPSE} {
+		want, err := ref.FlowBatch(vp, testHour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Source().FlowBatch(vp, testHour)
+		if err != nil {
+			t.Fatalf("%s over the cluster: %v", vp, err)
+		}
+		if want.Len() != got.Len() {
+			t.Fatalf("%s: %d rows over the cluster, want %d", vp, got.Len(), want.Len())
+		}
+		for r := 0; r < want.Len(); r++ {
+			if want.Record(r) != got.Record(r) {
+				t.Fatalf("%s row %d differs", vp, r)
+			}
+		}
+		stats := c.Stats()
+		if s := stats.Streams[uint32(i)]; s.Keys != 1 {
+			t.Errorf("stream %d served %d keys after fetching %s, want 1", i, s.Keys, vp)
+		}
+		if st := stats.Shards[i]; !st.Healthy || !st.InProcess || st.Pump.Requests != 1 {
+			t.Errorf("shard %d status %+v, want healthy in-process with 1 request", i, st)
+		}
+	}
+	if s := c.Stats(); s.Bridge.Keys != 3 || s.Bridge.LostRows != 0 {
+		t.Errorf("bridge stats %+v, want 3 clean keys", s.Bridge)
+	}
+}
+
+// TestSubprocessClusterSpawnsAndRestarts exercises the full subprocess
+// story: READY handshake, fetches over real child processes, a kill
+// that the supervisor recovers from, and fetches after the restart.
+func TestSubprocessClusterSpawnsAndRestarts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess cluster test is not short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{FlowScale: 0.05}
+	c := newTestCluster(t, Spec{
+		Shards:         2,
+		Format:         collector.FormatIPFIX,
+		Options:        opts,
+		Subprocess:     true,
+		Exe:            exe,
+		AttemptTimeout: 2 * time.Second,
+		MaxAttempts:    8,
+	})
+	ref := core.NewSyntheticSource(opts)
+
+	fetch := func(vp synth.VantagePoint) {
+		t.Helper()
+		want, err := ref.FlowBatch(vp, testHour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Source().FlowBatch(vp, testHour)
+		if err != nil {
+			t.Fatalf("%s over the subprocess cluster: %v", vp, err)
+		}
+		if want.Len() != got.Len() {
+			t.Fatalf("%s: %d rows, want %d", vp, got.Len(), want.Len())
+		}
+		for r := 0; r < want.Len(); r++ {
+			if want.Record(r) != got.Record(r) {
+				t.Fatalf("%s row %d differs", vp, r)
+			}
+		}
+	}
+	fetch(synth.ISPCE) // shard 0
+	fetch(synth.IXPCE) // shard 1
+
+	// Kill shard 0's pump process; the supervisor must restart it and
+	// re-dial its stream.
+	c.shards[0].mu.Lock()
+	proc := c.shards[0].cmd.Process
+	c.shards[0].mu.Unlock()
+	if err := proc.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := c.Stats().Shards[0]
+		if st.Restarts >= 1 && st.Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 0 did not recover: %+v", st)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// A different hour so the fetch cannot be served by any engine-side
+	// cache: it must cross the restarted pump.
+	want, err := ref.FlowBatch(synth.ISPCE, testHour.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Source().FlowBatch(synth.ISPCE, testHour.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("fetch after restart: %v", err)
+	}
+	if want.Len() != got.Len() {
+		t.Fatalf("after restart: %d rows, want %d", got.Len(), want.Len())
+	}
+}

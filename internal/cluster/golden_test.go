@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/goldentest"
+)
+
+// goldenOpts matches the replay golden test: the scale only shrinks the
+// batches, not the experiment set or key space, so the sharded wire
+// path is exercised exactly as at full scale.
+var goldenOpts = core.Options{FlowScale: 0.05}
+
+// runSharded executes the given experiments (nil = full suite) over a
+// fresh in-process cluster of n shards.
+func runSharded(t *testing.T, format collector.Format, ids []string, n int) ([]*core.Result, Stats) {
+	t.Helper()
+	c := newTestCluster(t, Spec{Shards: n, Format: format, Options: goldenOpts})
+	engine := core.NewEngineWithSource(goldenOpts, c.Source())
+	results, err := engine.RunMany(context.Background(), ids, 4)
+	if err != nil {
+		t.Fatalf("sharded suite over %v failed: %v", format, err)
+	}
+	return results, c.Stats()
+}
+
+// TestGoldenClusterEquivalence is the golden test of the sharded
+// cluster: the full 21-experiment suite over three IPFIX shards, and
+// the flow-consuming experiments over NetFlow v5 and v9 shards, must
+// produce bit-identical metrics to the in-memory engine at the same
+// options. It runs under -race in CI. Together with the single-pump
+// golden test in internal/replay this pins the acceptance contract:
+// `lockdown cluster -shards N` output equals `lockdown all`.
+func TestGoldenClusterEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster golden test is not short")
+	}
+	wantAll, err := core.NewEngine(goldenOpts).RunAll(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("in-memory suite failed: %v", err)
+	}
+	byID := make(map[string]*core.Result, len(wantAll))
+	for _, r := range wantAll {
+		byID[r.ID] = r
+	}
+
+	t.Run("ipfix-full-suite-3-shards", func(t *testing.T) {
+		got, stats := runSharded(t, collector.FormatIPFIX, nil, 3)
+		goldentest.CompareResults(t, "ipfix 3-shard cluster", wantAll, got)
+		if stats.Bridge.Keys == 0 || stats.Bridge.Rows == 0 {
+			t.Errorf("cluster served nothing: %+v", stats.Bridge)
+		}
+		// The partition must actually distribute: every shard serves
+		// keys (all three shards own flow-consuming vantage points).
+		for id, s := range stats.Streams {
+			if s.Keys == 0 {
+				t.Errorf("stream %d served no keys; the partition did not distribute", id)
+			}
+		}
+		t.Logf("ipfix 3-shard full suite: %+v", stats.Bridge)
+	})
+
+	for _, format := range []collector.Format{collector.FormatNetflowV5, collector.FormatNetflowV9} {
+		t.Run(format.String()+"-flow-experiments-3-shards", func(t *testing.T) {
+			want := make([]*core.Result, len(goldentest.FlowExperiments))
+			for i, id := range goldentest.FlowExperiments {
+				want[i] = byID[id]
+			}
+			got, stats := runSharded(t, format, goldentest.FlowExperiments, 3)
+			goldentest.CompareResults(t, format.String()+" 3-shard cluster", want, got)
+			t.Logf("%v 3-shard flow experiments: %+v", format, stats.Bridge)
+		})
+	}
+}

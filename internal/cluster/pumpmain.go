@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/replay"
+)
+
+// PumpMain is the `lockdown pump` subcommand: it runs one shard's pump
+// as its own process, for cluster supervisors in subprocess mode. After
+// the pump's sockets are up it prints "READY <ctrl-addr>" on stdout —
+// the handshake the supervisor reads the ephemeral request address from
+// — and serves until ctx is cancelled. When spawned by a supervisor
+// (marked by the LOCKDOWN_PUMP_CHILD env flag the supervisor sets), it
+// additionally exits on stdin EOF: the supervisor holds the other end
+// of the pipe, so a dying supervisor takes its pumps with it instead of
+// leaking them. A standalone `lockdown pump` ignores stdin — a detached
+// launch (nohup, systemd, no tty) must not die instantly on the
+// /dev/null EOF.
+//
+// Flags: -format v5|v9|ipfix, -data <bridge data socket> (required),
+// -ctrl <listen addr>, -shard i/n (the stream identity is i), -scale,
+// -seed, -pps.
+func PumpMain(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pump", flag.ContinueOnError)
+	formatName := fs.String("format", "ipfix", "wire format: v5, v9 or ipfix")
+	dataAddr := fs.String("data", "", "bridge data socket address (required)")
+	ctrlAddr := fs.String("ctrl", "127.0.0.1:0", "request listen address")
+	shardSpec := fs.String("shard", "0/1", "shard identity i/n; the wire stream id is i")
+	scale := fs.Float64("scale", 0, "flow sampling density (0 = engine default)")
+	seed := fs.Int64("seed", 0, "generator seed override (0 = default)")
+	pps := fs.Float64("pps", 0, "pacing limit in datagrams per second (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataAddr == "" {
+		return fmt.Errorf("pump: -data is required (the bridge's data socket)")
+	}
+	format, err := collector.ParseFormat(*formatName)
+	if err != nil {
+		return err
+	}
+	// The shard count is validation only: the pump serves whatever keys
+	// it is asked, the partition lives in the supervisor's route.
+	shard, _, err := parseShard(*shardSpec)
+	if err != nil {
+		return err
+	}
+	pump, err := replay.NewPump(replay.PumpConfig{
+		Format:   format,
+		DataAddr: *dataAddr,
+		CtrlAddr: *ctrlAddr,
+		Stream:   uint32(shard),
+		Rate:     *pps,
+		Options:  core.Options{FlowScale: *scale, Seed: *seed},
+	})
+	if err != nil {
+		return err
+	}
+	defer pump.Close()
+	fmt.Fprintf(stdout, "READY %s\n", pump.CtrlAddr())
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if stdin != nil && os.Getenv("LOCKDOWN_PUMP_CHILD") == "1" {
+		go func() {
+			io.Copy(io.Discard, stdin) // returns on EOF: the supervisor is gone
+			cancel()
+		}()
+	}
+	pump.Run(runCtx)
+	return nil
+}
+
+// parseShard parses an "i/n" shard identity.
+func parseShard(s string) (shard, shards int, err error) {
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("pump: -shard wants i/n, got %q", s)
+	}
+	if shard, err = strconv.Atoi(i); err != nil {
+		return 0, 0, fmt.Errorf("pump: -shard index %q: %w", i, err)
+	}
+	if shards, err = strconv.Atoi(n); err != nil {
+		return 0, 0, fmt.Errorf("pump: -shard count %q: %w", n, err)
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("pump: -shard %q out of range (want 0 <= i < n)", s)
+	}
+	return shard, shards, nil
+}

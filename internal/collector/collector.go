@@ -5,10 +5,15 @@
 // or in-memory record batches
 // (as the synthetic generator produces).
 //
-// The collector has two delivery modes. NewBatchCollector streams one
+// The collector has three delivery modes. NewBatchCollector streams one
 // columnar flowrec.Batch per decoded datagram on Batches(); the batches
 // come from the flowrec pool, so a consumer that returns them with
-// flowrec.PutBatch keeps the receive loop allocation-free. NewCollector
+// flowrec.PutBatch keeps the receive loop allocation-free.
+// NewTaggedCollector is batch mode with exporter attribution: each batch
+// is delivered on Tagged() together with the stream identity carried in
+// the datagram header (IPFIX observation domain, NetFlow v9 source ID,
+// NetFlow v5 engine ID — see StreamID), which is what lets one collector
+// socket demux the interleaved export of several pumps. NewCollector
 // delivers individual records on Records() for legacy consumers; it
 // decodes into one reused scratch batch, so only the channel sends
 // remain per-record work.
@@ -88,18 +93,59 @@ const maxDatagram = 9000
 // batchHint sizes pooled batches for the usual records-per-packet count.
 const batchHint = 128
 
+// StreamID extracts the exporter stream identity an export packet
+// carries in its header: the IPFIX observation domain, the NetFlow v9
+// source ID, or the NetFlow v5 engine ID (8 bits only — v5 exporters
+// cannot be told apart beyond 256 streams). It reads fixed header
+// offsets without decoding, so it is safe on arbitrary input; packets
+// too short to carry the field report stream 0, and the subsequent
+// decode rejects them.
+func StreamID(format Format, pkt []byte) uint32 {
+	switch format {
+	case FormatNetflowV5:
+		return uint32(netflow.V5EngineID(pkt))
+	case FormatNetflowV9:
+		return netflow.V9SourceID(pkt)
+	case FormatIPFIX:
+		return ipfix.DomainID(pkt)
+	default:
+		return 0
+	}
+}
+
+// MaxV5Stream is the largest stream identity NetFlow v5 can carry: its
+// engine ID field is a single byte.
+const MaxV5Stream = 0xFF
+
+// TaggedBatch is one decoded datagram of a tagged-mode collector: the
+// batch plus the exporter stream it came from.
+type TaggedBatch struct {
+	Stream uint32
+	Batch  *flowrec.Batch
+}
+
+// Delivery modes of a Collector.
+type mode int
+
+const (
+	recordMode mode = iota
+	batchMode
+	taggedMode
+)
+
 // Collector listens on a UDP socket, decodes arriving export packets and
-// delivers them on its channel — whole batches in batch mode, individual
-// records otherwise. It is safe to run one goroutine per Collector; Close
-// releases the socket and closes the delivery channel.
+// delivers them on its channel — whole batches in batch or tagged mode,
+// individual records otherwise. It is safe to run one goroutine per
+// Collector; Close releases the socket and closes the delivery channel.
 type Collector struct {
-	format    Format
-	conn      *net.UDPConn
-	batchMode bool
-	out       chan flowrec.Record
-	batches   chan *flowrec.Batch
-	ctrl      chan []byte
-	errs      chan error
+	format  Format
+	conn    *net.UDPConn
+	mode    mode
+	out     chan flowrec.Record
+	batches chan *flowrec.Batch
+	tagged  chan TaggedBatch
+	ctrl    chan []byte
+	errs    chan error
 
 	v9  *netflow.V9Decoder
 	ipf *ipfix.Decoder
@@ -112,7 +158,7 @@ type Collector struct {
 // ephemeral port) for the given format, delivering individual records on
 // Records(). Call Run to start receiving.
 func NewCollector(format Format, addr string) (*Collector, error) {
-	return newCollector(format, addr, false)
+	return newCollector(format, addr, recordMode)
 }
 
 // NewBatchCollector is NewCollector in batch mode: every decoded datagram
@@ -120,10 +166,18 @@ func NewCollector(format Format, addr string) (*Collector, error) {
 // the flowrec pool; consumers should hand processed batches back with
 // flowrec.PutBatch to keep the receive path allocation-free.
 func NewBatchCollector(format Format, addr string) (*Collector, error) {
-	return newCollector(format, addr, true)
+	return newCollector(format, addr, batchMode)
 }
 
-func newCollector(format Format, addr string, batchMode bool) (*Collector, error) {
+// NewTaggedCollector is NewBatchCollector with exporter attribution:
+// every decoded datagram is delivered on Tagged() as a TaggedBatch
+// carrying the stream identity of its header (see StreamID). The replay
+// bridge uses it to demux the interleaved export of several pumps.
+func NewTaggedCollector(format Format, addr string) (*Collector, error) {
+	return newCollector(format, addr, taggedMode)
+}
+
+func newCollector(format Format, addr string, m mode) (*Collector, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collector: resolve %q: %w", addr, err)
@@ -133,18 +187,21 @@ func newCollector(format Format, addr string, batchMode bool) (*Collector, error
 		return nil, fmt.Errorf("collector: listen %q: %w", addr, err)
 	}
 	c := &Collector{
-		format:    format,
-		conn:      conn,
-		batchMode: batchMode,
-		ctrl:      make(chan []byte, 16),
-		errs:      make(chan error, 16),
-		v9:        netflow.NewV9Decoder(),
-		ipf:       ipfix.NewDecoder(),
-		done:      make(chan struct{}),
+		format: format,
+		conn:   conn,
+		mode:   m,
+		ctrl:   make(chan []byte, 16),
+		errs:   make(chan error, 16),
+		v9:     netflow.NewV9Decoder(),
+		ipf:    ipfix.NewDecoder(),
+		done:   make(chan struct{}),
 	}
-	if batchMode {
+	switch m {
+	case batchMode:
 		c.batches = make(chan *flowrec.Batch, 64)
-	} else {
+	case taggedMode:
+		c.tagged = make(chan TaggedBatch, 64)
+	default:
 		c.out = make(chan flowrec.Record, 1024)
 	}
 	return c, nil
@@ -161,6 +218,11 @@ func (c *Collector) Records() <-chan flowrec.Record { return c.out }
 // outside batch mode). The channel is closed when the collector stops.
 // Return consumed batches with flowrec.PutBatch.
 func (c *Collector) Batches() <-chan *flowrec.Batch { return c.batches }
+
+// Tagged returns the channel decoded batches and their stream identity
+// are delivered on (nil outside tagged mode). The channel is closed when
+// the collector stops. Return consumed batches with flowrec.PutBatch.
+func (c *Collector) Tagged() <-chan TaggedBatch { return c.tagged }
 
 // Control returns the channel replay control datagrams (packets prefixed
 // with ControlMagic) are delivered on, each as its own copied slice.
@@ -185,9 +247,12 @@ func (c *Collector) SetReadBuffer(bytes int) error { return c.conn.SetReadBuffer
 // always closes the delivery, control and error channels before
 // returning, so consumers ranging over any of them terminate.
 func (c *Collector) Run(ctx context.Context) {
-	if c.batchMode {
+	switch c.mode {
+	case batchMode:
 		defer close(c.batches)
-	} else {
+	case taggedMode:
+		defer close(c.tagged)
+	default:
 		defer close(c.out)
 	}
 	defer close(c.ctrl)
@@ -201,7 +266,7 @@ func (c *Collector) Run(ctx context.Context) {
 	}()
 	buf := make([]byte, maxDatagram)
 	var scratch *flowrec.Batch // record mode: one reused decode target
-	if !c.batchMode {
+	if c.mode == recordMode {
 		scratch = flowrec.GetBatch(batchHint)
 		defer flowrec.PutBatch(scratch)
 	}
@@ -241,7 +306,14 @@ func (c *Collector) Run(ctx context.Context) {
 		}
 		// The decoders copy every value out of the datagram, so the read
 		// buffer is reused without a per-packet copy.
-		if c.batchMode {
+		if c.mode == batchMode || c.mode == taggedMode {
+			// Tagged mode reads the stream off the raw header before the
+			// decode; a packet the decoder rejects never reaches the
+			// channel, so a garbage tag cannot either.
+			var stream uint32
+			if c.mode == taggedMode {
+				stream = StreamID(c.format, buf[:n])
+			}
 			b := flowrec.GetBatch(batchHint)
 			if err := c.decodeInto(b, buf[:n]); err != nil {
 				flowrec.PutBatch(b)
@@ -252,8 +324,20 @@ func (c *Collector) Run(ctx context.Context) {
 				flowrec.PutBatch(b)
 				continue
 			}
+			if c.mode == batchMode {
+				select {
+				case c.batches <- b:
+				case <-ctx.Done():
+					flowrec.PutBatch(b)
+					return
+				case <-c.done:
+					flowrec.PutBatch(b)
+					return
+				}
+				continue
+			}
 			select {
-			case c.batches <- b:
+			case c.tagged <- TaggedBatch{Stream: stream, Batch: b}:
 			case <-ctx.Done():
 				flowrec.PutBatch(b)
 				return
@@ -319,15 +403,31 @@ func (c *Collector) Close() error {
 type Exporter struct {
 	format Format
 	conn   *net.UDPConn
+	stream uint32
 
-	v9  netflow.V9Encoder
-	ipf ipfix.Encoder
-	seq uint32
-	buf []byte
+	v9      netflow.V9Encoder
+	ipf     ipfix.Encoder
+	seq     uint32
+	buf     []byte
+	limiter *tokenBucket
 }
 
-// NewExporter dials the given UDP collector address.
+// NewExporter dials the given UDP collector address. The exporter's
+// stream identity is 0; multi-exporter setups use NewStreamExporter.
 func NewExporter(format Format, addr string) (*Exporter, error) {
+	return NewStreamExporter(format, addr, 0)
+}
+
+// NewStreamExporter is NewExporter with an explicit stream identity,
+// stamped into every packet header as the IPFIX observation domain,
+// NetFlow v9 source ID, or NetFlow v5 engine ID. NetFlow v5 carries only
+// 8 bits of identity, so v5 streams above MaxV5Stream are rejected. A
+// tagged-mode collector recovers the identity per datagram (StreamID),
+// which is what lets several exporters share one collector socket.
+func NewStreamExporter(format Format, addr string, stream uint32) (*Exporter, error) {
+	if format == FormatNetflowV5 && stream > MaxV5Stream {
+		return nil, fmt.Errorf("exporter: stream %d does not fit NetFlow v5's 8-bit engine ID (max %d)", stream, MaxV5Stream)
+	}
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("exporter: resolve %q: %w", addr, err)
@@ -336,7 +436,27 @@ func NewExporter(format Format, addr string) (*Exporter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exporter: dial %q: %w", addr, err)
 	}
-	return &Exporter{format: format, conn: conn}, nil
+	e := &Exporter{format: format, conn: conn, stream: stream}
+	e.v9.SourceID = stream
+	e.ipf.DomainID = stream
+	return e, nil
+}
+
+// Stream returns the exporter's stream identity.
+func (e *Exporter) Stream() uint32 { return e.stream }
+
+// SetRate limits the exporter to at most pps datagrams per second using
+// a token bucket (burst of one tenth of a second's budget, minimum one
+// packet). Zero or negative pps removes the limit. Pacing exists for
+// lossy non-loopback paths: a pump that outruns the receiver's socket
+// buffer forces retries, and retries of full buckets cost more than
+// sending the first attempt slower.
+func (e *Exporter) SetRate(pps float64) {
+	if pps <= 0 {
+		e.limiter = nil
+		return
+	}
+	e.limiter = newTokenBucket(pps, max(1, pps/10))
 }
 
 // batchSize returns how many records fit into one packet for the format.
@@ -373,7 +493,7 @@ func (e *Exporter) ExportBatchAt(b *flowrec.Batch, exportTime time.Time) error {
 		e.buf = e.buf[:0]
 		switch e.format {
 		case FormatNetflowV5:
-			e.buf, err = netflow.EncodeV5Batch(e.buf, b, lo, hi, now, e.seq)
+			e.buf, err = netflow.EncodeV5StreamBatch(e.buf, b, lo, hi, now, e.seq, uint8(e.stream))
 			e.seq += uint32(hi - lo)
 		case FormatNetflowV9:
 			e.buf, err = e.v9.EncodeBatch(e.buf, b, lo, hi, now)
@@ -385,22 +505,62 @@ func (e *Exporter) ExportBatchAt(b *flowrec.Batch, exportTime time.Time) error {
 		if err != nil {
 			return err
 		}
-		if _, err := e.conn.Write(e.buf); err != nil {
+		if err := e.send(e.buf); err != nil {
 			return fmt.Errorf("exporter: send: %w", err)
 		}
 	}
 	return nil
 }
 
+// send writes one datagram, waiting on the pacing limiter first when one
+// is set.
+func (e *Exporter) send(pkt []byte) error {
+	if e.limiter != nil {
+		e.limiter.wait()
+	}
+	_, err := e.conn.Write(pkt)
+	return err
+}
+
 // WriteRaw sends one raw datagram on the exporter socket. Because it uses
 // the same socket as the flow packets, the datagram stays FIFO-ordered
 // with them on loopback paths; the wire-replay protocol uses this for its
-// BEGIN/END control frames around each exported bucket.
+// BEGIN/END control frames around each exported bucket. Raw datagrams
+// count against the pacing limit like any other packet.
 func (e *Exporter) WriteRaw(pkt []byte) error {
-	if _, err := e.conn.Write(pkt); err != nil {
+	if err := e.send(pkt); err != nil {
 		return fmt.Errorf("exporter: send raw: %w", err)
 	}
 	return nil
+}
+
+// tokenBucket is a minimal pacing limiter: rate tokens per second refill
+// up to burst, and wait blocks until one token is available. Taking the
+// token before sleeping keeps concurrent waiters fair without a queue
+// (each debits the bucket and sleeps out its own debt).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+func (tb *tokenBucket) wait() {
+	tb.mu.Lock()
+	now := time.Now()
+	tb.tokens = min(tb.burst, tb.tokens+now.Sub(tb.last).Seconds()*tb.rate)
+	tb.last = now
+	tb.tokens--
+	debt := -tb.tokens
+	tb.mu.Unlock()
+	if debt > 0 {
+		time.Sleep(time.Duration(debt / tb.rate * float64(time.Second)))
+	}
 }
 
 // Export encodes and sends the records (record-slice adapter over

@@ -1,0 +1,58 @@
+// Package goldentest holds the comparison contract shared by the wire
+// golden tests: internal/replay (single pump) and internal/cluster
+// (sharded) both pin their suite runs bit-identical to the in-memory
+// engine with exactly these rules, so the acceptance criterion lives in
+// one place and the two tests cannot drift apart.
+package goldentest
+
+import (
+	"math"
+	"testing"
+
+	"lockdown/internal/core"
+)
+
+// FlowExperiments are the experiments that actually consume the
+// FlowSource (every other experiment reads volume series straight from
+// the local generator model and never touches the wire, so replaying
+// them adds no coverage). The set spans all three batch kinds: plain
+// hour batches (fig7a/b, fig9), component batches (fig8), VPN batches
+// (fig10, ablation-vpn) and the EDU day concatenation (fig12).
+var FlowExperiments = []string{"fig7a", "fig7b", "fig8", "fig9", "fig10", "fig12", "ablation-vpn"}
+
+// CompareResults asserts bit-identical metrics between an in-memory run
+// (want) and a wire run (got). Runtime metrics are excluded: they
+// describe the execution, not the experiment. label names the wire
+// topology in failure messages (e.g. the format or shard count).
+func CompareResults(t testing.TB, label string, want, got []*core.Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results in memory, %d over the wire", label, len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.ID != g.ID {
+			t.Fatalf("%s: result %d is %s in memory, %s over the wire", label, i, w.ID, g.ID)
+		}
+		for name, wv := range w.Metrics {
+			if core.IsRuntimeMetric(name) {
+				continue
+			}
+			gv, ok := g.Metrics[name]
+			if !ok {
+				t.Errorf("%s: %s: metric %q missing over the wire", label, w.ID, name)
+				continue
+			}
+			if math.Float64bits(wv) != math.Float64bits(gv) {
+				t.Errorf("%s: %s: metric %q = %v over the wire, want %v (bit-exact)", label, w.ID, name, gv, wv)
+			}
+		}
+		for name := range g.Metrics {
+			if !core.IsRuntimeMetric(name) {
+				if _, ok := w.Metrics[name]; !ok {
+					t.Errorf("%s: %s: extra metric %q over the wire", label, w.ID, name)
+				}
+			}
+		}
+	}
+}

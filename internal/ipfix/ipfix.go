@@ -190,6 +190,18 @@ func (e *Encoder) Encode(recs []flowrec.Record, exportTime time.Time) ([]byte, e
 	return msg, nil
 }
 
+// DomainID returns the observation domain ID of an IPFIX message header
+// without decoding the sets (0 for messages too short to carry a header
+// — the decoder rejects those anyway). Collectors use it to attribute a
+// datagram to its exporter stream; the sharded replay cluster demuxes
+// interleaved pump streams by it.
+func DomainID(msg []byte) uint32 {
+	if len(msg) < headerLen {
+		return 0
+	}
+	return binary.BigEndian.Uint32(msg[12:])
+}
+
 // Decoder parses IPFIX messages, caching templates per observation domain.
 type Decoder struct {
 	templates map[uint64][]field

@@ -65,6 +65,16 @@ type V5Packet struct {
 // hour, so flows that started up to an hour before export remain
 // representable.
 func EncodeV5Batch(dst []byte, b *flowrec.Batch, lo, hi int, exportTime time.Time, seq uint32) ([]byte, error) {
+	return EncodeV5StreamBatch(dst, b, lo, hi, exportTime, seq, v5EngineID)
+}
+
+// EncodeV5StreamBatch is EncodeV5Batch with an explicit engine ID — the
+// only exporter-identity field the v5 header carries, and therefore the
+// v5 stand-in for the NetFlow v9 source ID / IPFIX observation domain.
+// Multi-exporter collectors (the sharded replay cluster) use it to demux
+// interleaved streams; EncodeV5Batch is the engineID=0 special case and
+// produces byte-identical packets.
+func EncodeV5StreamBatch(dst []byte, b *flowrec.Batch, lo, hi int, exportTime time.Time, seq uint32, engineID uint8) ([]byte, error) {
 	n := hi - lo
 	if n <= 0 {
 		return dst, fmt.Errorf("netflow: no records to encode")
@@ -84,7 +94,7 @@ func EncodeV5Batch(dst []byte, b *flowrec.Batch, lo, hi int, exportTime time.Tim
 	be.PutUint32(buf[12:], uint32(exportTime.Nanosecond()))
 	be.PutUint32(buf[16:], seq)
 	buf[20] = v5EngineType
-	buf[21] = v5EngineID
+	buf[21] = engineID
 	be.PutUint16(buf[22:], v5SamplingMode)
 
 	exportNs := exportTime.UnixNano()
@@ -194,6 +204,17 @@ func DecodeV5Batch(dst *flowrec.Batch, pkt []byte) (V5Header, error) {
 		})
 	}
 	return h, nil
+}
+
+// V5EngineID returns the engine ID byte of a NetFlow v5 packet without
+// decoding it (0 for packets too short to carry a header — the decoder
+// rejects those anyway). Collectors use it to attribute a datagram to
+// its exporter stream, mirroring V9SourceID and ipfix.DomainID.
+func V5EngineID(pkt []byte) uint8 {
+	if len(pkt) < v5HeaderLen {
+		return 0
+	}
+	return pkt[21]
 }
 
 // DecodeV5 parses a NetFlow v5 packet (record-slice adapter over

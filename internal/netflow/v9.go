@@ -188,6 +188,18 @@ func (e *V9Encoder) Encode(recs []flowrec.Record, exportTime time.Time) ([]byte,
 	return pkt, nil
 }
 
+// V9SourceID returns the source ID field of a NetFlow v9 packet header
+// without decoding the flowsets (0 for packets too short to carry a
+// header — the decoder rejects those anyway). Collectors use it to
+// attribute a datagram to its exporter stream; the sharded replay
+// cluster demuxes interleaved pump streams by it.
+func V9SourceID(pkt []byte) uint32 {
+	if len(pkt) < v9HeaderLen {
+		return 0
+	}
+	return binary.BigEndian.Uint32(pkt[16:])
+}
+
 // V9Decoder parses NetFlow v9 packets, maintaining the template cache
 // required to interpret data flowsets. Templates are cached per source ID.
 type V9Decoder struct {

@@ -1,0 +1,48 @@
+package replay
+
+import (
+	"sync"
+	"testing"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/synth"
+)
+
+// BenchmarkBridgeDemux measures the bridge's demux throughput: three
+// pumps stream one bucket each per iteration, concurrently, through one
+// bridge socket. The per-op work is fixed (the same three component-hour
+// buckets every iteration, references regenerated per fetch since the
+// bridge does not cache), so allocs/op is a stable gate for the demux
+// path — cmd/benchgate holds it against the baseline in CI.
+func BenchmarkBridgeDemux(b *testing.B) {
+	opts := core.Options{FlowScale: 0.1}
+	br, _ := newShardedHarness(b, collector.FormatIPFIX, opts, 3)
+	vps := []synth.VantagePoint{synth.ISPCE, synth.IXPCE, synth.IXPSE}
+	// Warm the generators on both ends so iterations measure the wire
+	// path, not one-time model construction.
+	rowsPerOp := 0
+	for _, vp := range vps {
+		got, err := br.FlowBatch(vp, testHour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rowsPerOp += got.Len()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, vp := range vps {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := br.FlowBatch(vp, testHour); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rowsPerOp)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

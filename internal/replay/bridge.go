@@ -22,6 +22,11 @@ const (
 	DefaultReadBuffer     = 4 << 20
 )
 
+// Route maps a replay key to the stream (pump) that serves it. The
+// sharded cluster partitions the vantage points, so all keys of one
+// vantage point route to one stream.
+type Route func(Key) uint32
+
 // Config tunes a Bridge.
 type Config struct {
 	// Format is the wire format the bridge decodes.
@@ -30,8 +35,19 @@ type Config struct {
 	// for an ephemeral port when empty).
 	ListenAddr string
 	// Options build the bridge's reference model; they must match the
-	// pump's options or verification fails.
+	// pumps' options or verification fails.
 	Options core.Options
+	// Route maps each key to the stream serving it (nil routes every
+	// key to stream 0 — the single-pump topology).
+	Route Route
+	// Unverified switches the bridge to capture mode: wire batches are
+	// still checked against the reference model where one exists, but a
+	// failed or impossible verification is accounted (Stats.Unverified)
+	// instead of failing the fetch, the pump's announced row count is
+	// authoritative, and the rows are served as they arrived — no v5
+	// repair. For exploratory runs over foreign or diverging traffic;
+	// the bit-identity guarantee does not hold in this mode.
+	Unverified bool
 	// AttemptTimeout bounds how long one request waits for its complete
 	// bucket before the bridge retries (DefaultAttemptTimeout if zero).
 	AttemptTimeout time.Duration
@@ -44,53 +60,148 @@ type Config struct {
 	ReadBuffer int
 }
 
-// Stats counts what a bridge observed. All fields are cumulative.
+// Stats counts what a bridge observed. All fields are cumulative; the
+// aggregate Stats() sums every stream plus traffic attributable to none.
 type Stats struct {
 	Keys         int64 // buckets fetched successfully
 	Rows         int64 // rows served to the engine
 	Retries      int64 // re-requested buckets (loss, timeout or overrun)
 	LostRows     int64 // rows missing from abandoned attempts
 	OrphanRows   int64 // rows received outside any accepted bucket
-	StaleFrames  int64 // control frames of an abandoned generation
+	InboxDrops   int64 // rows dropped at a full stream inbox (stalled consumer; the bucket's shortfall shows up in LostRows)
+	StaleFrames  int64 // control frames of an abandoned generation, an unknown stream, or a full inbox
 	BadFrames    int64 // control frames that failed to parse
 	DecodeErrors int64 // malformed flow packets reported by the collector
+	Unverified   int64 // buckets served without full verification (capture mode only)
+}
+
+func (s *Stats) add(o Stats) {
+	s.Keys += o.Keys
+	s.Rows += o.Rows
+	s.Retries += o.Retries
+	s.LostRows += o.LostRows
+	s.OrphanRows += o.OrphanRows
+	s.InboxDrops += o.InboxDrops
+	s.StaleFrames += o.StaleFrames
+	s.BadFrames += o.BadFrames
+	s.DecodeErrors += o.DecodeErrors
+	s.Unverified += o.Unverified
+}
+
+// Per-stream inbox sizes. The demux goroutine never blocks on a stream
+// (a stalled consumer must not stall the other streams), so a full inbox
+// drops like the wire does — the fetch detects the shortfall and
+// re-requests. dataInbox holds a whole large bucket's packets with room
+// to spare; ctrlInbox only ever sees a handful of frames per bucket.
+const (
+	ctrlInbox = 32
+	dataInbox = 512
+)
+
+// stream is the per-pump demux state of a bridge: the request socket,
+// the generation counter, the inbox channels the demux goroutine routes
+// attributed traffic into, and the stream's accounting.
+type stream struct {
+	id uint32
+
+	// fetchMu serialises fetches on this stream — one bucket in flight
+	// per stream keeps the packet→bucket attribution unambiguous without
+	// per-packet bucket tags, while buckets of different streams are in
+	// flight concurrently. gen is guarded by it.
+	fetchMu sync.Mutex
+	gen     uint32
+
+	// connMu guards req separately from fetchMu so a supervisor can
+	// re-dial a restarted pump while a fetch is mid-retry; the next
+	// attempt picks the new socket up.
+	connMu sync.Mutex
+	req    *net.UDPConn
+
+	ctrl chan ctrlFrame
+	data chan *flowrec.Batch
+
+	keys        atomic.Int64
+	rows        atomic.Int64
+	retries     atomic.Int64
+	lostRows    atomic.Int64
+	orphanRows  atomic.Int64
+	inboxDrops  atomic.Int64
+	staleFrames atomic.Int64
+	unverified  atomic.Int64
+}
+
+func newStream(id uint32) *stream {
+	return &stream{
+		id:   id,
+		ctrl: make(chan ctrlFrame, ctrlInbox),
+		data: make(chan *flowrec.Batch, dataInbox),
+	}
+}
+
+// request sends one request datagram on the stream's pump socket.
+func (st *stream) request(pkt []byte) error {
+	st.connMu.Lock()
+	conn := st.req
+	st.connMu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("replay: stream %d has no pump (call ConnectStream)", st.id)
+	}
+	_, err := conn.Write(pkt)
+	return err
+}
+
+func (st *stream) stats() Stats {
+	return Stats{
+		Keys:        st.keys.Load(),
+		Rows:        st.rows.Load(),
+		Retries:     st.retries.Load(),
+		LostRows:    st.lostRows.Load(),
+		OrphanRows:  st.orphanRows.Load(),
+		InboxDrops:  st.inboxDrops.Load(),
+		StaleFrames: st.staleFrames.Load(),
+		Unverified:  st.unverified.Load(),
+	}
 }
 
 // Bridge is the collector side of the wire-replay harness: a
 // core.FlowSource that serves the dataset cache's flow batches off live
-// NetFlow/IPFIX export. On each cache miss it requests the key from the
-// pump, demuxes the announced bucket out of the decoded packet stream,
-// verifies the rows bit-for-bit against its own reference model (see the
-// package comment for the NetFlow v5 fidelity rules) and returns the
-// wire batch. Buckets hit by datagram loss are re-requested; everything
-// observed on the way is accounted in Stats.
+// NetFlow/IPFIX export. On each cache miss it routes the key to the
+// stream serving it, requests it from that stream's pump, demuxes the
+// announced bucket out of the decoded packet stream, verifies the rows
+// bit-for-bit against its own reference model (see the package comment
+// for the NetFlow v5 fidelity rules) and returns the wire batch. Buckets
+// hit by datagram loss are re-requested; everything observed on the way
+// is accounted per stream in Stats.
 //
-// A Bridge serialises bucket fetches: the dataset cache's per-key
-// sync.Once already collapses duplicate requests, and one-in-flight
-// keeps the packet→bucket demux unambiguous without per-packet tags.
+// Demux is by exporter stream identity: the collector tags every decoded
+// datagram with the stream carried in its header, a single demux
+// goroutine routes tagged batches and control frames into per-stream
+// inboxes, and each stream runs the order-robust bucket state machine
+// independently. One bucket is in flight per stream (the dataset cache's
+// per-key sync.Once already collapses duplicate requests); with K
+// connected streams, K buckets stream concurrently.
 type Bridge struct {
 	cfg Config
 	src *core.SyntheticSource
 	col *collector.Collector
 
-	mu  sync.Mutex // serialises fetches; guards req and gen
-	req *net.UDPConn
-	gen uint32
+	mu      sync.Mutex
+	streams map[uint32]*stream
+	closed  bool // demux exited; stream inboxes are closed
 
-	keys         atomic.Int64
-	rows         atomic.Int64
-	retries      atomic.Int64
-	lostRows     atomic.Int64
-	orphanRows   atomic.Int64
-	staleFrames  atomic.Int64
+	// Traffic attributable to no registered stream, plus collector-level
+	// accounting.
 	badFrames    atomic.Int64
+	staleFrames  atomic.Int64
+	orphanRows   atomic.Int64
 	decodeErrors atomic.Int64
 
 	closeOnce sync.Once
 }
 
-// NewBridge opens the bridge's data socket. Call ConnectPump with the
-// pump's control address and Start before using it as a FlowSource.
+// NewBridge opens the bridge's data socket. Connect at least one pump
+// (ConnectPump or ConnectStream) and call Start before using it as a
+// FlowSource.
 func NewBridge(cfg Config) (*Bridge, error) {
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
@@ -104,24 +215,32 @@ func NewBridge(cfg Config) (*Bridge, error) {
 	if cfg.ReadBuffer <= 0 {
 		cfg.ReadBuffer = DefaultReadBuffer
 	}
-	col, err := collector.NewBatchCollector(cfg.Format, cfg.ListenAddr)
+	col, err := collector.NewTaggedCollector(cfg.Format, cfg.ListenAddr)
 	if err != nil {
 		return nil, err
 	}
 	col.SetReadBuffer(cfg.ReadBuffer) // best effort; loss is detected and retried anyway
 	return &Bridge{
-		cfg: cfg,
-		src: core.NewSyntheticSource(cfg.Options),
-		col: col,
+		cfg:     cfg,
+		src:     core.NewSyntheticSource(cfg.Options),
+		col:     col,
+		streams: make(map[uint32]*stream),
 	}, nil
 }
 
 // DataAddr returns the address flow packets must be exported to (the
-// pump's data destination).
+// pumps' data destination).
 func (b *Bridge) DataAddr() string { return b.col.Addr() }
 
-// ConnectPump dials the pump's request socket.
-func (b *Bridge) ConnectPump(addr string) error {
+// ConnectPump dials a single pump as stream 0 (the one-pump topology of
+// `lockdown replay`).
+func (b *Bridge) ConnectPump(addr string) error { return b.ConnectStream(0, addr) }
+
+// ConnectStream dials the request socket of the pump serving the given
+// stream, registering the stream for demux. Re-connecting an existing
+// stream replaces its socket — the supervisor does this when it restarts
+// a pump — and keeps the stream's generation counter and accounting.
+func (b *Bridge) ConnectStream(id uint32, addr string) error {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return fmt.Errorf("replay: resolve pump %q: %w", addr, err)
@@ -131,23 +250,111 @@ func (b *Bridge) ConnectPump(addr string) error {
 		return fmt.Errorf("replay: dial pump %q: %w", addr, err)
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.req != nil {
-		b.req.Close()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("replay: bridge is closed")
 	}
-	b.req = conn
+	st, ok := b.streams[id]
+	if !ok {
+		st = newStream(id)
+		b.streams[id] = st
+	}
+	b.mu.Unlock()
+	st.connMu.Lock()
+	if st.req != nil {
+		st.req.Close()
+	}
+	st.req = conn
+	st.connMu.Unlock()
 	return nil
 }
 
-// Start runs the collector receive loop and the decode-error drain until
-// ctx is cancelled or Close is called.
+// stream looks a registered stream up (nil if unknown).
+func (b *Bridge) stream(id uint32) *stream {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.streams[id]
+}
+
+// route maps a key to its stream id.
+func (b *Bridge) route(k Key) uint32 {
+	if b.cfg.Route == nil {
+		return 0
+	}
+	return b.cfg.Route(k)
+}
+
+// Start runs the collector receive loop, the demux goroutine and the
+// decode-error drain until ctx is cancelled or Close is called.
 func (b *Bridge) Start(ctx context.Context) {
 	go b.col.Run(ctx)
+	go b.demux()
 	go func() {
 		for range b.col.Errors() {
 			b.decodeErrors.Add(1)
 		}
 	}()
+}
+
+// demux routes the collector's tagged batches and control frames into
+// the per-stream inboxes. It never blocks on a stream: a full inbox
+// drops like the wire does (the fetch re-requests), so one stalled
+// stream cannot stall the others. When the collector stops, every
+// stream inbox is closed so blocked fetches fail fast.
+func (b *Bridge) demux() {
+	ctrlC, dataC := b.col.Control(), b.col.Tagged()
+	for ctrlC != nil || dataC != nil {
+		select {
+		case pkt, ok := <-ctrlC:
+			if !ok {
+				ctrlC = nil
+				continue
+			}
+			f, err := parseCtrl(pkt)
+			if err != nil {
+				b.badFrames.Add(1)
+				continue
+			}
+			st := b.stream(f.stream)
+			if st == nil {
+				b.staleFrames.Add(1)
+				continue
+			}
+			select {
+			case st.ctrl <- f:
+			default:
+				st.staleFrames.Add(1)
+			}
+		case tb, ok := <-dataC:
+			if !ok {
+				dataC = nil
+				continue
+			}
+			st := b.stream(tb.Stream)
+			if st == nil {
+				b.orphanRows.Add(int64(tb.Batch.Len()))
+				flowrec.PutBatch(tb.Batch)
+				continue
+			}
+			select {
+			case st.data <- tb.Batch:
+			default:
+				// Not orphans (the rows may belong to an accepted
+				// bucket, whose shortfall the fetch accounts as lost)
+				// — a dedicated counter avoids double-booking them.
+				st.inboxDrops.Add(int64(tb.Batch.Len()))
+				flowrec.PutBatch(tb.Batch)
+			}
+		}
+	}
+	b.mu.Lock()
+	b.closed = true
+	for _, st := range b.streams {
+		close(st.ctrl)
+		close(st.data)
+	}
+	b.mu.Unlock()
 }
 
 // Close stops the bridge and releases its sockets.
@@ -156,25 +363,45 @@ func (b *Bridge) Close() error {
 	b.closeOnce.Do(func() {
 		b.mu.Lock()
 		defer b.mu.Unlock()
-		if b.req != nil {
-			b.req.Close()
+		for _, st := range b.streams {
+			st.connMu.Lock()
+			if st.req != nil {
+				st.req.Close()
+			}
+			st.connMu.Unlock()
 		}
 	})
 	return err
 }
 
-// Stats returns a snapshot of the bridge's counters.
+// Stats returns a snapshot of the bridge's counters, aggregated over all
+// streams plus traffic attributable to none.
 func (b *Bridge) Stats() Stats {
-	return Stats{
-		Keys:         b.keys.Load(),
-		Rows:         b.rows.Load(),
-		Retries:      b.retries.Load(),
-		LostRows:     b.lostRows.Load(),
+	s := Stats{
 		OrphanRows:   b.orphanRows.Load(),
 		StaleFrames:  b.staleFrames.Load(),
 		BadFrames:    b.badFrames.Load(),
 		DecodeErrors: b.decodeErrors.Load(),
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, st := range b.streams {
+		s.add(st.stats())
+	}
+	return s
+}
+
+// StreamStats returns the per-stream counters keyed by stream id
+// (collector-level counters — bad frames, decode errors — appear only in
+// the aggregate Stats, since they are attributable to no stream).
+func (b *Bridge) StreamStats() map[uint32]Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[uint32]Stats, len(b.streams))
+	for id, st := range b.streams {
+		out[id] = st.stats()
+	}
+	return out
 }
 
 // FlowBatch implements core.FlowSource.
@@ -205,31 +432,49 @@ func fatalf(format string, a ...any) error { return fatalError{fmt.Errorf(format
 // returns the verified batch.
 func (b *Bridge) fetch(k Key) (*flowrec.Batch, error) {
 	k.Hour = k.Hour.UTC().Truncate(time.Hour)
-	// Build the reference before taking the fetch lock so reference
-	// generation of one key overlaps the wire wait of another.
+	// Build the reference before taking the stream's fetch lock so
+	// reference generation of one key overlaps the wire wait of another.
 	ref, err := batchForKey(b.src, k)
 	if err != nil {
-		return nil, err
+		if !b.cfg.Unverified {
+			return nil, err
+		}
+		ref = nil // capture mode serves keys the model cannot build
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.req == nil {
-		return nil, fmt.Errorf("replay: bridge has no pump (call ConnectPump)")
+	id := b.route(k)
+	st := b.stream(id)
+	if st == nil {
+		return nil, fmt.Errorf("replay: %s: no pump connected for stream %d", k, id)
 	}
+	// expected < 0 means no authoritative reference row count: the
+	// pump's announced count rules the bucket. That is always the case
+	// in capture mode — even when the model produced a reference, a
+	// divergent announcement must be served, not rejected; verification
+	// stays advisory (see verify). Sizing is separate from acceptance:
+	// a capture-mode reference still preallocates the bucket.
+	expected, sizeHint := -1, 0
+	if ref != nil {
+		sizeHint = ref.Len()
+		if !b.cfg.Unverified {
+			expected = ref.Len()
+		}
+	}
+	st.fetchMu.Lock()
+	defer st.fetchMu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt < b.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			b.retries.Add(1)
+			st.retries.Add(1)
 			// Flush leftovers of the failed attempt (late data, its END
 			// frame) so the retry starts from a quiescent stream.
-			b.drainQuiescent(drainIdle)
+			b.drainQuiescent(st, drainIdle)
 		}
-		b.gen++
-		if _, err := b.req.Write(encodeRequest(b.gen, k)); err != nil {
+		st.gen++
+		if err := st.request(encodeRequest(st.id, st.gen, k)); err != nil {
 			lastErr = err
 			continue
 		}
-		got, err := b.collect(b.gen, k, ref.Len())
+		got, err := b.collect(st, st.gen, k, expected, sizeHint)
 		if err != nil {
 			var fe fatalError
 			if errors.As(err, &fe) {
@@ -238,18 +483,34 @@ func (b *Bridge) fetch(k Key) (*flowrec.Batch, error) {
 			lastErr = err
 			continue
 		}
-		if err := verifyAndRepair(b.cfg.Format, ref, got); err != nil {
+		if err := b.verify(st, ref, got); err != nil {
 			// Usually stray rows that happened to fill the bucket; a
 			// genuine model divergence keeps failing and surfaces after
 			// the attempts run out.
 			lastErr = err
 			continue
 		}
-		b.keys.Add(1)
-		b.rows.Add(int64(got.Len()))
+		st.keys.Add(1)
+		st.rows.Add(int64(got.Len()))
 		return got, nil
 	}
 	return nil, fmt.Errorf("replay: %s: giving up after %d attempts: %w", k, b.cfg.MaxAttempts, lastErr)
+}
+
+// verify applies the bridge's verification policy to a completed bucket.
+// In the default mode the wire rows must match the reference bit-for-bit
+// (with the documented v5 repair). In capture mode verification is
+// advisory: it still runs where the model produced a same-sized
+// reference, but any shortfall is accounted instead of failing the
+// bucket, and the rows are served as they arrived.
+func (b *Bridge) verify(st *stream, ref, got *flowrec.Batch) error {
+	if !b.cfg.Unverified {
+		return verifyAndRepair(b.cfg.Format, ref, got)
+	}
+	if ref == nil || ref.Len() != got.Len() || verifyOnly(b.cfg.Format, ref, got) != nil {
+		st.unverified.Add(1)
+	}
+	return nil
 }
 
 // endGrace is how long after an END frame the bridge keeps draining the
@@ -261,23 +522,25 @@ const (
 	drainIdle = 50 * time.Millisecond
 )
 
-// collect gathers one announced bucket from the collector channels. The
-// collector's receive loop delivers control frames and data batches in
-// datagram order, but into two channels, and a select over both observes
-// them in arbitrary relative order. The state machine is therefore
-// order-robust within one generation: data arriving before the BEGIN
-// frame is parked and claimed when BEGIN turns up, the bucket completes
-// on row count alone, and an END frame with rows still missing starts a
-// short grace window for channel-buffered data instead of concluding
-// loss immediately.
-func (b *Bridge) collect(gen uint32, k Key, expected int) (*flowrec.Batch, error) {
+// collect gathers one announced bucket from the stream's inboxes. The
+// demux goroutine routes control frames and data batches in datagram
+// order, but into two channels, and a select over both observes them in
+// arbitrary relative order. The state machine is therefore order-robust
+// within one generation: data arriving before the BEGIN frame is parked
+// and claimed when BEGIN turns up, the bucket completes on row count
+// alone, and an END frame with rows still missing starts a short grace
+// window for channel-buffered data instead of concluding loss
+// immediately. expected < 0 accepts whatever row count BEGIN announces;
+// sizeHint preallocates the bucket independently of acceptance (capture
+// mode passes the reference length it refuses to enforce).
+func (b *Bridge) collect(st *stream, gen uint32, k Key, expected, sizeHint int) (*flowrec.Batch, error) {
 	timer := time.NewTimer(b.cfg.AttemptTimeout)
 	defer timer.Stop()
-	out := flowrec.NewBatch(expected)
+	out := flowrec.NewBatch(max(expected, sizeHint, 0))
 	var pending []*flowrec.Batch // data seen before BEGIN
 	defer func() {
 		for _, p := range pending {
-			b.orphanRows.Add(int64(p.Len()))
+			st.orphanRows.Add(int64(p.Len()))
 			flowrec.PutBatch(p)
 		}
 	}()
@@ -298,7 +561,7 @@ func (b *Bridge) collect(gen uint32, k Key, expected int) (*flowrec.Batch, error
 		out.AppendBatch(batch)
 		flowrec.PutBatch(batch)
 		if out.Len() > announced {
-			b.orphanRows.Add(int64(out.Len() - announced))
+			st.orphanRows.Add(int64(out.Len() - announced))
 			return fmt.Errorf("bucket overran: %d rows announced, %d received", announced, out.Len())
 		}
 		return nil
@@ -309,27 +572,22 @@ func (b *Bridge) collect(gen uint32, k Key, expected int) (*flowrec.Batch, error
 			return out, nil
 		}
 		select {
-		case pkt, ok := <-b.col.Control():
+		case f, ok := <-st.ctrl:
 			if !ok {
 				return nil, fatalf("collector closed")
-			}
-			f, err := parseCtrl(pkt)
-			if err != nil {
-				b.badFrames.Add(1)
-				continue
 			}
 			if f.gen != gen || !f.key.equal(k) {
 				// END frames of earlier generations are expected: a
 				// bucket completes on row count, so its END is usually
 				// consumed by the next fetch. Anything else is stale.
 				if f.typ != frameEnd {
-					b.staleFrames.Add(1)
+					st.staleFrames.Add(1)
 				}
 				continue
 			}
 			switch f.typ {
 			case frameBegin:
-				if f.rows != expected {
+				if expected >= 0 && f.rows != expected {
 					return nil, fatalf("pump announced %d rows, reference model has %d (options mismatch between pump and bridge?)", f.rows, expected)
 				}
 				accepting = true
@@ -347,7 +605,7 @@ func (b *Bridge) collect(gen uint32, k Key, expected int) (*flowrec.Batch, error
 				if !accepting {
 					// The BEGIN frame itself was lost; nothing of this
 					// bucket is attributable.
-					b.lostRows.Add(int64(f.rows))
+					st.lostRows.Add(int64(f.rows))
 					return nil, fmt.Errorf("bucket END without BEGIN (%d rows announced)", f.rows)
 				}
 				if grace == nil {
@@ -355,7 +613,7 @@ func (b *Bridge) collect(gen uint32, k Key, expected int) (*flowrec.Batch, error
 					graceC = grace.C
 				}
 			}
-		case batch, ok := <-b.col.Batches():
+		case batch, ok := <-st.data:
 			if !ok {
 				return nil, fatalf("collector closed")
 			}
@@ -367,39 +625,46 @@ func (b *Bridge) collect(gen uint32, k Key, expected int) (*flowrec.Batch, error
 				return nil, err
 			}
 		case <-graceC:
-			b.lostRows.Add(int64(announced - out.Len()))
+			st.lostRows.Add(int64(announced - out.Len()))
 			return nil, fmt.Errorf("bucket closed with %d of %d rows", out.Len(), announced)
 		case <-timer.C:
 			if announced > out.Len() {
-				b.lostRows.Add(int64(announced - out.Len()))
+				st.lostRows.Add(int64(announced - out.Len()))
 			}
-			return nil, fmt.Errorf("timed out after %v with %d of %d rows", b.cfg.AttemptTimeout, out.Len(), expected)
+			want := announced
+			if want < 0 {
+				want = expected
+			}
+			if want >= 0 {
+				return nil, fmt.Errorf("timed out after %v with %d of %d rows", b.cfg.AttemptTimeout, out.Len(), want)
+			}
+			return nil, fmt.Errorf("timed out after %v with %d rows and no BEGIN frame", b.cfg.AttemptTimeout, out.Len())
 		}
 	}
 }
 
 // drainQuiescent consumes and discards stream leftovers until the
-// channels have been idle for the given window, bounded overall by the
-// attempt timeout so steady stray traffic cannot livelock a retrying
-// fetch (which holds the bridge mutex). Dropped rows are accounted as
-// orphans, dropped frames as stale.
-func (b *Bridge) drainQuiescent(idle time.Duration) {
+// stream's inboxes have been idle for the given window, bounded overall
+// by the attempt timeout so steady stray traffic cannot livelock a
+// retrying fetch (which holds the stream's fetch mutex). Dropped rows
+// are accounted as orphans, dropped frames as stale.
+func (b *Bridge) drainQuiescent(st *stream, idle time.Duration) {
 	t := time.NewTimer(idle)
 	defer t.Stop()
 	deadline := time.NewTimer(b.cfg.AttemptTimeout)
 	defer deadline.Stop()
 	for {
 		select {
-		case _, ok := <-b.col.Control():
+		case _, ok := <-st.ctrl:
 			if !ok {
 				return
 			}
-			b.staleFrames.Add(1)
-		case batch, ok := <-b.col.Batches():
+			st.staleFrames.Add(1)
+		case batch, ok := <-st.data:
 			if !ok {
 				return
 			}
-			b.orphanRows.Add(int64(batch.Len()))
+			st.orphanRows.Add(int64(batch.Len()))
 			flowrec.PutBatch(batch)
 		case <-t.C:
 			return
@@ -423,6 +688,23 @@ func (b *Bridge) drainQuiescent(idle time.Duration) {
 // ASN bits) and the lossy columns are then restored from the verified
 // reference, so the engine sees bit-identical inputs in every format.
 func verifyAndRepair(format collector.Format, ref, got *flowrec.Batch) error {
+	if err := verifyOnly(format, ref, got); err != nil {
+		return err
+	}
+	if format == collector.FormatNetflowV5 {
+		copy(got.Bytes, ref.Bytes)
+		copy(got.Packets, ref.Packets)
+		copy(got.SrcAS, ref.SrcAS)
+		copy(got.DstAS, ref.DstAS)
+		copy(got.Dir, ref.Dir)
+	}
+	return nil
+}
+
+// verifyOnly is the comparison half of verifyAndRepair: it checks every
+// carried bit and reports the first mismatch, without restoring the v5
+// lossy columns.
+func verifyOnly(format collector.Format, ref, got *flowrec.Batch) error {
 	if got.Len() != ref.Len() {
 		return fmt.Errorf("verification: %d rows off the wire, %d in the reference", got.Len(), ref.Len())
 	}
@@ -475,13 +757,6 @@ func verifyAndRepair(format collector.Format, ref, got *flowrec.Batch) error {
 		case got.Dir[i] != ref.Dir[i]:
 			return mismatch(i, "Dir", ref.Dir[i], got.Dir[i])
 		}
-	}
-	if v5 {
-		copy(got.Bytes, ref.Bytes)
-		copy(got.Packets, ref.Packets)
-		copy(got.SrcAS, ref.SrcAS)
-		copy(got.DstAS, ref.DstAS)
-		copy(got.Dir, ref.Dir)
 	}
 	return nil
 }

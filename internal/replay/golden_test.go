@@ -2,25 +2,17 @@ package replay
 
 import (
 	"context"
-	"math"
 	"testing"
 
 	"lockdown/internal/collector"
 	"lockdown/internal/core"
+	"lockdown/internal/goldentest"
 )
 
 // goldenOpts keeps the golden runs cheap: the flow scale only shrinks
 // the batches, it does not change the experiment set, the hour grids or
 // the key space, so the wire path is exercised exactly as at full scale.
 var goldenOpts = core.Options{FlowScale: 0.05}
-
-// flowExperiments are the experiments that actually consume the
-// FlowSource (every other experiment reads volume series straight from
-// the local generator model and never touches the wire, so replaying
-// them adds no coverage). The set spans all three batch kinds: plain
-// hour batches (fig7a/b, fig9), component batches (fig8), VPN batches
-// (fig10, ablation-vpn) and the EDU day concatenation (fig12).
-var flowExperiments = []string{"fig7a", "fig7b", "fig8", "fig9", "fig10", "fig12", "ablation-vpn"}
 
 // runWire executes the given experiments (nil = the full suite) over a
 // fresh pump/bridge pair and returns the results plus the bridge stats.
@@ -33,41 +25,6 @@ func runWire(t *testing.T, format collector.Format, ids []string) ([]*core.Resul
 		t.Fatalf("suite over %v failed: %v", format, err)
 	}
 	return results, br.Stats()
-}
-
-// compareResults asserts bit-identical metrics between the in-memory and
-// wire runs (runtime metrics excluded: they describe the execution).
-func compareResults(t *testing.T, format collector.Format, want, got []*core.Result) {
-	t.Helper()
-	if len(want) != len(got) {
-		t.Fatalf("%v: %d results in memory, %d over the wire", format, len(want), len(got))
-	}
-	for i := range want {
-		w, g := want[i], got[i]
-		if w.ID != g.ID {
-			t.Fatalf("%v: result %d is %s in memory, %s over the wire", format, i, w.ID, g.ID)
-		}
-		for name, wv := range w.Metrics {
-			if core.IsRuntimeMetric(name) {
-				continue
-			}
-			gv, ok := g.Metrics[name]
-			if !ok {
-				t.Errorf("%v: %s: metric %q missing over the wire", format, w.ID, name)
-				continue
-			}
-			if math.Float64bits(wv) != math.Float64bits(gv) {
-				t.Errorf("%v: %s: metric %q = %v over the wire, want %v (bit-exact)", format, w.ID, name, gv, wv)
-			}
-		}
-		for name := range g.Metrics {
-			if !core.IsRuntimeMetric(name) {
-				if _, ok := w.Metrics[name]; !ok {
-					t.Errorf("%v: %s: extra metric %q over the wire", format, w.ID, name)
-				}
-			}
-		}
-	}
 }
 
 // TestGoldenWireEquivalence is the golden test of the wire-replay
@@ -89,7 +46,7 @@ func TestGoldenWireEquivalence(t *testing.T) {
 
 	t.Run("ipfix-full-suite", func(t *testing.T) {
 		got, stats := runWire(t, collector.FormatIPFIX, nil)
-		compareResults(t, collector.FormatIPFIX, wantAll, got)
+		goldentest.CompareResults(t, "ipfix", wantAll, got)
 		if stats.Keys == 0 || stats.Rows == 0 {
 			t.Errorf("bridge served nothing: %+v", stats)
 		}
@@ -98,12 +55,12 @@ func TestGoldenWireEquivalence(t *testing.T) {
 
 	for _, format := range []collector.Format{collector.FormatNetflowV5, collector.FormatNetflowV9} {
 		t.Run(format.String()+"-flow-experiments", func(t *testing.T) {
-			want := make([]*core.Result, len(flowExperiments))
-			for i, id := range flowExperiments {
+			want := make([]*core.Result, len(goldentest.FlowExperiments))
+			for i, id := range goldentest.FlowExperiments {
 				want[i] = byID[id]
 			}
-			got, stats := runWire(t, format, flowExperiments)
-			compareResults(t, format, want, got)
+			got, stats := runWire(t, format, goldentest.FlowExperiments)
+			goldentest.CompareResults(t, format.String(), want, got)
 			t.Logf("%v flow experiments: %+v", format, stats)
 		})
 	}

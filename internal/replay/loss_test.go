@@ -1,0 +1,220 @@
+package replay
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/flowrec"
+	"lockdown/internal/ipfix"
+	"lockdown/internal/synth"
+)
+
+// lossyRelay is a UDP transport with injected loss: it forwards every
+// datagram a pump sends to the bridge's data socket, except the ones the
+// drop policy selects. Dropped flow packets are decoded (each IPFIX
+// message carries its template, so they are self-contained) to record
+// exactly how many rows the wire lost — which is what the bridge's loss
+// counters must report.
+type lossyRelay struct {
+	ln  *net.UDPConn
+	dst *net.UDPConn
+
+	mu          sync.Mutex
+	drop        func(pkt []byte) bool
+	droppedRows int
+	droppedPkts int
+}
+
+func newLossyRelay(t *testing.T, dstAddr string, drop func(pkt []byte) bool) *lossyRelay {
+	t.Helper()
+	ln, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := net.ResolveUDPAddr("udp", dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &lossyRelay{ln: ln, dst: dst, drop: drop}
+	t.Cleanup(func() { ln.Close(); dst.Close() })
+	go r.run(t)
+	return r
+}
+
+func (r *lossyRelay) run(t *testing.T) {
+	dec := ipfix.NewDecoder()
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := r.ln.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed by cleanup
+		}
+		pkt := buf[:n]
+		r.mu.Lock()
+		dropped := r.drop(pkt)
+		if dropped {
+			r.droppedPkts++
+			if !strings.HasPrefix(string(pkt[:min(n, len(collector.ControlMagic))]), collector.ControlMagic) {
+				var b flowrec.Batch
+				rows, err := dec.DecodeBatch(&b, pkt)
+				if err != nil {
+					t.Errorf("relay could not decode the dropped flow packet: %v", err)
+				}
+				r.droppedRows += rows
+			}
+		}
+		r.mu.Unlock()
+		if !dropped {
+			r.dst.Write(pkt)
+		}
+	}
+}
+
+func (r *lossyRelay) stats() (pkts, rows int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedPkts, r.droppedRows
+}
+
+// isCtrl reports whether a relay datagram is a replay control frame.
+func isCtrl(pkt []byte) bool {
+	return len(pkt) >= len(collector.ControlMagic) &&
+		string(pkt[:len(collector.ControlMagic)]) == collector.ControlMagic
+}
+
+// newLossyHarness wires pump → relay → bridge with the given drop
+// policy.
+func newLossyHarness(t *testing.T, opts core.Options, drop func(pkt []byte) bool) (*Bridge, *Pump, *lossyRelay) {
+	t.Helper()
+	br, err := NewBridge(Config{
+		Format:         collector.FormatIPFIX,
+		Options:        opts,
+		AttemptTimeout: 2 * time.Second,
+		MaxAttempts:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := newLossyRelay(t, br.DataAddr(), drop)
+	pump, err := NewPump(PumpConfig{
+		Format:   collector.FormatIPFIX,
+		DataAddr: relay.ln.LocalAddr().String(),
+		Options:  opts,
+	})
+	if err != nil {
+		br.Close()
+		t.Fatal(err)
+	}
+	if err := br.ConnectPump(pump.CtrlAddr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(func() { cancel(); pump.Close(); br.Close() })
+	go pump.Run(ctx)
+	br.Start(ctx)
+	return br, pump, relay
+}
+
+// TestBridgeRetriesDroppedData drops every 2nd data packet of the first
+// attempt: the bridge must detect the shortfall, account exactly the
+// dropped rows as lost, re-request the bucket and deliver it
+// bit-identically.
+func TestBridgeRetriesDroppedData(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	dataSeen := 0
+	firstAttemptDone := false
+	br, pump, relay := newLossyHarness(t, opts, func(pkt []byte) bool {
+		if isCtrl(pkt) {
+			// The first END closes attempt 1; stop dropping after it so
+			// the retry is guaranteed clean (deterministic success).
+			if pkt[len(collector.ControlMagic)+1] == frameEnd {
+				firstAttemptDone = true
+			}
+			return false
+		}
+		if firstAttemptDone {
+			return false
+		}
+		dataSeen++
+		return dataSeen%2 == 0 // drop every 2nd data datagram
+	})
+
+	want, err := core.NewSyntheticSource(opts).FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := br.FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatalf("fetch over the lossy transport failed: %v", err)
+	}
+	batchesEqual(t, want, got)
+
+	droppedPkts, droppedRows := relay.stats()
+	if droppedPkts == 0 || droppedRows == 0 {
+		t.Fatalf("relay dropped nothing (pkts=%d rows=%d); the test exercised no loss", droppedPkts, droppedRows)
+	}
+	s := br.Stats()
+	if s.Retries != 1 {
+		t.Errorf("stats.Retries = %d, want 1 (one lossy attempt, one clean)", s.Retries)
+	}
+	if s.LostRows != int64(droppedRows) {
+		t.Errorf("stats.LostRows = %d, want exactly the %d rows the relay dropped", s.LostRows, droppedRows)
+	}
+	if s.Keys != 1 || s.Rows != int64(want.Len()) {
+		t.Errorf("stats %+v, want Keys=1 Rows=%d", s, want.Len())
+	}
+	if ps := pump.Stats(); ps.Requests != 2 {
+		t.Errorf("pump.Stats().Requests = %d, want 2 (original + re-request)", ps.Requests)
+	}
+}
+
+// TestBridgeRetriesDroppedBegin drops the first BEGIN frame: the whole
+// bucket becomes unattributable (END-without-BEGIN), its announced rows
+// count as lost and its parked data as orphans, and the retry delivers
+// it bit-identically.
+func TestBridgeRetriesDroppedBegin(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	droppedBegin := false
+	br, pump, _ := newLossyHarness(t, opts, func(pkt []byte) bool {
+		if isCtrl(pkt) && pkt[len(collector.ControlMagic)+1] == frameBegin && !droppedBegin {
+			droppedBegin = true
+			return true
+		}
+		return false
+	})
+
+	want, err := core.NewSyntheticSource(opts).FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := br.FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatalf("fetch with a dropped BEGIN failed: %v", err)
+	}
+	batchesEqual(t, want, got)
+
+	n := int64(want.Len())
+	s := br.Stats()
+	if s.Retries != 1 {
+		t.Errorf("stats.Retries = %d, want 1", s.Retries)
+	}
+	if s.LostRows != n {
+		t.Errorf("stats.LostRows = %d, want the full announced bucket (%d)", s.LostRows, n)
+	}
+	if s.OrphanRows != n {
+		t.Errorf("stats.OrphanRows = %d, want %d (data of the unattributable attempt)", s.OrphanRows, n)
+	}
+	if ps := pump.Stats(); ps.Requests != 2 {
+		t.Errorf("pump.Stats().Requests = %d, want 2", ps.Requests)
+	}
+}

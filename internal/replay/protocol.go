@@ -11,22 +11,35 @@
 //     the key's batch as real NetFlow v5/v9 or IPFIX packets
 //     (collector.Exporter), framed by BEGIN/END control datagrams on the
 //     same socket so the receiver can demux the packet stream back into
-//     buckets.
+//     buckets. Each pump carries a stream identity on the wire — the
+//     IPFIX observation domain, NetFlow v9 source ID or v5 engine ID of
+//     its flow packets, and an explicit field of its control frames — so
+//     several pumps (one per vantage-point shard; see internal/cluster)
+//     can share one bridge.
 //   - The Bridge is a core.FlowSource backed by a collector.Collector in
-//     batch mode. On a dataset-cache miss it requests the key, gathers the
-//     decoded batches of the announced bucket, verifies every row
-//     bit-for-bit against its own reference model, and hands the wire
-//     batch to the engine. Lost or timed-out buckets are re-requested and
-//     accounted; rows arriving outside a bucket are counted as orphans.
+//     tagged-batch mode. On a dataset-cache miss it routes the key to the
+//     stream that serves it, requests it from that stream's pump, gathers
+//     the decoded batches the demux attributes to the stream, verifies
+//     every row bit-for-bit against its own reference model, and hands
+//     the wire batch to the engine. Buckets of different streams are in
+//     flight concurrently; lost or timed-out buckets are re-requested and
+//     accounted per stream; rows arriving outside a bucket are counted as
+//     orphans.
 //
 // The protocol is deliberately minimal: one request datagram per key from
 // bridge to pump, and BEGIN / END / NACK control datagrams from pump to
 // bridge, in-band with the flow packets (prefixed with
 // collector.ControlMagic so the collector delivers instead of decoding
-// them). Because the bridge serialises keys — one in flight at a time —
-// demux needs no per-packet tagging: every flow packet between a BEGIN
-// and its END belongs to the announced bucket. Retries carry a generation
-// number so data from an abandoned attempt is discarded, not misfiled.
+// them). Several pumps may share one bridge socket: each pump owns a
+// stream identity that its flow packets carry in their export headers
+// (IPFIX observation domain, NetFlow v9 source ID, v5 engine ID) and its
+// control frames carry explicitly, so the bridge demuxes the interleaved
+// traffic per stream. Within one stream the bridge serialises keys — one
+// bucket in flight per stream — so flow packets need no per-bucket
+// tagging: every packet of a stream between its BEGIN and END belongs to
+// that stream's announced bucket, while other streams' buckets are in
+// flight concurrently. Retries carry a per-stream generation number so
+// data from an abandoned attempt is discarded, not misfiled.
 //
 // NetFlow v5 cannot carry everything the model generates — it has no
 // direction field, 32-bit byte/packet counters and 16-bit AS numbers —
@@ -53,8 +66,9 @@ import (
 const requestMagic = "LKRQ"
 
 // protocolVersion is bumped on any incompatible change to the datagram
-// layouts below; both sides reject other versions.
-const protocolVersion = 1
+// layouts below; both sides reject other versions. Version 2 added the
+// stream identity to requests and control frames (multi-pump demux).
+const protocolVersion = 2
 
 // Control frame types.
 const (
@@ -151,51 +165,60 @@ func parseKey(b []byte) (Key, []byte, error) {
 	return k, b[1+nameLen:], nil
 }
 
-// encodeRequest builds a key-request datagram.
-func encodeRequest(gen uint32, k Key) []byte {
+// encodeRequest builds a key-request datagram. The stream names the pump
+// the bridge believes it is addressing; the pump NACKs a mismatch so a
+// mis-wired cluster (a request socket dialed to the wrong pump) fails
+// fast instead of stalling the stream's demux.
+func encodeRequest(stream, gen uint32, k Key) []byte {
 	dst := make([]byte, 0, 64)
 	dst = append(dst, requestMagic...)
 	dst = append(dst, protocolVersion)
-	var g [4]byte
-	binary.BigEndian.PutUint32(g[:], gen)
-	dst = append(dst, g[:]...)
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], stream)
+	dst = append(dst, u[:]...)
+	binary.BigEndian.PutUint32(u[:], gen)
+	dst = append(dst, u[:]...)
 	return appendKey(dst, k)
 }
 
 // parseRequest decodes a key-request datagram.
-func parseRequest(pkt []byte) (gen uint32, k Key, err error) {
-	if len(pkt) < len(requestMagic)+1+4 || string(pkt[:len(requestMagic)]) != requestMagic {
-		return 0, Key{}, fmt.Errorf("replay: not a request datagram")
+func parseRequest(pkt []byte) (stream, gen uint32, k Key, err error) {
+	if len(pkt) < len(requestMagic)+1+8 || string(pkt[:len(requestMagic)]) != requestMagic {
+		return 0, 0, Key{}, fmt.Errorf("replay: not a request datagram")
 	}
 	if v := pkt[len(requestMagic)]; v != protocolVersion {
-		return 0, Key{}, fmt.Errorf("replay: request protocol version %d (want %d)", v, protocolVersion)
+		return 0, 0, Key{}, fmt.Errorf("replay: request protocol version %d (want %d)", v, protocolVersion)
 	}
-	gen = binary.BigEndian.Uint32(pkt[len(requestMagic)+1:])
-	k, rest, err := parseKey(pkt[len(requestMagic)+5:])
+	stream = binary.BigEndian.Uint32(pkt[len(requestMagic)+1:])
+	gen = binary.BigEndian.Uint32(pkt[len(requestMagic)+5:])
+	k, rest, err := parseKey(pkt[len(requestMagic)+9:])
 	if err != nil {
-		return 0, Key{}, err
+		return 0, 0, Key{}, err
 	}
 	if len(rest) != 0 {
-		return 0, Key{}, fmt.Errorf("replay: %d trailing bytes in request", len(rest))
+		return 0, 0, Key{}, fmt.Errorf("replay: %d trailing bytes in request", len(rest))
 	}
-	return gen, k, nil
+	return stream, gen, k, nil
 }
 
 // ctrlFrame is a decoded pump → bridge control datagram.
 type ctrlFrame struct {
-	typ  byte
-	gen  uint32
-	rows int
-	key  Key
-	msg  string // frameNack only
+	typ    byte
+	stream uint32
+	gen    uint32
+	rows   int
+	key    Key
+	msg    string // frameNack only
 }
 
 // encodeCtrl builds a control frame datagram.
-func encodeCtrl(typ byte, gen uint32, rows int, k Key, msg string) []byte {
+func encodeCtrl(typ byte, stream, gen uint32, rows int, k Key, msg string) []byte {
 	dst := make([]byte, 0, 96)
 	dst = append(dst, collector.ControlMagic...)
 	dst = append(dst, protocolVersion, typ)
 	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], stream)
+	dst = append(dst, u[:]...)
 	binary.BigEndian.PutUint32(u[:], gen)
 	dst = append(dst, u[:]...)
 	binary.BigEndian.PutUint32(u[:], uint32(rows))
@@ -211,7 +234,7 @@ func encodeCtrl(typ byte, gen uint32, rows int, k Key, msg string) []byte {
 // parseCtrl decodes a control frame datagram.
 func parseCtrl(pkt []byte) (ctrlFrame, error) {
 	hdr := len(collector.ControlMagic)
-	if len(pkt) < hdr+2+8 || string(pkt[:hdr]) != collector.ControlMagic {
+	if len(pkt) < hdr+2+12 || string(pkt[:hdr]) != collector.ControlMagic {
 		return ctrlFrame{}, fmt.Errorf("replay: not a control datagram")
 	}
 	if v := pkt[hdr]; v != protocolVersion {
@@ -221,9 +244,10 @@ func parseCtrl(pkt []byte) (ctrlFrame, error) {
 	if f.typ != frameBegin && f.typ != frameEnd && f.typ != frameNack {
 		return ctrlFrame{}, fmt.Errorf("replay: unknown control frame type %d", f.typ)
 	}
-	f.gen = binary.BigEndian.Uint32(pkt[hdr+2:])
-	f.rows = int(binary.BigEndian.Uint32(pkt[hdr+6:]))
-	key, rest, err := parseKey(pkt[hdr+10:])
+	f.stream = binary.BigEndian.Uint32(pkt[hdr+2:])
+	f.gen = binary.BigEndian.Uint32(pkt[hdr+6:])
+	f.rows = int(binary.BigEndian.Uint32(pkt[hdr+10:]))
+	key, rest, err := parseKey(pkt[hdr+14:])
 	if err != nil {
 		return ctrlFrame{}, err
 	}

@@ -37,14 +37,41 @@ type PumpStats struct {
 	RowsSent     int64 // flow rows exported
 }
 
+// PumpConfig configures a Pump.
+type PumpConfig struct {
+	// Format is the wire format the pump exports.
+	Format collector.Format
+	// DataAddr is the bridge's collector socket (flow packets and control
+	// frames are sent there).
+	DataAddr string
+	// CtrlAddr is the UDP address the pump receives key requests on
+	// ("127.0.0.1:0" for an ephemeral port when empty).
+	CtrlAddr string
+	// Stream is the pump's wire identity: the IPFIX observation domain,
+	// NetFlow v9 source ID or v5 engine ID of its flow packets, echoed in
+	// its control frames. Each pump sharing a bridge needs a distinct
+	// stream; NetFlow v5 carries only 8 bits of it.
+	Stream uint32
+	// Rate caps the pump's export at this many datagrams per second
+	// (token bucket; 0 = unlimited). For lossy non-loopback paths, where
+	// outrunning the receiver costs whole-bucket retries.
+	Rate float64
+	// Options build the pump's model oracle; they must match the
+	// bridge's options or verification fails.
+	Options core.Options
+}
+
 // Pump is the exporter side of the wire-replay harness: it owns a
 // synthetic model oracle and answers key requests by exporting the key's
 // batch as flow packets framed by BEGIN/END control datagrams. One Pump
 // serves one bridge (the exporter socket is dialed to the bridge's data
 // address); it is driven entirely by requests, so an idle pump costs
-// nothing.
+// nothing. Several pumps with distinct stream identities may serve the
+// same bridge — the sharded cluster in internal/cluster runs one per
+// vantage-point shard.
 type Pump struct {
 	format collector.Format
+	stream uint32
 	src    *core.SyntheticSource
 	exp    *collector.Exporter
 	ctrl   *net.UDPConn
@@ -59,28 +86,31 @@ type Pump struct {
 	done      chan struct{}
 }
 
-// NewPump dials dataAddr (the bridge's collector socket) with the given
-// wire format and opens a request socket on ctrlAddr ("127.0.0.1:0" for
-// an ephemeral port). The pump's model oracle is built from opts, which
-// must match the bridge's options for verification to pass.
-func NewPump(format collector.Format, dataAddr, ctrlAddr string, opts core.Options) (*Pump, error) {
-	exp, err := collector.NewExporter(format, dataAddr)
+// NewPump dials the bridge's collector socket and opens the pump's
+// request socket.
+func NewPump(cfg PumpConfig) (*Pump, error) {
+	if cfg.CtrlAddr == "" {
+		cfg.CtrlAddr = "127.0.0.1:0"
+	}
+	exp, err := collector.NewStreamExporter(cfg.Format, cfg.DataAddr, cfg.Stream)
 	if err != nil {
 		return nil, err
 	}
-	ua, err := net.ResolveUDPAddr("udp", ctrlAddr)
+	exp.SetRate(cfg.Rate)
+	ua, err := net.ResolveUDPAddr("udp", cfg.CtrlAddr)
 	if err != nil {
 		exp.Close()
-		return nil, fmt.Errorf("replay: resolve pump control %q: %w", ctrlAddr, err)
+		return nil, fmt.Errorf("replay: resolve pump control %q: %w", cfg.CtrlAddr, err)
 	}
 	ctrl, err := net.ListenUDP("udp", ua)
 	if err != nil {
 		exp.Close()
-		return nil, fmt.Errorf("replay: listen pump control %q: %w", ctrlAddr, err)
+		return nil, fmt.Errorf("replay: listen pump control %q: %w", cfg.CtrlAddr, err)
 	}
 	return &Pump{
-		format: format,
-		src:    core.NewSyntheticSource(opts),
+		format: cfg.Format,
+		stream: cfg.Stream,
+		src:    core.NewSyntheticSource(cfg.Options),
 		exp:    exp,
 		ctrl:   ctrl,
 		done:   make(chan struct{}),
@@ -89,6 +119,9 @@ func NewPump(format collector.Format, dataAddr, ctrlAddr string, opts core.Optio
 
 // CtrlAddr returns the address the pump receives key requests on.
 func (p *Pump) CtrlAddr() string { return p.ctrl.LocalAddr().String() }
+
+// Stream returns the pump's wire stream identity.
+func (p *Pump) Stream() uint32 { return p.stream }
 
 // Stats returns a snapshot of the pump's counters.
 func (p *Pump) Stats() PumpStats {
@@ -121,12 +154,24 @@ func (p *Pump) Run(ctx context.Context) {
 			}
 			continue // socket errors are either shutdown (next select exits) or transient
 		}
-		gen, key, err := parseRequest(buf[:n])
+		stream, gen, key, err := parseRequest(buf[:n])
 		if err != nil {
 			p.badRequests.Add(1)
 			continue
 		}
 		p.requests.Add(1)
+		if stream != p.stream {
+			// A request addressed to another stream means the cluster is
+			// mis-wired (a bridge dialed the wrong pump). NACK instead of
+			// serving: data tagged with this pump's stream would be
+			// misfiled or dropped on the bridge side anyway. The NACK
+			// echoes the *requested* stream so the bridge demux routes it
+			// back to the waiting fetch, which fails fast.
+			p.nacks.Add(1)
+			p.exp.WriteRaw(encodeCtrl(frameNack, stream, gen, 0, key,
+				fmt.Sprintf("request for stream %d reached pump of stream %d", stream, p.stream)))
+			continue
+		}
 		p.serve(gen, key)
 	}
 }
@@ -138,16 +183,16 @@ func (p *Pump) serve(gen uint32, key Key) {
 	b, err := batchForKey(p.src, key)
 	if err != nil {
 		p.nacks.Add(1)
-		p.exp.WriteRaw(encodeCtrl(frameNack, gen, 0, key, err.Error()))
+		p.exp.WriteRaw(encodeCtrl(frameNack, p.stream, gen, 0, key, err.Error()))
 		return
 	}
-	if err := p.exp.WriteRaw(encodeCtrl(frameBegin, gen, b.Len(), key, "")); err != nil {
+	if err := p.exp.WriteRaw(encodeCtrl(frameBegin, p.stream, gen, b.Len(), key, "")); err != nil {
 		// Same policy as the export-error path below: close the bucket
 		// (best effort) so the bridge retries via the fast
 		// END-without-BEGIN path instead of waiting out its attempt
 		// timeout.
 		p.exportErrors.Add(1)
-		p.exp.WriteRaw(encodeCtrl(frameEnd, gen, b.Len(), key, ""))
+		p.exp.WriteRaw(encodeCtrl(frameEnd, p.stream, gen, b.Len(), key, ""))
 		return
 	}
 	if b.Len() > 0 {
@@ -164,7 +209,7 @@ func (p *Pump) serve(gen uint32, key Key) {
 			p.rowsSent.Add(int64(b.Len()))
 		}
 	}
-	p.exp.WriteRaw(encodeCtrl(frameEnd, gen, b.Len(), key, ""))
+	p.exp.WriteRaw(encodeCtrl(frameEnd, p.stream, gen, b.Len(), key, ""))
 }
 
 // Close stops Run and releases both sockets.

@@ -22,56 +22,55 @@ func TestKeyCodecRoundTrip(t *testing.T) {
 		{Kind: KindComponentFlows, VP: synth.IXPSE, Name: "gaming", Hour: testHour},
 	}
 	for _, k := range keys {
-		gen, got, err := func() (uint32, Key, error) {
-			return parseRequestHelper(t, encodeRequest(7, k))
-		}()
+		stream, gen, got, err := parseRequest(encodeRequest(3, 7, k))
 		if err != nil {
 			t.Fatalf("parseRequest(%v): %v", k, err)
 		}
-		if gen != 7 || !got.equal(k) {
-			t.Fatalf("request round trip: got gen=%d key=%v, want gen=7 key=%v", gen, got, k)
+		if stream != 3 || gen != 7 || !got.equal(k) {
+			t.Fatalf("request round trip: got stream=%d gen=%d key=%v, want stream=3 gen=7 key=%v", stream, gen, got, k)
 		}
 		for _, typ := range []byte{frameBegin, frameEnd, frameNack} {
-			f, err := parseCtrl(encodeCtrl(typ, 9, 42, k, "boom"))
+			f, err := parseCtrl(encodeCtrl(typ, 5, 9, 42, k, "boom"))
 			if err != nil {
 				t.Fatalf("parseCtrl(%v type %d): %v", k, typ, err)
 			}
-			if f.typ != typ || f.gen != 9 || f.rows != 42 || !f.key.equal(k) || f.msg != "boom" {
+			if f.typ != typ || f.stream != 5 || f.gen != 9 || f.rows != 42 || !f.key.equal(k) || f.msg != "boom" {
 				t.Fatalf("ctrl round trip: got %+v", f)
 			}
 		}
 	}
 }
 
-func parseRequestHelper(t *testing.T, pkt []byte) (uint32, Key, error) {
-	t.Helper()
-	return parseRequest(pkt)
-}
-
 func TestParseRejectsGarbage(t *testing.T) {
-	for _, pkt := range [][]byte{nil, []byte("x"), []byte("LKRQ"), []byte("LKRW\x01\x01"), []byte("LKRQ\x02aaaaaaaaaaaaaaaa")} {
-		if _, _, err := parseRequest(pkt); err == nil {
+	for _, pkt := range [][]byte{nil, []byte("x"), []byte("LKRQ"), []byte("LKRW\x02\x01"), []byte("LKRQ\x03aaaaaaaaaaaaaaaaaaaa")} {
+		if _, _, _, err := parseRequest(pkt); err == nil {
 			t.Errorf("parseRequest(%q) accepted garbage", pkt)
 		}
 		if _, err := parseCtrl(pkt); err == nil {
 			t.Errorf("parseCtrl(%q) accepted garbage", pkt)
 		}
 	}
+	// Version-1 datagrams (no stream field) must be rejected, not
+	// misparsed: the layouts are incompatible.
+	v1 := []byte("LKRQ\x01aaaaaaaaaaaaaaaa")
+	if _, _, _, err := parseRequest(v1); err == nil {
+		t.Error("parseRequest accepted a protocol-version-1 datagram")
+	}
 	// A control frame whose key kind is out of range must be rejected.
-	bad := encodeCtrl(frameBegin, 1, 1, Key{Kind: 9, VP: synth.EDU, Hour: testHour}, "")
+	bad := encodeCtrl(frameBegin, 0, 1, 1, Key{Kind: 9, VP: synth.EDU, Hour: testHour}, "")
 	if _, err := parseCtrl(bad); err == nil {
 		t.Error("parseCtrl accepted an out-of-range batch kind")
 	}
 }
 
 // newHarness wires a pump and bridge over loopback for one format.
-func newHarness(t *testing.T, format collector.Format, opts core.Options) (*Bridge, *Pump) {
+func newHarness(t testing.TB, format collector.Format, opts core.Options) (*Bridge, *Pump) {
 	t.Helper()
 	br, err := NewBridge(Config{Format: format, Options: opts})
 	if err != nil {
 		t.Fatalf("NewBridge: %v", err)
 	}
-	pump, err := NewPump(format, br.DataAddr(), "127.0.0.1:0", opts)
+	pump, err := NewPump(PumpConfig{Format: format, DataAddr: br.DataAddr(), Options: opts})
 	if err != nil {
 		br.Close()
 		t.Fatalf("NewPump: %v", err)
@@ -91,7 +90,7 @@ func newHarness(t *testing.T, format collector.Format, opts core.Options) (*Brid
 }
 
 // batchesEqual compares every column of two batches.
-func batchesEqual(t *testing.T, want, got *flowrec.Batch) {
+func batchesEqual(t testing.TB, want, got *flowrec.Batch) {
 	t.Helper()
 	if want.Len() != got.Len() {
 		t.Fatalf("row count: want %d, got %d", want.Len(), got.Len())
@@ -166,7 +165,7 @@ func TestBridgeOptionsMismatchIsFatal(t *testing.T) {
 	// The pump models a different flow scale: its announced row counts
 	// disagree with the bridge's reference, which must fail fast (a
 	// retry cannot cure a model mismatch).
-	pump, err := NewPump(collector.FormatIPFIX, br.DataAddr(), "127.0.0.1:0", core.Options{FlowScale: 0.4})
+	pump, err := NewPump(PumpConfig{Format: collector.FormatIPFIX, DataAddr: br.DataAddr(), Options: core.Options{FlowScale: 0.4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +198,7 @@ func TestBridgeNackFromPump(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sink.Close()
-	pump, err := NewPump(collector.FormatIPFIX, sink.LocalAddr().String(), "127.0.0.1:0", core.Options{FlowScale: 0.1})
+	pump, err := NewPump(PumpConfig{Format: collector.FormatIPFIX, DataAddr: sink.LocalAddr().String(), Options: core.Options{FlowScale: 0.1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +211,7 @@ func TestBridgeNackFromPump(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer req.Close()
-	if _, err := req.Write(encodeRequest(1, Key{Kind: KindFlows, VP: "NO-SUCH-VP", Hour: testHour})); err != nil {
+	if _, err := req.Write(encodeRequest(0, 1, Key{Kind: KindFlows, VP: "NO-SUCH-VP", Hour: testHour})); err != nil {
 		t.Fatal(err)
 	}
 	sink.SetReadDeadline(time.Now().Add(5 * time.Second))

@@ -1,0 +1,286 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/synth"
+)
+
+// newShardedHarness wires n pumps (streams 0..n-1) to one bridge,
+// routing keys over the streams by vantage-point index — the same
+// partition shape internal/cluster uses.
+func newShardedHarness(t testing.TB, format collector.Format, opts core.Options, n int) (*Bridge, []*Pump) {
+	t.Helper()
+	vps := synth.AllVantagePoints()
+	route := func(k Key) uint32 {
+		for i, vp := range vps {
+			if vp == k.VP {
+				return uint32(i % n)
+			}
+		}
+		return 0
+	}
+	br, err := NewBridge(Config{Format: format, Options: opts, Route: route})
+	if err != nil {
+		t.Fatalf("NewBridge: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	pumps := make([]*Pump, n)
+	for i := range pumps {
+		pump, err := NewPump(PumpConfig{
+			Format:   format,
+			DataAddr: br.DataAddr(),
+			Stream:   uint32(i),
+			Options:  opts,
+		})
+		if err != nil {
+			t.Fatalf("NewPump(stream %d): %v", i, err)
+		}
+		if err := br.ConnectStream(uint32(i), pump.CtrlAddr()); err != nil {
+			t.Fatalf("ConnectStream(%d): %v", i, err)
+		}
+		pumps[i] = pump
+		go pump.Run(ctx)
+	}
+	t.Cleanup(func() {
+		cancel()
+		for _, p := range pumps {
+			p.Close()
+		}
+		br.Close()
+	})
+	br.Start(ctx)
+	return br, pumps
+}
+
+// fetchAndCompare fetches one hour batch over the bridge and compares
+// it to the reference row by row, goroutine-safe (no testing.T calls).
+func fetchAndCompare(ref *core.SyntheticSource, br *Bridge, vp synth.VantagePoint) error {
+	want, err := ref.FlowBatch(vp, testHour)
+	if err != nil {
+		return err
+	}
+	got, err := br.FlowBatch(vp, testHour)
+	if err != nil {
+		return err
+	}
+	if want.Len() != got.Len() {
+		return fmt.Errorf("row count: want %d, got %d", want.Len(), got.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if want.Record(i) != got.Record(i) {
+			return fmt.Errorf("row %d differs:\nwant %+v\ngot  %+v", i, want.Record(i), got.Record(i))
+		}
+	}
+	return nil
+}
+
+// TestShardedBridgeConcurrentStreams drives one bucket per stream
+// concurrently through a three-pump bridge and checks demux attribution:
+// every batch bit-identical to the reference, every stream served its
+// own keys, nothing lost or retried on a clean loopback wire.
+func TestShardedBridgeConcurrentStreams(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	const shards = 3
+	for _, format := range []collector.Format{collector.FormatNetflowV5, collector.FormatNetflowV9, collector.FormatIPFIX} {
+		t.Run(format.String(), func(t *testing.T) {
+			br, pumps := newShardedHarness(t, format, opts, shards)
+			ref := core.NewSyntheticSource(opts)
+
+			// One vantage point per stream under the harness partition
+			// (index mod shards): ISP-CE→0, IXP-CE→1, IXP-SE→2.
+			vps := []synth.VantagePoint{synth.ISPCE, synth.IXPCE, synth.IXPSE}
+			var wg sync.WaitGroup
+			errs := make([]error, len(vps))
+			for i, vp := range vps {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Report mismatches through errs: t.Fatalf must not
+					// run off the test goroutine.
+					errs[i] = fetchAndCompare(ref, br, vp)
+				}()
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("stream %d (%s): %v", i, vps[i], err)
+				}
+			}
+
+			per := br.StreamStats()
+			if len(per) != shards {
+				t.Fatalf("StreamStats has %d streams, want %d", len(per), shards)
+			}
+			var total int64
+			for id, s := range per {
+				if s.Keys != 1 {
+					t.Errorf("stream %d served %d keys, want 1", id, s.Keys)
+				}
+				if s.LostRows != 0 || s.Retries != 0 {
+					t.Errorf("stream %d saw loss on a clean wire: %+v", id, s)
+				}
+				total += s.Rows
+			}
+			if agg := br.Stats(); agg.Keys != shards || agg.Rows != total {
+				t.Errorf("aggregate stats %+v do not sum the streams (total rows %d)", agg, total)
+			}
+			for i, p := range pumps {
+				if ps := p.Stats(); ps.Requests != 1 {
+					t.Errorf("pump %d handled %d requests, want 1", i, ps.Requests)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedBridgeStreamMismatchNacks wires stream 1 to a pump that
+// believes it is stream 2: the pump must NACK (echoing the requested
+// stream so the frame routes back) and the fetch must fail fast.
+func TestShardedBridgeStreamMismatchNacks(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	br, err := NewBridge(Config{
+		Format:         collector.FormatIPFIX,
+		Options:        opts,
+		Route:          func(Key) uint32 { return 1 },
+		AttemptTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump, err := NewPump(PumpConfig{Format: collector.FormatIPFIX, DataAddr: br.DataAddr(), Stream: 2, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.ConnectStream(1, pump.CtrlAddr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); pump.Close(); br.Close() }()
+	go pump.Run(ctx)
+	br.Start(ctx)
+
+	start := time.Now()
+	_, err = br.FlowBatch(synth.ISPCE, testHour)
+	if err == nil {
+		t.Fatal("fetch over a mis-wired stream succeeded")
+	}
+	if !strings.Contains(err.Error(), "stream") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("mis-wired stream took %v; the NACK should fail fast, not retry to timeout", d)
+	}
+	if ps := pump.Stats(); ps.Nacks != 1 {
+		t.Errorf("pump.Stats().Nacks = %d, want 1", ps.Nacks)
+	}
+}
+
+// TestFetchUnknownStreamFails covers the routing hole: a key whose route
+// names a stream nobody connected must fail immediately.
+func TestFetchUnknownStreamFails(t *testing.T) {
+	br, err := NewBridge(Config{
+		Format:  collector.FormatIPFIX,
+		Options: core.Options{FlowScale: 0.1},
+		Route:   func(Key) uint32 { return 7 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); br.Close() }()
+	br.Start(ctx)
+	start := time.Now()
+	if _, err := br.FlowBatch(synth.ISPCE, testHour); err == nil {
+		t.Fatal("fetch for an unconnected stream succeeded")
+	} else if !strings.Contains(err.Error(), "stream 7") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("unconnected stream took %v; should fail without waiting on the wire", d)
+	}
+}
+
+// TestUnverifiedBridgeServesForeignModel runs a capture-mode bridge
+// against a pump whose model diverges (different flow scale): the fetch
+// must serve the pump's rows as announced instead of failing, and
+// account the bucket as unverified.
+func TestUnverifiedBridgeServesForeignModel(t *testing.T) {
+	pumpOpts := core.Options{FlowScale: 0.2}
+	br, err := NewBridge(Config{
+		Format:     collector.FormatIPFIX,
+		Options:    core.Options{FlowScale: 0.1}, // the bridge's model disagrees
+		Unverified: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump, err := NewPump(PumpConfig{Format: collector.FormatIPFIX, DataAddr: br.DataAddr(), Options: pumpOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.ConnectPump(pump.CtrlAddr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); pump.Close(); br.Close() }()
+	go pump.Run(ctx)
+	br.Start(ctx)
+
+	want, err := core.NewSyntheticSource(pumpOpts).FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := br.FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatalf("capture-mode fetch failed: %v", err)
+	}
+	// Capture mode serves the wire's truth: the pump's model, not the
+	// bridge's.
+	batchesEqual(t, want, got)
+	if s := br.Stats(); s.Unverified != 1 || s.Keys != 1 {
+		t.Errorf("stats %+v, want Keys=1 Unverified=1", s)
+	}
+}
+
+// TestUnverifiedBridgeStillVerifiesMatchingModel checks that capture
+// mode does not blindly mark everything unverified: when the models
+// agree, verification runs and passes, and Unverified stays zero.
+func TestUnverifiedBridgeStillVerifiesMatchingModel(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	br, err := NewBridge(Config{Format: collector.FormatIPFIX, Options: opts, Unverified: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump, err := NewPump(PumpConfig{Format: collector.FormatIPFIX, DataAddr: br.DataAddr(), Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.ConnectPump(pump.CtrlAddr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); pump.Close(); br.Close() }()
+	go pump.Run(ctx)
+	br.Start(ctx)
+
+	want, err := core.NewSyntheticSource(opts).FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := br.FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchesEqual(t, want, got)
+	if s := br.Stats(); s.Unverified != 0 {
+		t.Errorf("matching models accounted %d unverified buckets, want 0", s.Unverified)
+	}
+}
