@@ -20,6 +20,11 @@
 //	-parallel n   worker count for all/doc/replay/cluster (default GOMAXPROCS)
 //	-cpuprofile f write a pprof CPU profile of the command to f
 //	-memprofile f write a pprof heap profile (after the run) to f
+//	-cache-budget n  resident flow-batch cache cap (bytes, K/M/G suffixes;
+//	              0 = unlimited). Colder hours spill to mmap-backed columnar
+//	              segments and fault back in; output is byte-identical at
+//	              any budget (see internal/flowstore)
+//	-cache-dir d  directory for spilled segments (default: OS temp dir)
 //	-format f     replay/cluster wire format: v5, v9 or ipfix (default ipfix)
 //	-addr a       replay/cluster bridge UDP listen address (default 127.0.0.1:0)
 //	-pps f        replay/cluster pump pacing, datagrams per second (0 = unlimited)
@@ -61,6 +66,8 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"lockdown/internal/cluster"
 	"lockdown/internal/collector"
@@ -72,11 +79,11 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   lockdown list
-  lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n] [-cpuprofile f] [-memprofile f]
-  lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
-  lockdown doc [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
-  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-unverified] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
-  lockdown cluster [-shards n] [-subprocess] [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cpuprofile f] [-memprofile f]
+  lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n] [-cache-budget n] [-cache-dir d] [-cpuprofile f] [-memprofile f]
+  lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-cpuprofile f] [-memprofile f]
+  lockdown doc [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-cpuprofile f] [-memprofile f]
+  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-unverified] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-cpuprofile f] [-memprofile f]
+  lockdown cluster [-shards n] [-subprocess] [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-cpuprofile f] [-memprofile f]
   lockdown pump -data host:port [-format v5|v9|ipfix] [-ctrl host:port] [-shard i/n] [-scale f] [-seed n] [-pps f]
 
 experiments:
@@ -124,6 +131,8 @@ func run(ctx context.Context, args []string) error {
 		parallel := fs.Int("parallel", 0, "worker count for all/doc/replay/cluster (0 = GOMAXPROCS)")
 		cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+		cacheBudget := fs.String("cache-budget", "0", "resident flow-batch cache budget (bytes, K/M/G suffixes; 0 = unlimited, no spilling)")
+		cacheDir := fs.String("cache-dir", "", "directory for spilled flow-batch segments (default: OS temp dir)")
 		formatName := fs.String("format", "ipfix", "replay/cluster wire format: v5, v9 or ipfix")
 		addr := fs.String("addr", "127.0.0.1:0", "replay/cluster bridge UDP listen address")
 		pps := fs.Float64("pps", 0, "pump pacing in datagrams per second (0 = unlimited)")
@@ -195,7 +204,11 @@ func run(ctx context.Context, args []string) error {
 				}
 			}()
 		}
-		opts := core.Options{FlowScale: *scale, Seed: *seed}
+		budget, err := parseSize(*cacheBudget)
+		if err != nil {
+			return fmt.Errorf("-cache-budget: %w", err)
+		}
+		opts := core.Options{FlowScale: *scale, Seed: *seed, CacheBudget: budget, CacheDir: *cacheDir}
 
 		if args[0] == "replay" {
 			return runReplay(ctx, opts, *formatName, *addr, *pps, *unverified, *parallel, *csvOut, *jsonOut)
@@ -204,6 +217,7 @@ func run(ctx context.Context, args []string) error {
 			return runCluster(ctx, opts, *formatName, *addr, *pps, *shards, *subprocess, *parallel, *csvOut, *jsonOut)
 		}
 		engine := core.NewEngine(opts)
+		defer engine.Data().Close()
 
 		switch args[0] {
 		case "run":
@@ -266,6 +280,7 @@ func runReplay(ctx context.Context, opts core.Options, formatName, addr string, 
 		format, br.DataAddr(), pump.CtrlAddr())
 
 	engine := core.NewEngineWithSource(opts, br)
+	defer engine.Data().Close()
 	results, err := engine.RunAll(runCtx, parallel)
 	if err != nil {
 		return err
@@ -318,6 +333,7 @@ func runCluster(ctx context.Context, opts core.Options, formatName, addr string,
 		format, c.Bridge().DataAddr(), shards, mode)
 
 	engine := core.NewEngineWithSource(opts, c.Source())
+	defer engine.Data().Close()
 	results, err := engine.RunAll(runCtx, parallel)
 	if err != nil {
 		return err
@@ -363,6 +379,13 @@ func emitSuite(results []*core.Result, data *core.Dataset, asCSV, asJSON bool) e
 	stats := data.Stats()
 	fmt.Fprintf(os.Stderr, "\ndataset cache: %d entries, %d hits, %d misses\n",
 		stats.Entries, stats.Hits, stats.Misses)
+	// Only runs with spill-tier activity print the tier line; unbudgeted
+	// runs always have resident batches and would emit noise otherwise.
+	if stats.Spills > 0 || stats.Faults > 0 || stats.SpilledBytes > 0 {
+		fmt.Fprintf(os.Stderr, "flow-batch tiers: %d spills, %d faults, %d regens, %.1f MB resident, %.1f MB spilled\n",
+			stats.Spills, stats.Faults, stats.Regens,
+			float64(stats.ResidentBytes)/(1<<20), float64(stats.SpilledBytes)/(1<<20))
+	}
 	return nil
 }
 
@@ -375,4 +398,29 @@ func emit(res *core.Result, asCSV, asJSON bool) error {
 	default:
 		return report.WriteText(os.Stdout, res)
 	}
+}
+
+// parseSize parses a byte size with an optional K/M/G suffix (plus an
+// ignored B/iB tail), e.g. "64M", "2GiB", "4096". -cache-budget uses it.
+func parseSize(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	if u == "" {
+		return 0, nil
+	}
+	u = strings.TrimSuffix(u, "IB")
+	u = strings.TrimSuffix(u, "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "K"):
+		mult, u = 1<<10, u[:len(u)-1]
+	case strings.HasSuffix(u, "M"):
+		mult, u = 1<<20, u[:len(u)-1]
+	case strings.HasSuffix(u, "G"):
+		mult, u = 1<<30, u[:len(u)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
 }

@@ -41,6 +41,11 @@ func AllClasses() []Class {
 	return []Class{CDN, Collaborative, Educational, Email, Messaging, SocialMedia, Gaming, VoD, WebConf}
 }
 
+// maxClasses bounds the evaluation-order length so the batch scan loops
+// can accumulate into fixed-size stack arrays (9 classes today; headroom
+// for a few more). NewDefault panics if the order outgrows it.
+const maxClasses = 15
+
 // Filter is one matching rule: a flow matches if it involves one of the
 // filter's ASes (when given) and uses one of the filter's ports (when
 // given). A filter with both criteria requires both.
@@ -90,6 +95,10 @@ func (f Filter) matches(srcAS, dstAS uint32, sp flowrec.PortProto) bool {
 type Classifier struct {
 	order   []Class
 	filters map[Class][]Filter
+	// ordFilters holds the filter lists aligned with order, precomputed
+	// so the batch scan loops index a slice instead of hashing a map key
+	// per row per class.
+	ordFilters [][]Filter
 }
 
 func tcp(p uint16) flowrec.PortProto { return flowrec.PortProto{Proto: flowrec.ProtoTCP, Port: p} }
@@ -197,19 +206,36 @@ func NewDefault(reg *asdb.Registry) *Classifier {
 		{Name: "Edgio", ASNs: []uint32{32787}},
 		{Name: "Other CDNs", ASNs: asnsOf(asdb.CatCDN)},
 	}
+	if len(c.order) > maxClasses {
+		panic("appclass: evaluation order exceeds maxClasses; grow the accumulator bound")
+	}
+	c.ordFilters = make([][]Filter, len(c.order))
+	for k, cls := range c.order {
+		c.ordFilters[k] = c.filters[cls]
+	}
 	return c
 }
 
-// classify attributes one flow, given the three values classification
-// depends on. The server port is computed once per flow (the record path
-// used to recompute it per filter).
-func (c *Classifier) classify(srcAS, dstAS uint32, sp flowrec.PortProto) Class {
-	for _, cls := range c.order {
-		for _, f := range c.filters[cls] {
+// classifyIdx attributes one flow, given the three values classification
+// depends on, and returns the matched class's index in evaluation order —
+// len(order) for unclassified. The scan loops accumulate into dense
+// arrays under this index; the server port is computed once per flow (the
+// record path used to recompute it per filter).
+func (c *Classifier) classifyIdx(srcAS, dstAS uint32, sp flowrec.PortProto) int {
+	for k, fs := range c.ordFilters {
+		for _, f := range fs {
 			if f.matches(srcAS, dstAS, sp) {
-				return cls
+				return k
 			}
 		}
+	}
+	return len(c.ordFilters)
+}
+
+// classify is classifyIdx mapped back to the Class name.
+func (c *Classifier) classify(srcAS, dstAS uint32, sp flowrec.PortProto) Class {
+	if k := c.classifyIdx(srcAS, dstAS, sp); k < len(c.order) {
+		return c.order[k]
 	}
 	return Unclassified
 }
@@ -282,9 +308,31 @@ func (c *Classifier) VolumeByClassBatch(b *flowrec.Batch) map[Class]float64 {
 // VolumeByClassInto accumulates the batch's per-class byte volume into
 // sums, letting multi-batch scans (a week of component-hours) share one
 // result map.
+//
+// The hot loop accumulates into a dense array indexed by class id instead
+// of writing through the map per row: the map hash leaves the loop, and
+// the per-class accumulator stays in a register. Per class the additions
+// still happen in row order starting from zero, and byte volumes are
+// integers far below 2^53, so every intermediate sum is exact and the
+// merged totals are bit-identical to the historic per-row map writes.
+// The touched mask preserves the map-key semantics exactly: a class gets
+// a key if and only if a row classified into it, even at volume zero.
 func (c *Classifier) VolumeByClassInto(sums map[Class]float64, b *flowrec.Batch) {
+	n := len(c.order)
+	var acc [maxClasses + 1]float64
+	var touched [maxClasses + 1]bool
 	for i := 0; i < b.Len(); i++ {
-		sums[c.ClassifyAt(b, i)] += float64(b.Bytes[i])
+		k := c.classifyIdx(b.SrcAS[i], b.DstAS[i], b.ServerPortAt(i))
+		acc[k] += float64(b.Bytes[i])
+		touched[k] = true
+	}
+	for k := 0; k < n; k++ {
+		if touched[k] {
+			sums[c.order[k]] += acc[k]
+		}
+	}
+	if touched[n] {
+		sums[Unclassified] += acc[n]
 	}
 }
 

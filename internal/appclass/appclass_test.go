@@ -176,3 +176,75 @@ func TestCountEDUByClassDir(t *testing.T) {
 		t.Errorf("CountEDUByClassDir = %v", counts)
 	}
 }
+
+// benchBatch builds a mixed batch that exercises every classification
+// path: provider ASes, port-only classes and unclassified rows.
+func benchBatch(rows int) *flowrec.Batch {
+	b := flowrec.NewBatch(rows)
+	asns := []uint32{30103, 2906, 32590, 32934, 62041, 20940, 64512, 64513}
+	ports := []uint16{443, 80, 8801, 3074, 25, 993, 5222, 12345, 54321}
+	for i := 0; i < rows; i++ {
+		b.Append(flowrec.Record{
+			SrcAS:   asns[i%len(asns)],
+			DstAS:   asns[(i*3+1)%len(asns)],
+			SrcPort: ports[i%len(ports)],
+			DstPort: ports[(i*7+2)%len(ports)],
+			Proto:   flowrec.ProtoTCP,
+			Bytes:   uint64(1000 + i),
+			Packets: 1,
+		})
+	}
+	return b
+}
+
+// volumeByClassIntoMap is the pre-array-accumulator implementation (one
+// map write per row), kept as the benchmark baseline for the scan loop.
+func volumeByClassIntoMap(c *Classifier, sums map[Class]float64, b *flowrec.Batch) {
+	for i := 0; i < b.Len(); i++ {
+		sums[c.ClassifyAt(b, i)] += float64(b.Bytes[i])
+	}
+}
+
+func BenchmarkVolumeByClassInto(bm *testing.B) {
+	c := NewDefault(nil)
+	b := benchBatch(4096)
+	sums := make(map[Class]float64)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		c.VolumeByClassInto(sums, b)
+	}
+}
+
+func BenchmarkVolumeByClassIntoMapBaseline(bm *testing.B) {
+	c := NewDefault(nil)
+	b := benchBatch(4096)
+	sums := make(map[Class]float64)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		volumeByClassIntoMap(c, sums, b)
+	}
+}
+
+// TestVolumeByClassIntoMatchesMapBaseline pins the array-accumulator
+// rewrite bit-identical to the historic per-row map writes, including
+// the key-presence semantics and multi-batch accumulation.
+func TestVolumeByClassIntoMatchesMapBaseline(t *testing.T) {
+	c := NewDefault(nil)
+	b1, b2 := benchBatch(513), benchBatch(257)
+	want := make(map[Class]float64)
+	volumeByClassIntoMap(c, want, b1)
+	volumeByClassIntoMap(c, want, b2)
+	got := make(map[Class]float64)
+	c.VolumeByClassInto(got, b1)
+	c.VolumeByClassInto(got, b2)
+	if len(want) != len(got) {
+		t.Fatalf("key sets differ: want %v, got %v", want, got)
+	}
+	for k, wv := range want {
+		if gv, ok := got[k]; !ok || gv != wv {
+			t.Errorf("class %q: got %v, want %v", k, got[k], wv)
+		}
+	}
+}

@@ -17,14 +17,23 @@ var goldenOpts = core.Options{FlowScale: 0.05}
 // runSharded executes the given experiments (nil = full suite) over a
 // fresh in-process cluster of n shards.
 func runSharded(t *testing.T, format collector.Format, ids []string, n int) ([]*core.Result, Stats) {
+	results, stats, _ := runShardedOpts(t, format, ids, n, goldenOpts)
+	return results, stats
+}
+
+// runShardedOpts is runSharded under explicit engine options (the
+// tiered-cache golden variant tightens the cache budget so the sharded
+// bridge's batches spill and fault).
+func runShardedOpts(t *testing.T, format collector.Format, ids []string, n int, opts core.Options) ([]*core.Result, Stats, core.CacheStats) {
 	t.Helper()
-	c := newTestCluster(t, Spec{Shards: n, Format: format, Options: goldenOpts})
-	engine := core.NewEngineWithSource(goldenOpts, c.Source())
+	c := newTestCluster(t, Spec{Shards: n, Format: format, Options: opts})
+	engine := core.NewEngineWithSource(opts, c.Source())
+	defer engine.Data().Close()
 	results, err := engine.RunMany(context.Background(), ids, 4)
 	if err != nil {
 		t.Fatalf("sharded suite over %v failed: %v", format, err)
 	}
-	return results, c.Stats()
+	return results, c.Stats(), engine.Data().Stats()
 }
 
 // TestGoldenClusterEquivalence is the golden test of the sharded
@@ -74,4 +83,23 @@ func TestGoldenClusterEquivalence(t *testing.T) {
 			t.Logf("%v 3-shard flow experiments: %+v", format, stats.Bridge)
 		})
 	}
+
+	// Tiered-cache variant: with a 1-byte cache budget every batch the
+	// sharded bridge serves spills to a flowstore segment and faults back
+	// in — N-shard runs no longer hold N shards of history resident —
+	// and the metrics must still equal the unbudgeted in-memory engine's.
+	t.Run("ipfix-flow-experiments-3-shards-tiny-budget", func(t *testing.T) {
+		opts := goldenOpts
+		opts.CacheBudget, opts.CacheDir = 1, t.TempDir()
+		want := make([]*core.Result, len(goldentest.FlowExperiments))
+		for i, id := range goldentest.FlowExperiments {
+			want[i] = byID[id]
+		}
+		got, stats, cache := runShardedOpts(t, collector.FormatIPFIX, goldentest.FlowExperiments, 3, opts)
+		goldentest.CompareResults(t, "ipfix 3-shard tiny-budget", want, got)
+		if cache.Spills == 0 || cache.Faults == 0 {
+			t.Errorf("tiny budget should spill and fault sharded-bridge batches: %+v", cache)
+		}
+		t.Logf("ipfix 3-shard tiny-budget: %+v cache %+v", stats.Bridge, cache)
+	})
 }

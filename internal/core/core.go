@@ -36,6 +36,17 @@ type Options struct {
 	FlowScale float64
 	// Seed overrides the generator seed (0 keeps the default).
 	Seed int64
+	// CacheBudget caps the estimated heap bytes of flow batches the
+	// dataset cache keeps resident; least-recently-used unpinned batches
+	// beyond it spill to columnar segment files and fault back in on
+	// access (see internal/flowstore). 0 disables spilling — every batch
+	// stays resident, the pre-storage-layer behaviour. The budget does
+	// not affect results: batches round-trip segments bit-identically.
+	CacheBudget int64
+	// CacheDir is the directory spilled segments are written under (a
+	// private temp dir is created inside it per dataset and removed by
+	// Dataset.Close). Empty selects the OS temp dir.
+	CacheDir string
 }
 
 func (o Options) flowScale() float64 {

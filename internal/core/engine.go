@@ -4,13 +4,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"lockdown/internal/calendar"
 	"lockdown/internal/flowrec"
 	"lockdown/internal/synth"
 	"lockdown/internal/timeseries"
@@ -43,6 +40,13 @@ func IsRuntimeMetric(key string) bool {
 type Env struct {
 	Options
 	Data *Dataset
+	// pin keeps every flow batch the experiment draws through the Env
+	// accessors resident until the experiment returns, so a scan can
+	// revisit its hour grid without fault-in churn and cache eviction
+	// never races a reader. The engine creates and releases it around
+	// each run; a hand-built Env (tests) may leave it nil, in which case
+	// the accessors fall back to unpinned cache access.
+	pin *Pin
 }
 
 // Convenience accessors so experiment code stays terse.
@@ -56,17 +60,41 @@ func (env *Env) series(vp synth.VantagePoint, from, to time.Time) (*timeseries.S
 }
 
 func (env *Env) flowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
+	if env.pin != nil {
+		return env.pin.FlowBatch(vp, hour)
+	}
 	return env.Data.FlowBatch(vp, hour)
+}
+
+func (env *Env) vpnFlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
+	if env.pin != nil {
+		return env.pin.VPNFlowBatch(vp, hour)
+	}
+	return env.Data.VPNFlowBatch(vp, hour)
+}
+
+func (env *Env) componentFlowBatch(vp synth.VantagePoint, name string, hour time.Time) (*flowrec.Batch, error) {
+	if env.pin != nil {
+		return env.pin.ComponentFlowBatch(vp, name, hour)
+	}
+	return env.Data.ComponentFlowBatch(vp, name, hour)
 }
 
 // flowBatchBetween concatenates the cached per-hour batches of [from, to)
 // into one batch, preallocated from the summed hour lengths (two passes
-// over the cache, one bulk allocation, no append growth).
+// over the cache, one bulk allocation, no append growth). The result is a
+// heap-owned copy, so the source hours are pinned only for the duration
+// of this call — not for the experiment's lifetime like the per-hour
+// accessors. A day-grid scan (fig12 walks months of EDU hours) therefore
+// holds one day resident at a time under a tight budget instead of its
+// whole history.
 func (env *Env) flowBatchBetween(vp synth.VantagePoint, from, to time.Time) (*flowrec.Batch, error) {
+	local := env.Data.NewPin()
+	defer local.Release()
 	from = from.UTC().Truncate(time.Hour)
 	total := 0
 	for t := from; t.Before(to); t = t.Add(time.Hour) {
-		b, err := env.Data.FlowBatch(vp, t)
+		b, err := local.FlowBatch(vp, t)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +102,7 @@ func (env *Env) flowBatchBetween(vp synth.VantagePoint, from, to time.Time) (*fl
 	}
 	out := flowrec.NewBatch(total)
 	for t := from; t.Before(to); t = t.Add(time.Hour) {
-		b, err := env.Data.FlowBatch(vp, t)
+		b, err := local.FlowBatch(vp, t)
 		if err != nil {
 			return nil, err
 		}
@@ -83,280 +111,26 @@ func (env *Env) flowBatchBetween(vp synth.VantagePoint, from, to time.Time) (*fl
 	return out, nil
 }
 
-// CacheStats summarises the dataset cache's effectiveness.
+// CacheStats summarises the dataset cache's effectiveness and, when a
+// cache budget is set, the activity of the spill tier.
 type CacheStats struct {
+	// Entries counts all memoized keys (generators, series, flow batches).
 	Entries int
-	Hits    int64
-	Misses  int64
-}
-
-// Dataset is the memoized input layer of an engine. Every input an
-// experiment can consume — generators, VPN-detection datasets, hourly
-// volume series and per-hour flow samples — is produced at most once per
-// key and shared across experiments. Keys incorporate the generator
-// fingerprint (vantage point, seed, flow scale), so one Dataset serves
-// exactly one Options value.
-//
-// Flow batches (FlowBatch, VPNFlowBatch, ComponentFlowBatch) are drawn
-// from the dataset's FlowSource: by default the in-process synthetic
-// generator, or — via NewDatasetWithSource — any other implementation,
-// e.g. the wire-replay bridge that serves the same batches off live
-// NetFlow/IPFIX export. Volume series always come from the local
-// generator model; only the flow-record path is sourced.
-//
-// Concurrency model: a per-key entry is installed under a short mutex, and
-// the expensive generation runs inside the entry's sync.Once, so
-// concurrent consumers of the same key block only on that key while other
-// keys generate in parallel. Cached values are immutable by convention:
-// callers must not modify returned slices or call mutating methods (e.g.
-// synth.Generator.SetVPNGateways) on shared instances.
-type Dataset struct {
-	opts Options
-	src  FlowSource
-
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-
-	hits   atomic.Int64
-	misses atomic.Int64
-}
-
-type cacheEntry struct {
-	once sync.Once
-	val  any
-	err  error
-}
-
-// NewDataset returns an empty dataset cache for the given options, backed
-// by the in-process synthetic generator.
-func NewDataset(opts Options) *Dataset {
-	return NewDatasetWithSource(opts, nil)
-}
-
-// NewDatasetWithSource returns an empty dataset cache whose flow batches
-// are drawn from src (nil selects the synthetic generator). The source
-// must produce batches bit-identical to the generator at the same options
-// for the suite's determinism guarantees to hold; the replay bridge
-// verifies this per batch.
-func NewDatasetWithSource(opts Options, src FlowSource) *Dataset {
-	d := &Dataset{opts: opts, entries: make(map[string]*cacheEntry)}
-	if src == nil {
-		src = datasetSource{d}
-	}
-	d.src = src
-	return d
-}
-
-// get memoizes build under key with a per-key once.
-func (d *Dataset) get(key string, build func() (any, error)) (any, error) {
-	d.mu.Lock()
-	e, ok := d.entries[key]
-	if !ok {
-		e = &cacheEntry{}
-		d.entries[key] = e
-		d.misses.Add(1)
-	} else {
-		d.hits.Add(1)
-	}
-	d.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = build() })
-	return e.val, e.err
-}
-
-// Stats returns the cache's entry and hit/miss counters.
-func (d *Dataset) Stats() CacheStats {
-	d.mu.Lock()
-	n := len(d.entries)
-	d.mu.Unlock()
-	return CacheStats{Entries: n, Hits: d.hits.Load(), Misses: d.misses.Load()}
-}
-
-// config builds the synth configuration for a vantage point under the
-// dataset's options.
-func (d *Dataset) config(vp synth.VantagePoint) synth.Config {
-	return d.opts.synthConfig(vp)
-}
-
-// Generator returns the shared generator of a vantage point. The instance
-// is safe for concurrent read-only use; never call its mutating methods.
-func (d *Dataset) Generator(vp synth.VantagePoint) (*synth.Generator, error) {
-	cfg := d.config(vp)
-	v, err := d.get("gen/"+cfg.Fingerprint(), func() (any, error) {
-		return synth.New(cfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*synth.Generator), nil
-}
-
-// VPN returns the shared VPN-detection dataset of a vantage point.
-func (d *Dataset) VPN(vp synth.VantagePoint) (*VPNData, error) {
-	cfg := d.config(vp)
-	v, err := d.get("vpn/"+cfg.Fingerprint(), func() (any, error) {
-		g, err := d.Generator(vp)
-		if err != nil {
-			return nil, err
-		}
-		return buildVPNData(g), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*VPNData), nil
-}
-
-// hourKey identifies one whole hour in cache keys.
-func hourKey(t time.Time) string {
-	return strconv.FormatInt(t.UTC().Truncate(time.Hour).Unix()/3600, 10)
-}
-
-// studySeries returns the memoized full study-window total-volume series
-// of a vantage point. The series is sorted before it is published, so the
-// read-only methods of the returned instance are safe for concurrent use.
-func (d *Dataset) studySeries(vp synth.VantagePoint) (*timeseries.Series, error) {
-	cfg := d.config(vp)
-	v, err := d.get("study-series/"+cfg.Fingerprint(), func() (any, error) {
-		g, err := d.Generator(vp)
-		if err != nil {
-			return nil, err
-		}
-		s := g.TotalSeries(calendar.StudyStart, calendar.StudyEnd)
-		s.Points() // force the sort before the series is shared
-		return s, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*timeseries.Series), nil
-}
-
-// Series returns the hourly total-volume series of [from, to). Ranges
-// inside the study window are sliced from the memoized study series;
-// anything else is generated (and memoized) directly. Values are identical
-// either way because the generator is a pure function of its fingerprint.
-func (d *Dataset) Series(vp synth.VantagePoint, from, to time.Time) (*timeseries.Series, error) {
-	from, to = from.UTC().Truncate(time.Hour), to.UTC().Truncate(time.Hour)
-	if !from.Before(calendar.StudyStart) && !to.After(calendar.StudyEnd) {
-		s, err := d.studySeries(vp)
-		if err != nil {
-			return nil, err
-		}
-		return s.Slice(from, to), nil
-	}
-	cfg := d.config(vp)
-	key := fmt.Sprintf("series/%s/%s-%s", cfg.Fingerprint(), hourKey(from), hourKey(to))
-	v, err := d.get(key, func() (any, error) {
-		g, err := d.Generator(vp)
-		if err != nil {
-			return nil, err
-		}
-		s := g.TotalSeries(from, to)
-		s.Points()
-		return s, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*timeseries.Series).Slice(from, to), nil
-}
-
-// ClassSeries returns the hourly series of one traffic class over [from,
-// to), memoized by range.
-func (d *Dataset) ClassSeries(vp synth.VantagePoint, class synth.Class, from, to time.Time) (*timeseries.Series, error) {
-	from, to = from.UTC().Truncate(time.Hour), to.UTC().Truncate(time.Hour)
-	cfg := d.config(vp)
-	key := fmt.Sprintf("class-series/%s/%s/%s-%s", cfg.Fingerprint(), class, hourKey(from), hourKey(to))
-	v, err := d.get(key, func() (any, error) {
-		g, err := d.Generator(vp)
-		if err != nil {
-			return nil, err
-		}
-		s := g.ClassSeries(class, from, to)
-		s.Points()
-		return s, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*timeseries.Series), nil
-}
-
-// FlowBatch returns the sampled flows of one hour as a columnar batch,
-// memoized per hour so experiments iterating overlapping hour grids (e.g.
-// the port analysis and the application-class heatmap over the same weeks)
-// share one sample. The batch comes from the dataset's FlowSource; the
-// returned batch is shared and callers must not modify it.
-func (d *Dataset) FlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
-	cfg := d.config(vp)
-	key := "flows/" + cfg.Fingerprint() + "/" + hourKey(hour)
-	v, err := d.get(key, func() (any, error) {
-		return d.src.FlowBatch(vp, hour.UTC().Truncate(time.Hour))
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*flowrec.Batch), nil
-}
-
-// VPNFlowBatch is FlowBatch for the gateway-pinned generator of the VPN
-// analyses.
-func (d *Dataset) VPNFlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
-	cfg := d.config(vp)
-	key := "vpn-flows/" + cfg.Fingerprint() + "/" + hourKey(hour)
-	v, err := d.get(key, func() (any, error) {
-		return d.src.VPNFlowBatch(vp, hour.UTC().Truncate(time.Hour))
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*flowrec.Batch), nil
-}
-
-// ComponentFlowBatch returns the sampled flows of one named component for
-// one hour as a columnar batch, memoized per hour.
-func (d *Dataset) ComponentFlowBatch(vp synth.VantagePoint, name string, hour time.Time) (*flowrec.Batch, error) {
-	cfg := d.config(vp)
-	key := "component-flows/" + cfg.Fingerprint() + "/" + name + "/" + hourKey(hour)
-	v, err := d.get(key, func() (any, error) {
-		return d.src.ComponentFlowBatch(vp, name, hour.UTC().Truncate(time.Hour))
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*flowrec.Batch), nil
-}
-
-// Flows returns the sampled flow records of one hour: a thin record-slice
-// adapter over FlowBatch for call sites that have not migrated to
-// batches. The slice is materialised per call (one exact allocation) —
-// deliberately not memoized, so legacy callers never double the cache's
-// resident memory with parallel record copies of every hour.
-func (d *Dataset) Flows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record, error) {
-	b, err := d.FlowBatch(vp, hour)
-	if err != nil {
-		return nil, err
-	}
-	return b.Records(), nil
-}
-
-// VPNFlows is Flows for the gateway-pinned generator of the VPN analyses.
-func (d *Dataset) VPNFlows(vp synth.VantagePoint, hour time.Time) ([]flowrec.Record, error) {
-	b, err := d.VPNFlowBatch(vp, hour)
-	if err != nil {
-		return nil, err
-	}
-	return b.Records(), nil
-}
-
-// ComponentFlows returns the sampled flow records of one named component
-// for one hour (per-call record-slice adapter over ComponentFlowBatch).
-func (d *Dataset) ComponentFlows(vp synth.VantagePoint, name string, hour time.Time) ([]flowrec.Record, error) {
-	b, err := d.ComponentFlowBatch(vp, name, hour)
-	if err != nil {
-		return nil, err
-	}
-	return b.Records(), nil
+	// Hits and Misses count cache-key lookups.
+	Hits   int64
+	Misses int64
+	// Spills counts flow-batch entries written to a segment file (each
+	// entry is written at most once; later evictions reuse the file).
+	Spills int64
+	// Faults counts spilled entries brought back for an access.
+	Faults int64
+	// Regens counts faults that found a damaged segment and rebuilt the
+	// batch from the flow source instead.
+	Regens int64
+	// ResidentBytes estimates the heap held by resident flow batches.
+	ResidentBytes int64
+	// SpilledBytes is the total size of live segment files on disk.
+	SpilledBytes int64
 }
 
 // Engine executes experiments against one shared dataset cache. A zero
@@ -402,11 +176,16 @@ func (e *Engine) Run(ctx context.Context, id string) (*Result, error) {
 
 // runTimed executes an experiment and records wall time and (approximate,
 // process-global) allocation growth into the result's runtime metrics.
+// The experiment's Env carries a Pin: every flow batch it draws stays
+// resident until the run returns, then the pin releases and the cache may
+// spill what no longer fits the budget.
 func (e *Engine) runTimed(exp Experiment) (*Result, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res, err := exp.Run(&Env{Options: e.opts, Data: e.data})
+	env := &Env{Options: e.opts, Data: e.data, pin: e.data.NewPin()}
+	defer env.pin.Release()
+	res, err := exp.Run(env)
 	if err != nil {
 		return nil, fmt.Errorf("core: experiment %s: %w", exp.ID, err)
 	}

@@ -155,7 +155,7 @@ func runFig8(env *Env) (*Result, error) {
 	}
 	byWeek := make(map[int]*weekAgg)
 	for t := start; t.Before(end); t = t.Add(time.Hour) {
-		b, err := env.Data.ComponentFlowBatch(synth.IXPSE, "gaming", t)
+		b, err := env.componentFlowBatch(synth.IXPSE, "gaming", t)
 		if err != nil {
 			return nil, err
 		}

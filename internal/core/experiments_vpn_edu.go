@@ -35,7 +35,7 @@ func collectVPNSplit(env *Env, vp synth.VantagePoint, det *vpndetect.Detector, w
 	var out vpnWeekSplit
 	for _, hour := range week.Hours() {
 		working := calendar.WorkingHours(hour.UTC().Hour()) && !calendar.IsWeekend(hour) && !calendar.IsHoliday(hour)
-		b, err := env.Data.VPNFlowBatch(vp, hour)
+		b, err := env.vpnFlowBatch(vp, hour)
 		if err != nil {
 			return vpnWeekSplit{}, err
 		}
@@ -237,7 +237,7 @@ func runAblationVPN(env *Env) (*Result, error) {
 	week := calendar.AppWeeksIXP()[1]
 	var portVol, domainVol float64
 	for _, hour := range week.Hours() {
-		b, err := env.Data.VPNFlowBatch(synth.IXPCE, hour)
+		b, err := env.vpnFlowBatch(synth.IXPCE, hour)
 		if err != nil {
 			return nil, err
 		}

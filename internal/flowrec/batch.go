@@ -4,7 +4,9 @@ import (
 	"net/netip"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // Batch is a columnar (struct-of-arrays) collection of flow records: every
@@ -37,7 +39,23 @@ type Batch struct {
 	OutIf    []uint16
 	Dir      []Direction
 	TCPFlags []uint8
+
+	// state tracks the batch's pool lifecycle (see Release). Accessed
+	// atomically so a racing double-Release panics deterministically
+	// instead of corrupting the pool.
+	state uint32
 }
+
+// Pool lifecycle states of a Batch.
+const (
+	// batchLive: owned by a caller; Release is legal.
+	batchLive uint32 = iota
+	// batchPooled: sitting in the pool; using or re-Releasing it is a bug.
+	batchPooled
+	// batchView: a read-only view over externally managed memory (an
+	// mmap-backed flowstore segment); it must never enter the pool.
+	batchView
+)
 
 // NewBatch returns an empty batch with capacity for n rows in every
 // column (one bulk allocation per column, no reallocation until row n+1).
@@ -224,25 +242,32 @@ func FromRecords(recs []Record) *Batch {
 	return b
 }
 
+// portlessMask zeroes the computed server port of protocols that have no
+// ports (GRE, ESP, ICMP): 0x0000 for those protocol numbers, 0xFFFF for
+// every other. A table load replaces three compares in the per-row path.
+var portlessMask = func() (m [256]uint16) {
+	for i := range m {
+		m[i] = 0xFFFF
+	}
+	m[ProtoGRE], m[ProtoESP], m[ProtoICMP] = 0, 0, 0
+	return
+}()
+
 // ServerPortAt returns row i's service-side port/protocol pair, using the
 // same lower-port heuristic as Record.ServerPort but reading only the
-// three columns involved.
+// three columns involved. The selection is pure arithmetic instead of the
+// branch ladder of Record.ServerPort — the scan loops of the port and
+// application-class analyses call this per row, and real port pairs are
+// exactly the data-dependent pattern branch predictors cannot learn:
+// decrementing wraps an absent (0) port to 65535 so min picks the present
+// side, both present picks the lower, both absent wraps back to 0, and
+// the protocol mask zeroes port-less protocols. The function stays under
+// the inlining budget, so the scan loops pay no call either.
 func (b *Batch) ServerPortAt(i int) PortProto {
 	p := b.Proto[i]
-	if p == ProtoGRE || p == ProtoESP || p == ProtoICMP {
-		return PortProto{Proto: p}
-	}
 	s, d := b.SrcPort[i], b.DstPort[i]
-	switch {
-	case s == 0:
-		return PortProto{p, d}
-	case d == 0:
-		return PortProto{p, s}
-	case d < s:
-		return PortProto{p, d}
-	default:
-		return PortProto{p, s}
-	}
+	port := (min(s-1, d-1) + 1) & portlessMask[p]
+	return PortProto{p, port}
 }
 
 // Filter appends the rows for which keep returns true to a new batch and
@@ -273,19 +298,68 @@ func (b *Batch) TotalBytes() uint64 {
 var batchPool = sync.Pool{New: func() any { return new(Batch) }}
 
 // GetBatch returns an empty pooled batch with capacity for at least n
-// rows. Return it with PutBatch when done.
+// rows. Return it with Release (or PutBatch) when done.
 func GetBatch(n int) *Batch {
 	b := batchPool.Get().(*Batch)
+	atomic.StoreUint32(&b.state, batchLive)
 	b.Reset()
 	b.Grow(n)
 	return b
 }
 
-// PutBatch returns a batch obtained from GetBatch to the pool. The caller
-// must not use b afterwards.
-func PutBatch(b *Batch) {
+// Release returns the batch to the pool. The caller must not use b
+// afterwards. Releasing the same batch twice panics (the second release
+// would let two future GetBatch callers alias the same column arrays and
+// silently corrupt each other's rows), as does releasing a view batch
+// (its columns alias an mmap-backed segment owned by the dataset cache,
+// so pooling it would hand segment memory to the decode loops).
+func (b *Batch) Release() {
 	if b == nil {
 		return
 	}
-	batchPool.Put(b)
+	switch {
+	case atomic.CompareAndSwapUint32(&b.state, batchLive, batchPooled):
+		batchPool.Put(b)
+	case atomic.LoadUint32(&b.state) == batchView:
+		panic("flowrec: Release of a segment-view batch; views are owned by the cache and must never be pooled")
+	default:
+		panic("flowrec: double Release of a pooled batch; the previous Release already returned it")
+	}
+}
+
+// PutBatch returns a batch obtained from GetBatch to the pool; it is
+// Release with the historical name. The caller must not use b afterwards.
+func PutBatch(b *Batch) {
+	b.Release()
+}
+
+// MarkView marks b as a read-only view over externally managed memory
+// (package flowstore's mmap-backed segments). A view batch panics on
+// Release instead of entering the pool, and its columns must not be
+// mutated or retained past the owning segment's lifetime.
+func (b *Batch) MarkView() {
+	atomic.StoreUint32(&b.state, batchView)
+}
+
+// IsView reports whether b was marked as a segment view.
+func (b *Batch) IsView() bool {
+	return atomic.LoadUint32(&b.state) == batchView
+}
+
+// HeapBytes estimates the batch's heap footprint: the backing arrays of
+// all columns at their current capacity. The dataset cache budgets its
+// resident set with this figure. For a view batch it over-counts the
+// columns that alias segment memory, so the cache computes those
+// separately (see flowstore.Segment.Batch).
+func (b *Batch) HeapBytes() int64 {
+	const addrSize = int64(unsafe.Sizeof(netip.Addr{}))
+	n := int64(cap(b.StartNs))*8 + int64(cap(b.EndNs))*8 +
+		(int64(cap(b.SrcIP))+int64(cap(b.DstIP)))*addrSize +
+		int64(cap(b.SrcPort))*2 + int64(cap(b.DstPort))*2 +
+		int64(cap(b.Proto)) +
+		int64(cap(b.Bytes))*8 + int64(cap(b.Packets))*8 +
+		int64(cap(b.SrcAS))*4 + int64(cap(b.DstAS))*4 +
+		int64(cap(b.InIf))*2 + int64(cap(b.OutIf))*2 +
+		int64(cap(b.Dir)) + int64(cap(b.TCPFlags))
+	return n + int64(unsafe.Sizeof(Batch{}))
 }

@@ -164,3 +164,142 @@ func TestBatchResetKeepsCapacity(t *testing.T) {
 		t.Error("Reset should keep column capacity")
 	}
 }
+
+func TestReleaseDoublePanics(t *testing.T) {
+	b := GetBatch(8)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Release must panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestPutBatchDoublePanics(t *testing.T) {
+	b := GetBatch(8)
+	PutBatch(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("double PutBatch must panic")
+		}
+	}()
+	PutBatch(b)
+}
+
+func TestReleaseAfterReuseIsFine(t *testing.T) {
+	// The pooled lifecycle must stay panic-free: get, release, re-get
+	// (possibly the same object), release again.
+	b := GetBatch(4)
+	b.Release()
+	c := GetBatch(4)
+	c.Release()
+}
+
+func TestMarkViewBlocksPooling(t *testing.T) {
+	b := NewBatch(4)
+	b.Append(Record{Proto: ProtoTCP, Bytes: 1, Packets: 1})
+	b.MarkView()
+	if !b.IsView() {
+		t.Fatal("MarkView did not stick")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of a view batch must panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestHeapBytesGrowsWithRows(t *testing.T) {
+	small, big := NewBatch(10), NewBatch(10000)
+	if small.HeapBytes() <= 0 {
+		t.Fatalf("HeapBytes = %d, want > 0", small.HeapBytes())
+	}
+	if big.HeapBytes() <= small.HeapBytes() {
+		t.Errorf("HeapBytes must scale with capacity: %d vs %d", big.HeapBytes(), small.HeapBytes())
+	}
+}
+
+// TestServerPortAtMatchesRecord pins the branchless column scan to the
+// record path's branch ladder over the full behaviour space: port-less
+// protocols, zero ports on either side, and both orderings.
+func TestServerPortAtMatchesRecord(t *testing.T) {
+	protos := []Proto{ProtoICMP, ProtoTCP, ProtoUDP, ProtoGRE, ProtoESP, Proto(200)}
+	ports := []uint16{0, 1, 53, 443, 1024, 32768, 65535}
+	b := NewBatch(0)
+	var recs []Record
+	for _, p := range protos {
+		for _, s := range ports {
+			for _, d := range ports {
+				r := Record{Proto: p, SrcPort: s, DstPort: d}
+				recs = append(recs, r)
+				b.Append(r)
+			}
+		}
+	}
+	for i, r := range recs {
+		if got, want := b.ServerPortAt(i), r.ServerPort(); got != want {
+			t.Fatalf("proto %v src %d dst %d: ServerPortAt = %v, ServerPort = %v",
+				r.Proto, r.SrcPort, r.DstPort, got, want)
+		}
+	}
+}
+
+// serverPortBranchy is the pre-branchless ServerPortAt (the Record path's
+// branch ladder), kept as the benchmark baseline for the scan loops.
+func serverPortBranchy(b *Batch, i int) PortProto {
+	p := b.Proto[i]
+	if p == ProtoGRE || p == ProtoESP || p == ProtoICMP {
+		return PortProto{Proto: p}
+	}
+	s, d := b.SrcPort[i], b.DstPort[i]
+	switch {
+	case s == 0:
+		return PortProto{p, d}
+	case d == 0:
+		return PortProto{p, s}
+	case d < s:
+		return PortProto{p, d}
+	default:
+		return PortProto{p, s}
+	}
+}
+
+func benchPortBatch(rows int) *Batch {
+	b := NewBatch(rows)
+	protos := []Proto{ProtoTCP, ProtoUDP, ProtoTCP, ProtoTCP, ProtoICMP, ProtoGRE}
+	for i := 0; i < rows; i++ {
+		b.Append(Record{
+			Proto:   protos[i%len(protos)],
+			SrcPort: uint16(i * 7919), // pseudo-random orderings defeat the predictor
+			DstPort: uint16(i * 104729),
+			Bytes:   1,
+		})
+	}
+	return b
+}
+
+func BenchmarkServerPortAt(bm *testing.B) {
+	b := benchPortBatch(4096)
+	var sink uint16
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		for r := 0; r < b.Len(); r++ {
+			sink += b.ServerPortAt(r).Port
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkServerPortAtBranchyBaseline(bm *testing.B) {
+	b := benchPortBatch(4096)
+	var sink uint16
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		for r := 0; r < b.Len(); r++ {
+			sink += serverPortBranchy(b, r).Port
+		}
+	}
+	_ = sink
+}

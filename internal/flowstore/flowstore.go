@@ -1,0 +1,550 @@
+// Package flowstore persists flowrec.Batch values as columnar segment
+// files and maps them back as read-only views, so the dataset cache of
+// package core can spill cold component-hours to disk and fault them back
+// in without a decode step for the numeric columns.
+//
+// A segment is a single file:
+//
+//	┌────────────────────────────────────────────────────────────┐
+//	│ header page (4096 B): magic "LFS1", version, row count,    │
+//	│ data size, CRC-64 of the data region, CRC-64 of the header,│
+//	│ and the column table (absolute offset + byte size per blob)│
+//	├────────────────────────────────────────────────────────────┤
+//	│ data region (page-aligned, each blob 64-byte aligned):     │
+//	│   StartNs  int64 ×rows   │ EndNs    int64 ×rows            │
+//	│   SrcAddr  16 B  ×rows   │ SrcVer   1 B ×rows              │
+//	│   DstAddr  16 B  ×rows   │ DstVer   1 B ×rows              │
+//	│   SrcPort/DstPort uint16 │ Proto    1 B                    │
+//	│   Bytes/Packets  uint64  │ SrcAS/DstAS uint32              │
+//	│   InIf/OutIf     uint16  │ Dir 1 B  │ TCPFlags 1 B         │
+//	└────────────────────────────────────────────────────────────┘
+//
+// All fixed-width values are little-endian. On a little-endian host the
+// numeric columns of an opened segment are returned as zero-copy slices
+// straight into the mapping (the blob alignment makes the casts legal);
+// on big-endian or misaligned mappings they are decoded into heap slices
+// instead, so the format is portable either way. The two IP address
+// columns are always materialised into []netip.Addr on open — netip.Addr
+// holds an internal pointer, so it can never alias a file.
+//
+// Segments are written to a temporary name and renamed into place, and
+// both CRCs are verified before any row is served, so a truncated or
+// corrupted file surfaces as an error from Open — never as wrong rows —
+// and the cache regenerates the batch from its source instead.
+package flowstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"net/netip"
+	"os"
+	"sync"
+	"unsafe"
+
+	"lockdown/internal/flowrec"
+)
+
+// Format constants. Version bumps whenever the layout changes; readers
+// reject versions they do not understand.
+const (
+	magic      = "LFS1"
+	version    = 1
+	headerSize = 4096
+	blobAlign  = 64
+)
+
+// Column indices of the segment's blob table, in file order.
+const (
+	colStartNs = iota
+	colEndNs
+	colSrcAddr
+	colSrcVer
+	colDstAddr
+	colDstVer
+	colSrcPort
+	colDstPort
+	colProto
+	colBytes
+	colPackets
+	colSrcAS
+	colDstAS
+	colInIf
+	colOutIf
+	colDir
+	colTCPFlags
+	numCols
+)
+
+// colWidth is the per-row byte width of each blob.
+var colWidth = [numCols]int{
+	colStartNs: 8, colEndNs: 8,
+	colSrcAddr: 16, colSrcVer: 1, colDstAddr: 16, colDstVer: 1,
+	colSrcPort: 2, colDstPort: 2, colProto: 1,
+	colBytes: 8, colPackets: 8, colSrcAS: 4, colDstAS: 4,
+	colInIf: 2, colOutIf: 2, colDir: 1, colTCPFlags: 1,
+}
+
+// Address version markers stored in the SrcVer/DstVer blobs. They
+// preserve the exact netip.Addr representation (an IPv4 address and its
+// v4-in-6 mapped form compare unequal), so a faulted-in batch is
+// indistinguishable from the generated one.
+const (
+	addrInvalid = 0 // the zero netip.Addr
+	addrV4      = 4 // Is4: last 4 bytes of the 16-byte slot
+	addrV6      = 6 // everything else, including v4-in-6
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// hostLE reports whether the host is little-endian, which enables the
+// zero-copy column views.
+var hostLE = binary.NativeEndian.Uint16([]byte{0x01, 0x02}) == 0x0201
+
+// align64 rounds n up to the blob alignment.
+func align64(n int) int { return (n + blobAlign - 1) &^ (blobAlign - 1) }
+
+// Layout computes the blob offsets for a row count. Offsets are absolute
+// file offsets; the data region starts at the first page boundary.
+func layout(rows int) (offs [numCols]int, fileSize int) {
+	off := headerSize
+	for c := 0; c < numCols; c++ {
+		off = align64(off)
+		offs[c] = off
+		off += rows * colWidth[c]
+	}
+	return offs, off
+}
+
+// writeBufPool recycles the file-assembly buffers across spills: a cache
+// evicting thousands of batches under memory pressure should not churn a
+// segment-sized allocation per eviction.
+var writeBufPool sync.Pool
+
+// getWriteBuf returns a zeroed buffer of exactly size bytes. Zeroing a
+// pooled buffer is required, not cosmetic: alignment gaps and the unused
+// parts of address slots are never overwritten and must read as zero.
+func getWriteBuf(size int) []byte {
+	if v := writeBufPool.Get(); v != nil {
+		if buf := v.([]byte); cap(buf) >= size {
+			buf = buf[:size]
+			for i := range buf {
+				buf[i] = 0
+			}
+			return buf
+		}
+	}
+	return make([]byte, size)
+}
+
+// Write persists the batch as a segment file at path, returning the file
+// size. The file is assembled in memory, written to a temporary sibling
+// and renamed into place, so a crash mid-write never leaves a live
+// half-segment behind. Batches whose addresses carry IPv6 zones are
+// rejected: zones are interned strings that cannot round-trip a file.
+func Write(path string, b *flowrec.Batch) (int64, error) {
+	rows := b.Len()
+	offs, size := layout(rows)
+	buf := getWriteBuf(size)
+	defer writeBufPool.Put(buf)
+
+	putInt64s(buf, offs[colStartNs], b.StartNs)
+	putInt64s(buf, offs[colEndNs], b.EndNs)
+	if err := putAddrs(buf, offs[colSrcAddr], offs[colSrcVer], b.SrcIP); err != nil {
+		return 0, fmt.Errorf("flowstore: src addresses: %w", err)
+	}
+	if err := putAddrs(buf, offs[colDstAddr], offs[colDstVer], b.DstIP); err != nil {
+		return 0, fmt.Errorf("flowstore: dst addresses: %w", err)
+	}
+	putUint16s(buf, offs[colSrcPort], b.SrcPort)
+	putUint16s(buf, offs[colDstPort], b.DstPort)
+	copy(buf[offs[colProto]:], protoBytes(b.Proto))
+	putUint64s(buf, offs[colBytes], b.Bytes)
+	putUint64s(buf, offs[colPackets], b.Packets)
+	putUint32s(buf, offs[colSrcAS], b.SrcAS)
+	putUint32s(buf, offs[colDstAS], b.DstAS)
+	putUint16s(buf, offs[colInIf], b.InIf)
+	putUint16s(buf, offs[colOutIf], b.OutIf)
+	copy(buf[offs[colDir]:], dirBytes(b.Dir))
+	copy(buf[offs[colTCPFlags]:], b.TCPFlags)
+
+	h := buf[:headerSize]
+	copy(h[0:4], magic)
+	binary.LittleEndian.PutUint32(h[4:8], version)
+	binary.LittleEndian.PutUint64(h[8:16], uint64(rows))
+	binary.LittleEndian.PutUint64(h[16:24], uint64(size-headerSize))
+	binary.LittleEndian.PutUint64(h[24:32], crc64.Checksum(buf[headerSize:], crcTable))
+	binary.LittleEndian.PutUint32(h[40:44], numCols)
+	tab := h[44:]
+	for c := 0; c < numCols; c++ {
+		binary.LittleEndian.PutUint64(tab[c*16:], uint64(offs[c]))
+		binary.LittleEndian.PutUint64(tab[c*16+8:], uint64(rows*colWidth[c]))
+	}
+	// The header CRC is computed with its own field zeroed (it is zero at
+	// this point) and covers the whole header page.
+	binary.LittleEndian.PutUint64(h[32:40], crc64.Checksum(h, crcTable))
+
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return 0, fmt.Errorf("flowstore: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("flowstore: %w", err)
+	}
+	return int64(size), nil
+}
+
+// Segment is an opened, checksum-verified segment file. On linux the file
+// is mmap'ed read-only and the numeric columns of Batch alias the mapping
+// directly; elsewhere (or when mmap fails) the file is read onto the heap
+// and the same views point there. A Segment stays valid until Close; the
+// owner must not Close it while view batches built from it are in use.
+type Segment struct {
+	data   []byte
+	mapped bool
+	rows   int
+	offs   [numCols]int
+}
+
+// Open maps (or reads) and verifies a segment file. Every failure mode of
+// a damaged file — truncation, bit flips in header or data, a bad rename —
+// returns an error here; a non-nil Segment always serves exactly the rows
+// that were written.
+func Open(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flowstore: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("flowstore: %w", err)
+	}
+	size := int(fi.Size())
+	if size < headerSize {
+		return nil, fmt.Errorf("flowstore: %s: truncated header (%d bytes)", path, size)
+	}
+	data, mapped, err := mapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("flowstore: %s: %w", path, err)
+	}
+	s := &Segment{data: data, mapped: mapped}
+	if err := s.validate(path); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// validate checks the header and both checksums against the mapped bytes.
+func (s *Segment) validate(path string) error {
+	h := s.data[:headerSize]
+	if string(h[0:4]) != magic {
+		return fmt.Errorf("flowstore: %s: bad magic %q", path, h[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(h[4:8]); v != version {
+		return fmt.Errorf("flowstore: %s: unsupported version %d (want %d)", path, v, version)
+	}
+	wantHeaderCRC := binary.LittleEndian.Uint64(h[32:40])
+	// Recompute the header CRC over a copy with the CRC field zeroed.
+	hc := make([]byte, headerSize)
+	copy(hc, h)
+	for i := 32; i < 40; i++ {
+		hc[i] = 0
+	}
+	if got := crc64.Checksum(hc, crcTable); got != wantHeaderCRC {
+		return fmt.Errorf("flowstore: %s: header checksum mismatch (file %#x, computed %#x)", path, wantHeaderCRC, got)
+	}
+	rows := binary.LittleEndian.Uint64(h[8:16])
+	if rows > 1<<40 {
+		return fmt.Errorf("flowstore: %s: implausible row count %d", path, rows)
+	}
+	s.rows = int(rows)
+	offs, wantSize := layout(s.rows)
+	dataSize := binary.LittleEndian.Uint64(h[16:24])
+	if int(dataSize) != wantSize-headerSize || len(s.data) != wantSize {
+		return fmt.Errorf("flowstore: %s: size mismatch: file %d bytes, header claims %d, layout wants %d",
+			path, len(s.data), headerSize+int(dataSize), wantSize)
+	}
+	if n := binary.LittleEndian.Uint32(h[40:44]); n != numCols {
+		return fmt.Errorf("flowstore: %s: %d columns, want %d", path, n, numCols)
+	}
+	tab := h[44:]
+	for c := 0; c < numCols; c++ {
+		off := binary.LittleEndian.Uint64(tab[c*16:])
+		sz := binary.LittleEndian.Uint64(tab[c*16+8:])
+		if int(off) != offs[c] || int(sz) != s.rows*colWidth[c] {
+			return fmt.Errorf("flowstore: %s: column %d table entry (off %d, size %d) does not match layout (off %d, size %d)",
+				path, c, off, sz, offs[c], s.rows*colWidth[c])
+		}
+	}
+	s.offs = offs
+	if got := crc64.Checksum(s.data[headerSize:], crcTable); got != binary.LittleEndian.Uint64(h[24:32]) {
+		return fmt.Errorf("flowstore: %s: data checksum mismatch", path)
+	}
+	return nil
+}
+
+// Rows returns the number of rows in the segment.
+func (s *Segment) Rows() int { return s.rows }
+
+// Mapped reports whether the segment is served from an mmap (as opposed
+// to the heap fallback).
+func (s *Segment) Mapped() bool { return s.mapped }
+
+// Size returns the segment's file size in bytes.
+func (s *Segment) Size() int64 { return int64(len(s.data)) }
+
+// col returns the raw bytes of one blob.
+func (s *Segment) col(c int) []byte {
+	return s.data[s.offs[c] : s.offs[c]+s.rows*colWidth[c]]
+}
+
+// Batch builds a read-only view batch over the segment. Numeric columns
+// alias the segment memory when the host allows it (little-endian,
+// aligned mapping); the address columns are always decoded onto the heap.
+// The returned batch is marked as a view (flowrec.Batch.IsView), its
+// columns have len == cap so appends copy, and it must not be used after
+// the segment is closed. heapBytes is the estimated heap footprint of the
+// view — the part of the batch the OS cannot reclaim by dropping pages.
+func (s *Segment) Batch() (b *flowrec.Batch, heapBytes int64, err error) {
+	rows := s.rows
+	b = &flowrec.Batch{}
+	heapBytes = int64(unsafe.Sizeof(flowrec.Batch{}))
+
+	var copied int64 // bytes that landed on the heap instead of aliasing the map
+	b.StartNs, copied = viewInt64(s.col(colStartNs), rows, copied)
+	b.EndNs, copied = viewInt64(s.col(colEndNs), rows, copied)
+	b.SrcPort, copied = viewUint16(s.col(colSrcPort), rows, copied)
+	b.DstPort, copied = viewUint16(s.col(colDstPort), rows, copied)
+	b.Bytes, copied = viewUint64(s.col(colBytes), rows, copied)
+	b.Packets, copied = viewUint64(s.col(colPackets), rows, copied)
+	b.SrcAS, copied = viewUint32(s.col(colSrcAS), rows, copied)
+	b.DstAS, copied = viewUint32(s.col(colDstAS), rows, copied)
+	b.InIf, copied = viewUint16(s.col(colInIf), rows, copied)
+	b.OutIf, copied = viewUint16(s.col(colOutIf), rows, copied)
+	// Single-byte columns can alias the mapping on any host.
+	b.Proto = viewProtos(s.col(colProto), rows)
+	b.Dir = viewDirs(s.col(colDir), rows)
+	b.TCPFlags = s.col(colTCPFlags)[:rows:rows]
+
+	b.SrcIP, err = decodeAddrs(s.col(colSrcAddr), s.col(colSrcVer), rows)
+	if err != nil {
+		return nil, 0, fmt.Errorf("flowstore: src addresses: %w", err)
+	}
+	b.DstIP, err = decodeAddrs(s.col(colDstAddr), s.col(colDstVer), rows)
+	if err != nil {
+		return nil, 0, fmt.Errorf("flowstore: dst addresses: %w", err)
+	}
+	heapBytes += copied + 2*int64(rows)*int64(unsafe.Sizeof(netip.Addr{}))
+
+	b.MarkView()
+	return b, heapBytes, nil
+}
+
+// Evicted hints the OS that the segment's pages will not be needed soon
+// (MADV_DONTNEED on linux, no-op elsewhere). The cache calls it when the
+// last view over the segment is dropped; the next fault-in re-reads the
+// pages from the file.
+func (s *Segment) Evicted() {
+	adviseDontNeed(s.data, s.mapped)
+}
+
+// Close releases the mapping (or the heap copy). View batches built from
+// the segment must not be used afterwards.
+func (s *Segment) Close() error {
+	data, mapped := s.data, s.mapped
+	s.data, s.mapped, s.rows = nil, false, 0
+	return unmapFile(data, mapped)
+}
+
+// decodeAddrs materialises one address column.
+func decodeAddrs(addr, ver []byte, rows int) ([]netip.Addr, error) {
+	if rows == 0 {
+		return nil, nil
+	}
+	out := make([]netip.Addr, rows)
+	for i := 0; i < rows; i++ {
+		slot := addr[i*16 : i*16+16]
+		switch ver[i] {
+		case addrInvalid:
+			// leave the zero Addr
+		case addrV4:
+			out[i] = netip.AddrFrom4([4]byte(slot[12:16]))
+		case addrV6:
+			out[i] = netip.AddrFrom16([16]byte(slot))
+		default:
+			return nil, fmt.Errorf("row %d: unknown address version %d", i, ver[i])
+		}
+	}
+	return out, nil
+}
+
+// putAddrs encodes one address column into its two blobs.
+func putAddrs(buf []byte, addrOff, verOff int, addrs []netip.Addr) error {
+	for i, a := range addrs {
+		if a.Zone() != "" {
+			return fmt.Errorf("row %d: address %v has a zone; zones cannot be persisted", i, a)
+		}
+		slot := buf[addrOff+i*16 : addrOff+i*16+16]
+		switch {
+		case !a.IsValid():
+			buf[verOff+i] = addrInvalid
+		case a.Is4():
+			b4 := a.As4()
+			copy(slot[12:16], b4[:])
+			buf[verOff+i] = addrV4
+		default:
+			b16 := a.As16()
+			copy(slot, b16[:])
+			buf[verOff+i] = addrV6
+		}
+	}
+	return nil
+}
+
+// ---- column encoding / view helpers ----
+//
+// On a little-endian host the on-file representation of the numeric
+// columns equals their in-memory representation, so encoding is a memcpy
+// and decoding is a pointer cast (when the blob is suitably aligned).
+// The per-element fallbacks keep the format correct everywhere else.
+
+// rawBytes views a numeric slice as its backing bytes (little-endian
+// hosts only).
+func rawBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	var t T
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(t)))
+}
+
+// view casts a blob to a typed column slice with len == cap when the host
+// representation matches the file; otherwise it decodes into a fresh heap
+// slice via dec. copied accumulates heap bytes for the cache's accounting.
+func view[T any](blob []byte, rows int, copied int64, dec func([]byte, []T)) ([]T, int64) {
+	if rows == 0 {
+		return nil, copied
+	}
+	var t T
+	size := int(unsafe.Sizeof(t))
+	if hostLE && uintptr(unsafe.Pointer(&blob[0]))%uintptr(size) == 0 {
+		return unsafe.Slice((*T)(unsafe.Pointer(&blob[0])), rows)[:rows:rows], copied
+	}
+	out := make([]T, rows)
+	dec(blob, out)
+	return out, copied + int64(rows*size)
+}
+
+func viewInt64(blob []byte, rows int, copied int64) ([]int64, int64) {
+	return view(blob, rows, copied, func(b []byte, out []int64) {
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+	})
+}
+
+func viewUint64(blob []byte, rows int, copied int64) ([]uint64, int64) {
+	return view(blob, rows, copied, func(b []byte, out []uint64) {
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(b[i*8:])
+		}
+	})
+}
+
+func viewUint32(blob []byte, rows int, copied int64) ([]uint32, int64) {
+	return view(blob, rows, copied, func(b []byte, out []uint32) {
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint32(b[i*4:])
+		}
+	})
+}
+
+func viewUint16(blob []byte, rows int, copied int64) ([]uint16, int64) {
+	return view(blob, rows, copied, func(b []byte, out []uint16) {
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint16(b[i*2:])
+		}
+	})
+}
+
+// viewProtos / viewDirs reinterpret single-byte blobs; safe on any host.
+func viewProtos(blob []byte, rows int) []flowrec.Proto {
+	if rows == 0 {
+		return nil
+	}
+	return unsafe.Slice((*flowrec.Proto)(unsafe.Pointer(&blob[0])), rows)[:rows:rows]
+}
+
+func viewDirs(blob []byte, rows int) []flowrec.Direction {
+	if rows == 0 {
+		return nil
+	}
+	return unsafe.Slice((*flowrec.Direction)(unsafe.Pointer(&blob[0])), rows)[:rows:rows]
+}
+
+func protoBytes(s []flowrec.Proto) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s))
+}
+
+func dirBytes(s []flowrec.Direction) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s))
+}
+
+func putInt64s(buf []byte, off int, s []int64) {
+	if hostLE {
+		copy(buf[off:], rawBytes(s))
+		return
+	}
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(buf[off+i*8:], uint64(v))
+	}
+}
+
+func putUint64s(buf []byte, off int, s []uint64) {
+	if hostLE {
+		copy(buf[off:], rawBytes(s))
+		return
+	}
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(buf[off+i*8:], v)
+	}
+}
+
+func putUint32s(buf []byte, off int, s []uint32) {
+	if hostLE {
+		copy(buf[off:], rawBytes(s))
+		return
+	}
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(buf[off+i*4:], v)
+	}
+}
+
+func putUint16s(buf []byte, off int, s []uint16) {
+	if hostLE {
+		copy(buf[off:], rawBytes(s))
+		return
+	}
+	for i, v := range s {
+		binary.LittleEndian.PutUint16(buf[off+i*2:], v)
+	}
+}
+
+// readFile is the heap fallback behind mapFile: one exact allocation
+// holding the whole segment.
+func readFile(f *os.File, size int) ([]byte, bool, error) {
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}

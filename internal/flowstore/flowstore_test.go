@@ -1,0 +1,317 @@
+package flowstore
+
+import (
+	"math/rand"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lockdown/internal/flowrec"
+)
+
+// testBatch builds a deterministic batch covering every address shape the
+// format distinguishes: IPv4, IPv6, v4-in-6 mapped and the zero Addr.
+func testBatch(rows int, seed int64) *flowrec.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	b := flowrec.NewBatch(rows)
+	base := time.Date(2020, 3, 14, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < rows; i++ {
+		var src, dst netip.Addr
+		switch i % 4 {
+		case 0:
+			src = netip.AddrFrom4([4]byte{10, byte(i), byte(i >> 8), 1})
+			dst = netip.AddrFrom4([4]byte{192, 168, byte(i), 2})
+		case 1:
+			var a [16]byte
+			rng.Read(a[:])
+			a[0] = 0x20
+			src = netip.AddrFrom16(a)
+			rng.Read(a[:])
+			a[0] = 0x20
+			dst = netip.AddrFrom16(a)
+		case 2:
+			// v4-in-6: must round-trip as v4-in-6, not as plain v4.
+			src = netip.AddrFrom16([16]byte{10: 0xff, 11: 0xff, 12: 1, 13: 2, 14: 3, 15: 4})
+			dst = netip.AddrFrom4([4]byte{172, 16, 0, byte(i)})
+		case 3:
+			// zero Addr (e.g. a repaired v5 row with no address data)
+		}
+		start := base.Add(time.Duration(i) * time.Second)
+		b.Append(flowrec.Record{
+			Start: start, End: start.Add(time.Duration(rng.Intn(1000)) * time.Millisecond),
+			SrcIP: src, DstIP: dst,
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+			Proto: flowrec.ProtoTCP, Bytes: uint64(rng.Intn(1 << 30)), Packets: uint64(1 + rng.Intn(1000)),
+			SrcAS: rng.Uint32(), DstAS: rng.Uint32(),
+			InIf: uint16(rng.Intn(64)), OutIf: uint16(rng.Intn(64)),
+			Dir: flowrec.Direction(rng.Intn(3)), TCPFlags: uint8(rng.Intn(256)),
+		})
+	}
+	return b
+}
+
+// equalBatches compares every column of two batches for exact equality,
+// including the netip.Addr representation.
+func equalBatches(t *testing.T, want, got *flowrec.Batch) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("row count: want %d, got %d", want.Len(), got.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		w, g := want.Record(i), got.Record(i)
+		if w != g {
+			t.Fatalf("row %d differs:\nwant %+v\ngot  %+v", i, w, g)
+		}
+		// Record comparison uses netip.Addr ==, which distinguishes v4
+		// from v4-in-6 — exactly the invariant the version bytes keep.
+		if want.SrcIP[i].Is4() != got.SrcIP[i].Is4() || want.DstIP[i].Is4() != got.DstIP[i].Is4() {
+			t.Fatalf("row %d: address representation changed", i)
+		}
+	}
+}
+
+func writeSegment(t *testing.T, b *flowrec.Batch) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seg.lfs")
+	size, err := Write(path, b)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() != size {
+		t.Fatalf("Write reported %d bytes, file has %v (%v)", size, fi, err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, rows := range []int{0, 1, 7, 1000} {
+		b := testBatch(rows, int64(rows)+1)
+		path := writeSegment(t, b)
+		seg, err := Open(path)
+		if err != nil {
+			t.Fatalf("rows=%d: Open: %v", rows, err)
+		}
+		if seg.Rows() != rows {
+			t.Fatalf("rows=%d: segment reports %d rows", rows, seg.Rows())
+		}
+		view, heap, err := seg.Batch()
+		if err != nil {
+			t.Fatalf("rows=%d: Batch: %v", rows, err)
+		}
+		if heap <= 0 {
+			t.Errorf("rows=%d: heapBytes = %d, want > 0 (struct + addresses)", rows, heap)
+		}
+		equalBatches(t, b, view)
+		if !view.IsView() {
+			t.Error("segment batch must be marked as a view")
+		}
+		if err := seg.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}
+}
+
+func TestViewIsImmutableAndUnpooled(t *testing.T) {
+	b := testBatch(64, 3)
+	seg, err := Open(writeSegment(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	view, _, err := seg.Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns must have len == cap so that appending copies instead of
+	// scribbling past the view into segment (or mapped) memory.
+	if cap(view.Bytes) != view.Len() || cap(view.SrcPort) != view.Len() {
+		t.Fatalf("view columns must have len == cap (len %d, cap %d)", view.Len(), cap(view.Bytes))
+	}
+	grown := append([]uint64(nil), view.Bytes...)
+	appended := append(view.Bytes, 42)
+	if &appended[0] == &view.Bytes[0] {
+		t.Fatal("append aliased the view column; cap clamp missing")
+	}
+	for i := range grown {
+		if view.Bytes[i] != grown[i] {
+			t.Fatal("append mutated the view column")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of a view batch must panic")
+		}
+	}()
+	view.Release()
+}
+
+func TestEvictedAdviseIsSafe(t *testing.T) {
+	b := testBatch(512, 9)
+	seg, err := Open(writeSegment(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	seg.Evicted() // advisory; must not invalidate the data
+	view, _, err := seg.Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalBatches(t, b, view)
+}
+
+// TestCorruption asserts that every damaged-file shape is rejected by
+// Open with an error instead of serving wrong rows or panicking.
+func TestCorruption(t *testing.T) {
+	b := testBatch(256, 5)
+	pristine := writeSegment(t, b)
+	raw, err := os.ReadFile(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := map[string]func([]byte) []byte{
+		"bad-magic":       func(d []byte) []byte { d[0] ^= 0xff; return d },
+		"bad-version":     func(d []byte) []byte { d[4] = 99; return d },
+		"header-bitflip":  func(d []byte) []byte { d[44] ^= 0x01; return d }, // column table
+		"data-bitflip":    func(d []byte) []byte { d[headerSize+100] ^= 0x80; return d },
+		"truncated-data":  func(d []byte) []byte { return d[:len(d)-128] },
+		"truncated-head":  func(d []byte) []byte { return d[:100] },
+		"empty":           func(d []byte) []byte { return nil },
+		"row-count-bumps": func(d []byte) []byte { d[8]++; return d },
+	}
+	for name, mutate := range damage {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.lfs")
+			if err := os.WriteFile(path, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if seg, err := Open(path); err == nil {
+				seg.Close()
+				t.Fatalf("Open accepted a %s segment", name)
+			}
+		})
+	}
+}
+
+func TestWriteRejectsZones(t *testing.T) {
+	b := flowrec.NewBatch(1)
+	b.Append(flowrec.Record{
+		SrcIP: netip.MustParseAddr("fe80::1%eth0"),
+		DstIP: netip.MustParseAddr("10.0.0.1"),
+	})
+	if _, err := Write(filepath.Join(t.TempDir(), "z.lfs"), b); err == nil {
+		t.Fatal("Write must reject zoned addresses")
+	}
+}
+
+func TestWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg.lfs")
+	if _, err := Write(path, testBatch(32, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// No temporary residue after a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "seg.lfs" {
+		t.Fatalf("directory has unexpected entries: %v", entries)
+	}
+	// Overwrite with different content: readers of the old segment name
+	// must see either the old or the new file, never a partial one.
+	if _, err := Write(path, testBatch(64, 2)); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if seg.Rows() != 64 {
+		t.Fatalf("reopened segment has %d rows, want 64", seg.Rows())
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "absent.lfs")); err == nil {
+		t.Fatal("Open of a missing file must fail")
+	}
+}
+
+// BenchmarkSegmentWriteFault measures one full spill/fault cycle: encode
+// and write a component-hour-sized batch, then open, verify and build the
+// view. This is the cost the tiered cache pays per eviction + re-access;
+// cmd/benchgate gates its allocs/op in CI.
+func BenchmarkSegmentWriteFault(bm *testing.B) {
+	b := testBatch(4096, 11)
+	dir := bm.TempDir()
+	path := filepath.Join(dir, "bench.lfs")
+	var rows int64
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		if _, err := Write(path, b); err != nil {
+			bm.Fatal(err)
+		}
+		seg, err := Open(path)
+		if err != nil {
+			bm.Fatal(err)
+		}
+		view, _, err := seg.Batch()
+		if err != nil {
+			bm.Fatal(err)
+		}
+		rows += int64(view.Len())
+		if err := seg.Close(); err != nil {
+			bm.Fatal(err)
+		}
+	}
+	bm.SetBytes(int64(b.HeapBytes()))
+	_ = rows
+}
+
+// TestPortableFallback flips the host-endianness switch so the
+// per-element encode/decode fallbacks run even on little-endian CI
+// hosts: the format must round-trip identically through both paths.
+func TestPortableFallback(t *testing.T) {
+	orig := hostLE
+	defer func() { hostLE = orig }()
+	hostLE = false
+
+	b := testBatch(333, 21)
+	path := writeSegment(t, b)
+	seg, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open via fallback: %v", err)
+	}
+	defer seg.Close()
+	view, heap, err := seg.Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalBatches(t, b, view)
+	// Every numeric column was decode-copied, so the heap estimate must
+	// exceed the view-path estimate (struct + addresses only).
+	if minHeap := 2 * int64(333) * 24; heap <= minHeap {
+		t.Errorf("fallback heapBytes = %d, want > %d (copied columns must be accounted)", heap, minHeap)
+	}
+
+	// Cross-path compatibility: a segment written by the fallback opens
+	// on the fast path and vice versa.
+	hostLE = orig
+	seg2, err := Open(path)
+	if err != nil {
+		t.Fatalf("fast-path Open of fallback-written segment: %v", err)
+	}
+	defer seg2.Close()
+	view2, _, err := seg2.Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalBatches(t, b, view2)
+}

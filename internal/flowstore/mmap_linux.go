@@ -1,0 +1,38 @@
+//go:build linux
+
+package flowstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. mmap failures (exotic filesystems,
+// exhausted mappings) fall back to a heap read so a segment is never
+// unreadable just because it cannot be mapped.
+func mapFile(f *os.File, size int) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	d, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFile(f, size)
+	}
+	return d, true, nil
+}
+
+// unmapFile releases a mapping created by mapFile.
+func unmapFile(data []byte, mapped bool) error {
+	if !mapped || data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}
+
+// adviseDontNeed drops the mapping's resident pages; the next access
+// faults them back in from the file. Advisory only — errors are ignored.
+func adviseDontNeed(data []byte, mapped bool) {
+	if mapped && len(data) > 0 {
+		_ = syscall.Madvise(data, syscall.MADV_DONTNEED)
+	}
+}

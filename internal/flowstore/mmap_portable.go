@@ -1,0 +1,18 @@
+//go:build !linux
+
+package flowstore
+
+import "os"
+
+// mapFile on platforms without the mmap fast path reads the whole file
+// onto the heap; the column views then alias that buffer instead of a
+// mapping. Spilling still bounds the cache's steady-state footprint —
+// evicted entries hold no buffer at all — but a faulted-in segment is
+// heap-resident until it is evicted again.
+func mapFile(f *os.File, size int) (data []byte, mapped bool, err error) {
+	return readFile(f, size)
+}
+
+func unmapFile(data []byte, mapped bool) error { return nil }
+
+func adviseDontNeed(data []byte, mapped bool) {}

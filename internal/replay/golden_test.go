@@ -17,14 +17,22 @@ var goldenOpts = core.Options{FlowScale: 0.05}
 // runWire executes the given experiments (nil = the full suite) over a
 // fresh pump/bridge pair and returns the results plus the bridge stats.
 func runWire(t *testing.T, format collector.Format, ids []string) ([]*core.Result, Stats) {
+	results, stats, _ := runWireOpts(t, format, ids, goldenOpts)
+	return results, stats
+}
+
+// runWireOpts is runWire under explicit engine options (the tiered-cache
+// golden variants tighten the cache budget).
+func runWireOpts(t *testing.T, format collector.Format, ids []string, opts core.Options) ([]*core.Result, Stats, core.CacheStats) {
 	t.Helper()
-	br, _ := newHarness(t, format, goldenOpts)
-	engine := core.NewEngineWithSource(goldenOpts, br)
+	br, _ := newHarness(t, format, opts)
+	engine := core.NewEngineWithSource(opts, br)
+	defer engine.Data().Close()
 	results, err := engine.RunMany(context.Background(), ids, 4)
 	if err != nil {
 		t.Fatalf("suite over %v failed: %v", format, err)
 	}
-	return results, br.Stats()
+	return results, br.Stats(), engine.Data().Stats()
 }
 
 // TestGoldenWireEquivalence is the golden test of the wire-replay
@@ -64,4 +72,22 @@ func TestGoldenWireEquivalence(t *testing.T) {
 			t.Logf("%v flow experiments: %+v", format, stats)
 		})
 	}
+
+	// Tiered-cache variant: a 1-byte cache budget forces every bridge-fed
+	// batch to spill to a flowstore segment and fault back in, and the
+	// metrics must still equal the in-memory, unbudgeted engine's.
+	t.Run("ipfix-flow-experiments-tiny-budget", func(t *testing.T) {
+		opts := goldenOpts
+		opts.CacheBudget, opts.CacheDir = 1, t.TempDir()
+		want := make([]*core.Result, len(goldentest.FlowExperiments))
+		for i, id := range goldentest.FlowExperiments {
+			want[i] = byID[id]
+		}
+		got, stats, cache := runWireOpts(t, collector.FormatIPFIX, goldentest.FlowExperiments, opts)
+		goldentest.CompareResults(t, "ipfix tiny-budget", want, got)
+		if cache.Spills == 0 || cache.Faults == 0 {
+			t.Errorf("tiny budget should spill and fault bridge-fed batches: %+v", cache)
+		}
+		t.Logf("ipfix tiny-budget flow experiments: %+v cache %+v", stats, cache)
+	})
 }
