@@ -153,6 +153,28 @@ func BenchmarkFig12EDUConnections(b *testing.B) {
 	})
 }
 
+// --- intra-experiment sharding benchmarks --------------------------------
+//
+// fig12's month-walk over sampled EDU days is the suite's worst-case
+// single experiment, so it is the headline case for core.ShardedScan.
+// Sequential holds the worker budget at one token (the sharded scan
+// degrades to the old in-order loop); Sharded4 gives the engine four
+// tokens, so the day-grid scan borrows the three spares and prefetches
+// day h+1 while day h scans. Output is bit-identical either way
+// (TestRunAllShardingInvariance pins this).
+func benchFig12Workers(b *testing.B, parallel int) {
+	for i := 0; i < b.N; i++ {
+		eng := core.NewEngine(benchOptions)
+		if _, err := eng.RunMany(context.Background(), []string{"fig12"}, parallel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Sequential(b *testing.B) { benchFig12Workers(b, 1) }
+
+func BenchmarkFig12Sharded4(b *testing.B) { benchFig12Workers(b, 4) }
+
 func BenchmarkTab02Hypergiants(b *testing.B) {
 	runExperiment(b, "tab2", map[string]string{"hypergiants": "hypergiants"})
 }

@@ -1,0 +1,39 @@
+// Command goldendiff compares two rendered suite outputs (the text
+// `lockdown all` prints) modulo the _runtime/ execution metrics, using
+// the same exclusion contract as the golden tests in internal/goldentest.
+// It exits 0 when the outputs are identical apart from runtime lines and
+// 1 with a description of the first divergence otherwise, so CI steps
+// that pin `lockdown all` bit-identical across cache budgets, worker
+// counts or wire paths share one diff implementation instead of shell
+// pipelines.
+//
+// Usage: goldendiff <want-file> <got-file>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lockdown/internal/goldentest"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: %s <want-file> <got-file>\n", os.Args[0])
+		os.Exit(2)
+	}
+	want, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldendiff:", err)
+		os.Exit(2)
+	}
+	got, err := os.ReadFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldendiff:", err)
+		os.Exit(2)
+	}
+	if d := goldentest.DiffModuloRuntime(string(want), string(got)); d != "" {
+		fmt.Fprintf(os.Stderr, "goldendiff: %s vs %s: %s\n", os.Args[1], os.Args[2], d)
+		os.Exit(1)
+	}
+}

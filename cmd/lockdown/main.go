@@ -17,7 +17,14 @@
 //	-json         emit JSON instead of text tables (run/all/replay/cluster)
 //	-scale f      flow sampling density for flow-level experiments (default 0.5)
 //	-seed n       generator seed override
-//	-parallel n   worker count for all/doc/replay/cluster (default GOMAXPROCS)
+//	-parallel n   global worker budget for all/doc/replay/cluster (default
+//	              GOMAXPROCS). One budget governs both scheduling levels:
+//	              experiments run concurrently on it, and the sharded scans
+//	              inside each experiment borrow whatever is spare, so total
+//	              concurrency never exceeds n (see internal/core.ShardedScan)
+//	-scan-chunk n grid items per intra-experiment scan chunk (0 = per-scan
+//	              default: 24 for hour grids, 1 for vantage-point/day grids).
+//	              Output is byte-identical at any chunk size
 //	-cpuprofile f write a pprof CPU profile of the command to f
 //	-memprofile f write a pprof heap profile (after the run) to f
 //	-cache-budget n  resident flow-batch cache cap (bytes, K/M/G suffixes;
@@ -79,11 +86,11 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   lockdown list
-  lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n] [-cache-budget n] [-cache-dir d] [-cpuprofile f] [-memprofile f]
-  lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-cpuprofile f] [-memprofile f]
-  lockdown doc [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-cpuprofile f] [-memprofile f]
-  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-unverified] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-cpuprofile f] [-memprofile f]
-  lockdown cluster [-shards n] [-subprocess] [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-cpuprofile f] [-memprofile f]
+  lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
+  lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
+  lockdown doc [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
+  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-unverified] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
+  lockdown cluster [-shards n] [-subprocess] [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
   lockdown pump -data host:port [-format v5|v9|ipfix] [-ctrl host:port] [-shard i/n] [-scale f] [-seed n] [-pps f]
 
 experiments:
@@ -133,6 +140,7 @@ func run(ctx context.Context, args []string) error {
 		memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 		cacheBudget := fs.String("cache-budget", "0", "resident flow-batch cache budget (bytes, K/M/G suffixes; 0 = unlimited, no spilling)")
 		cacheDir := fs.String("cache-dir", "", "directory for spilled flow-batch segments (default: OS temp dir)")
+		scanChunk := fs.Int("scan-chunk", 0, "grid items per intra-experiment scan chunk (0 = per-scan default; never changes results)")
 		formatName := fs.String("format", "ipfix", "replay/cluster wire format: v5, v9 or ipfix")
 		addr := fs.String("addr", "127.0.0.1:0", "replay/cluster bridge UDP listen address")
 		pps := fs.Float64("pps", 0, "pump pacing in datagrams per second (0 = unlimited)")
@@ -208,7 +216,7 @@ func run(ctx context.Context, args []string) error {
 		if err != nil {
 			return fmt.Errorf("-cache-budget: %w", err)
 		}
-		opts := core.Options{FlowScale: *scale, Seed: *seed, CacheBudget: budget, CacheDir: *cacheDir}
+		opts := core.Options{FlowScale: *scale, Seed: *seed, CacheBudget: budget, CacheDir: *cacheDir, ScanChunk: *scanChunk}
 
 		if args[0] == "replay" {
 			return runReplay(ctx, opts, *formatName, *addr, *pps, *unverified, *parallel, *csvOut, *jsonOut)

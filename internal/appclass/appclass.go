@@ -336,6 +336,32 @@ func (c *Classifier) VolumeByClassInto(sums map[Class]float64, b *flowrec.Batch)
 	}
 }
 
+// VolumeByClassIntoUint64 is VolumeByClassInto with exact integer
+// accumulation: byte counts sum as uint64, so the totals carry no rounding
+// at any magnitude and partial sums merge associatively — the property the
+// sharded scans need to produce bit-identical aggregates under every chunk
+// grouping (float accumulation loses it once a sum crosses 2^53, which a
+// week of a busy vantage point's volume does). The touched mask keeps the
+// same key semantics as the float variant.
+func (c *Classifier) VolumeByClassIntoUint64(sums map[Class]uint64, b *flowrec.Batch) {
+	n := len(c.order)
+	var acc [maxClasses + 1]uint64
+	var touched [maxClasses + 1]bool
+	for i := 0; i < b.Len(); i++ {
+		k := c.classifyIdx(b.SrcAS[i], b.DstAS[i], b.ServerPortAt(i))
+		acc[k] += b.Bytes[i]
+		touched[k] = true
+	}
+	for k := 0; k < n; k++ {
+		if touched[k] {
+			sums[c.order[k]] += acc[k]
+		}
+	}
+	if touched[n] {
+		sums[Unclassified] += acc[n]
+	}
+}
+
 // Classes returns the classes in evaluation order.
 func (c *Classifier) Classes() []Class {
 	out := append([]Class(nil), c.order...)

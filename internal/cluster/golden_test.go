@@ -23,17 +23,13 @@ func runSharded(t *testing.T, format collector.Format, ids []string, n int) ([]*
 
 // runShardedOpts is runSharded under explicit engine options (the
 // tiered-cache golden variant tightens the cache budget so the sharded
-// bridge's batches spill and fault).
+// bridge's batches spill and fault). The run-and-close harness lives in
+// goldentest.RunSuite, shared with the single-pump golden test.
 func runShardedOpts(t *testing.T, format collector.Format, ids []string, n int, opts core.Options) ([]*core.Result, Stats, core.CacheStats) {
 	t.Helper()
 	c := newTestCluster(t, Spec{Shards: n, Format: format, Options: opts})
-	engine := core.NewEngineWithSource(opts, c.Source())
-	defer engine.Data().Close()
-	results, err := engine.RunMany(context.Background(), ids, 4)
-	if err != nil {
-		t.Fatalf("sharded suite over %v failed: %v", format, err)
-	}
-	return results, c.Stats(), engine.Data().Stats()
+	results, cache := goldentest.RunSuite(t, c.Source(), ids, 4, opts)
+	return results, c.Stats(), cache
 }
 
 // TestGoldenClusterEquivalence is the golden test of the sharded

@@ -47,6 +47,13 @@ type Options struct {
 	// private temp dir is created inside it per dataset and removed by
 	// Dataset.Close). Empty selects the OS temp dir.
 	CacheDir string
+	// ScanChunk overrides the chunk size of every intra-experiment
+	// sharded scan (see ShardedScan): the number of grid items merged as
+	// one partial aggregate. 0 keeps each scan's own default (24 for
+	// hour grids, 1 for vantage-point and day grids). The chunk size
+	// never changes any result — the determinism tests sweep it — it
+	// only trades merge granularity against scheduling overhead.
+	ScanChunk int
 }
 
 func (o Options) flowScale() float64 {

@@ -70,6 +70,7 @@ type Dataset struct {
 	spills atomic.Int64
 	faults atomic.Int64
 	regens atomic.Int64
+	pinned atomic.Int64 // entries with at least one live pin
 
 	lmu      sync.Mutex // guards the fields below; acquired after an entry's mu
 	lru      *list.List // *flowEntry; front = most recently used
@@ -471,6 +472,7 @@ func (d *Dataset) Stats() CacheStats {
 		Regens:        d.regens.Load(),
 		ResidentBytes: res,
 		SpilledBytes:  sp,
+		Pinned:        int(d.pinned.Load()),
 	}
 }
 
@@ -499,7 +501,9 @@ func (p *Pin) add(fe *flowEntry) {
 	}
 	p.seen[fe] = struct{}{}
 	p.entries = append(p.entries, fe)
-	fe.pins.Add(1)
+	if fe.pins.Add(1) == 1 {
+		p.d.pinned.Add(1)
+	}
 }
 
 // FlowBatch is Dataset.FlowBatch with the result pinned.
@@ -524,7 +528,9 @@ func (p *Pin) Release() {
 		return
 	}
 	for _, fe := range p.entries {
-		fe.pins.Add(-1)
+		if fe.pins.Add(-1) == 0 {
+			p.d.pinned.Add(-1)
+		}
 	}
 	p.entries, p.seen = nil, nil
 	d := p.d

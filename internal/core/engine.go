@@ -24,6 +24,16 @@ const (
 	// includes allocations of concurrently running experiments and is
 	// only an upper bound.
 	MetricAllocMB = "_runtime/alloc-mb"
+	// MetricScanChunks counts the grid chunks the experiment's sharded
+	// scans processed (0 = the experiment has no sharded scan).
+	MetricScanChunks = "_runtime/scan-chunks"
+	// MetricScanWorkers counts the extra workers its sharded scans
+	// borrowed from the engine's worker budget beyond the experiment's
+	// own goroutine (0 = every scan ran sequentially).
+	MetricScanWorkers = "_runtime/scan-extra-workers"
+	// MetricScanPrefetch counts the chunks the read-ahead prefetcher
+	// warmed before the scan frontier reached them.
+	MetricScanPrefetch = "_runtime/scan-prefetched"
 )
 
 // IsRuntimeMetric reports whether the metric key was stamped by the engine
@@ -47,6 +57,18 @@ type Env struct {
 	// each run; a hand-built Env (tests) may leave it nil, in which case
 	// the accessors fall back to unpinned cache access.
 	pin *Pin
+	// ctx is the run's context: sharded scans observe it between chunks
+	// so a cancelled RunAll stops mid-grid instead of finishing the
+	// experiment. nil (hand-built Envs) means Background.
+	ctx context.Context
+	// budget is the global worker pool shared with the engine: sharded
+	// scans borrow spare tokens from it so -parallel bounds the sum of
+	// experiment- and chunk-level concurrency. nil disables borrowing
+	// (scans run on the calling goroutine only).
+	budget *workerBudget
+	// scan accumulates the run's sharding activity for the _runtime/scan-*
+	// metrics. nil (hand-built Envs) disables the accounting.
+	scan *scanStats
 }
 
 // Convenience accessors so experiment code stays terse.
@@ -131,6 +153,11 @@ type CacheStats struct {
 	ResidentBytes int64
 	// SpilledBytes is the total size of live segment files on disk.
 	SpilledBytes int64
+	// Pinned counts flow-batch entries currently pinned by a running
+	// experiment or scan chunk. Outside a run it must be 0: a non-zero
+	// balance after RunAll returns means a pin leaked (the cancellation
+	// tests assert this).
+	Pinned int
 }
 
 // Engine executes experiments against one shared dataset cache. A zero
@@ -171,19 +198,27 @@ func (e *Engine) Run(ctx context.Context, id string) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return e.runTimed(exp)
+	// A standalone Run has no RunMany pool to share with: give its
+	// sharded scans a budget of GOMAXPROCS, of which the calling
+	// goroutine is one.
+	budget := newWorkerBudget(defaultScanWorkers())
+	budget.acquire()
+	defer budget.release()
+	return e.runTimed(ctx, exp, budget)
 }
 
 // runTimed executes an experiment and records wall time and (approximate,
 // process-global) allocation growth into the result's runtime metrics.
 // The experiment's Env carries a Pin: every flow batch it draws stays
 // resident until the run returns, then the pin releases and the cache may
-// spill what no longer fits the budget.
-func (e *Engine) runTimed(exp Experiment) (*Result, error) {
+// spill what no longer fits the budget. budget is the shared worker pool
+// the experiment's sharded scans may borrow spare tokens from; the caller
+// must already hold one of its tokens.
+func (e *Engine) runTimed(ctx context.Context, exp Experiment, budget *workerBudget) (*Result, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	env := &Env{Options: e.opts, Data: e.data, pin: e.data.NewPin()}
+	env := &Env{Options: e.opts, Data: e.data, pin: e.data.NewPin(), ctx: ctx, budget: budget, scan: &scanStats{}}
 	defer env.pin.Release()
 	res, err := exp.Run(env)
 	if err != nil {
@@ -193,6 +228,9 @@ func (e *Engine) runTimed(exp Experiment) (*Result, error) {
 	runtime.ReadMemStats(&after)
 	res.Metrics[MetricWallMS] = float64(wall) / float64(time.Millisecond)
 	res.Metrics[MetricAllocMB] = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+	res.Metrics[MetricScanChunks] = float64(env.scan.chunks.Load())
+	res.Metrics[MetricScanWorkers] = float64(env.scan.extraWorkers.Load())
+	res.Metrics[MetricScanPrefetch] = float64(env.scan.prefetched.Load())
 	return res, nil
 }
 
@@ -223,8 +261,15 @@ func (e *Engine) RunMany(ctx context.Context, ids []string, parallel int) ([]*Re
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	if parallel > len(exps) {
-		parallel = len(exps)
+	// The worker budget carries the full -parallel allowance even when
+	// fewer experiments exist: engine workers hold a token each while
+	// running an experiment, and the intra-experiment sharded scans
+	// borrow whatever is spare, so the two levels together never exceed
+	// parallel goroutines doing experiment work.
+	budget := newWorkerBudget(parallel)
+	workers := parallel
+	if workers > len(exps) {
+		workers = len(exps)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -244,7 +289,7 @@ func (e *Engine) RunMany(ctx context.Context, ids []string, parallel int) ([]*Re
 		errOnce.Do(func() { firstErr = err })
 		cancel()
 	}
-	for w := 0; w < parallel; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -252,7 +297,9 @@ func (e *Engine) RunMany(ctx context.Context, ids []string, parallel int) ([]*Re
 				if ctx.Err() != nil {
 					return
 				}
-				res, err := e.runTimed(exps[i])
+				budget.acquire()
+				res, err := e.runTimed(ctx, exps[i], budget)
+				budget.release()
 				if err != nil {
 					fail(err)
 					return

@@ -29,42 +29,77 @@ type portWeekVolumes struct {
 	weekend map[flowrec.PortProto]float64
 }
 
+// portWeekPart is one scan chunk's partial aggregate: raw per-port byte
+// sums plus the hour counts needed for the mean. The byte sums accumulate
+// as uint64 — a busy week's volume crosses 2^53, where float64 addition
+// starts rounding and stops being associative, so integer accumulation is
+// what makes the merge exact under every chunk grouping.
+type portWeekPart struct {
+	sums                       map[flowrec.PortProto]uint64
+	weekendSums                map[flowrec.PortProto]uint64
+	workdayHours, weekendHours int
+}
+
 func collectPortVolumes(env *Env, vp synth.VantagePoint, week calendar.Week, keep map[flowrec.PortProto]bool) (portWeekVolumes, error) {
-	sums := portWeekVolumes{
-		workday: make(map[flowrec.PortProto]float64),
-		weekend: make(map[flowrec.PortProto]float64),
-	}
-	var workdayHours, weekendHours float64
-	for _, hour := range week.Hours() {
-		weekend := calendar.IsWeekend(hour) || calendar.IsHoliday(hour)
-		if weekend {
-			weekendHours++
-		} else {
-			workdayHours++
-		}
-		b, err := env.flowBatch(vp, hour)
-		if err != nil {
-			return portWeekVolumes{}, err
-		}
-		for i := 0; i < b.Len(); i++ {
-			pp := b.ServerPortAt(i)
-			if !keep[pp] {
-				continue
+	agg, err := ScanHours(env, week.Hours(),
+		func() *portWeekPart {
+			return &portWeekPart{
+				sums:        make(map[flowrec.PortProto]uint64),
+				weekendSums: make(map[flowrec.PortProto]uint64),
 			}
+		},
+		func(env *Env, p *portWeekPart, hour time.Time) error {
+			weekend := calendar.IsWeekend(hour) || calendar.IsHoliday(hour)
 			if weekend {
-				sums.weekend[pp] += float64(b.Bytes[i])
+				p.weekendHours++
 			} else {
-				sums.workday[pp] += float64(b.Bytes[i])
+				p.workdayHours++
 			}
-		}
+			b, err := env.flowBatch(vp, hour)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < b.Len(); i++ {
+				pp := b.ServerPortAt(i)
+				if !keep[pp] {
+					continue
+				}
+				if weekend {
+					p.weekendSums[pp] += b.Bytes[i]
+				} else {
+					p.sums[pp] += b.Bytes[i]
+				}
+			}
+			return nil
+		},
+		func(dst, src *portWeekPart) *portWeekPart {
+			for pp, v := range src.sums {
+				dst.sums[pp] += v
+			}
+			for pp, v := range src.weekendSums {
+				dst.weekendSums[pp] += v
+			}
+			dst.workdayHours += src.workdayHours
+			dst.weekendHours += src.weekendHours
+			return dst
+		},
+		prefetchFlowHours(vp))
+	if err != nil {
+		return portWeekVolumes{}, err
 	}
-	for p := range sums.workday {
-		sums.workday[p] /= workdayHours
+	// Convert to float and normalise only after the full merge: the merged
+	// sums are exact, so each float value is rounded exactly once.
+	out := portWeekVolumes{
+		workday: make(map[flowrec.PortProto]float64, len(agg.sums)),
+		weekend: make(map[flowrec.PortProto]float64, len(agg.weekendSums)),
 	}
-	for p := range sums.weekend {
-		sums.weekend[p] /= weekendHours
+	for p, v := range agg.sums {
+		out.workday[p] = float64(v) / float64(agg.workdayHours)
 	}
-	return sums, nil
+	for p, v := range agg.weekendSums {
+		out.weekend[p] = float64(v) / float64(agg.weekendHours)
+	}
+	return out, nil
 }
 
 func runPortExperiment(env *Env, id, title string, vp synth.VantagePoint, weeks []calendar.Week, topPorts []flowrec.PortProto) (*Result, error) {
@@ -150,36 +185,62 @@ func runFig8(env *Env) (*Result, error) {
 	end := time.Date(2020, 4, 27, 0, 0, 0, 0, time.UTC)   // end of week 17
 
 	type weekAgg struct {
-		volume  float64
+		volume  uint64
 		uniques map[netip.Addr]bool
 	}
-	byWeek := make(map[int]*weekAgg)
+	var hours []time.Time
 	for t := start; t.Before(end); t = t.Add(time.Hour) {
-		b, err := env.componentFlowBatch(synth.IXPSE, "gaming", t)
-		if err != nil {
-			return nil, err
-		}
-		w := calendar.ISOWeek(t)
-		agg, ok := byWeek[w]
-		if !ok {
-			agg = &weekAgg{uniques: make(map[netip.Addr]bool)}
-			byWeek[w] = agg
-		}
-		for i := 0; i < b.Len(); i++ {
-			agg.volume += float64(b.Bytes[i])
-			agg.uniques[b.DstIP[i]] = true // eyeball side
-		}
+		hours = append(hours, t)
+	}
+	// Sharded scan over the 11-week hour grid; the per-week partials
+	// merge exactly (uint64 volume sums, unique-IP set unions).
+	byWeek, err := ScanHours(env, hours,
+		func() map[int]*weekAgg { return make(map[int]*weekAgg) },
+		func(env *Env, part map[int]*weekAgg, t time.Time) error {
+			b, err := env.componentFlowBatch(synth.IXPSE, "gaming", t)
+			if err != nil {
+				return err
+			}
+			w := calendar.ISOWeek(t)
+			agg, ok := part[w]
+			if !ok {
+				agg = &weekAgg{uniques: make(map[netip.Addr]bool)}
+				part[w] = agg
+			}
+			for i := 0; i < b.Len(); i++ {
+				agg.volume += b.Bytes[i]
+				agg.uniques[b.DstIP[i]] = true // eyeball side
+			}
+			return nil
+		},
+		func(dst, src map[int]*weekAgg) map[int]*weekAgg {
+			for w, s := range src {
+				agg, ok := dst[w]
+				if !ok {
+					dst[w] = s
+					continue
+				}
+				agg.volume += s.volume
+				for ip := range s.uniques {
+					agg.uniques[ip] = true
+				}
+			}
+			return dst
+		},
+		prefetchComponentHours(synth.IXPSE, "gaming"))
+	if err != nil {
+		return nil, err
 	}
 
-	minVol, minIPs := 0.0, 0.0
+	var minVol uint64
+	minIPs := 0
 	first := true
 	for _, agg := range byWeek {
-		ips := float64(len(agg.uniques))
 		if first || agg.volume < minVol {
 			minVol = agg.volume
 		}
-		if first || ips < minIPs {
-			minIPs = ips
+		if first || len(agg.uniques) < minIPs {
+			minIPs = len(agg.uniques)
 		}
 		first = false
 	}
@@ -189,8 +250,8 @@ func runFig8(env *Env) (*Result, error) {
 		if !ok {
 			continue
 		}
-		ips := float64(len(agg.uniques)) / minIPs
-		vol := agg.volume / minVol
+		ips := float64(len(agg.uniques)) / float64(minIPs)
+		vol := float64(agg.volume) / float64(minVol)
 		table.Rows = append(table.Rows, []string{fmt.Sprintf("%d", w), f2(ips), f2(vol)})
 		res.Metrics[fmt.Sprintf("week%d/ips", w)] = ips
 		res.Metrics[fmt.Sprintf("week%d/volume", w)] = vol
@@ -235,20 +296,51 @@ func classGrowth(base, stage map[appclass.Class]float64, cls appclass.Class) flo
 // early-morning hours and the condensed comparison focuses on business
 // hours, where the Figure 9 effects are strongest).
 func collectClassVolumes(env *Env, vp synth.VantagePoint, clf *appclass.Classifier, week calendar.Week) (map[appclass.Class]float64, error) {
-	out := make(map[appclass.Class]float64)
-	for _, hour := range week.Hours() {
+	// classHourKept reports whether the hour contributes at all; the
+	// read-ahead hook honours it too, so prefetching never generates
+	// batches the sequential walk would not have.
+	kept := func(hour time.Time) bool {
 		h := hour.UTC().Hour()
 		if calendar.EarlyMorning(h) || !calendar.WorkingHours(h) {
-			continue
+			return false
 		}
-		if calendar.IsWeekend(hour) || calendar.IsHoliday(hour) {
-			continue
-		}
-		b, err := env.flowBatch(vp, hour)
-		if err != nil {
-			return nil, err
-		}
-		clf.VolumeByClassInto(out, b)
+		return !calendar.IsWeekend(hour) && !calendar.IsHoliday(hour)
+	}
+	// uint64 accumulation keeps the partial sums exact (a week of volume
+	// crosses 2^53), so merging them in any chunk grouping is lossless;
+	// the single uint64→float64 conversion happens after the full merge.
+	sums, err := ScanHours(env, week.Hours(),
+		func() map[appclass.Class]uint64 { return make(map[appclass.Class]uint64) },
+		func(env *Env, part map[appclass.Class]uint64, hour time.Time) error {
+			if !kept(hour) {
+				return nil
+			}
+			b, err := env.flowBatch(vp, hour)
+			if err != nil {
+				return err
+			}
+			clf.VolumeByClassIntoUint64(part, b)
+			return nil
+		},
+		func(dst, src map[appclass.Class]uint64) map[appclass.Class]uint64 {
+			for cls, v := range src {
+				dst[cls] += v
+			}
+			return dst
+		},
+		func(env *Env, hour time.Time) error {
+			if !kept(hour) {
+				return nil
+			}
+			_, err := env.flowBatch(vp, hour)
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[appclass.Class]float64, len(sums))
+	for cls, v := range sums {
+		out[cls] = float64(v)
 	}
 	return out, nil
 }

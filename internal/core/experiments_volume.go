@@ -26,25 +26,63 @@ func runFig1(env *Env) (*Result, error) {
 	const baselineWeek = 3
 	vps := synth.AllVantagePoints()
 
-	perVP := make(map[synth.VantagePoint]map[int]float64)
-	weekSet := make(map[int]bool)
-	for _, vp := range vps {
-		s, err := env.series(vp, calendar.StudyStart, calendar.StudyEnd)
-		if err != nil {
-			return nil, err
-		}
-		weekly := s.WeeklyMeans()
-		base, ok := weekly[baselineWeek]
-		if !ok || base == 0 {
-			return nil, fmt.Errorf("fig1: %s has no baseline week", vp)
-		}
-		norm := make(map[int]float64, len(weekly))
-		for w, v := range weekly {
-			norm[w] = v / base
-			weekSet[w] = true
-		}
-		perVP[vp] = norm
+	// The vantage points are independent, so the scan shards over them
+	// (chunk 1 = one VP per partial). Each partial's perVP keys are
+	// disjoint from every other chunk's and weekSet merges by union, so
+	// the merge is exact regardless of worker count.
+	type fig1Part struct {
+		perVP   map[synth.VantagePoint]map[int]float64
+		weekSet map[int]bool
 	}
+	agg, err := ShardedScan(env, len(vps), ScanOptions{
+		Chunk: 1,
+		Prefetch: func(env *Env, lo, hi int) error {
+			for _, vp := range vps[lo:hi] {
+				if _, err := env.series(vp, calendar.StudyStart, calendar.StudyEnd); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}, func(env *Env, lo, hi int) (fig1Part, error) {
+		part := fig1Part{
+			perVP:   make(map[synth.VantagePoint]map[int]float64, hi-lo),
+			weekSet: make(map[int]bool),
+		}
+		for _, vp := range vps[lo:hi] {
+			s, err := env.series(vp, calendar.StudyStart, calendar.StudyEnd)
+			if err != nil {
+				return fig1Part{}, err
+			}
+			weekly := s.WeeklyMeans()
+			base, ok := weekly[baselineWeek]
+			if !ok || base == 0 {
+				return fig1Part{}, fmt.Errorf("fig1: %s has no baseline week", vp)
+			}
+			norm := make(map[int]float64, len(weekly))
+			for w, v := range weekly {
+				norm[w] = v / base
+				part.weekSet[w] = true
+			}
+			part.perVP[vp] = norm
+		}
+		return part, nil
+	}, func(dst, src fig1Part) fig1Part {
+		if dst.perVP == nil {
+			return src
+		}
+		for vp, norm := range src.perVP {
+			dst.perVP[vp] = norm
+		}
+		for w := range src.weekSet {
+			dst.weekSet[w] = true
+		}
+		return dst
+	})
+	if err != nil {
+		return nil, err
+	}
+	perVP, weekSet := agg.perVP, agg.weekSet
 
 	var weeks []int
 	for w := range weekSet {
@@ -238,13 +276,45 @@ func runFig3a(env *Env) (*Result, error) {
 // selected weeks, split into workdays and weekends.
 func runFig3b(env *Env) (*Result, error) {
 	res := newResult("fig3b", "IXP traffic across the four selected weeks (workday/weekend)")
-	for _, vp := range []synth.VantagePoint{synth.IXPCE, synth.IXPUS, synth.IXPSE} {
-		stats, err := statsForWeeks(env, vp, calendar.IXPWeeks())
-		if err != nil {
-			return nil, err
+	vps := []synth.VantagePoint{synth.IXPCE, synth.IXPUS, synth.IXPSE}
+	// One chunk per IXP; the merge appends in ascending chunk order, so the
+	// table rows keep the sequential loop's VP order.
+	type vpStats struct {
+		vp    synth.VantagePoint
+		stats []weekStats
+	}
+	all, err := ShardedScan(env, len(vps), ScanOptions{
+		Chunk: 1,
+		Prefetch: func(env *Env, lo, hi int) error {
+			for _, vp := range vps[lo:hi] {
+				for _, w := range calendar.IXPWeeks() {
+					if _, err := env.series(vp, w.Start, w.End); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}, func(env *Env, lo, hi int) ([]vpStats, error) {
+		out := make([]vpStats, 0, hi-lo)
+		for _, vp := range vps[lo:hi] {
+			stats, err := statsForWeeks(env, vp, calendar.IXPWeeks())
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vpStats{vp: vp, stats: stats})
 		}
+		return out, nil
+	}, func(dst, src []vpStats) []vpStats {
+		return append(dst, src...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range all {
+		vp := e.vp
 		table := Table{Title: fmt.Sprintf("%s growth relative to the base week", vp), Columns: []string{"week", "mean", "peak", "minimum", "workday mean", "weekend mean"}}
-		for _, s := range stats {
+		for _, s := range e.stats {
 			table.Rows = append(table.Rows, []string{s.label, f3(s.meanGrowth), f3(s.peakGrowth), f3(s.minGrowth), f3(s.workdayGrowth), f3(s.weekendGrowth)})
 			res.Metrics[string(vp)+"/"+s.label+"/mean"] = s.meanGrowth
 			res.Metrics[string(vp)+"/"+s.label+"/min"] = s.minGrowth

@@ -25,38 +25,53 @@ func init() {
 }
 
 // vpnWeekSplit sums VPN volume identified per method for one week, split
-// into working hours and the rest.
+// into working hours and the rest. The sums are uint64 so partial
+// aggregates merge exactly at any chunk grouping (a week's volume crosses
+// 2^53, where float64 addition starts rounding).
 type vpnWeekSplit struct {
-	portWork, portOther     float64
-	domainWork, domainOther float64
+	portWork, portOther     uint64
+	domainWork, domainOther uint64
 }
 
 func collectVPNSplit(env *Env, vp synth.VantagePoint, det *vpndetect.Detector, week calendar.Week) (vpnWeekSplit, error) {
-	var out vpnWeekSplit
-	for _, hour := range week.Hours() {
-		working := calendar.WorkingHours(hour.UTC().Hour()) && !calendar.IsWeekend(hour) && !calendar.IsHoliday(hour)
-		b, err := env.vpnFlowBatch(vp, hour)
-		if err != nil {
-			return vpnWeekSplit{}, err
-		}
-		for i := 0; i < b.Len(); i++ {
-			switch det.ClassifyAt(b, i) {
-			case vpndetect.ByPort:
-				if working {
-					out.portWork += float64(b.Bytes[i])
-				} else {
-					out.portOther += float64(b.Bytes[i])
-				}
-			case vpndetect.ByDomain:
-				if working {
-					out.domainWork += float64(b.Bytes[i])
-				} else {
-					out.domainOther += float64(b.Bytes[i])
+	out, err := ScanHours(env, week.Hours(),
+		func() *vpnWeekSplit { return &vpnWeekSplit{} },
+		func(env *Env, p *vpnWeekSplit, hour time.Time) error {
+			working := calendar.WorkingHours(hour.UTC().Hour()) && !calendar.IsWeekend(hour) && !calendar.IsHoliday(hour)
+			b, err := env.vpnFlowBatch(vp, hour)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < b.Len(); i++ {
+				switch det.ClassifyAt(b, i) {
+				case vpndetect.ByPort:
+					if working {
+						p.portWork += b.Bytes[i]
+					} else {
+						p.portOther += b.Bytes[i]
+					}
+				case vpndetect.ByDomain:
+					if working {
+						p.domainWork += b.Bytes[i]
+					} else {
+						p.domainOther += b.Bytes[i]
+					}
 				}
 			}
-		}
+			return nil
+		},
+		func(dst, src *vpnWeekSplit) *vpnWeekSplit {
+			dst.portWork += src.portWork
+			dst.portOther += src.portOther
+			dst.domainWork += src.domainWork
+			dst.domainOther += src.domainOther
+			return dst
+		},
+		prefetchVPNHours(vp))
+	if err != nil {
+		return vpnWeekSplit{}, err
 	}
-	return out, nil
+	return *out, nil
 }
 
 // runFig10 reproduces Figure 10: VPN traffic at the IXP-CE identified by
@@ -81,8 +96,8 @@ func runFig10(env *Env) (*Result, error) {
 	table := Table{Title: "VPN volume per identification method (normalised to the base week, working hours of workdays)",
 		Columns: []string{"week", "port-identified", "domain-identified"}}
 	for i, w := range weeks {
-		p := splits[i].portWork / splits[0].portWork
-		d := splits[i].domainWork / splits[0].domainWork
+		p := float64(splits[i].portWork) / float64(splits[0].portWork)
+		d := float64(splits[i].domainWork) / float64(splits[0].domainWork)
 		table.Rows = append(table.Rows, []string{w.Label, f2(p), f2(d)})
 		res.Metrics[w.Label+"/port"] = p
 		res.Metrics[w.Label+"/domain"] = d
@@ -169,7 +184,7 @@ func runFig12(env *Env) (*Result, error) {
 	res := newResult("fig12", "EDU daily connection growth per traffic class")
 	start := time.Date(2020, 2, 27, 0, 0, 0, 0, time.UTC)
 	end := time.Date(2020, 5, 8, 0, 0, 0, 0, time.UTC)
-	byDay := make(map[time.Time]*flowrec.Batch)
+	var days []time.Time
 	for d := start; d.Before(end); d = d.AddDate(0, 0, 1) {
 		// Sample Tuesdays, Thursdays and Saturdays plus the baseline day.
 		switch d.Weekday() {
@@ -179,11 +194,46 @@ func runFig12(env *Env) (*Result, error) {
 				continue
 			}
 		}
-		b, err := env.flowBatchBetween(synth.EDU, d, d.AddDate(0, 0, 1))
-		if err != nil {
-			return nil, err
-		}
-		byDay[d] = b
+		days = append(days, d)
+	}
+	// The month walk shards over the sampled days (each day concatenates
+	// its 24 cached hours into one heap-owned batch, so a chunk holds one
+	// day resident, not its history); the per-chunk maps are key-disjoint,
+	// making the merge trivially exact. The read-ahead hook faults the
+	// next day's hour batches while the current day is concatenated.
+	byDay, err := ShardedScan(env, len(days),
+		ScanOptions{
+			Chunk: 1,
+			Prefetch: func(env *Env, lo, hi int) error {
+				for _, d := range days[lo:hi] {
+					for h := d; h.Before(d.AddDate(0, 0, 1)); h = h.Add(time.Hour) {
+						if _, err := env.flowBatch(synth.EDU, h); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			},
+		},
+		func(env *Env, lo, hi int) (map[time.Time]*flowrec.Batch, error) {
+			part := make(map[time.Time]*flowrec.Batch, hi-lo)
+			for _, d := range days[lo:hi] {
+				b, err := env.flowBatchBetween(synth.EDU, d, d.AddDate(0, 0, 1))
+				if err != nil {
+					return nil, err
+				}
+				part[d] = b
+			}
+			return part, nil
+		},
+		func(dst, src map[time.Time]*flowrec.Batch) map[time.Time]*flowrec.Batch {
+			for d, b := range src {
+				dst[d] = b
+			}
+			return dst
+		})
+	if err != nil {
+		return nil, err
 	}
 	counts := edu.CountConnections(byDay)
 	cats := append(edu.DefaultCategories(), edu.ExtraCategories()...)
@@ -235,21 +285,34 @@ func runAblationVPN(env *Env) (*Result, error) {
 	}
 
 	week := calendar.AppWeeksIXP()[1]
-	var portVol, domainVol float64
-	for _, hour := range week.Hours() {
-		b, err := env.vpnFlowBatch(synth.IXPCE, hour)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < b.Len(); i++ {
-			switch vpn.Detector.ClassifyAt(b, i) {
-			case vpndetect.ByPort:
-				portVol += float64(b.Bytes[i])
-			case vpndetect.ByDomain:
-				domainVol += float64(b.Bytes[i])
+	type volSplit struct{ port, domain uint64 } // exact merge at any chunking
+	split, err := ScanHours(env, week.Hours(),
+		func() *volSplit { return &volSplit{} },
+		func(env *Env, p *volSplit, hour time.Time) error {
+			b, err := env.vpnFlowBatch(synth.IXPCE, hour)
+			if err != nil {
+				return err
 			}
-		}
+			for i := 0; i < b.Len(); i++ {
+				switch vpn.Detector.ClassifyAt(b, i) {
+				case vpndetect.ByPort:
+					p.port += b.Bytes[i]
+				case vpndetect.ByDomain:
+					p.domain += b.Bytes[i]
+				}
+			}
+			return nil
+		},
+		func(dst, src *volSplit) *volSplit {
+			dst.port += src.port
+			dst.domain += src.domain
+			return dst
+		},
+		prefetchVPNHours(synth.IXPCE))
+	if err != nil {
+		return nil, err
 	}
+	portVol, domainVol := float64(split.port), float64(split.domain)
 	total := portVol + domainVol
 	missed := 0.0
 	if total > 0 {

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	qcheck "testing/quick"
+	"time"
+
+	"lockdown/internal/flowrec"
+	"lockdown/internal/synth"
+)
+
+// flowHeavy are the experiments that walk hour grids over sampled flows —
+// the ones the sharded-scan layer actually parallelizes, and therefore the
+// ones the determinism tests exercise hardest.
+var flowHeavy = []string{"fig7a", "fig7b", "fig8", "fig9", "fig10", "fig12", "ablation-vpn"}
+
+// requireSameResults asserts two result slices are bit-identical modulo
+// runtime metrics, failing with the first divergent metric key so a broken
+// merge is immediately attributable.
+func requireSameResults(t *testing.T, label string, want, got []*Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: result counts differ: %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.ID != g.ID {
+			t.Fatalf("%s: result %d: order differs (%q vs %q)", label, i, w.ID, g.ID)
+		}
+		wm, gm := stripRuntime(w.Metrics), stripRuntime(g.Metrics)
+		keys := make([]string, 0, len(wm))
+		for k := range wm {
+			keys = append(keys, k)
+		}
+		for k := range gm {
+			if _, ok := wm[k]; !ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			wv, wok := wm[k]
+			gv, gok := gm[k]
+			if !wok || !gok {
+				t.Fatalf("%s: %s: metric %q present in only one run (baseline %v, got %v)", label, w.ID, k, wok, gok)
+			}
+			if math.Float64bits(wv) != math.Float64bits(gv) {
+				t.Fatalf("%s: %s: first divergent metric %q: %v vs %v (bits %x vs %x)",
+					label, w.ID, k, wv, gv, math.Float64bits(wv), math.Float64bits(gv))
+			}
+		}
+		if !reflect.DeepEqual(w.Tables, g.Tables) {
+			t.Fatalf("%s: %s: tables differ", label, w.ID)
+		}
+		if !reflect.DeepEqual(w.Notes, g.Notes) {
+			t.Fatalf("%s: %s: notes differ", label, w.ID)
+		}
+	}
+}
+
+// TestShardedScanOrderAndCoverage is the pure property at the bottom of
+// the determinism stack: for any grid length, chunk size and worker
+// budget, ShardedScan visits every index exactly once and merges the
+// partials in ascending grid order. The scan emits its indices and the
+// merge appends, so the output must be exactly 0..n-1 in order.
+func TestShardedScanOrderAndCoverage(t *testing.T) {
+	data := NewDataset(Options{FlowScale: 0.01})
+	defer data.Close()
+	prop := func(n8, chunk8, budget8 uint8) bool {
+		n := int(n8) % 200
+		chunk := int(chunk8) % 50 // 0 selects the scan's own default
+		budget := int(budget8)%8 + 1
+		env := &Env{
+			Options: Options{ScanChunk: chunk},
+			Data:    data,
+			budget:  newWorkerBudget(budget),
+			scan:    &scanStats{},
+		}
+		env.budget.acquire() // the caller holds a token, like the engine
+		got, err := ShardedScan(env, n, ScanOptions{Chunk: 24},
+			func(env *Env, lo, hi int) ([]int, error) {
+				out := make([]int, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					out = append(out, i)
+				}
+				return out, nil
+			},
+			func(dst, src []int) []int { return append(dst, src...) })
+		if err != nil {
+			t.Logf("n=%d chunk=%d budget=%d: %v", n, chunk, budget, err)
+			return false
+		}
+		if len(got) != n {
+			t.Logf("n=%d chunk=%d budget=%d: %d indices visited", n, chunk, budget, len(got))
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				t.Logf("n=%d chunk=%d budget=%d: index %d holds %d (out of order or duplicated)", n, chunk, budget, i, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := qcheck.Check(prop, &qcheck.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardedScanErrorPropagation: a chunk error fails the whole scan and
+// surfaces the scan's error, not a partial aggregate.
+func TestShardedScanErrorPropagation(t *testing.T) {
+	data := NewDataset(Options{FlowScale: 0.01})
+	defer data.Close()
+	env := &Env{Data: data, budget: newWorkerBudget(4), scan: &scanStats{}}
+	env.budget.acquire()
+	boom := errors.New("boom")
+	_, err := ShardedScan(env, 100, ScanOptions{Chunk: 10},
+		func(env *Env, lo, hi int) (int, error) {
+			if lo >= 50 {
+				return 0, fmt.Errorf("chunk [%d,%d): %w", lo, hi, boom)
+			}
+			return hi - lo, nil
+		},
+		func(dst, src int) int { return dst + src })
+	if !errors.Is(err, boom) {
+		t.Fatalf("ShardedScan error = %v, want wrapped boom", err)
+	}
+}
+
+// TestScanChunkSizeResolution pins the chunk-partition function: it must
+// depend only on the grid length and the configured chunk size.
+func TestScanChunkSizeResolution(t *testing.T) {
+	cases := []struct {
+		scanChunk, optChunk, n, want int
+	}{
+		{0, 24, 100, 24}, // scan default applies
+		{7, 24, 100, 7},  // Options.ScanChunk overrides
+		{0, 0, 100, 100}, // no preference: whole grid
+		{0, 24, 10, 10},  // chunk larger than grid clamps to grid
+		{500, 24, 100, 100},
+		{1, 24, 100, 1},
+	}
+	for _, c := range cases {
+		env := &Env{Options: Options{ScanChunk: c.scanChunk}}
+		got := ScanOptions{Chunk: c.optChunk}.chunkSize(env, c.n)
+		if got != c.want {
+			t.Errorf("chunkSize(ScanChunk=%d, Chunk=%d, n=%d) = %d, want %d",
+				c.scanChunk, c.optChunk, c.n, got, c.want)
+		}
+	}
+}
+
+// TestWorkerBudget pins the semaphore semantics the two scheduling levels
+// share: acquire blocks, tryAcquire never does, release refills.
+func TestWorkerBudget(t *testing.T) {
+	b := newWorkerBudget(2)
+	if !b.tryAcquire() || !b.tryAcquire() {
+		t.Fatal("two tokens should be available")
+	}
+	if b.tryAcquire() {
+		t.Fatal("third tryAcquire should fail on an empty budget")
+	}
+	b.release()
+	if !b.tryAcquire() {
+		t.Fatal("released token should be reacquirable")
+	}
+	if newWorkerBudget(0).tokens == nil || cap(newWorkerBudget(-3).tokens) != 1 {
+		t.Fatal("budgets below 1 must clamp to 1 token")
+	}
+}
+
+// TestRunAllShardingInvariance is the suite-level determinism property:
+// RunAll output is invariant under the (worker count x chunk size) grid.
+// Combos are paired to bound cost; each one reshards every experiment's
+// scans differently, and any divergence fails with the first differing
+// metric key.
+func TestRunAllShardingInvariance(t *testing.T) {
+	opts := Options{FlowScale: 0.05, Seed: 3}
+	base, err := NewEngine(opts).RunAll(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("baseline RunAll: %v", err)
+	}
+	ncpu := runtime.NumCPU()
+	combos := []struct {
+		parallel, chunk int
+	}{
+		{1, 1},
+		{2, 7},
+		{ncpu, 24},
+		{2 * ncpu, 1 << 20}, // whole grid as one chunk
+	}
+	for _, c := range combos {
+		c := c
+		t.Run(fmt.Sprintf("parallel=%d,chunk=%d", c.parallel, c.chunk), func(t *testing.T) {
+			o := opts
+			o.ScanChunk = c.chunk
+			got, err := NewEngine(o).RunAll(context.Background(), c.parallel)
+			if err != nil {
+				t.Fatalf("RunAll: %v", err)
+			}
+			requireSameResults(t, fmt.Sprintf("parallel=%d,chunk=%d", c.parallel, c.chunk), base, got)
+		})
+	}
+}
+
+// TestShardedScanTinyBudgetIdentity is the torture variant: a one-byte
+// cache budget forces every unpinned batch to spill, so the sharded scans
+// continuously fault, pin and re-spill mid-flight — and the flow-heavy
+// experiments must still be bit-identical to the unbudgeted sequential
+// walk. The CI race job runs this with -cpu 1,4.
+func TestShardedScanTinyBudgetIdentity(t *testing.T) {
+	opts := Options{FlowScale: 0.05}
+	base, err := NewEngine(opts).RunMany(context.Background(), flowHeavy, 1)
+	if err != nil {
+		t.Fatalf("baseline RunMany: %v", err)
+	}
+	o := opts
+	o.CacheBudget = 1
+	o.ScanChunk = 7
+	o.CacheDir = t.TempDir()
+	eng := NewEngine(o)
+	defer eng.Data().Close()
+	got, err := eng.RunMany(context.Background(), flowHeavy, 4)
+	if err != nil {
+		t.Fatalf("tiny-budget RunMany: %v", err)
+	}
+	requireSameResults(t, "cache-budget=1", base, got)
+	if s := eng.Data().Stats(); s.Pinned != 0 {
+		t.Errorf("pinned balance after RunMany = %d, want 0", s.Pinned)
+	}
+}
+
+// cancelAfterSource wraps a FlowSource and cancels the run's context after
+// a fixed number of flow-batch fetches, so cancellation lands mid-scan
+// inside whichever experiment is walking its grid at that moment.
+type cancelAfterSource struct {
+	FlowSource
+	after  int64
+	calls  atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (s *cancelAfterSource) FlowBatch(vp synth.VantagePoint, hour time.Time) (*flowrec.Batch, error) {
+	if s.calls.Add(1) == s.after {
+		s.cancel()
+	}
+	return s.FlowSource.FlowBatch(vp, hour)
+}
+
+// TestShardedScanCancellation cancels the context mid-sharded-scan and
+// asserts the three leak-freedom properties: RunMany fails cleanly with
+// the context error, every scan goroutine exits, and no pinned batch is
+// left behind (the cache can converge back to its budget).
+func TestShardedScanCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{FlowScale: 0.05}
+	src := &cancelAfterSource{FlowSource: NewSyntheticSource(opts), after: 40, cancel: cancel}
+	eng := NewEngineWithSource(opts, src)
+	defer eng.Data().Close()
+	_, err := eng.RunMany(ctx, flowHeavy, 4)
+	if err == nil {
+		t.Fatal("RunMany cancelled mid-scan should fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunMany error = %v, want context.Canceled", err)
+	}
+	if src.calls.Load() < src.after {
+		t.Fatalf("source saw %d fetches, cancellation never fired", src.calls.Load())
+	}
+	// Scan workers and the prefetcher are joined before ShardedScan
+	// returns, so the goroutine count must settle back to the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s := eng.Data().Stats(); s.Pinned != 0 {
+		t.Errorf("pinned balance after cancelled RunMany = %d, want 0", s.Pinned)
+	}
+}
+
+// TestScanMetricsStamped: a flow-heavy experiment run through the engine
+// reports its sharding activity in the _runtime/scan-* metrics.
+func TestScanMetricsStamped(t *testing.T) {
+	res, err := NewEngine(Options{FlowScale: 0.02}).Run(context.Background(), "fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{MetricScanChunks, MetricScanWorkers, MetricScanPrefetch} {
+		if _, ok := res.Metrics[k]; !ok {
+			t.Errorf("result lacks %s", k)
+		}
+		if !IsRuntimeMetric(k) {
+			t.Errorf("%s should classify as a runtime metric", k)
+		}
+	}
+	if res.Metrics[MetricScanChunks] < 1 {
+		t.Errorf("fig9 should scan at least one chunk, got %v", res.Metrics[MetricScanChunks])
+	}
+}
+
+// TestScanPrefetchRuns pins the read-ahead path: with spare budget tokens
+// available (one experiment on a 4-token pool), the prefetcher must
+// actually claim one and warm chunks ahead of the scan — this metric going
+// to zero means the prefetcher lost its token race and became dead code.
+func TestScanPrefetchRuns(t *testing.T) {
+	eng := NewEngine(Options{FlowScale: 0.02})
+	defer eng.Data().Close()
+	res, err := eng.RunMany(context.Background(), []string{"fig12"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].Metrics[MetricScanPrefetch]; got < 1 {
+		t.Errorf("fig12 with 3 spare workers prefetched %v chunks, want >= 1", got)
+	}
+}

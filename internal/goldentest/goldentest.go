@@ -1,12 +1,16 @@
-// Package goldentest holds the comparison contract shared by the wire
-// golden tests: internal/replay (single pump) and internal/cluster
-// (sharded) both pin their suite runs bit-identical to the in-memory
-// engine with exactly these rules, so the acceptance criterion lives in
-// one place and the two tests cannot drift apart.
+// Package goldentest holds the comparison contract shared by the golden
+// tests: internal/replay (single pump), internal/cluster (sharded) and
+// the CI forced-spill step (via cmd/goldendiff) all pin their suite runs
+// bit-identical to the in-memory engine with exactly these rules, so the
+// acceptance criterion lives in one place and the tests cannot drift
+// apart.
 package goldentest
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"lockdown/internal/core"
@@ -19,6 +23,55 @@ import (
 // hour batches (fig7a/b, fig9), component batches (fig8), VPN batches
 // (fig10, ablation-vpn) and the EDU day concatenation (fig12).
 var FlowExperiments = []string{"fig7a", "fig7b", "fig8", "fig9", "fig10", "fig12", "ablation-vpn"}
+
+// RunSuite is the "run the suite under options O, then compare" harness
+// shared by the golden tests: it builds a fresh engine drawing flows from
+// src (nil selects the in-process generator), executes the given
+// experiments (nil = the full suite) with the given parallelism, closes
+// the engine's dataset, and returns the results plus the cache stats
+// observed just before the close. Callers pair it with CompareResults to
+// assert bit-identity against a reference run.
+func RunSuite(t testing.TB, src core.FlowSource, ids []string, parallel int, opts core.Options) ([]*core.Result, core.CacheStats) {
+	t.Helper()
+	engine := core.NewEngineWithSource(opts, src)
+	defer engine.Data().Close()
+	results, err := engine.RunMany(context.Background(), ids, parallel)
+	if err != nil {
+		t.Fatalf("suite (parallel %d, opts %+v) failed: %v", parallel, opts, err)
+	}
+	return results, engine.Data().Stats()
+}
+
+// DiffModuloRuntime compares two rendered suite outputs (the text
+// `lockdown all` prints) after dropping every line that mentions a
+// _runtime/ execution metric — the same exclusion CompareResults applies
+// to result metrics. It returns "" when the outputs are identical modulo
+// runtime lines, otherwise a description of the first divergence. The CI
+// forced-spill step uses it through cmd/goldendiff.
+func DiffModuloRuntime(want, got string) string {
+	w := dropRuntimeLines(want)
+	g := dropRuntimeLines(got)
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("first divergence at non-runtime line %d:\n  want: %s\n  got:  %s", i+1, w[i], g[i])
+		}
+	}
+	if len(w) != len(g) {
+		return fmt.Sprintf("line counts differ modulo runtime lines: want %d, got %d", len(w), len(g))
+	}
+	return ""
+}
+
+func dropRuntimeLines(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "_runtime/") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
 
 // CompareResults asserts bit-identical metrics between an in-memory run
 // (want) and a wire run (got). Runtime metrics are excluded: they

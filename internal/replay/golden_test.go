@@ -22,17 +22,13 @@ func runWire(t *testing.T, format collector.Format, ids []string) ([]*core.Resul
 }
 
 // runWireOpts is runWire under explicit engine options (the tiered-cache
-// golden variants tighten the cache budget).
+// golden variants tighten the cache budget). The run-and-close harness
+// lives in goldentest.RunSuite, shared with the cluster golden test.
 func runWireOpts(t *testing.T, format collector.Format, ids []string, opts core.Options) ([]*core.Result, Stats, core.CacheStats) {
 	t.Helper()
 	br, _ := newHarness(t, format, opts)
-	engine := core.NewEngineWithSource(opts, br)
-	defer engine.Data().Close()
-	results, err := engine.RunMany(context.Background(), ids, 4)
-	if err != nil {
-		t.Fatalf("suite over %v failed: %v", format, err)
-	}
-	return results, br.Stats(), engine.Data().Stats()
+	results, cache := goldentest.RunSuite(t, br, ids, 4, opts)
+	return results, br.Stats(), cache
 }
 
 // TestGoldenWireEquivalence is the golden test of the wire-replay

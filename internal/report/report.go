@@ -136,27 +136,46 @@ func WriteJSONAll(w io.Writer, rs []*core.Result) error {
 
 // WriteTimings renders the engine's per-experiment wall-time and
 // allocation stats (the runtime metrics stamped by core.Engine) as a
-// bench-style summary table, slowest first, followed by the total.
+// bench-style summary table, slowest first, followed by the total. The
+// scan columns expose the intra-experiment sharding activity: how many
+// grid chunks the experiment's sharded scans processed, how many extra
+// workers they borrowed from the -parallel budget, and how many chunks
+// the read-ahead prefetcher warmed.
 func WriteTimings(w io.Writer, rs []*core.Result) error {
 	type row struct {
-		id      string
-		wallMS  float64
-		allocMB float64
+		id         string
+		wallMS     float64
+		allocMB    float64
+		chunks     float64
+		extra      float64
+		prefetched float64
 	}
 	rows := make([]row, 0, len(rs))
-	var totalMS, totalMB float64
+	var totalMS, totalMB, totalChunks, totalExtra, totalPrefetched float64
 	for _, r := range rs {
-		rw := row{id: r.ID, wallMS: r.Metric(core.MetricWallMS), allocMB: r.Metric(core.MetricAllocMB)}
+		rw := row{
+			id:         r.ID,
+			wallMS:     r.Metric(core.MetricWallMS),
+			allocMB:    r.Metric(core.MetricAllocMB),
+			chunks:     r.Metric(core.MetricScanChunks),
+			extra:      r.Metric(core.MetricScanWorkers),
+			prefetched: r.Metric(core.MetricScanPrefetch),
+		}
 		totalMS += rw.wallMS
 		totalMB += rw.allocMB
+		totalChunks += rw.chunks
+		totalExtra += rw.extra
+		totalPrefetched += rw.prefetched
 		rows = append(rows, rw)
 	}
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].wallMS > rows[j].wallMS })
-	t := core.Table{Title: "Timing summary (slowest first)", Columns: []string{"experiment", "wall ms", "alloc MB"}}
+	t := core.Table{Title: "Timing summary (slowest first)", Columns: []string{"experiment", "wall ms", "alloc MB", "scan chunks", "extra workers", "prefetched"}}
 	for _, rw := range rows {
-		t.Rows = append(t.Rows, []string{rw.id, fmt.Sprintf("%.1f", rw.wallMS), fmt.Sprintf("%.1f", rw.allocMB)})
+		t.Rows = append(t.Rows, []string{rw.id, fmt.Sprintf("%.1f", rw.wallMS), fmt.Sprintf("%.1f", rw.allocMB),
+			fmt.Sprintf("%.0f", rw.chunks), fmt.Sprintf("%.0f", rw.extra), fmt.Sprintf("%.0f", rw.prefetched)})
 	}
-	t.Rows = append(t.Rows, []string{"TOTAL (cpu)", fmt.Sprintf("%.1f", totalMS), fmt.Sprintf("%.1f", totalMB)})
+	t.Rows = append(t.Rows, []string{"TOTAL (cpu)", fmt.Sprintf("%.1f", totalMS), fmt.Sprintf("%.1f", totalMB),
+		fmt.Sprintf("%.0f", totalChunks), fmt.Sprintf("%.0f", totalExtra), fmt.Sprintf("%.0f", totalPrefetched)})
 	return writeTable(w, t)
 }
 
@@ -201,6 +220,14 @@ func WriteExperimentsDoc(w io.Writer, rs []*core.Result) error {
 	fmt.Fprintln(w, "`-cache-dir` (default: OS temp dir) and mmap back in on access.")
 	fmt.Fprintln(w, "The budget never changes a metric — spilled batches round-trip bit")
 	fmt.Fprintln(w, "for bit (see docs/ARCHITECTURE.md, \"The spillable dataset store\").")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Parallelism is two-level under one budget: `-parallel n` bounds the")
+	fmt.Fprintln(w, "total worker count, experiments run concurrently on it, and the hour-")
+	fmt.Fprintln(w, "and day-grid scans inside each experiment borrow whatever is spare")
+	fmt.Fprintln(w, "(`-scan-chunk` tunes the merge granularity). Neither the worker count")
+	fmt.Fprintln(w, "nor the chunk size changes a metric: partial aggregates merge exactly")
+	fmt.Fprintln(w, "and in grid order (see docs/ARCHITECTURE.md, \"Intra-experiment")
+	fmt.Fprintln(w, "sharding\").")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "| ID | Paper artifact | Title |")
 	fmt.Fprintln(w, "|----|----------------|-------|")
