@@ -37,8 +37,24 @@
 //	-pps f        replay/cluster pump pacing, datagrams per second (0 = unlimited)
 //	-unverified   replay only: capture mode, serve wire rows without failing on
 //	              verification mismatches (accounted in the bridge stats)
+//	-attempt-timeout d  replay/cluster: per-attempt bucket collection timeout
+//	              (default 2s)
+//	-max-attempts n  replay/cluster: attempts per bucket (default 5)
+//	-fetch-budget d  replay/cluster: wall-clock retry budget per bucket; when
+//	              set it replaces the flat attempt-timeout × max-attempts cap
+//	              and alone decides when the bridge gives up
+//	-allow-partial  replay/cluster: serve explicitly-accounted empty batches
+//	              for buckets whose retry budget ran out instead of failing
+//	              the run; the degraded component-hours are stamped on stderr
 //	-shards n     cluster only: number of pump shards (default 4)
 //	-subprocess   cluster only: run each pump as its own `lockdown pump` process
+//	-max-restarts n  cluster only: restarts per shard before it is declared
+//	              dead and its vantage points re-partition away (default 3)
+//	-chaos spec   cluster only: deterministic fault injection, e.g.
+//	              'drop=0.05,kill=shard1@t+2s,seed=7' (drop/dup/reorder/
+//	              corrupt probabilities, delay, kill/stall schedules; see
+//	              internal/faultinject). Same seed, same faults; output
+//	              stays byte-identical to `all` while faults are recoverable
 //
 // `replay` runs the same suite as `all`, but every flow batch travels a
 // real UDP wire first: a pump exports the synthetic component-hours as
@@ -52,10 +68,15 @@
 // with its own wire stream identity (IPFIX observation domain, NetFlow
 // v9 source ID, v5 engine ID) — and the bridge demuxes their
 // interleaved export per stream, with N buckets in flight concurrently
-// (see internal/cluster). With -subprocess each pump is a separate
-// `lockdown pump` process under supervisor restart handling. The
-// results remain byte-identical to `all`; per-shard wire accounting is
-// printed to stderr.
+// (see internal/cluster). Pumps run as in-process goroutines or (with
+// -subprocess) separate `lockdown pump` processes; either way a crashed
+// pump restarts under jittered backoff, and a pump that exhausts
+// -max-restarts is declared dead and its vantage points re-partition
+// over the survivors. -chaos injects a seeded, reproducible fault
+// schedule (datagram faults on the wire, scheduled pump kills) to
+// exercise exactly those paths. The results remain byte-identical to
+// `all`; per-shard wire accounting, health history and rebalance events
+// are printed to stderr.
 //
 // `all` prints a bench-style timing summary and the dataset-cache stats to
 // stderr after the results. The profile flags exist so performance work on
@@ -75,10 +96,12 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"lockdown/internal/cluster"
 	"lockdown/internal/collector"
 	"lockdown/internal/core"
+	"lockdown/internal/faultinject"
 	"lockdown/internal/replay"
 	"lockdown/internal/report"
 )
@@ -89,8 +112,8 @@ func usage() {
   lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
   lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
   lockdown doc [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
-  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-unverified] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
-  lockdown cluster [-shards n] [-subprocess] [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
+  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-unverified] [-attempt-timeout d] [-max-attempts n] [-fetch-budget d] [-allow-partial] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
+  lockdown cluster [-shards n] [-subprocess] [-max-restarts n] [-chaos spec] [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-attempt-timeout d] [-max-attempts n] [-fetch-budget d] [-allow-partial] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
   lockdown pump -data host:port [-format v5|v9|ipfix] [-ctrl host:port] [-shard i/n] [-scale f] [-seed n] [-pps f]
 
 experiments:
@@ -145,8 +168,14 @@ func run(ctx context.Context, args []string) error {
 		addr := fs.String("addr", "127.0.0.1:0", "replay/cluster bridge UDP listen address")
 		pps := fs.Float64("pps", 0, "pump pacing in datagrams per second (0 = unlimited)")
 		unverified := fs.Bool("unverified", false, "replay capture mode: serve wire rows without failing verification")
+		attemptTimeout := fs.Duration("attempt-timeout", 0, "replay/cluster per-attempt bucket timeout (0 = default)")
+		maxAttempts := fs.Int("max-attempts", 0, "replay/cluster attempts per bucket (0 = default)")
+		fetchBudget := fs.Duration("fetch-budget", 0, "replay/cluster wall-clock retry budget per bucket (0 = attempt-timeout × max-attempts)")
+		allowPartial := fs.Bool("allow-partial", false, "replay/cluster: degrade to accounted empty batches instead of failing when a bucket's retries run out")
 		shards := fs.Int("shards", cluster.DefaultShards, "cluster pump shard count")
 		subprocess := fs.Bool("subprocess", false, "cluster: run each pump as its own process")
+		maxRestarts := fs.Int("max-restarts", 0, "cluster restarts per shard before give-up and re-partition (0 = default)")
+		chaosSpec := fs.String("chaos", "", "cluster fault-injection spec, e.g. 'drop=0.05,kill=shard1@t+2s,seed=7'")
 
 		rest := args[1:]
 		var id string
@@ -184,8 +213,19 @@ func run(ctx context.Context, args []string) error {
 		if args[0] != "replay" && *unverified {
 			return fmt.Errorf("-unverified only applies to replay")
 		}
-		if args[0] != "cluster" && (*shards != cluster.DefaultShards || *subprocess) {
-			return fmt.Errorf("-shards/-subprocess only apply to cluster")
+		if args[0] != "replay" && args[0] != "cluster" {
+			if *attemptTimeout != 0 || *maxAttempts != 0 || *fetchBudget != 0 || *allowPartial {
+				return fmt.Errorf("-attempt-timeout/-max-attempts/-fetch-budget/-allow-partial only apply to replay/cluster")
+			}
+		}
+		if args[0] != "cluster" && (*shards != cluster.DefaultShards || *subprocess || *maxRestarts != 0 || *chaosSpec != "") {
+			return fmt.Errorf("-shards/-subprocess/-max-restarts/-chaos only apply to cluster")
+		}
+		if *attemptTimeout < 0 || *fetchBudget < 0 {
+			return fmt.Errorf("-attempt-timeout and -fetch-budget must not be negative")
+		}
+		if *maxAttempts < 0 || *maxRestarts < 0 {
+			return fmt.Errorf("-max-attempts and -max-restarts must not be negative")
 		}
 		if *cpuProfile != "" {
 			f, err := os.Create(*cpuProfile)
@@ -218,11 +258,17 @@ func run(ctx context.Context, args []string) error {
 		}
 		opts := core.Options{FlowScale: *scale, Seed: *seed, CacheBudget: budget, CacheDir: *cacheDir, ScanChunk: *scanChunk}
 
+		tuning := retryTuning{
+			attemptTimeout: *attemptTimeout,
+			maxAttempts:    *maxAttempts,
+			fetchBudget:    *fetchBudget,
+			allowPartial:   *allowPartial,
+		}
 		if args[0] == "replay" {
-			return runReplay(ctx, opts, *formatName, *addr, *pps, *unverified, *parallel, *csvOut, *jsonOut)
+			return runReplay(ctx, opts, *formatName, *addr, *pps, *unverified, tuning, *parallel, *csvOut, *jsonOut)
 		}
 		if args[0] == "cluster" {
-			return runCluster(ctx, opts, *formatName, *addr, *pps, *shards, *subprocess, *parallel, *csvOut, *jsonOut)
+			return runCluster(ctx, opts, *formatName, *addr, *pps, *shards, *subprocess, *maxRestarts, *chaosSpec, tuning, *parallel, *csvOut, *jsonOut)
 		}
 		engine := core.NewEngine(opts)
 		defer engine.Data().Close()
@@ -256,18 +302,36 @@ func run(ctx context.Context, args []string) error {
 	}
 }
 
+// retryTuning carries the shared bridge retry/degradation flags of the
+// replay and cluster subcommands.
+type retryTuning struct {
+	attemptTimeout time.Duration
+	maxAttempts    int
+	fetchBudget    time.Duration
+	allowPartial   bool
+}
+
 // runReplay executes the full experiment suite over a live loopback wire
 // pair: a replay.Pump exports every requested component-hour as real
 // NetFlow/IPFIX packets, and a replay.Bridge feeds the decoded,
 // bit-for-bit verified batches into the engine as its FlowSource. The
 // emitted results are byte-identical to `lockdown all` at the same
 // options; the wire and loss accounting goes to stderr.
-func runReplay(ctx context.Context, opts core.Options, formatName, addr string, pps float64, unverified bool, parallel int, asCSV, asJSON bool) error {
+func runReplay(ctx context.Context, opts core.Options, formatName, addr string, pps float64, unverified bool, tuning retryTuning, parallel int, asCSV, asJSON bool) error {
 	format, err := collector.ParseFormat(formatName)
 	if err != nil {
 		return err
 	}
-	br, err := replay.NewBridge(replay.Config{Format: format, ListenAddr: addr, Options: opts, Unverified: unverified})
+	br, err := replay.NewBridge(replay.Config{
+		Format:         format,
+		ListenAddr:     addr,
+		Options:        opts,
+		Unverified:     unverified,
+		AttemptTimeout: tuning.attemptTimeout,
+		MaxAttempts:    tuning.maxAttempts,
+		FetchBudget:    tuning.fetchBudget,
+		AllowPartial:   tuning.allowPartial,
+	})
 	if err != nil {
 		return err
 	}
@@ -311,18 +375,38 @@ func runReplay(ctx context.Context, opts core.Options, formatName, addr string, 
 // verifies and serves the interleaved export to the engine. The emitted
 // results are byte-identical to `lockdown all` at the same options;
 // per-shard wire accounting goes to stderr.
-func runCluster(ctx context.Context, opts core.Options, formatName, addr string, pps float64, shards int, subprocess bool, parallel int, asCSV, asJSON bool) error {
+func runCluster(ctx context.Context, opts core.Options, formatName, addr string, pps float64, shards int, subprocess bool, maxRestarts int, chaosSpec string, tuning retryTuning, parallel int, asCSV, asJSON bool) error {
 	format, err := collector.ParseFormat(formatName)
 	if err != nil {
 		return err
 	}
+	var chaos *faultinject.Spec
+	if chaosSpec != "" {
+		parsed, err := faultinject.ParseSpec(chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		chaos = &parsed
+		// A fault schedule stretches fetches across restart and
+		// re-partition windows; without an explicit budget, give the
+		// bridge one wide enough to ride out a full give-up sequence.
+		if tuning.fetchBudget == 0 {
+			tuning.fetchBudget = 60 * time.Second
+		}
+	}
 	c, err := cluster.New(cluster.Spec{
-		Shards:       shards,
-		Format:       format,
-		Options:      opts,
-		Rate:         pps,
-		Subprocess:   subprocess,
-		BridgeListen: addr,
+		Shards:         shards,
+		Format:         format,
+		Options:        opts,
+		Rate:           pps,
+		Subprocess:     subprocess,
+		MaxRestarts:    maxRestarts,
+		BridgeListen:   addr,
+		AttemptTimeout: tuning.attemptTimeout,
+		MaxAttempts:    tuning.maxAttempts,
+		FetchBudget:    tuning.fetchBudget,
+		AllowPartial:   tuning.allowPartial,
+		Chaos:          chaos,
 	})
 	if err != nil {
 		return err
@@ -339,6 +423,9 @@ func runCluster(ctx context.Context, opts core.Options, formatName, addr string,
 	}
 	fmt.Fprintf(os.Stderr, "cluster: %v bridge on %s, %d %s pump shards\n",
 		format, c.Bridge().DataAddr(), shards, mode)
+	if chaos != nil {
+		fmt.Fprintf(os.Stderr, "cluster: chaos active: %s\n", chaos)
+	}
 
 	engine := core.NewEngineWithSource(opts, c.Source())
 	defer engine.Data().Close()
@@ -356,11 +443,22 @@ func runCluster(ctx context.Context, opts core.Options, formatName, addr string,
 	for _, sh := range stats.Shards {
 		ss := stats.Streams[sh.Stream]
 		health := "healthy"
-		if !sh.Healthy {
+		switch {
+		case sh.Dead:
+			health = "DEAD"
+		case !sh.Healthy:
 			health = "DOWN"
 		}
 		fmt.Fprintf(os.Stderr, "  shard %d (%s, %d restarts): %d buckets, %d rows, %d retries, %d rows lost\n",
 			sh.Shard, health, sh.Restarts, ss.Keys, ss.Rows, ss.Retries, ss.LostRows)
+	}
+	for _, ev := range stats.Rebalances {
+		fmt.Fprintf(os.Stderr, "  rebalance: shard %d (%s), %d vantage points moved\n",
+			ev.From, ev.Reason, len(ev.Moved))
+	}
+	if cs := stats.Chaos; cs != nil {
+		fmt.Fprintf(os.Stderr, "  chaos relay: %d datagrams, %d dropped, %d duplicated, %d reordered, %d corrupted, %d stalled\n",
+			cs.Total.Seen, cs.Total.Dropped, cs.Total.Duplicated, cs.Total.Reordered, cs.Total.Corrupted, cs.Total.Stalled)
 	}
 	return nil
 }
@@ -393,6 +491,15 @@ func emitSuite(results []*core.Result, data *core.Dataset, asCSV, asJSON bool) e
 		fmt.Fprintf(os.Stderr, "flow-batch tiers: %d spills, %d faults, %d regens, %.1f MB resident, %.1f MB spilled\n",
 			stats.Spills, stats.Faults, stats.Regens,
 			float64(stats.ResidentBytes)/(1<<20), float64(stats.SpilledBytes)/(1<<20))
+	}
+	// A degraded (allow-partial) run is stamped explicitly so its output
+	// is never mistaken for a complete one: every component-hour served
+	// as an empty stand-in batch is named.
+	if degraded := data.DegradedKeys(); len(degraded) > 0 {
+		fmt.Fprintf(os.Stderr, "\nDEGRADED RUN: %d component-hours missing (served as empty batches):\n", len(degraded))
+		for _, k := range degraded {
+			fmt.Fprintf(os.Stderr, "  %s\n", k)
+		}
 	}
 	return nil
 }

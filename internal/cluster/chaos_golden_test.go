@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/faultinject"
+	"lockdown/internal/goldentest"
+	"lockdown/internal/synth"
+)
+
+// TestGoldenClusterChaos is the chaos golden test, the acceptance
+// contract of the survival layer: a three-shard cluster behind a
+// fixed-seed fault relay (5% datagram drop, 1% duplication) whose shard
+// 1 is permanently killed mid-run must still produce metrics
+// bit-identical to the in-memory engine. The suite rides through
+// datagram loss via the retry policy and through the shard death via
+// restart, give-up and re-partition — none of it may leak into the
+// numbers. Runs under -race in CI.
+func TestGoldenClusterChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos golden test is not short")
+	}
+	chaos, err := faultinject.ParseSpec("drop=0.05,dup=0.01,kill=shard1@t+1s,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCluster(t, Spec{
+		Shards:  3,
+		Format:  collector.FormatIPFIX,
+		Options: goldenOpts,
+		// A low restart budget so the permanently re-killed shard gives up
+		// and re-partitions while the suite is still running.
+		MaxRestarts:    2,
+		AttemptTimeout: time.Second,
+		FetchBudget:    60 * time.Second,
+		Chaos:          &chaos,
+	})
+
+	wantAll, err := core.NewEngine(goldenOpts).RunAll(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("in-memory suite failed: %v", err)
+	}
+	byID := make(map[string]*core.Result, len(wantAll))
+	for _, r := range wantAll {
+		byID[r.ID] = r
+	}
+	want := make([]*core.Result, len(goldentest.FlowExperiments))
+	for i, id := range goldentest.FlowExperiments {
+		want[i] = byID[id]
+	}
+
+	got, _ := goldentest.RunSuite(t, c.Source(), goldentest.FlowExperiments, 4, goldenOpts)
+	goldentest.CompareResults(t, "ipfix 3-shard chaos", want, got)
+
+	// The suite outlasts the kill schedule, but give-up can land after
+	// the last fetch returns; poll briefly for the terminal state.
+	stats := waitForDeadShard(t, c, 1, 15*time.Second)
+	ev := stats.Rebalances[0]
+	if ev.From != 1 || len(ev.Moved) == 0 {
+		t.Fatalf("rebalance event %+v, want shard 1's vantage points moved", ev)
+	}
+	if stats.Chaos == nil || stats.Chaos.Total.Dropped == 0 {
+		t.Fatalf("chaos relay injected no loss: %+v", stats.Chaos)
+	}
+	if keys := c.DegradedKeys(); len(keys) != 0 {
+		t.Fatalf("golden run degraded keys %v; chaos must be survived, not papered over", keys)
+	}
+	t.Logf("chaos run: bridge %+v relay %+v rebalances %d",
+		stats.Bridge, stats.Chaos.Total, len(stats.Rebalances))
+
+	// After the rebalance a vantage point that lived on the dead shard
+	// must still be served bit-identically, over the wire, by a survivor.
+	part := c.Partition()
+	if part[synth.IXPCE] == 1 {
+		t.Fatalf("IXP-CE still routed to the dead shard: %v", part)
+	}
+	fetchEqual(t, c, core.NewSyntheticSource(goldenOpts), synth.IXPCE,
+		time.Date(2020, time.May, 6, 9, 0, 0, 0, time.UTC))
+}

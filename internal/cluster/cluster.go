@@ -11,15 +11,30 @@
 // all pumps share one bridge socket and the bridge demuxes their
 // interleaved export per stream (see internal/replay). The Cluster
 // supervisor launches the pumps — in-process goroutines, or `lockdown
-// pump` subprocesses with a READY handshake, restart-with-backoff and
-// health tracking — wires every stream to the bridge, and aggregates
-// the per-shard accounting.
+// pump` subprocesses with a READY handshake — wires every stream to the
+// bridge, and aggregates the per-shard accounting.
+//
+// Both pump modes are supervised identically: a crashed pump is
+// restarted with jittered capped-exponential backoff up to MaxRestarts;
+// a pump that exhausts the budget is declared dead and its vantage
+// points are re-partitioned over the surviving shards — the bridge
+// re-routes affected fetches mid-retry, each with a fresh request
+// generation so anything still in flight from the dead assignment is
+// discarded as stale. Restart, crash and rebalance history is surfaced
+// in Stats (per-shard HealthEvents, cluster RebalanceEvents).
+//
+// Spec.Chaos splices the deterministic fault harness of
+// internal/faultinject into the topology: a seeded relay on the
+// pump → bridge data path (drop/duplicate/reorder/delay/corrupt,
+// scheduled stalls) plus scheduled permanent pump kills that drive the
+// give-up → re-partition path reproducibly.
 //
 // The bridge verifies every bucket bit-for-bit against its reference
 // model regardless of which pump served it, so an engine drawing from a
 // cluster produces output byte-identical to the in-memory engine —
-// `lockdown cluster -shards 4` versus `lockdown all` — which the
-// race-enabled golden test in this package pins.
+// `lockdown cluster -shards 4` versus `lockdown all` — even across
+// injected loss and a mid-run shard death, which the race-enabled
+// golden tests in this package pin.
 package cluster
 
 import (
@@ -28,8 +43,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/rand"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,15 +54,16 @@ import (
 
 	"lockdown/internal/collector"
 	"lockdown/internal/core"
+	"lockdown/internal/faultinject"
 	"lockdown/internal/replay"
 	"lockdown/internal/synth"
 )
 
 // Defaults for Spec.
 const (
-	DefaultShards      = 4
-	DefaultMaxRestarts = 3
-	readyTimeout       = 10 * time.Second
+	DefaultShards       = 4
+	DefaultMaxRestarts  = 3
+	DefaultReadyTimeout = 10 * time.Second
 )
 
 // Spec configures a sharded replay cluster.
@@ -62,31 +80,50 @@ type Spec struct {
 	// Rate caps each pump at this many datagrams per second (0 =
 	// unlimited); see replay.PumpConfig.Rate.
 	Rate float64
-	// Partition overrides the shard of individual vantage points.
-	// Unnamed vantage points keep the default partition: the paper's
-	// vantage points (synth.AllVantagePoints) round-robin over the
-	// shards in order, so every shard owns whole vantage points and all
-	// keys of one vantage point route to one pump.
+	// Partition overrides the initial shard of individual vantage
+	// points. Unnamed vantage points keep the default partition: the
+	// paper's vantage points (synth.AllVantagePoints) round-robin over
+	// the shards in order, so every shard owns whole vantage points and
+	// all keys of one vantage point route to one pump. The live
+	// partition is dynamic: a shard that dies past its restart budget
+	// has its vantage points reassigned to surviving shards.
 	Partition map[synth.VantagePoint]int
 	// Subprocess launches each pump as its own OS process (`<Exe> pump
-	// -shard i/N …`) instead of an in-process goroutine. The supervisor
-	// restarts crashed pumps with backoff, up to MaxRestarts each.
+	// -shard i/N …`) instead of an in-process goroutine. Supervision —
+	// restart with jittered backoff, the MaxRestarts budget, the
+	// give-up → re-partition path — applies in both modes.
 	Subprocess bool
 	// Exe is the binary spawned in subprocess mode (the running
 	// executable if empty).
 	Exe string
-	// MaxRestarts bounds how often one subprocess shard is restarted
-	// before it is declared unhealthy (DefaultMaxRestarts if zero).
+	// MaxRestarts bounds how often one shard is restarted before it is
+	// declared dead and re-partitioned away (DefaultMaxRestarts if
+	// zero).
 	MaxRestarts int
+	// ReadyTimeout bounds the subprocess READY handshake: a pump that
+	// starts but never reports its control address is killed and the
+	// failed launch consumes a restart (DefaultReadyTimeout if zero).
+	ReadyTimeout time.Duration
 	// BridgeListen is the bridge's UDP listen address ("127.0.0.1:0"
 	// if empty).
 	BridgeListen string
-	// AttemptTimeout and MaxAttempts tune the bridge's retry policy
-	// (replay defaults if zero). MaxAttempts also covers pump-restart
-	// windows: a fetch hitting a dead pump keeps re-requesting until
-	// the supervisor has revived it or the attempts run out.
+	// AttemptTimeout, MaxAttempts and FetchBudget tune the bridge's
+	// unified retry policy (replay defaults if zero). The budget also
+	// covers pump-restart and re-partition windows: a fetch hitting a
+	// dead pump keeps re-requesting — and re-routing — until the
+	// supervisor has revived or replaced the shard or the budget runs
+	// out.
 	AttemptTimeout time.Duration
 	MaxAttempts    int
+	FetchBudget    time.Duration
+	// AllowPartial serves explicitly-accounted empty batches for keys
+	// whose retry budget ran out instead of failing the run; see
+	// replay.Config.AllowPartial.
+	AllowPartial bool
+	// Chaos injects the deterministic fault schedule: a seeded relay on
+	// the pump → bridge data path plus scheduled pump kills and stalls
+	// (see internal/faultinject). Nil runs clean.
+	Chaos *faultinject.Spec
 }
 
 func (s Spec) shards() int {
@@ -103,6 +140,13 @@ func (s Spec) maxRestarts() int {
 	return s.MaxRestarts
 }
 
+func (s Spec) readyTimeout() time.Duration {
+	if s.ReadyTimeout <= 0 {
+		return DefaultReadyTimeout
+	}
+	return s.ReadyTimeout
+}
+
 // validate rejects specs the wire or the partition cannot express.
 func (s Spec) validate() error {
 	n := s.shards()
@@ -114,10 +158,21 @@ func (s Spec) validate() error {
 			return fmt.Errorf("cluster: partition maps %s to shard %d, outside 0..%d", vp, shard, n-1)
 		}
 	}
+	if s.AttemptTimeout < 0 || s.FetchBudget < 0 || s.ReadyTimeout < 0 {
+		return fmt.Errorf("cluster: timeouts must not be negative")
+	}
+	if s.MaxAttempts < 0 || s.MaxRestarts < 0 {
+		return fmt.Errorf("cluster: attempt and restart budgets must not be negative")
+	}
+	if s.Chaos != nil {
+		if m := s.Chaos.MaxShard(); m >= n {
+			return fmt.Errorf("cluster: chaos spec schedules an event for shard %d, outside 0..%d", m, n-1)
+		}
+	}
 	return nil
 }
 
-// partition returns the full vantage-point→shard map: the round-robin
+// partition returns the initial vantage-point→shard map: the round-robin
 // default overlaid with the spec's explicit entries.
 func (s Spec) partition() map[synth.VantagePoint]int {
 	n := s.shards()
@@ -131,7 +186,10 @@ func (s Spec) partition() map[synth.VantagePoint]int {
 	return part
 }
 
-// Route builds the bridge's key→stream route from the partition.
+// Route builds a static key→stream route from the spec's initial
+// partition. A running Cluster does not use it — its route reads the
+// live partition, which rebalances away from dead shards — but it
+// remains the reference for what the topology looks like at start.
 // Vantage points outside the partition (none in the standard suite)
 // route by a stable hash so the route is total and deterministic.
 func (s Spec) Route() replay.Route {
@@ -141,10 +199,30 @@ func (s Spec) Route() replay.Route {
 		if shard, ok := part[k.VP]; ok {
 			return uint32(shard)
 		}
-		h := fnv.New32a()
-		io.WriteString(h, string(k.VP))
-		return h.Sum32() % uint32(n)
+		return hashVP(k.VP, n)
 	}
+}
+
+func hashVP(vp synth.VantagePoint, n int) uint32 {
+	h := fnv.New32a()
+	io.WriteString(h, string(vp))
+	return h.Sum32() % uint32(n)
+}
+
+// HealthEvent is one entry of a shard's supervision history.
+type HealthEvent struct {
+	Time   time.Time
+	Kind   string // "launch", "ready", "crash", "restart", "restart-failed", "gave-up"
+	Detail string
+}
+
+// RebalanceEvent records one dynamic re-partition: the dead shard and
+// where each of its vantage points moved.
+type RebalanceEvent struct {
+	Time   time.Time
+	From   int // the shard whose vantage points were reassigned
+	Moved  map[synth.VantagePoint]int
+	Reason string
 }
 
 // ShardStatus is one shard's health snapshot.
@@ -153,7 +231,10 @@ type ShardStatus struct {
 	Stream   uint32
 	Addr     string // pump control address ("" until the shard is up)
 	Healthy  bool
+	Dead     bool // restart budget exhausted; vantage points re-partitioned away
 	Restarts int
+	// History is the shard's supervision log (most recent last, capped).
+	History []HealthEvent
 	// Pump carries the pump's own counters for in-process shards (a
 	// subprocess pump's counters live in its process; InProcess is
 	// false and Pump zero).
@@ -162,12 +243,20 @@ type ShardStatus struct {
 }
 
 // Stats aggregates what a cluster observed: the bridge totals, the
-// per-stream demux accounting, and each shard's health.
+// per-stream demux accounting, each shard's health and history, the
+// rebalance log, and the chaos relay's fault counters when a fault
+// schedule is active.
 type Stats struct {
-	Bridge  replay.Stats
-	Streams map[uint32]replay.Stats
-	Shards  []ShardStatus
+	Bridge     replay.Stats
+	Streams    map[uint32]replay.Stats
+	Shards     []ShardStatus
+	Rebalances []RebalanceEvent
+	Chaos      *faultinject.RelayStats
 }
+
+// historyCap bounds each shard's retained health history; a
+// crash-looping shard keeps its most recent events.
+const historyCap = 64
 
 // shard is the supervisor's handle on one pump.
 type shard struct {
@@ -176,10 +265,20 @@ type shard struct {
 	mu       sync.Mutex
 	addr     string
 	healthy  bool
+	dead     bool
 	restarts int
+	history  []HealthEvent
 	pump     *replay.Pump // in-process mode
 	cmd      *exec.Cmd    // subprocess mode
 	stdin    io.Closer    // closing it tells the child to exit
+}
+
+// note appends a supervision event; callers hold sh.mu.
+func (sh *shard) note(kind, detail string) {
+	if len(sh.history) >= historyCap {
+		sh.history = sh.history[1:]
+	}
+	sh.history = append(sh.history, HealthEvent{Time: time.Now(), Kind: kind, Detail: detail})
 }
 
 func (sh *shard) status(inProcess bool) ShardStatus {
@@ -190,7 +289,9 @@ func (sh *shard) status(inProcess bool) ShardStatus {
 		Stream:    uint32(sh.id),
 		Addr:      sh.addr,
 		Healthy:   sh.healthy,
+		Dead:      sh.dead,
 		Restarts:  sh.restarts,
+		History:   append([]HealthEvent(nil), sh.history...),
 		InProcess: inProcess,
 	}
 	if inProcess && sh.pump != nil {
@@ -200,13 +301,24 @@ func (sh *shard) status(inProcess bool) ShardStatus {
 }
 
 // Cluster is a running sharded replay topology: one bridge, N pumps,
-// and the supervisor goroutines keeping subprocess pumps alive. Create
-// it with New, launch with Start, and hand Source() to
-// core.NewEngineWithSource.
+// and the supervisor goroutines keeping the pumps alive (and, past the
+// restart budget, re-partitioning their work away). Create it with New,
+// launch with Start, and hand Source() to core.NewEngineWithSource.
 type Cluster struct {
 	spec   Spec
 	bridge *replay.Bridge
+	relay  *faultinject.Relay // chaos wire injection (nil without Chaos)
 	shards []*shard
+	epoch  time.Time // Start time; anchors the chaos schedule
+
+	// The live partition; fetches route through it per attempt, so a
+	// rebalance re-targets even fetches already mid-retry.
+	partMu     sync.Mutex
+	part       map[synth.VantagePoint]int
+	rebalances []RebalanceEvent
+
+	timerMu    sync.Mutex
+	killTimers []*time.Timer
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -216,28 +328,64 @@ type Cluster struct {
 	closeErr  error
 }
 
-// New validates the spec and opens the bridge socket. No pumps run
-// until Start.
+// New validates the spec and opens the bridge socket (and, with a chaos
+// spec, the fault relay in front of it). No pumps run until Start.
 func New(spec Spec) (*Cluster, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	c := &Cluster{spec: spec, part: spec.partition()}
 	bridge, err := replay.NewBridge(replay.Config{
 		Format:         spec.Format,
 		ListenAddr:     spec.BridgeListen,
 		Options:        spec.Options,
-		Route:          spec.Route(),
+		Route:          c.routeKey,
 		AttemptTimeout: spec.AttemptTimeout,
 		MaxAttempts:    spec.MaxAttempts,
+		FetchBudget:    spec.FetchBudget,
+		AllowPartial:   spec.AllowPartial,
 	})
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{spec: spec, bridge: bridge}
+	c.bridge = bridge
+	if spec.Chaos != nil && spec.Chaos.Active() {
+		relay, err := faultinject.NewRelay(*spec.Chaos, spec.Format, bridge.DataAddr())
+		if err != nil {
+			bridge.Close()
+			return nil, err
+		}
+		c.relay = relay
+	}
 	for i := 0; i < spec.shards(); i++ {
 		c.shards = append(c.shards, &shard{id: i})
 	}
 	return c, nil
+}
+
+// routeKey is the bridge's live route: the current partition under the
+// rebalance lock, with a stable hash fallback for vantage points
+// outside it. The bridge calls it before every attempt, so a rebalance
+// re-targets in-flight fetches on their next retry.
+func (c *Cluster) routeKey(k replay.Key) uint32 {
+	c.partMu.Lock()
+	shard, ok := c.part[k.VP]
+	c.partMu.Unlock()
+	if ok {
+		return uint32(shard)
+	}
+	return hashVP(k.VP, c.spec.shards())
+}
+
+// Partition returns a snapshot of the live vantage-point→shard map.
+func (c *Cluster) Partition() map[synth.VantagePoint]int {
+	c.partMu.Lock()
+	defer c.partMu.Unlock()
+	out := make(map[synth.VantagePoint]int, len(c.part))
+	for vp, sh := range c.part {
+		out[vp] = sh
+	}
+	return out
 }
 
 // Bridge returns the cluster's bridge (stats, stream accounting).
@@ -246,12 +394,25 @@ func (c *Cluster) Bridge() *replay.Bridge { return c.bridge }
 // Source returns the cluster as a flow source for an engine.
 func (c *Cluster) Source() core.FlowSource { return c.bridge }
 
+// dataAddr is where pumps export to: the chaos relay when a fault
+// schedule is active, the bridge's collector socket otherwise.
+func (c *Cluster) dataAddr() string {
+	if c.relay != nil {
+		return c.relay.Addr()
+	}
+	return c.bridge.DataAddr()
+}
+
 // Start launches every pump, connects its stream to the bridge and
 // starts the bridge's demux. It blocks until all shards answered (in
 // subprocess mode: printed their READY line); a shard that cannot start
-// fails the whole cluster.
+// fails the whole cluster. Start also anchors the chaos schedule's t+0.
 func (c *Cluster) Start(ctx context.Context) error {
 	c.ctx, c.cancel = context.WithCancel(ctx)
+	c.epoch = time.Now()
+	if c.relay != nil {
+		c.relay.SetEpoch(c.epoch)
+	}
 	c.bridge.Start(c.ctx)
 	for _, sh := range c.shards {
 		if err := c.launchShard(sh); err != nil {
@@ -262,7 +423,19 @@ func (c *Cluster) Start(ctx context.Context) error {
 	return nil
 }
 
-// launchShard brings one shard up and wires its stream.
+// newInProcPump builds one in-process pump for a shard.
+func (c *Cluster) newInProcPump(sh *shard) (*replay.Pump, error) {
+	return replay.NewPump(replay.PumpConfig{
+		Format:   c.spec.Format,
+		DataAddr: c.dataAddr(),
+		Stream:   uint32(sh.id),
+		Rate:     c.spec.Rate,
+		Options:  c.spec.Options,
+	})
+}
+
+// launchShard brings one shard up, wires its stream and hands it to its
+// supervisor.
 func (c *Cluster) launchShard(sh *shard) error {
 	if c.spec.Subprocess {
 		if err := c.spawn(sh); err != nil {
@@ -271,13 +444,7 @@ func (c *Cluster) launchShard(sh *shard) error {
 		c.wg.Add(1)
 		go c.supervise(sh)
 	} else {
-		pump, err := replay.NewPump(replay.PumpConfig{
-			Format:   c.spec.Format,
-			DataAddr: c.bridge.DataAddr(),
-			Stream:   uint32(sh.id),
-			Rate:     c.spec.Rate,
-			Options:  c.spec.Options,
-		})
+		pump, err := c.newInProcPump(sh)
 		if err != nil {
 			return err
 		}
@@ -285,12 +452,11 @@ func (c *Cluster) launchShard(sh *shard) error {
 		sh.pump = pump
 		sh.addr = pump.CtrlAddr()
 		sh.healthy = true
+		sh.note("launch", pump.CtrlAddr())
 		sh.mu.Unlock()
+		c.armKill(sh)
 		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			pump.Run(c.ctx)
-		}()
+		go c.superviseInProc(sh)
 	}
 	sh.mu.Lock()
 	addr := sh.addr
@@ -298,8 +464,44 @@ func (c *Cluster) launchShard(sh *shard) error {
 	return c.bridge.ConnectStream(uint32(sh.id), addr)
 }
 
-// spawn starts one subprocess pump and waits for its READY handshake;
-// the caller owns supervision.
+// armKill schedules the chaos kill of the shard's *current* pump
+// incarnation. Kills are permanent by design: the supervisor re-arms
+// after every restart, so a killed shard is killed again until its
+// restart budget burns out and the re-partition path runs.
+func (c *Cluster) armKill(sh *shard) {
+	chaos := c.spec.Chaos
+	if chaos == nil {
+		return
+	}
+	at, ok := chaos.KillFor(sh.id)
+	if !ok {
+		return
+	}
+	sh.mu.Lock()
+	pump := sh.pump
+	var proc *os.Process
+	if sh.cmd != nil {
+		proc = sh.cmd.Process
+	}
+	sh.mu.Unlock()
+	kill := func() {
+		if pump != nil {
+			pump.Close()
+		}
+		if proc != nil {
+			proc.Kill()
+		}
+	}
+	delay := max(time.Until(c.epoch.Add(at)), 0)
+	c.timerMu.Lock()
+	c.killTimers = append(c.killTimers, time.AfterFunc(delay, kill))
+	c.timerMu.Unlock()
+}
+
+// spawn starts one subprocess pump and waits for its READY handshake
+// under the spec's deadline; the caller owns supervision. A handshake
+// timeout kills the child and fails the spawn — during supervision that
+// consumes a restart, exactly like a crash.
 func (c *Cluster) spawn(sh *shard) error {
 	exe := c.spec.Exe
 	if exe == "" {
@@ -311,7 +513,7 @@ func (c *Cluster) spawn(sh *shard) error {
 	args := []string{
 		"pump",
 		"-format", c.spec.Format.String(),
-		"-data", c.bridge.DataAddr(),
+		"-data", c.dataAddr(),
 		"-ctrl", "127.0.0.1:0",
 		"-shard", fmt.Sprintf("%d/%d", sh.id, c.spec.shards()),
 		"-scale", strconv.FormatFloat(c.spec.Options.FlowScale, 'g', -1, 64),
@@ -363,30 +565,175 @@ func (c *Cluster) spawn(sh *shard) error {
 		sh.stdin = stdin
 		sh.addr = addr
 		sh.healthy = true
+		sh.note("ready", addr)
 		sh.mu.Unlock()
 	case err := <-errCh:
 		cmd.Process.Kill()
 		cmd.Wait()
 		return err
-	case <-time.After(readyTimeout):
+	case <-time.After(c.spec.readyTimeout()):
 		cmd.Process.Kill()
 		cmd.Wait()
-		return fmt.Errorf("pump did not answer READY within %v", readyTimeout)
+		return fmt.Errorf("pump did not answer READY within %v", c.spec.readyTimeout())
 	case <-c.ctx.Done():
 		cmd.Process.Kill()
 		cmd.Wait()
 		return c.ctx.Err()
 	}
+	c.armKill(sh)
 	return nil
 }
 
+// restartBackoff is the supervisor's delay before restart attempt n:
+// capped exponential — a crash-looping pump must not busy-spin the
+// supervisor, but a one-off crash should recover well inside the
+// bridge's retry budget — with ±20% jitter so N pumps felled by one
+// event do not re-dial in lockstep. The shift is capped before the min
+// so a large restart budget cannot overflow the duration into a
+// negative (= zero) backoff.
+func restartBackoff(restarts int) time.Duration {
+	base := min(100*time.Millisecond<<min(restarts, 5), 2*time.Second)
+	return base - base/5 + time.Duration(rand.Int63n(int64(2*base/5)))
+}
+
+// sleepRestartBackoff waits the jittered backoff out, waking
+// immediately when the cluster shuts down; it reports whether the
+// supervisor should continue.
+func (c *Cluster) sleepRestartBackoff(restarts int) bool {
+	select {
+	case <-time.After(restartBackoff(restarts)):
+		return true
+	case <-c.ctx.Done():
+		return false
+	}
+}
+
+// noteCrash moves a shard into the crashed state and charges its
+// restart budget; it returns the restart count.
+func (c *Cluster) noteCrash(sh *shard, detail string) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.healthy = false
+	sh.restarts++
+	sh.note("crash", detail)
+	return sh.restarts
+}
+
+// giveUp declares a shard dead after its restart budget is exhausted
+// and re-partitions its vantage points over the surviving shards.
+func (c *Cluster) giveUp(sh *shard) {
+	sh.mu.Lock()
+	sh.dead = true
+	sh.healthy = false
+	sh.note("gave-up", fmt.Sprintf("restart budget (%d) exhausted", c.spec.maxRestarts()))
+	sh.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "cluster: shard %d exceeded %d restarts, giving up\n", sh.id, c.spec.maxRestarts())
+	c.repartition(sh, "restart budget exhausted")
+}
+
+// repartition reassigns a dead shard's vantage points round-robin over
+// the surviving shards (in sorted vantage-point order, so the outcome
+// is deterministic) and records the rebalance. In-flight fetches pick
+// the new route up on their next retry attempt with a fresh request
+// generation; late data from the dead assignment is discarded as stale
+// by the bridge's generation check, and verification keeps the output
+// byte-identical no matter which pump ends up serving a key.
+func (c *Cluster) repartition(from *shard, reason string) {
+	var targets []int
+	for _, sh := range c.shards {
+		if sh == from {
+			continue
+		}
+		sh.mu.Lock()
+		dead := sh.dead
+		sh.mu.Unlock()
+		if !dead {
+			targets = append(targets, sh.id)
+		}
+	}
+	c.partMu.Lock()
+	defer c.partMu.Unlock()
+	var moved []synth.VantagePoint
+	for vp, owner := range c.part {
+		if owner == from.id {
+			moved = append(moved, vp)
+		}
+	}
+	sort.Slice(moved, func(i, j int) bool { return moved[i] < moved[j] })
+	ev := RebalanceEvent{
+		Time:   time.Now(),
+		From:   from.id,
+		Reason: reason,
+		Moved:  make(map[synth.VantagePoint]int, len(moved)),
+	}
+	if len(targets) == 0 {
+		ev.Reason += " (no surviving shard; vantage points stay orphaned)"
+	} else {
+		for i, vp := range moved {
+			to := targets[i%len(targets)]
+			c.part[vp] = to
+			ev.Moved[vp] = to
+		}
+		fmt.Fprintf(os.Stderr, "cluster: shard %d dead, re-partitioned %d vantage points over %d surviving shards\n",
+			from.id, len(moved), len(targets))
+	}
+	c.rebalances = append(c.rebalances, ev)
+}
+
+// superviseInProc owns one in-process shard's lifecycle: it runs the
+// pump, and when the pump dies while the cluster is live (a chaos kill,
+// a socket failure) it restarts it with jittered backoff — the same
+// crash/restart/give-up path subprocess shards get.
+func (c *Cluster) superviseInProc(sh *shard) {
+	defer c.wg.Done()
+	for {
+		sh.mu.Lock()
+		pump := sh.pump
+		sh.mu.Unlock()
+		if pump == nil {
+			return
+		}
+		pump.Run(c.ctx)
+		if c.ctx.Err() != nil {
+			pump.Close() // covers a restart racing shutdown's sweep
+			return
+		}
+		restarts := c.noteCrash(sh, "pump stopped")
+		if restarts > c.spec.maxRestarts() {
+			c.giveUp(sh)
+			return
+		}
+		if !c.sleepRestartBackoff(restarts) {
+			return
+		}
+		next, err := c.newInProcPump(sh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: shard %d restart failed: %v\n", sh.id, err)
+			sh.mu.Lock()
+			sh.note("restart-failed", err.Error())
+			sh.mu.Unlock()
+			continue // the dead pump's Run returns immediately; counts against the budget next pass
+		}
+		sh.mu.Lock()
+		sh.pump = next
+		sh.addr = next.CtrlAddr()
+		sh.healthy = true
+		sh.note("restart", next.CtrlAddr())
+		sh.mu.Unlock()
+		c.armKill(sh)
+		if err := c.bridge.ConnectStream(uint32(sh.id), next.CtrlAddr()); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: shard %d reconnect failed: %v\n", sh.id, err)
+		}
+	}
+}
+
 // supervise owns one subprocess shard's lifecycle: it waits on the
-// process and restarts it with capped exponential backoff when it dies
-// while the cluster is still running. Each restart re-dials the shard's
-// stream (the bridge keeps the stream's generation counter and
+// process and restarts it with jittered capped-exponential backoff when
+// it dies while the cluster is still running. Each restart re-dials the
+// shard's stream (the bridge keeps the stream's generation counter and
 // accounting across the reconnect), so in-flight fetches recover on
-// their next retry attempt; beyond MaxRestarts the shard stays down and
-// is reported unhealthy.
+// their next retry attempt; beyond MaxRestarts the shard is declared
+// dead and its vantage points are re-partitioned away.
 func (c *Cluster) supervise(sh *shard) {
 	defer c.wg.Done()
 	for {
@@ -397,38 +744,35 @@ func (c *Cluster) supervise(sh *shard) {
 			return
 		}
 		cmd.Wait()
-		sh.mu.Lock()
-		sh.healthy = false
-		sh.mu.Unlock()
 		if c.ctx.Err() != nil {
+			sh.mu.Lock()
+			sh.healthy = false
+			sh.mu.Unlock()
 			return
 		}
+		restarts := c.noteCrash(sh, "process exited")
 		sh.mu.Lock()
-		sh.restarts++
-		restarts := sh.restarts
 		if sh.stdin != nil {
 			sh.stdin.Close()
 			sh.stdin = nil
 		}
 		sh.mu.Unlock()
 		if restarts > c.spec.maxRestarts() {
-			fmt.Fprintf(os.Stderr, "cluster: shard %d exceeded %d restarts, giving up\n", sh.id, c.spec.maxRestarts())
+			c.giveUp(sh)
 			return
 		}
-		// Capped exponential backoff: a crash-looping pump must not
-		// busy-spin the supervisor, but a one-off crash should recover
-		// well inside the bridge's retry budget. The shift is capped
-		// before the min so a large restart budget cannot overflow the
-		// duration into a negative (= zero) backoff.
-		backoff := min(100*time.Millisecond<<min(restarts, 5), 2*time.Second)
-		select {
-		case <-time.After(backoff):
-		case <-c.ctx.Done():
+		if !c.sleepRestartBackoff(restarts) {
 			return
 		}
 		if err := c.spawn(sh); err != nil {
+			// Spawn failures — including a READY handshake timeout — count
+			// against the restart budget: the dead cmd's Wait returns
+			// immediately on the next pass and charges another restart.
 			fmt.Fprintf(os.Stderr, "cluster: shard %d restart failed: %v\n", sh.id, err)
-			continue // counts against the restart budget on the next pass
+			sh.mu.Lock()
+			sh.note("restart-failed", err.Error())
+			sh.mu.Unlock()
+			continue
 		}
 		if c.ctx.Err() != nil {
 			// Close raced the restart: it already swept this shard, so
@@ -450,6 +794,7 @@ func (c *Cluster) supervise(sh *shard) {
 		}
 		sh.mu.Lock()
 		addr := sh.addr
+		sh.note("restart", addr)
 		sh.mu.Unlock()
 		if err := c.bridge.ConnectStream(uint32(sh.id), addr); err != nil {
 			fmt.Fprintf(os.Stderr, "cluster: shard %d reconnect failed: %v\n", sh.id, err)
@@ -466,17 +811,34 @@ func (c *Cluster) Stats() Stats {
 	for _, sh := range c.shards {
 		s.Shards = append(s.Shards, sh.status(!c.spec.Subprocess))
 	}
+	c.partMu.Lock()
+	s.Rebalances = append([]RebalanceEvent(nil), c.rebalances...)
+	c.partMu.Unlock()
+	if c.relay != nil {
+		rs := c.relay.Stats()
+		s.Chaos = &rs
+	}
 	return s
 }
 
-// Close tears the cluster down: pumps first (in-process closed,
-// subprocesses told to exit via stdin and then killed), then the
-// bridge. Safe to call more than once.
+// DegradedKeys lists the component-hours the bridge served as
+// explicitly-missing empty batches (AllowPartial mode); empty for a
+// healthy run.
+func (c *Cluster) DegradedKeys() []string { return c.bridge.DegradedKeys() }
+
+// Close tears the cluster down: chaos timers stopped, pumps closed
+// (in-process closed, subprocesses told to exit via stdin and then
+// killed), then the relay and the bridge. Safe to call more than once.
 func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
 		if c.cancel != nil {
 			c.cancel()
 		}
+		c.timerMu.Lock()
+		for _, t := range c.killTimers {
+			t.Stop()
+		}
+		c.timerMu.Unlock()
 		for _, sh := range c.shards {
 			sh.mu.Lock()
 			if sh.pump != nil {
@@ -492,6 +854,9 @@ func (c *Cluster) Close() error {
 			sh.mu.Unlock()
 		}
 		c.wg.Wait()
+		if c.relay != nil {
+			c.relay.Close()
+		}
 		c.closeErr = c.bridge.Close()
 	})
 	return c.closeErr

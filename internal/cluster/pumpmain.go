@@ -54,6 +54,13 @@ func PumpMain(ctx context.Context, args []string, stdin io.Reader, stdout io.Wri
 	if err != nil {
 		return err
 	}
+	if os.Getenv("LOCKDOWN_PUMP_HANG") == "1" {
+		// Test hook: a pump that starts but never completes the READY
+		// handshake, so supervisor tests can pin the handshake deadline.
+		// The supervisor kills the process when its deadline fires.
+		<-ctx.Done()
+		return nil
+	}
 	pump, err := replay.NewPump(replay.PumpConfig{
 		Format:   format,
 		DataAddr: *dataAddr,

@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/faultinject"
+	"lockdown/internal/synth"
+)
+
+func TestSpecValidationSurvival(t *testing.T) {
+	chaos := func(s string) *faultinject.Spec {
+		spec, err := faultinject.ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &spec
+	}
+	if err := (Spec{Shards: 3, Chaos: chaos("kill=shard3@t+1s")}).validate(); err == nil {
+		t.Error("chaos kill of shard 3 in a 3-shard cluster validated")
+	}
+	if err := (Spec{Shards: 3, Chaos: chaos("kill=shard2@t+1s,stall=shard0@t+1s:1s")}).validate(); err != nil {
+		t.Errorf("in-range chaos spec rejected: %v", err)
+	}
+	if err := (Spec{AttemptTimeout: -time.Second}).validate(); err == nil {
+		t.Error("negative AttemptTimeout validated")
+	}
+	if err := (Spec{FetchBudget: -time.Second}).validate(); err == nil {
+		t.Error("negative FetchBudget validated")
+	}
+	if err := (Spec{ReadyTimeout: -time.Second}).validate(); err == nil {
+		t.Error("negative ReadyTimeout validated")
+	}
+	if err := (Spec{MaxAttempts: -1}).validate(); err == nil {
+		t.Error("negative MaxAttempts validated")
+	}
+	if err := (Spec{MaxRestarts: -1}).validate(); err == nil {
+		t.Error("negative MaxRestarts validated")
+	}
+}
+
+// TestRestartBackoffJitter pins the supervisor backoff: capped
+// exponential with ±20% jitter — never outside the band, and actually
+// jittered (so a fleet felled by one event does not re-dial in
+// lockstep).
+func TestRestartBackoffJitter(t *testing.T) {
+	for _, tc := range []struct {
+		restarts int
+		base     time.Duration
+	}{
+		{1, 200 * time.Millisecond},
+		{2, 400 * time.Millisecond},
+		{5, 2 * time.Second},  // hits the cap
+		{50, 2 * time.Second}, // shift capped before the min: no overflow
+	} {
+		seen := make(map[time.Duration]bool)
+		for i := 0; i < 200; i++ {
+			d := restartBackoff(tc.restarts)
+			if d < tc.base-tc.base/5 || d >= tc.base+tc.base/5 {
+				t.Fatalf("restartBackoff(%d) = %v, outside %v ±20%%", tc.restarts, d, tc.base)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("restartBackoff(%d) returned a constant; no jitter", tc.restarts)
+		}
+	}
+}
+
+// waitForDeadShard polls until the shard is declared dead and a
+// rebalance is recorded.
+func waitForDeadShard(t *testing.T, c *Cluster, shard int, deadline time.Duration) Stats {
+	t.Helper()
+	limit := time.Now().Add(deadline)
+	for {
+		stats := c.Stats()
+		if stats.Shards[shard].Dead && len(stats.Rebalances) > 0 {
+			return stats
+		}
+		if time.Now().After(limit) {
+			t.Fatalf("shard %d not dead+rebalanced within %v: %+v rebalances=%d",
+				shard, deadline, stats.Shards[shard], len(stats.Rebalances))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// fetchEqual fetches one vantage-point hour over the cluster and
+// compares it bit-for-bit against the reference model.
+func fetchEqual(t *testing.T, c *Cluster, ref *core.SyntheticSource, vp synth.VantagePoint, hour time.Time) {
+	t.Helper()
+	want, err := ref.FlowBatch(vp, hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Source().FlowBatch(vp, hour)
+	if err != nil {
+		t.Fatalf("%s over the cluster: %v", vp, err)
+	}
+	if want.Len() != got.Len() {
+		t.Fatalf("%s: %d rows, want %d", vp, got.Len(), want.Len())
+	}
+	for r := 0; r < want.Len(); r++ {
+		if want.Record(r) != got.Record(r) {
+			t.Fatalf("%s row %d differs", vp, r)
+		}
+	}
+}
+
+// TestInProcessKillRestartRepartition drives the whole survival path on
+// an in-process cluster with a scheduled chaos kill: the pump dies, the
+// supervisor restarts it, the chaos harness kills every new incarnation
+// (permanent-kill semantics), the restart budget burns out, the shard is
+// declared dead, its vantage points re-partition to the survivors — and
+// a key that used to live on the dead shard is then served, bit-identical,
+// by a surviving pump.
+func TestInProcessKillRestartRepartition(t *testing.T) {
+	chaos, err := faultinject.ParseSpec("kill=shard1@t+100ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{FlowScale: 0.05}
+	c := newTestCluster(t, Spec{
+		Shards:         3,
+		Format:         collector.FormatIPFIX,
+		Options:        opts,
+		MaxRestarts:    1,
+		AttemptTimeout: time.Second,
+		FetchBudget:    30 * time.Second,
+		Chaos:          &chaos,
+	})
+	ref := core.NewSyntheticSource(opts)
+
+	stats := waitForDeadShard(t, c, 1, 15*time.Second)
+	sh := stats.Shards[1]
+	if sh.Restarts <= 1 {
+		t.Errorf("shard 1 restarts = %d; the re-armed kill should have burned the budget past 1", sh.Restarts)
+	}
+	kinds := make(map[string]int)
+	for _, ev := range sh.History {
+		kinds[ev.Kind]++
+	}
+	if kinds["crash"] == 0 || kinds["restart"] == 0 || kinds["gave-up"] != 1 {
+		t.Errorf("shard 1 history %v, want crashes, restarts and exactly one gave-up", kinds)
+	}
+	ev := stats.Rebalances[0]
+	if ev.From != 1 || len(ev.Moved) == 0 {
+		t.Fatalf("rebalance event %+v, want shard 1's vantage points moved", ev)
+	}
+	part := c.Partition()
+	for vp, to := range ev.Moved {
+		if to == 1 || part[vp] != to {
+			t.Errorf("vantage point %s moved to %d, live partition says %d", vp, to, part[vp])
+		}
+	}
+	if stats.Chaos == nil {
+		t.Fatal("Stats.Chaos is nil with an active chaos spec")
+	}
+
+	// IXP-CE lived on shard 1 (round-robin over 3 shards); after the
+	// rebalance a surviving pump must serve it bit-identically.
+	if part[synth.IXPCE] == 1 {
+		t.Fatalf("IXP-CE still routed to the dead shard: %v", part)
+	}
+	fetchEqual(t, c, ref, synth.IXPCE, testHour)
+	if s := c.Stats(); s.Streams[uint32(part[synth.IXPCE])].Keys != 1 {
+		t.Errorf("surviving stream %d did not serve the rebalanced key", part[synth.IXPCE])
+	}
+}
+
+// TestSubprocessReadyTimeoutFailsStart pins the spawn deadline: a pump
+// that starts but never answers the READY handshake must fail the
+// launch within Spec.ReadyTimeout instead of hanging the cluster.
+func TestSubprocessReadyTimeoutFailsStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test is not short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("LOCKDOWN_PUMP_HANG", "1")
+	c, err := New(Spec{
+		Shards:       1,
+		Format:       collector.FormatIPFIX,
+		Options:      core.Options{FlowScale: 0.05},
+		Subprocess:   true,
+		Exe:          exe,
+		ReadyTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	err = c.Start(t.Context())
+	if err == nil {
+		t.Fatal("Start succeeded although no pump ever answered READY")
+	}
+	if !strings.Contains(err.Error(), "READY") {
+		t.Fatalf("error does not name the handshake: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Start took %v; the handshake deadline did not bind", elapsed)
+	}
+}
+
+// TestSubprocessHandshakeTimeoutConsumesRestart drives the supervision
+// loop through a restart whose replacement pump hangs in the READY
+// handshake: the timeout must count against the restart budget exactly
+// like a crash, ending in give-up and re-partition — and the moved
+// vantage point is then served by the surviving shard.
+func TestSubprocessHandshakeTimeoutConsumesRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test is not short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{FlowScale: 0.05}
+	c := newTestCluster(t, Spec{
+		Shards:         2,
+		Format:         collector.FormatIPFIX,
+		Options:        opts,
+		Subprocess:     true,
+		Exe:            exe,
+		MaxRestarts:    1,
+		ReadyTimeout:   300 * time.Millisecond,
+		AttemptTimeout: time.Second,
+		FetchBudget:    30 * time.Second,
+	})
+	ref := core.NewSyntheticSource(opts)
+	fetchEqual(t, c, ref, synth.IXPCE, testHour) // shard 1, while it lives
+
+	// Every pump spawned from here on hangs in the handshake.
+	t.Setenv("LOCKDOWN_PUMP_HANG", "1")
+	c.shards[1].mu.Lock()
+	proc := c.shards[1].cmd.Process
+	c.shards[1].mu.Unlock()
+	if err := proc.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := waitForDeadShard(t, c, 1, 20*time.Second)
+	var sawHandshakeFailure bool
+	for _, ev := range stats.Shards[1].History {
+		if ev.Kind == "restart-failed" && strings.Contains(ev.Detail, "READY") {
+			sawHandshakeFailure = true
+		}
+	}
+	if !sawHandshakeFailure {
+		t.Errorf("history %+v records no READY-handshake restart failure", stats.Shards[1].History)
+	}
+
+	if part := c.Partition(); part[synth.IXPCE] != 0 {
+		t.Fatalf("IXP-CE routed to %d after shard 1 died, want 0", part[synth.IXPCE])
+	}
+	// A fresh hour so the fetch must cross the wire to the survivor.
+	fetchEqual(t, c, ref, synth.IXPCE, testHour.Add(time.Hour))
+}
+
+// TestClusterChaosReproducible pins the determinism contract of the
+// chaos harness end to end: two clusters with the same seed, fed the
+// same sequential key workload, inject the identical fault schedule and
+// land on identical fault and loss counters.
+func TestClusterChaosReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos reproducibility test is not short")
+	}
+	run := func(seed int64) (faultinject.RelayStats, int64, int64) {
+		// A drop rate high enough that the small test workload is all but
+		// guaranteed to lose datagrams, and an attempt budget wide enough
+		// that every key still gets through.
+		chaos := faultinject.Spec{Drop: 0.12, Seed: seed}
+		opts := core.Options{FlowScale: 0.05}
+		c := newTestCluster(t, Spec{
+			Shards:         2,
+			Format:         collector.FormatIPFIX,
+			Options:        opts,
+			AttemptTimeout: 2 * time.Second,
+			MaxAttempts:    40,
+			Chaos:          &chaos,
+		})
+		for _, vp := range []synth.VantagePoint{synth.ISPCE, synth.IXPCE} {
+			for h := 0; h < 2; h++ {
+				if _, err := c.Source().FlowBatch(vp, testHour.Add(time.Duration(h)*time.Hour)); err != nil {
+					t.Fatalf("%s: %v", vp, err)
+				}
+			}
+		}
+		stats := c.Stats()
+		if stats.Chaos == nil {
+			t.Fatal("no chaos stats")
+		}
+		return *stats.Chaos, stats.Bridge.Retries, stats.Bridge.LostRows
+	}
+	relayA, retriesA, lostA := run(7)
+	relayB, retriesB, lostB := run(7)
+	if relayA.Total != relayB.Total {
+		t.Errorf("same seed, different fault schedules: %+v vs %+v", relayA.Total, relayB.Total)
+	}
+	for id, ca := range relayA.Streams {
+		if cb := relayB.Streams[id]; ca != cb {
+			t.Errorf("stream %d schedule differs: %+v vs %+v", id, ca, cb)
+		}
+	}
+	if retriesA != retriesB || lostA != lostB {
+		t.Errorf("same seed, different loss accounting: retries %d/%d, lost %d/%d",
+			retriesA, retriesB, lostA, lostB)
+	}
+	if relayA.Total.Dropped == 0 {
+		t.Error("the schedule dropped nothing; the test pinned a trivial run")
+	}
+	relayC, _, _ := run(8)
+	if reflect.DeepEqual(relayA.Streams, relayC.Streams) {
+		t.Error("different seeds produced identical per-stream fault schedules (suspicious)")
+	}
+}

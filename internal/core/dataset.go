@@ -476,6 +476,17 @@ func (d *Dataset) Stats() CacheStats {
 	}
 }
 
+// DegradedKeys lists the component-hours the dataset's flow source
+// served as explicitly-degraded empty batches (see DegradationReporter);
+// nil when the source reports none or cannot degrade at all. The default
+// synthetic source never degrades.
+func (d *Dataset) DegradedKeys() []string {
+	if r, ok := d.src.(DegradationReporter); ok {
+		return r.DegradedKeys()
+	}
+	return nil
+}
+
 // Pin keeps the flow-batch entries an experiment touches resident until
 // Release. The engine creates one per experiment run; every batch drawn
 // through the Env's accessors is pinned for the experiment's whole

@@ -28,6 +28,17 @@ type FlowSource interface {
 	ComponentFlowBatch(vp synth.VantagePoint, name string, hour time.Time) (*flowrec.Batch, error)
 }
 
+// DegradationReporter is implemented by flow sources that can serve
+// explicitly-degraded results — empty batches standing in for
+// component-hours the source could not deliver (the wire bridge's
+// allow-partial mode). DegradedKeys lists those component-hours; an
+// empty list means every batch the source served was complete. The
+// Dataset forwards the report (Dataset.DegradedKeys) so a suite run can
+// stamp exactly which inputs its output is missing.
+type DegradationReporter interface {
+	DegradedKeys() []string
+}
+
 // VPNData bundles the inputs of the domain-based VPN analyses: a
 // gateway-pinned variant of the vantage point's generator and the matching
 // detector built from the synthetic DNS corpus.

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,8 +54,28 @@ type Config struct {
 	// bucket before the bridge retries (DefaultAttemptTimeout if zero).
 	AttemptTimeout time.Duration
 	// MaxAttempts bounds how often a key is requested before the fetch
-	// fails (DefaultMaxAttempts if zero).
+	// fails (DefaultMaxAttempts if zero). When FetchBudget is set the
+	// deadline alone governs retries and MaxAttempts only scales the
+	// default budget.
 	MaxAttempts int
+	// FetchBudget is the per-fetch wall-clock deadline: one key's
+	// attempts — requests, retries with jittered backoff, re-routes
+	// after a cluster rebalance — share this budget instead of the flat
+	// AttemptTimeout×MaxAttempts product (which remains the default when
+	// zero). With an explicit budget a fetch retries until the deadline,
+	// so fast-failing attempts against a dead pump do not exhaust a
+	// fixed attempt count in milliseconds; the supervisor gets the whole
+	// budget to restart or re-partition.
+	FetchBudget time.Duration
+	// AllowPartial degrades instead of failing: a fetch that exhausts
+	// its retry budget on a transient error serves an explicitly-empty
+	// batch and is accounted in Stats.DegradedStreams and DegradedKeys()
+	// rather than aborting the run. Fatal errors (NACK, model mismatch,
+	// verification failure) still fail the fetch — partial mode covers
+	// unreachable pumps, not wrong data. The byte-identity guarantee
+	// obviously does not hold for degraded runs; the suite output is
+	// stamped with the missing component-hours.
+	AllowPartial bool
 	// ReadBuffer sizes the data socket's kernel receive buffer
 	// (DefaultReadBuffer if zero); bursts ride out consumer scheduling
 	// hiccups there instead of being dropped.
@@ -73,6 +95,10 @@ type Stats struct {
 	BadFrames    int64 // control frames that failed to parse
 	DecodeErrors int64 // malformed flow packets reported by the collector
 	Unverified   int64 // buckets served without full verification (capture mode only)
+	// DegradedStreams counts the buckets served as explicitly-missing
+	// empty batches after the retry budget ran out (AllowPartial only);
+	// DegradedKeys() lists them.
+	DegradedStreams int64
 }
 
 func (s *Stats) add(o Stats) {
@@ -86,6 +112,7 @@ func (s *Stats) add(o Stats) {
 	s.BadFrames += o.BadFrames
 	s.DecodeErrors += o.DecodeErrors
 	s.Unverified += o.Unverified
+	s.DegradedStreams += o.DegradedStreams
 }
 
 // Per-stream inbox sizes. The demux goroutine never blocks on a stream
@@ -128,6 +155,7 @@ type stream struct {
 	inboxDrops  atomic.Int64
 	staleFrames atomic.Int64
 	unverified  atomic.Int64
+	degraded    atomic.Int64
 }
 
 func newStream(id uint32) *stream {
@@ -152,14 +180,15 @@ func (st *stream) request(pkt []byte) error {
 
 func (st *stream) stats() Stats {
 	return Stats{
-		Keys:        st.keys.Load(),
-		Rows:        st.rows.Load(),
-		Retries:     st.retries.Load(),
-		LostRows:    st.lostRows.Load(),
-		OrphanRows:  st.orphanRows.Load(),
-		InboxDrops:  st.inboxDrops.Load(),
-		StaleFrames: st.staleFrames.Load(),
-		Unverified:  st.unverified.Load(),
+		Keys:            st.keys.Load(),
+		Rows:            st.rows.Load(),
+		Retries:         st.retries.Load(),
+		LostRows:        st.lostRows.Load(),
+		OrphanRows:      st.orphanRows.Load(),
+		InboxDrops:      st.inboxDrops.Load(),
+		StaleFrames:     st.staleFrames.Load(),
+		Unverified:      st.unverified.Load(),
+		DegradedStreams: st.degraded.Load(),
 	}
 }
 
@@ -195,6 +224,10 @@ type Bridge struct {
 	staleFrames  atomic.Int64
 	orphanRows   atomic.Int64
 	decodeErrors atomic.Int64
+
+	// Keys served as explicitly-missing empty batches (AllowPartial).
+	degradedMu   sync.Mutex
+	degradedKeys []string
 
 	closeOnce sync.Once
 }
@@ -428,8 +461,55 @@ func (e fatalError) Unwrap() error { return e.err }
 
 func fatalf(format string, a ...any) error { return fatalError{fmt.Errorf(format, a...)} }
 
-// fetch requests one bucket off the wire, retrying lost attempts, and
-// returns the verified batch.
+// fetchBudget resolves the per-fetch wall-clock deadline: the explicit
+// FetchBudget, or the legacy flat AttemptTimeout×MaxAttempts product.
+func (b *Bridge) fetchBudget() time.Duration {
+	if b.cfg.FetchBudget > 0 {
+		return b.cfg.FetchBudget
+	}
+	return b.cfg.AttemptTimeout * time.Duration(b.cfg.MaxAttempts)
+}
+
+// exhausted reports whether the unified retry policy is out of budget
+// after the given number of attempts. The deadline always binds; the
+// attempt count binds only without an explicit FetchBudget (the legacy
+// flat policy), so a budgeted fetch rides out fast-failing attempts —
+// a dead pump mid-restart — until the deadline.
+func (b *Bridge) exhausted(deadline time.Time, attempts int) bool {
+	if !time.Now().Before(deadline) {
+		return true
+	}
+	return b.cfg.FetchBudget <= 0 && attempts >= b.cfg.MaxAttempts
+}
+
+// Retry backoff: exponential from retryBackoffBase, capped, with ±50%
+// jitter so concurrent fetches against one recovering pump spread out.
+const (
+	retryBackoffBase = 25 * time.Millisecond
+	retryBackoffCap  = 500 * time.Millisecond
+)
+
+// backoff sleeps out the pre-retry delay, truncated to the fetch
+// deadline.
+func (b *Bridge) backoff(attempts int, deadline time.Time) {
+	d := min(retryBackoffBase<<min(attempts-1, 6), retryBackoffCap)
+	d = d/2 + time.Duration(rand.Int63n(int64(d))) // ±50% jitter
+	if remaining := time.Until(deadline); d > remaining {
+		d = remaining
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// fetch requests one bucket off the wire, retrying lost attempts under
+// the fetch's deadline budget, and returns the verified batch. The key
+// is re-routed between attempts: after a cluster rebalance moved its
+// vantage point to a surviving shard, the next attempt requests it from
+// the new stream (with a fresh generation, so anything still in flight
+// from the dead assignment is discarded as stale). With AllowPartial an
+// exhausted budget degrades to an explicitly-accounted empty batch
+// instead of an error.
 func (b *Bridge) fetch(k Key) (*flowrec.Batch, error) {
 	k.Hour = k.Hour.UTC().Truncate(time.Hour)
 	// Build the reference before taking the stream's fetch lock so
@@ -440,11 +520,6 @@ func (b *Bridge) fetch(k Key) (*flowrec.Batch, error) {
 			return nil, err
 		}
 		ref = nil // capture mode serves keys the model cannot build
-	}
-	id := b.route(k)
-	st := b.stream(id)
-	if st == nil {
-		return nil, fmt.Errorf("replay: %s: no pump connected for stream %d", k, id)
 	}
 	// expected < 0 means no authoritative reference row count: the
 	// pump's announced count rules the bucket. That is always the case
@@ -459,28 +534,95 @@ func (b *Bridge) fetch(k Key) (*flowrec.Batch, error) {
 			expected = ref.Len()
 		}
 	}
+	deadline := time.Now().Add(b.fetchBudget())
+	attempts := 0
+	var lastErr error
+	var lastStream *stream
+	for {
+		id := b.route(k)
+		st := b.stream(id)
+		if st == nil {
+			// No pump serves this stream (yet): either a mis-wired
+			// topology, or a rebalance is about to re-target the key.
+			lastErr = fmt.Errorf("no pump connected for stream %d", id)
+			if b.exhausted(deadline, max(attempts, 1)) {
+				break
+			}
+			attempts++
+			b.backoff(attempts, deadline)
+			continue
+		}
+		lastStream = st
+		got, err := b.fetchFromStream(st, k, ref, expected, sizeHint, deadline, &attempts)
+		if err == nil {
+			return got, nil
+		}
+		var fe fatalError
+		if errors.As(err, &fe) {
+			return nil, fmt.Errorf("replay: %s: %w", k, err)
+		}
+		lastErr = err
+		if b.exhausted(deadline, attempts) {
+			break
+		}
+		// Not exhausted: the stream's route changed mid-fetch; loop to
+		// re-route and continue on the new stream.
+	}
+	if b.cfg.AllowPartial {
+		if lastStream != nil {
+			lastStream.degraded.Add(1)
+		}
+		b.degradedMu.Lock()
+		b.degradedKeys = append(b.degradedKeys, k.String())
+		b.degradedMu.Unlock()
+		return flowrec.NewBatch(0), nil
+	}
+	return nil, fmt.Errorf("replay: %s: giving up after %d attempts in %v: %w", k, attempts, b.fetchBudget(), lastErr)
+}
+
+// fetchFromStream runs attempts of one key against one stream, holding
+// the stream's fetch mutex (one bucket in flight per stream). It returns
+// a non-fatal error when the retry budget runs out or when the key's
+// route moved off this stream mid-retry — the caller re-routes; fetch
+// attempts and the retry accounting continue seamlessly across streams
+// through the shared counters.
+func (b *Bridge) fetchFromStream(st *stream, k Key, ref *flowrec.Batch, expected, sizeHint int, deadline time.Time, attempts *int) (*flowrec.Batch, error) {
 	st.fetchMu.Lock()
 	defer st.fetchMu.Unlock()
 	var lastErr error
-	for attempt := 0; attempt < b.cfg.MaxAttempts; attempt++ {
-		if attempt > 0 {
+	for {
+		if *attempts > 0 {
+			if b.exhausted(deadline, *attempts) {
+				if lastErr == nil {
+					lastErr = fmt.Errorf("retry budget exhausted")
+				}
+				return nil, lastErr
+			}
 			st.retries.Add(1)
+			b.backoff(*attempts, deadline)
 			// Flush leftovers of the failed attempt (late data, its END
 			// frame) so the retry starts from a quiescent stream.
 			b.drainQuiescent(st, drainIdle)
 		}
+		*attempts++
 		st.gen++
 		if err := st.request(encodeRequest(st.id, st.gen, k)); err != nil {
 			lastErr = err
+			if b.routeMoved(k, st.id) {
+				return nil, lastErr
+			}
 			continue
 		}
-		got, err := b.collect(st, st.gen, k, expected, sizeHint)
+		got, err := b.collect(st, st.gen, k, expected, sizeHint, deadline)
 		if err != nil {
 			var fe fatalError
 			if errors.As(err, &fe) {
-				return nil, fmt.Errorf("replay: %s: %w", k, err)
+				return nil, err
 			}
 			lastErr = err
+			if b.routeMoved(k, st.id) {
+				return nil, lastErr
+			}
 			continue
 		}
 		if err := b.verify(st, ref, got); err != nil {
@@ -494,7 +636,24 @@ func (b *Bridge) fetch(k Key) (*flowrec.Batch, error) {
 		st.rows.Add(int64(got.Len()))
 		return got, nil
 	}
-	return nil, fmt.Errorf("replay: %s: giving up after %d attempts: %w", k, b.cfg.MaxAttempts, lastErr)
+}
+
+// routeMoved reports whether the key no longer routes to the given
+// stream (a cluster rebalance re-targeted it mid-fetch).
+func (b *Bridge) routeMoved(k Key, id uint32) bool {
+	return b.cfg.Route != nil && b.route(k) != id
+}
+
+// DegradedKeys lists the keys served as empty batches under
+// AllowPartial, sorted; empty for a healthy run. It implements
+// core.DegradationReporter so the suite output can stamp exactly which
+// component-hours a degraded run is missing.
+func (b *Bridge) DegradedKeys() []string {
+	b.degradedMu.Lock()
+	out := append([]string(nil), b.degradedKeys...)
+	b.degradedMu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // verify applies the bridge's verification policy to a completed bucket.
@@ -532,9 +691,15 @@ const (
 // window for channel-buffered data instead of concluding loss
 // immediately. expected < 0 accepts whatever row count BEGIN announces;
 // sizeHint preallocates the bucket independently of acceptance (capture
-// mode passes the reference length it refuses to enforce).
-func (b *Bridge) collect(st *stream, gen uint32, k Key, expected, sizeHint int) (*flowrec.Batch, error) {
-	timer := time.NewTimer(b.cfg.AttemptTimeout)
+// mode passes the reference length it refuses to enforce). The attempt
+// timeout is truncated to the fetch deadline so the last attempt cannot
+// overrun the budget.
+func (b *Bridge) collect(st *stream, gen uint32, k Key, expected, sizeHint int, deadline time.Time) (*flowrec.Batch, error) {
+	timeout := b.cfg.AttemptTimeout
+	if remaining := time.Until(deadline); remaining < timeout {
+		timeout = max(remaining, 10*time.Millisecond)
+	}
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	out := flowrec.NewBatch(max(expected, sizeHint, 0))
 	var pending []*flowrec.Batch // data seen before BEGIN
@@ -636,9 +801,9 @@ func (b *Bridge) collect(st *stream, gen uint32, k Key, expected, sizeHint int) 
 				want = expected
 			}
 			if want >= 0 {
-				return nil, fmt.Errorf("timed out after %v with %d of %d rows", b.cfg.AttemptTimeout, out.Len(), want)
+				return nil, fmt.Errorf("timed out after %v with %d of %d rows", timeout, out.Len(), want)
 			}
-			return nil, fmt.Errorf("timed out after %v with %d rows and no BEGIN frame", b.cfg.AttemptTimeout, out.Len())
+			return nil, fmt.Errorf("timed out after %v with %d rows and no BEGIN frame", timeout, out.Len())
 		}
 	}
 }

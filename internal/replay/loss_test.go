@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -125,6 +126,90 @@ func newLossyHarness(t *testing.T, opts core.Options, drop func(pkt []byte) bool
 	return br, pump, relay
 }
 
+// mangleRelay is the lossyRelay's general sibling: every datagram runs
+// through a transform that returns the datagrams to put on the wire, in
+// order — so a test can suppress, duplicate, reorder or hold traffic.
+// The transform must copy any datagram it retains past the call (the
+// read buffer is reused).
+type mangleRelay struct {
+	ln  *net.UDPConn
+	dst *net.UDPConn
+
+	mu     sync.Mutex
+	mangle func(pkt []byte) [][]byte
+}
+
+func newMangleRelay(t *testing.T, dstAddr string, mangle func(pkt []byte) [][]byte) *mangleRelay {
+	t.Helper()
+	ln, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := net.ResolveUDPAddr("udp", dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &mangleRelay{ln: ln, dst: dst, mangle: mangle}
+	t.Cleanup(func() { ln.Close(); dst.Close() })
+	go r.run()
+	return r
+}
+
+func (r *mangleRelay) run() {
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := r.ln.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed by cleanup
+		}
+		r.mu.Lock()
+		out := r.mangle(buf[:n])
+		r.mu.Unlock()
+		for _, pkt := range out {
+			r.dst.Write(pkt)
+		}
+	}
+}
+
+// newMangleHarness wires pump → mangleRelay → bridge.
+func newMangleHarness(t *testing.T, opts core.Options, mangle func(pkt []byte) [][]byte) (*Bridge, *Pump, *mangleRelay) {
+	t.Helper()
+	br, err := NewBridge(Config{
+		Format:         collector.FormatIPFIX,
+		Options:        opts,
+		AttemptTimeout: 2 * time.Second,
+		MaxAttempts:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := newMangleRelay(t, br.DataAddr(), mangle)
+	pump, err := NewPump(PumpConfig{
+		Format:   collector.FormatIPFIX,
+		DataAddr: relay.ln.LocalAddr().String(),
+		Options:  opts,
+	})
+	if err != nil {
+		br.Close()
+		t.Fatal(err)
+	}
+	if err := br.ConnectPump(pump.CtrlAddr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(func() { cancel(); pump.Close(); br.Close() })
+	go pump.Run(ctx)
+	br.Start(ctx)
+	return br, pump, relay
+}
+
+// frameType reports a control datagram's frame type byte.
+func frameType(pkt []byte) byte { return pkt[len(collector.ControlMagic)+1] }
+
 // TestBridgeRetriesDroppedData drops every 2nd data packet of the first
 // attempt: the bridge must detect the shortfall, account exactly the
 // dropped rows as lost, re-request the bucket and deliver it
@@ -216,5 +301,221 @@ func TestBridgeRetriesDroppedBegin(t *testing.T) {
 	}
 	if ps := pump.Stats(); ps.Requests != 2 {
 		t.Errorf("pump.Stats().Requests = %d, want 2", ps.Requests)
+	}
+}
+
+// TestBridgeToleratesDroppedEnd drops the first END frame: the bucket
+// must complete on row count alone — no retry, no loss, no orphans —
+// and deliver bit-identically. This is the order-robustness property
+// that makes END purely advisory once all announced rows arrived.
+func TestBridgeToleratesDroppedEnd(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	var droppedEnd atomic.Bool
+	br, pump, _ := newLossyHarness(t, opts, func(pkt []byte) bool {
+		if isCtrl(pkt) && frameType(pkt) == frameEnd && !droppedEnd.Load() {
+			droppedEnd.Store(true)
+			return true
+		}
+		return false
+	})
+
+	want, err := core.NewSyntheticSource(opts).FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := br.FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatalf("fetch with a dropped END failed: %v", err)
+	}
+	batchesEqual(t, want, got)
+	if !droppedEnd.Load() {
+		t.Fatal("relay never saw an END frame; the test exercised nothing")
+	}
+
+	s := br.Stats()
+	if s.Retries != 0 {
+		t.Errorf("stats.Retries = %d, want 0 (the bucket completes on row count)", s.Retries)
+	}
+	if s.LostRows != 0 || s.OrphanRows != 0 {
+		t.Errorf("stats.LostRows = %d, OrphanRows = %d, want 0/0", s.LostRows, s.OrphanRows)
+	}
+	if s.Keys != 1 || s.Rows != int64(want.Len()) {
+		t.Errorf("stats %+v, want Keys=1 Rows=%d", s, want.Len())
+	}
+	if ps := pump.Stats(); ps.Requests != 1 {
+		t.Errorf("pump.Stats().Requests = %d, want 1 (no re-request)", ps.Requests)
+	}
+}
+
+// TestBridgeSurvivesDroppedNack wires the bridge to request stream 1
+// from a pump that owns stream 0, so every request draws a
+// stream-mismatch NACK — and drops the first one. The bridge must ride
+// the lost NACK out as a timed-out attempt, retry, and fail fast and
+// fatally on the second NACK with the pump's diagnosis intact.
+func TestBridgeSurvivesDroppedNack(t *testing.T) {
+	opts := core.Options{FlowScale: 0.05}
+	br, err := NewBridge(Config{
+		Format:         collector.FormatIPFIX,
+		Options:        opts,
+		AttemptTimeout: time.Second,
+		MaxAttempts:    4,
+		Route:          func(Key) uint32 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var droppedNack atomic.Bool
+	relay := newLossyRelay(t, br.DataAddr(), func(pkt []byte) bool {
+		if isCtrl(pkt) && frameType(pkt) == frameNack && !droppedNack.Load() {
+			droppedNack.Store(true)
+			return true
+		}
+		return false
+	})
+	pump, err := NewPump(PumpConfig{
+		Format:   collector.FormatIPFIX,
+		DataAddr: relay.ln.LocalAddr().String(),
+		Options:  opts,
+		Stream:   0,
+	})
+	if err != nil {
+		br.Close()
+		t.Fatal(err)
+	}
+	if err := br.ConnectStream(1, pump.CtrlAddr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(func() { cancel(); pump.Close(); br.Close() })
+	go pump.Run(ctx)
+	br.Start(ctx)
+
+	_, err = br.FlowBatch(synth.ISPCE, testHour)
+	if err == nil {
+		t.Fatal("mis-wired stream fetch succeeded")
+	}
+	if !strings.Contains(err.Error(), "reached pump of stream") {
+		t.Fatalf("error lost the pump's diagnosis: %v", err)
+	}
+	if !droppedNack.Load() {
+		t.Fatal("relay never saw a NACK; the test exercised nothing")
+	}
+	s := br.Stats()
+	if s.Retries != 1 {
+		t.Errorf("stats.Retries = %d, want 1 (lost NACK costs one timed-out attempt)", s.Retries)
+	}
+	if s.Keys != 0 {
+		t.Errorf("stats.Keys = %d, want 0", s.Keys)
+	}
+	if ps := pump.Stats(); ps.Nacks != 2 {
+		t.Errorf("pump.Stats().Nacks = %d, want 2 (one lost, one delivered)", ps.Nacks)
+	}
+}
+
+// TestBridgeRetriesDuplicatedData duplicates one data datagram of the
+// first attempt: the bucket overruns its announced row count, the
+// attempt is abandoned with exactly the duplicate's rows accounted as
+// orphans (conservation: overrun excess plus drained leftovers), and
+// the retry delivers bit-identically.
+func TestBridgeRetriesDuplicatedData(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	dec := ipfix.NewDecoder()
+	var dupRows atomic.Int64
+	var duplicated atomic.Bool
+	br, pump, _ := newMangleHarness(t, opts, func(pkt []byte) [][]byte {
+		if !isCtrl(pkt) && !duplicated.Load() {
+			duplicated.Store(true)
+			var b flowrec.Batch
+			rows, err := dec.DecodeBatch(&b, pkt)
+			if err != nil {
+				t.Errorf("relay could not decode the duplicated flow packet: %v", err)
+			}
+			dupRows.Store(int64(rows))
+			return [][]byte{pkt, pkt}
+		}
+		return [][]byte{pkt}
+	})
+
+	want, err := core.NewSyntheticSource(opts).FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := br.FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatalf("fetch with a duplicated datagram failed: %v", err)
+	}
+	batchesEqual(t, want, got)
+	if !duplicated.Load() || dupRows.Load() == 0 {
+		t.Fatal("relay duplicated nothing; the test exercised nothing")
+	}
+
+	s := br.Stats()
+	if s.Retries != 1 {
+		t.Errorf("stats.Retries = %d, want 1 (overrun abandons the first attempt)", s.Retries)
+	}
+	// Attempt 1 delivered announced+dupRows rows in total; whatever was
+	// claimed past the announcement is accounted at the overrun, the
+	// rest on the inter-attempt drain — together exactly the duplicate.
+	if s.OrphanRows != dupRows.Load() {
+		t.Errorf("stats.OrphanRows = %d, want exactly the duplicate's %d rows", s.OrphanRows, dupRows.Load())
+	}
+	if s.LostRows != 0 {
+		t.Errorf("stats.LostRows = %d, want 0 (nothing was lost, only duplicated)", s.LostRows)
+	}
+	if s.Keys != 1 || s.Rows != int64(want.Len()) {
+		t.Errorf("stats %+v, want Keys=1 Rows=%d", s, want.Len())
+	}
+	if ps := pump.Stats(); ps.Requests != 2 {
+		t.Errorf("pump.Stats().Requests = %d, want 2", ps.Requests)
+	}
+}
+
+// TestBridgeReordersBeginAfterData holds the BEGIN frame back until
+// after the first data datagram: the bridge must park the early data,
+// claim it when BEGIN arrives, and complete without retry or orphan
+// accounting — the parked-data half of the order-robust state machine.
+func TestBridgeReordersBeginAfterData(t *testing.T) {
+	opts := core.Options{FlowScale: 0.1}
+	var heldBegin []byte // touched only by the relay goroutine
+	var reordered atomic.Bool
+	br, pump, _ := newMangleHarness(t, opts, func(pkt []byte) [][]byte {
+		if isCtrl(pkt) && frameType(pkt) == frameBegin && heldBegin == nil && !reordered.Load() {
+			heldBegin = append([]byte(nil), pkt...) // the read buffer is reused
+			return nil
+		}
+		if heldBegin != nil && !isCtrl(pkt) {
+			reordered.Store(true)
+			out := [][]byte{append([]byte(nil), pkt...), heldBegin}
+			heldBegin = nil
+			return out
+		}
+		return [][]byte{pkt}
+	})
+
+	want, err := core.NewSyntheticSource(opts).FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := br.FlowBatch(synth.ISPCE, testHour)
+	if err != nil {
+		t.Fatalf("fetch with BEGIN reordered after data failed: %v", err)
+	}
+	batchesEqual(t, want, got)
+	if !reordered.Load() {
+		t.Fatal("relay never swapped BEGIN behind data; the test exercised nothing")
+	}
+
+	s := br.Stats()
+	if s.Retries != 0 {
+		t.Errorf("stats.Retries = %d, want 0 (parked data is claimed, not retried)", s.Retries)
+	}
+	if s.OrphanRows != 0 || s.LostRows != 0 {
+		t.Errorf("stats.OrphanRows = %d, LostRows = %d, want 0/0", s.OrphanRows, s.LostRows)
+	}
+	if s.Keys != 1 || s.Rows != int64(want.Len()) {
+		t.Errorf("stats %+v, want Keys=1 Rows=%d", s, want.Len())
+	}
+	if ps := pump.Stats(); ps.Requests != 1 {
+		t.Errorf("pump.Stats().Requests = %d, want 1", ps.Requests)
 	}
 }

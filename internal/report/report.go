@@ -214,6 +214,19 @@ func WriteExperimentsDoc(w io.Writer, rs []*core.Result) error {
 	fmt.Fprintln(w, "and every metric below is still reproduced bit-identically (see")
 	fmt.Fprintln(w, "docs/ARCHITECTURE.md, \"The sharded cluster\").")
 	fmt.Fprintln(w)
+	fmt.Fprintln(w, "The wire path is built to survive faults without perturbing a metric:")
+	fmt.Fprintln(w, "lost, duplicated, reordered or corrupted datagrams are detected,")
+	fmt.Fprintln(w, "re-requested and accounted under a per-fetch retry budget")
+	fmt.Fprintln(w, "(`-attempt-timeout`, `-max-attempts`, or wall-clock `-fetch-budget`);")
+	fmt.Fprintln(w, "crashed pumps are restarted with jittered backoff, and a shard that")
+	fmt.Fprintln(w, "exhausts `-max-restarts` has its vantage points re-partitioned over")
+	fmt.Fprintln(w, "the survivors. `-chaos 'drop=0.05,kill=shard1@t+2s,seed=7'` injects a")
+	fmt.Fprintln(w, "deterministic fault schedule to drill exactly that; `-allow-partial`")
+	fmt.Fprintln(w, "trades completeness for liveness, serving exhausted keys as empty")
+	fmt.Fprintln(w, "batches and stamping the run DEGRADED with the missing")
+	fmt.Fprintln(w, "component-hours (see docs/ARCHITECTURE.md, \"Failure modes and")
+	fmt.Fprintln(w, "recovery\").")
+	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Memory is bounded by the tiered dataset cache: `-cache-budget 64M`")
 	fmt.Fprintln(w, "(any of run/all/doc/replay/cluster) caps the resident flow batches;")
 	fmt.Fprintln(w, "colder hours spill to checksummed columnar segment files under")
