@@ -10,6 +10,18 @@
 //	lockdown replay [flags]       run every experiment over live wire export
 //	lockdown cluster [flags]      run every experiment over N sharded pumps
 //	lockdown pump [flags]         serve one cluster shard (spawned by cluster)
+//	lockdown scenario validate <file>  check a declarative scenario file
+//	lockdown scenario run <file> [flags]  run the suite on a scenario model
+//	lockdown scenario doc         emit the scenario schema reference
+//
+// A scenario is a YAML file (see docs/SCENARIOS.md and the gallery under
+// examples/scenarios/) declaring vantage points, membership and class
+// mixes, and an event timeline — lockdown waves, holidays, flash events,
+// link outages, a return to office — that compiles down to the built-in
+// synthetic traffic model. The shipped default scenario restates the
+// paper's timeline and `scenario run` on it is byte-identical to `all`;
+// a scenario's declared seed/flow_scale are defaults that explicit
+// -seed/-scale flags override.
 //
 // Flags for run/all/doc/replay/cluster:
 //
@@ -104,6 +116,8 @@ import (
 	"lockdown/internal/faultinject"
 	"lockdown/internal/replay"
 	"lockdown/internal/report"
+	"lockdown/internal/scenario"
+	"lockdown/internal/synth"
 )
 
 func usage() {
@@ -115,6 +129,9 @@ func usage() {
   lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-unverified] [-attempt-timeout d] [-max-attempts n] [-fetch-budget d] [-allow-partial] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
   lockdown cluster [-shards n] [-subprocess] [-max-restarts n] [-chaos spec] [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-attempt-timeout d] [-max-attempts n] [-fetch-budget d] [-allow-partial] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
   lockdown pump -data host:port [-format v5|v9|ipfix] [-ctrl host:port] [-shard i/n] [-scale f] [-seed n] [-pps f]
+  lockdown scenario validate <file.yaml>
+  lockdown scenario run <file.yaml> [same flags as all]
+  lockdown scenario doc
 
 experiments:
 `)
@@ -152,7 +169,41 @@ func run(ctx context.Context, args []string) error {
 		// shape and speaks the READY handshake on stdout, so it bypasses
 		// the shared flag set below.
 		return cluster.PumpMain(ctx, args[1:], os.Stdin, os.Stdout)
-	case "run", "all", "doc", "replay", "cluster":
+	case "scenario":
+		if len(args) < 2 {
+			usage()
+			return fmt.Errorf("scenario needs a subcommand: validate, run or doc")
+		}
+		switch args[1] {
+		case "doc":
+			fmt.Print(scenario.SchemaDoc())
+			return nil
+		case "validate":
+			if len(args) != 3 {
+				return fmt.Errorf("usage: lockdown scenario validate <file.yaml>")
+			}
+			s, err := scenario.Load(args[2])
+			if err != nil {
+				return err
+			}
+			shape := "variant model"
+			if s.Identity() {
+				shape = "identity (compiles to the built-in model)"
+			}
+			fmt.Printf("scenario %q: %d vantage points, %d events, %s\n",
+				s.Name, len(s.VPs), len(s.Events), shape)
+			return nil
+		case "run":
+			if len(args) < 3 {
+				return fmt.Errorf("usage: lockdown scenario run <file.yaml> [flags]")
+			}
+			// Re-enter the shared flag machinery as the synthetic
+			// scenario-run command, with the file where run's id goes.
+			return run(ctx, append([]string{"scenario-run", args[2]}, args[3:]...))
+		default:
+			return fmt.Errorf("unknown scenario subcommand %q (want validate, run or doc)", args[1])
+		}
+	case "run", "all", "doc", "replay", "cluster", "scenario-run":
 		fs := flag.NewFlagSet(args[0], flag.ContinueOnError)
 		csvOut := fs.Bool("csv", false, "emit CSV instead of text tables")
 		jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
@@ -179,11 +230,12 @@ func run(ctx context.Context, args []string) error {
 
 		rest := args[1:]
 		var id string
-		if args[0] == "run" {
+		if args[0] == "run" || args[0] == "scenario-run" {
 			if len(args) < 2 {
 				usage()
 				return fmt.Errorf("run needs an experiment id")
 			}
+			// For scenario-run, id carries the scenario file path.
 			id = args[1]
 			rest = args[2:]
 		}
@@ -257,6 +309,35 @@ func run(ctx context.Context, args []string) error {
 			return fmt.Errorf("-cache-budget: %w", err)
 		}
 		opts := core.Options{FlowScale: *scale, Seed: *seed, CacheBudget: budget, CacheDir: *cacheDir, ScanChunk: *scanChunk}
+		if args[0] == "scenario-run" {
+			s, err := scenario.Load(id)
+			if err != nil {
+				return err
+			}
+			// The scenario's declared seed/flow_scale are defaults only;
+			// a flag the user actually set on the command line wins.
+			explicit := map[string]bool{}
+			fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+			if s.FlowScale != 0 && !explicit["scale"] {
+				opts.FlowScale = s.FlowScale
+			}
+			if s.Seed != 0 && !explicit["seed"] {
+				opts.Seed = s.Seed
+			}
+			declared := map[synth.VantagePoint]bool{}
+			for _, vp := range s.VPs {
+				declared[vp] = true
+			}
+			opts.Model = func(vp synth.VantagePoint) synth.Config {
+				if declared[vp] {
+					return s.Config(vp)
+				}
+				// Vantage points the scenario does not declare keep the
+				// untouched built-in model.
+				return synth.DefaultConfig(vp)
+			}
+			fmt.Fprintf(os.Stderr, "scenario: %q from %s\n", s.Name, s.File())
+		}
 
 		tuning := retryTuning{
 			attemptTimeout: *attemptTimeout,
@@ -280,7 +361,7 @@ func run(ctx context.Context, args []string) error {
 				return err
 			}
 			return emit(res, *csvOut, *jsonOut)
-		case "all":
+		case "all", "scenario-run":
 			results, err := engine.RunAll(ctx, *parallel)
 			if err != nil {
 				return err

@@ -10,6 +10,7 @@ package calendar
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -67,7 +68,9 @@ var (
 	// ISP-CE/IXP-CE region.
 	RelaxationEurope = time.Date(2020, 4, 20, 0, 0, 0, 0, time.UTC)
 	// StudyStart and StudyEnd bound the full observation window used in
-	// Figure 1 (calendar weeks 1-18 of 2020).
+	// Figure 1: January 1 through May 17, 2020, spanning ISO calendar
+	// weeks 1-20 of 2020 (week 20, May 11-17, is the last full week
+	// before the exclusive StudyEnd).
 	StudyStart = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
 	StudyEnd   = time.Date(2020, 5, 18, 0, 0, 0, 0, time.UTC)
 )
@@ -182,6 +185,53 @@ func IsHoliday(day time.Time) bool {
 	return false
 }
 
+// HolidaySet is an immutable set of extra holiday dates a scenario
+// declares on top of the built-in regional holidays (IsHoliday). The
+// synthetic generator consults it wherever it asks "is this a
+// weekend-like day"; a nil *HolidaySet is the empty set, so the default
+// model pays no cost for the feature. Build one with NewHolidaySet and
+// never mutate it afterwards — generators share it across goroutines.
+type HolidaySet struct {
+	days map[int64]struct{}
+}
+
+// NewHolidaySet builds a HolidaySet from the given days (each truncated
+// to its UTC date). An empty input returns nil, the canonical empty set.
+func NewHolidaySet(days []time.Time) *HolidaySet {
+	if len(days) == 0 {
+		return nil
+	}
+	s := &HolidaySet{days: make(map[int64]struct{}, len(days))}
+	for _, d := range days {
+		s.days[DayStart(d).Unix()] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether t's UTC date is in the set. It is nil-safe:
+// a nil set contains nothing.
+func (s *HolidaySet) Contains(t time.Time) bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.days[DayStart(t).Unix()]
+	return ok
+}
+
+// Days returns the dates in the set in ascending order (nil for the
+// empty set).
+func (s *HolidaySet) Days() []time.Time {
+	if s == nil {
+		return nil
+	}
+	out := make([]time.Time, 0, len(s.days))
+	for u := range s.days {
+		out = append(out, time.Unix(u, 0).UTC())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
 // IsWeekend reports whether day is a Saturday or Sunday.
 func IsWeekend(day time.Time) bool {
 	wd := day.UTC().Weekday()
@@ -227,8 +277,13 @@ func Days(from, to time.Time) []time.Time {
 	return ds
 }
 
-// StudyWeeks returns the Monday start of every ISO calendar week in the
-// study window, keyed by week number (weeks 1 through 20).
+// StudyWeeks returns the Monday start of every ISO calendar week the
+// study window touches, keyed by ISO week number (weeks 1 through 20 of
+// 2020). Because 2020 began on a Wednesday, the Monday of week 1 is
+// December 30, 2019 — one and a half days before StudyStart. That is
+// deliberate ISO-8601 behaviour, not an off-by-one: callers aggregating
+// by calendar week need the true week anchor, and the partial week-1
+// overlap is exactly what Figure 1's weekly normalisation sees.
 func StudyWeeks() map[int]time.Time {
 	out := make(map[int]time.Time)
 	for d := WeekStart(StudyStart); d.Before(StudyEnd); d = d.AddDate(0, 0, 7) {

@@ -136,6 +136,91 @@ func TestStudyWeeks(t *testing.T) {
 	}
 }
 
+// TestStudyWindowWeekBoundaries pins the ISO-week boundary behaviour of
+// the study window, end to end across StudyWeeks, WeekStart and ISOWeek.
+// The subtle cases: 2020 began on a Wednesday, so week 1's Monday is
+// December 30, 2019 (before StudyStart, documented on StudyWeeks), and
+// the exclusive StudyEnd (May 18) is itself the Monday of week 21, so
+// week 20 (May 11-17) is the last week in the window.
+func TestStudyWindowWeekBoundaries(t *testing.T) {
+	cases := []struct {
+		name      string
+		day       time.Time
+		isoWeek   int
+		weekStart time.Time
+	}{
+		{"week-1 Monday precedes StudyStart", time.Date(2019, 12, 30, 0, 0, 0, 0, time.UTC), 1, time.Date(2019, 12, 30, 0, 0, 0, 0, time.UTC)},
+		{"StudyStart (Wed Jan 1) is in week 1", StudyStart, 1, time.Date(2019, 12, 30, 0, 0, 0, 0, time.UTC)},
+		{"first Sunday closes week 1", date(2020, 1, 5), 1, time.Date(2019, 12, 30, 0, 0, 0, 0, time.UTC)},
+		{"first full week is week 2", date(2020, 1, 6), 2, date(2020, 1, 6)},
+		{"last day of the window is in week 20", date(2020, 5, 17), 20, date(2020, 5, 11)},
+		{"StudyEnd (exclusive) opens week 21", StudyEnd, 21, date(2020, 5, 18)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := ISOWeek(c.day); got != c.isoWeek {
+				t.Errorf("ISOWeek(%v) = %d, want %d", c.day, got, c.isoWeek)
+			}
+			if got := WeekStart(c.day); got != c.weekStart {
+				t.Errorf("WeekStart(%v) = %v, want %v", c.day, got, c.weekStart)
+			}
+		})
+	}
+
+	sw := StudyWeeks()
+	if len(sw) != 20 {
+		t.Fatalf("StudyWeeks returned %d weeks, want 20 (weeks 1-20 of 2020)", len(sw))
+	}
+	for wk := 1; wk <= 20; wk++ {
+		start, ok := sw[wk]
+		if !ok {
+			t.Fatalf("StudyWeeks missing week %d", wk)
+		}
+		if start.Weekday() != time.Monday {
+			t.Errorf("week %d starts on %v, want Monday", wk, start.Weekday())
+		}
+		if got := ISOWeek(start); got != wk {
+			t.Errorf("week %d start maps back to ISO week %d", wk, got)
+		}
+	}
+	if want := time.Date(2019, 12, 30, 0, 0, 0, 0, time.UTC); sw[1] != want {
+		t.Errorf("week 1 starts %v, want %v (the documented pre-StudyStart Monday)", sw[1], want)
+	}
+	if _, ok := sw[21]; ok {
+		t.Errorf("StudyWeeks includes week 21; StudyEnd is exclusive")
+	}
+	if want := date(2020, 5, 11); sw[20] != want {
+		t.Errorf("week 20 starts %v, want %v", sw[20], want)
+	}
+}
+
+func TestHolidaySet(t *testing.T) {
+	if NewHolidaySet(nil) != nil {
+		t.Error("empty HolidaySet should be nil")
+	}
+	var nilSet *HolidaySet
+	if nilSet.Contains(date(2020, 5, 1)) {
+		t.Error("nil HolidaySet contains a day")
+	}
+	if nilSet.Days() != nil {
+		t.Error("nil HolidaySet lists days")
+	}
+	s := NewHolidaySet([]time.Time{
+		time.Date(2020, 5, 1, 13, 30, 0, 0, time.UTC), // truncated to the date
+		date(2020, 5, 21),
+	})
+	if !s.Contains(date(2020, 5, 1)) || !s.Contains(time.Date(2020, 5, 1, 23, 0, 0, 0, time.UTC)) {
+		t.Error("HolidaySet misses a declared day")
+	}
+	if s.Contains(date(2020, 5, 2)) {
+		t.Error("HolidaySet contains an undeclared day")
+	}
+	days := s.Days()
+	if len(days) != 2 || days[0] != date(2020, 5, 1) || days[1] != date(2020, 5, 21) {
+		t.Errorf("Days() = %v, want the two declared dates ascending", days)
+	}
+}
+
 func TestPhaseOf(t *testing.T) {
 	cases := []struct {
 		d    time.Time

@@ -54,6 +54,12 @@ type Options struct {
 	// never changes any result — the determinism tests sweep it — it
 	// only trades merge granularity against scheduling overhead.
 	ScanChunk int
+	// Model, if non-nil, supplies the base traffic model per vantage
+	// point instead of synth.DefaultConfig — this is how a compiled
+	// scenario (internal/scenario) is injected into the pipeline. The
+	// FlowScale and Seed options still apply on top of whatever it
+	// returns.
+	Model func(synth.VantagePoint) synth.Config
 }
 
 func (o Options) flowScale() float64 {
@@ -69,7 +75,12 @@ func (o Options) flowScale() float64 {
 // a pump, a bridge and an engine built from equal Options can never
 // model different flows.
 func (o Options) synthConfig(vp synth.VantagePoint) synth.Config {
-	cfg := synth.DefaultConfig(vp)
+	var cfg synth.Config
+	if o.Model != nil {
+		cfg = o.Model(vp)
+	} else {
+		cfg = synth.DefaultConfig(vp)
+	}
 	cfg.FlowScale = o.flowScale()
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed

@@ -1,0 +1,316 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"lockdown/internal/calendar"
+	"lockdown/internal/synth"
+)
+
+func mustParse(t *testing.T, src string) *Scenario {
+	t.Helper()
+	s, err := Parse("test.yaml", []byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+const paperWave = "  - type: lockdown_wave\n    start: 2020-03-14\n    severity: 1.0\n    ramp_days: 10\n"
+
+const allVPs = "vantage_points: [ISP-CE, IXP-CE, IXP-SE, IXP-US, MOBILE, IPX, EDU]\n"
+
+// TestDefaultScenarioIsIdentity is the tentpole guarantee: the shipped
+// default scenario compiles to synth.DefaultConfig field for field at
+// every vantage point, with no variant tag.
+func TestDefaultScenarioIsIdentity(t *testing.T) {
+	s, err := Load("../../examples/scenarios/default.yaml")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(s.VPs) != len(synth.AllVantagePoints()) {
+		t.Fatalf("default scenario declares %d vantage points, want all %d", len(s.VPs), len(synth.AllVantagePoints()))
+	}
+	for _, vp := range synth.AllVantagePoints() {
+		got := s.Config(vp)
+		want := synth.DefaultConfig(vp)
+		if got.Variant != "" {
+			t.Errorf("%s: Variant = %q, want empty", vp, got.Variant)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: compiled config differs from DefaultConfig", vp)
+		}
+	}
+	if !s.Identity() {
+		t.Error("Identity() = false, want true")
+	}
+}
+
+// TestScenarioSeedScaleNotAppliedByConfig pins the layering contract:
+// declared seed/flow_scale are CLI defaults, not model transforms.
+func TestScenarioSeedScaleNotAppliedByConfig(t *testing.T) {
+	s := mustParse(t, "name: x\nseed: 42\nflow_scale: 0.5\nvantage_points: [EDU]\nevents:\n"+paperWave)
+	cfg := s.Config(synth.EDU)
+	def := synth.DefaultConfig(synth.EDU)
+	if cfg.Seed != def.Seed || cfg.FlowScale != def.FlowScale {
+		t.Errorf("Config seed/scale = %d/%g, want defaults %d/%g", cfg.Seed, cfg.FlowScale, def.Seed, def.FlowScale)
+	}
+	if s.Seed != 42 || s.FlowScale != 0.5 {
+		t.Errorf("scenario seed/scale = %d/%g, want 42/0.5", s.Seed, s.FlowScale)
+	}
+}
+
+func TestPrimaryWaveShiftSeverityAndRamp(t *testing.T) {
+	s := mustParse(t, "name: late\nvantage_points: [ISP-CE]\nevents:\n"+
+		"  - type: lockdown_wave\n    start: 2020-03-21\n    severity: 0.5\n    ramp_days: 14\n")
+	cfg := s.Config(synth.ISPCE)
+	if cfg.Variant != "late" {
+		t.Fatalf("Variant = %q, want \"late\"", cfg.Variant)
+	}
+	def := synth.DefaultConfig(synth.ISPCE)
+	delta := 7 * 24 * time.Hour
+	for i, c := range cfg.Components {
+		d := def.Components[i]
+		if c.Resp.Delay != d.Resp.Delay+delta {
+			t.Errorf("%s: Delay = %v, want %v", c.Name, c.Resp.Delay, d.Resp.Delay+delta)
+		}
+		wantPeak := 1 + (d.Resp.Peak-1)*0.5
+		if d.Resp.Peak == 0 {
+			wantPeak = 0
+		}
+		if !approx(c.Resp.Peak, wantPeak) {
+			t.Errorf("%s: Peak = %g, want %g (from %g)", c.Name, c.Resp.Peak, wantPeak, d.Resp.Peak)
+		}
+		// The ramp is 14 days from the (shifted) ramp start.
+		lock := c.Resp.RampStart
+		if lock.IsZero() {
+			lock = calendar.LockdownEurope.Add(c.Resp.Delay)
+		}
+		if want := lock.AddDate(0, 0, 14); !c.Resp.RampFull.Equal(want) {
+			t.Errorf("%s: RampFull = %v, want %v", c.Name, c.Resp.RampFull, want)
+		}
+		if !d.Resp.RampStart.IsZero() && !c.Resp.RampStart.Equal(d.Resp.RampStart.Add(delta)) {
+			t.Errorf("%s: RampStart = %v, want shifted %v", c.Name, c.Resp.RampStart, d.Resp.RampStart.Add(delta))
+		}
+	}
+}
+
+// TestSharedResponsePointersCopied guards the copy-on-write of the
+// WeekendResp/ConnResp pointers the built-in model shares between
+// components: scaling must re-point, never mutate through the shared
+// pointer (which would corrupt sibling components).
+func TestSharedResponsePointersCopied(t *testing.T) {
+	def := synth.DefaultConfig(synth.EDU)
+	shared := map[*synth.Response][]string{}
+	for _, c := range def.Components {
+		if c.WeekendResp != nil {
+			shared[c.WeekendResp] = append(shared[c.WeekendResp], c.Name)
+		}
+	}
+	found := false
+	for _, names := range shared {
+		if len(names) > 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("built-in EDU model no longer shares WeekendResp pointers; test needs a new fixture")
+	}
+
+	s := mustParse(t, "name: half\nvantage_points: [EDU]\nevents:\n"+
+		"  - type: lockdown_wave\n    start: 2020-03-14\n    severity: 0.5\n    ramp_days: 10\n")
+	cfg := s.Config(synth.EDU)
+	for i, c := range cfg.Components {
+		d := def.Components[i]
+		if c.WeekendResp == nil {
+			continue
+		}
+		if c.WeekendResp == d.WeekendResp {
+			t.Errorf("%s: WeekendResp pointer not copied", c.Name)
+		}
+		want := 1 + (d.WeekendResp.Peak-1)*0.5
+		if d.WeekendResp.Peak == 0 {
+			want = 0
+		}
+		if !approx(c.WeekendResp.Peak, want) {
+			t.Errorf("%s: WeekendResp.Peak = %g, want %g (scaled exactly once from %g)",
+				c.Name, c.WeekendResp.Peak, want, d.WeekendResp.Peak)
+		}
+	}
+}
+
+func TestOverlayWaveAttachesToAllComponents(t *testing.T) {
+	s := mustParse(t, "name: w2\nmodel_version: 2\nvantage_points: [ISP-CE]\nevents:\n"+paperWave+
+		"  - type: lockdown_wave\n    start: 2020-04-25\n    severity: 0.6\n    ramp_days: 7\n    decay_start: 2020-05-08\n    end: 2020-05-15\n    retained: 0.25\n")
+	cfg := s.Config(synth.ISPCE)
+	if cfg.SamplerVersion != 2 {
+		t.Errorf("SamplerVersion = %d, want 2", cfg.SamplerVersion)
+	}
+	if cfg.Variant != "w2" {
+		t.Errorf("Variant = %q, want \"w2\"", cfg.Variant)
+	}
+	start := time.Date(2020, 4, 25, 0, 0, 0, 0, time.UTC)
+	for _, c := range cfg.Components {
+		if len(c.Waves) != 1 {
+			t.Fatalf("%s: %d waves, want 1", c.Name, len(c.Waves))
+		}
+		w := c.Waves[0]
+		if !w.Start.Equal(start) || !w.Full.Equal(start.AddDate(0, 0, 7)) ||
+			w.Severity != 0.6 || w.Retained != 0.25 ||
+			!w.DecayStart.Equal(time.Date(2020, 5, 8, 0, 0, 0, 0, time.UTC)) ||
+			!w.End.Equal(time.Date(2020, 5, 15, 0, 0, 0, 0, time.UTC)) {
+			t.Errorf("%s: wave = %+v", c.Name, w)
+		}
+	}
+	// The primary wave matched the paper, so the responses themselves are
+	// untouched.
+	def := synth.DefaultConfig(synth.ISPCE)
+	if !reflect.DeepEqual(cfg.Components[0].Resp, def.Components[0].Resp) {
+		t.Error("primary responses changed despite a paper-exact first wave")
+	}
+}
+
+func TestOutageScenarioCompile(t *testing.T) {
+	s, err := Load("../../examples/scenarios/outage.yaml")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// IXP-SE: members override plus a total outage modulation.
+	se := s.Config(synth.IXPSE)
+	if se.Members != 80 {
+		t.Errorf("IXP-SE Members = %d, want 80", se.Members)
+	}
+	if se.Variant != "outage" {
+		t.Errorf("IXP-SE Variant = %q, want \"outage\"", se.Variant)
+	}
+	for _, c := range se.Components {
+		if len(c.Mods) != 1 || c.Mods[0].Factor != 0 {
+			t.Fatalf("IXP-SE %s: mods = %+v, want one total outage", c.Name, c.Mods)
+		}
+	}
+	// MOBILE: a partial outage with hour precision.
+	mob := s.Config(synth.Mobile)
+	for _, c := range mob.Components {
+		if len(c.Mods) != 1 || c.Mods[0].Factor != 0.3 {
+			t.Fatalf("MOBILE %s: mods = %+v", c.Name, c.Mods)
+		}
+		if got := c.Mods[0].Start; got.Hour() != 12 {
+			t.Errorf("MOBILE outage start = %v, want 12:00", got)
+		}
+	}
+	// ISP-CE is untouched by this scenario: identical to the default,
+	// no variant tag, so it still shares golden caches.
+	if got := s.Config(synth.ISPCE); got.Variant != "" || !reflect.DeepEqual(got, synth.DefaultConfig(synth.ISPCE)) {
+		t.Errorf("ISP-CE should compile to the unmodified default (variant %q)", got.Variant)
+	}
+	if s.Identity() {
+		t.Error("Identity() = true for the outage scenario")
+	}
+}
+
+func TestFlashEventScenarioCompile(t *testing.T) {
+	s, err := Load("../../examples/scenarios/flash-event.yaml")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	cfg := s.Config(synth.ISPCE)
+	def := synth.DefaultConfig(synth.ISPCE)
+	sawFlash, sawScaled := false, false
+	flashClasses := map[synth.Class]bool{synth.ClassGaming: true, synth.ClassVoD: true, synth.ClassSocial: true}
+	for i, c := range cfg.Components {
+		d := def.Components[i]
+		if flashClasses[c.Class] {
+			if len(c.Mods) != 1 || c.Mods[0].Factor != 3.0 || c.Mods[0].RampIn != 4*time.Hour {
+				t.Errorf("%s: mods = %+v, want the flash event", c.Name, c.Mods)
+			}
+			sawFlash = true
+		} else if len(c.Mods) != 0 {
+			t.Errorf("%s (class %q): unexpected mods %+v", c.Name, c.Class, c.Mods)
+		}
+		if c.Class == synth.ClassGaming {
+			if !approx(c.BaseGbps, d.BaseGbps*1.2) {
+				t.Errorf("%s: BaseGbps = %g, want %g * 1.2", c.Name, c.BaseGbps, d.BaseGbps)
+			}
+			sawScaled = true
+		} else if c.BaseGbps != d.BaseGbps {
+			t.Errorf("%s: BaseGbps changed without a class_mix entry", c.Name)
+		}
+		if c.Holidays == nil || !c.Holidays.Contains(time.Date(2020, 5, 8, 15, 0, 0, 0, time.UTC)) {
+			t.Errorf("%s: extra holiday not attached", c.Name)
+		}
+	}
+	if !sawFlash || !sawScaled {
+		t.Errorf("flash/scaled components seen = %v/%v, want both", sawFlash, sawScaled)
+	}
+}
+
+func TestReturnToOfficeCompile(t *testing.T) {
+	s := mustParse(t, "name: rto\nvantage_points: [ISP-CE]\nevents:\n"+paperWave+
+		"  - type: return_to_office\n    start: 2020-03-30\n    retained: 0.1\n")
+	cfg := s.Config(synth.ISPCE)
+	def := synth.DefaultConfig(synth.ISPCE)
+	when := time.Date(2020, 3, 30, 0, 0, 0, 0, time.UTC)
+	touched, untouched := 0, 0
+	for i, c := range cfg.Components {
+		d := def.Components[i]
+		if d.Resp.RampStart.IsZero() {
+			untouched++
+			if !reflect.DeepEqual(c.Resp, d.Resp) {
+				t.Errorf("%s: response without RampStart changed", c.Name)
+			}
+			continue
+		}
+		touched++
+		if !c.Resp.DecayStart.Equal(when) {
+			t.Errorf("%s: DecayStart = %v, want %v", c.Name, c.Resp.DecayStart, when)
+		}
+		if c.Resp.Retained != 0.1 {
+			t.Errorf("%s: Retained = %g, want 0.1", c.Name, c.Resp.Retained)
+		}
+	}
+	if touched == 0 || untouched == 0 {
+		t.Errorf("touched/untouched = %d/%d, want both non-zero", touched, untouched)
+	}
+}
+
+// TestOutageSilencesGeneratedHours runs the compiled outage model end to
+// end: the dark IXP-SE window yields zero bytes and zero flow records.
+func TestOutageSilencesGeneratedHours(t *testing.T) {
+	s, err := Load("../../examples/scenarios/outage.yaml")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	g, err := synth.New(s.Config(synth.IXPSE))
+	if err != nil {
+		t.Fatalf("synth.New: %v", err)
+	}
+	dark := time.Date(2020, 4, 3, 14, 0, 0, 0, time.UTC)
+	if v := g.HourlyVolume(dark); v != 0 {
+		t.Errorf("volume during outage = %g, want 0", v)
+	}
+	if n := len(g.FlowsForHour(dark)); n != 0 {
+		t.Errorf("flows during outage = %d, want 0", n)
+	}
+	lit := time.Date(2020, 4, 5, 14, 0, 0, 0, time.UTC)
+	if v := g.HourlyVolume(lit); v <= 0 {
+		t.Errorf("volume after outage = %g, want > 0", v)
+	}
+}
+
+func TestSchemaDocMatchesCommittedFile(t *testing.T) {
+	want, err := os.ReadFile("../../docs/SCENARIOS.md")
+	if err != nil {
+		t.Fatalf("read docs/SCENARIOS.md: %v", err)
+	}
+	if got := SchemaDoc(); got != string(want) {
+		t.Error("docs/SCENARIOS.md is stale; regenerate with `lockdown scenario doc > docs/SCENARIOS.md`")
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParseYAML(t *testing.T, src string) *node {
+	t.Helper()
+	n, err := parseYAML("test.yaml", []byte(src))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	return n
+}
+
+func TestYAMLBasicMapping(t *testing.T) {
+	n := mustParseYAML(t, "name: demo\ncount: 3\nquoted: \"a b\"\nsingle: 'c d'\n")
+	if n.kind != mapNode {
+		t.Fatalf("root kind = %v, want map", n.kind)
+	}
+	if got := n.child("name").scalar; got != "demo" {
+		t.Errorf("name = %q", got)
+	}
+	if got := n.child("quoted").scalar; got != "a b" {
+		t.Errorf("quoted = %q", got)
+	}
+	if got := n.child("single").scalar; got != "c d" {
+		t.Errorf("single = %q", got)
+	}
+	if got := n.child("count").line; got != 2 {
+		t.Errorf("count line = %d, want 2", got)
+	}
+	if want := []string{"name", "count", "quoted", "single"}; strings.Join(n.keys, ",") != strings.Join(want, ",") {
+		t.Errorf("keys = %v, want %v", n.keys, want)
+	}
+}
+
+func TestYAMLNestedAndSequences(t *testing.T) {
+	src := `---
+# a comment
+name: x  # trailing comment
+flow: [a, b, 'c d']
+nested:
+  inner: 1
+block:
+  - one
+  - two
+maps:
+  - type: first
+    value: 1
+  - type: second
+    value: 2
+`
+	n := mustParseYAML(t, src)
+	flow := n.child("flow")
+	if flow.kind != seqNode || len(flow.items) != 3 || flow.items[2].scalar != "c d" {
+		t.Fatalf("flow = %+v", flow)
+	}
+	if got := n.child("nested").child("inner").scalar; got != "1" {
+		t.Errorf("nested.inner = %q", got)
+	}
+	block := n.child("block")
+	if block.kind != seqNode || len(block.items) != 2 || block.items[1].scalar != "two" {
+		t.Fatalf("block = %+v", block)
+	}
+	maps := n.child("maps")
+	if len(maps.items) != 2 {
+		t.Fatalf("maps items = %d", len(maps.items))
+	}
+	if got := maps.items[1].child("type").scalar; got != "second" {
+		t.Errorf("maps[1].type = %q", got)
+	}
+	if got := maps.items[0].child("value").line; got != 12 {
+		t.Errorf("maps[0].value line = %d, want 12", got)
+	}
+}
+
+func TestYAMLScalarWithColon(t *testing.T) {
+	// A date-time scalar contains ": " but is not a mapping — the key
+	// charset check must keep it a scalar.
+	n := mustParseYAML(t, "start: 2020-03-14 15:04\n")
+	if got := n.child("start").scalar; got != "2020-03-14 15:04" {
+		t.Errorf("start = %q", got)
+	}
+}
+
+func TestYAMLSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"tab", "name:\tx\n", "test.yaml:1: tab characters"},
+		{"empty", "\n# only comments\n", "empty document"},
+		{"top-indent", "  name: x\n", "test.yaml:1: top level must not be indented"},
+		{"top-seq", "- a\n- b\n", "top level must be a mapping"},
+		{"multi-doc", "name: x\n---\nname: y\n", "test.yaml:2: multi-document streams"},
+		{"dup-key", "name: x\nname: y\n", "test.yaml:2: duplicate key \"name\" (first on line 1)"},
+		{"bad-line", "name x\n", "test.yaml:1: expected \"key: value\""},
+		{"deep-indent", "name: x\n    stray: y\n", "test.yaml:2: unexpected indentation"},
+		{"seq-for-key", "events:\n  - a\nname: x\nother:\n  - b\n  extra: y\n", "test.yaml:6:"},
+		{"seq-where-key", "name: x\n- item\n", "test.yaml:2: sequence item where a key was expected"},
+		{"empty-item", "events:\n  -\n", "test.yaml:2: empty sequence item"},
+		{"unterminated-flow", "flow: [a, b\n", "test.yaml:1: unterminated flow sequence"},
+		{"unterminated-quote", "name: \"x\n", "test.yaml:1: unterminated quoted string"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML("test.yaml", []byte(tc.src))
+			if err == nil {
+				t.Fatalf("parseYAML(%q) succeeded, want error containing %q", tc.src, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestYAMLEmptyValueAndFlowSeq(t *testing.T) {
+	n := mustParseYAML(t, "empty:\nlist: []\n")
+	if got := n.child("empty"); got.kind != scalarNode || got.scalar != "" {
+		t.Errorf("empty = %+v", got)
+	}
+	if got := n.child("list"); got.kind != seqNode || len(got.items) != 0 {
+		t.Errorf("list = %+v", got)
+	}
+}

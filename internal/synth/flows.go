@@ -4,10 +4,19 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"net/netip"
+	"sync"
 	"time"
 
 	"lockdown/internal/flowrec"
 )
+
+// historicRNGPool amortises the historic sampler's per-component-hour
+// math/rand state (rand.Rand plus its ~5 KB rngSource) across hours and
+// goroutines; every Get is followed by a full Seed, so pooled state never
+// leaks between component-hours.
+var historicRNGPool = sync.Pool{
+	New: func() any { return rand.New(rand.NewSource(0)) },
+}
 
 // flowBasePerHour is the baseline number of flow records the sampler emits
 // per component and hour (before shape/response scaling and FlowScale).
@@ -36,9 +45,11 @@ func hourSeed(seed int64, name string, t time.Time) int64 {
 
 // connMultiplier returns the connection-count multiplier of a component at
 // t: the dedicated connection response if present, otherwise the volume
-// response (with the weekend override applied the same way VolumeAt does).
+// response (with the weekend override applied the same way VolumeAt does),
+// times any scenario overlays so flow counts follow outages and flash
+// events the same way volumes do.
 func connMultiplier(c Component, t time.Time) float64 {
-	weekend := isWeekendOrHoliday(t)
+	weekend := c.weekendLike(t)
 	resp := c.Resp
 	if weekend && c.WeekendResp != nil {
 		resp = *c.WeekendResp
@@ -46,14 +57,24 @@ func connMultiplier(c Component, t time.Time) float64 {
 	if c.ConnResp != nil && !weekend {
 		resp = *c.ConnResp
 	}
-	return resp.At(t)
+	m := resp.AtDay(t, weekend)
+	if len(c.Waves) != 0 || len(c.Mods) != 0 {
+		m *= c.overlayMultiplier(t, resp.peakFor(t, weekend))
+	}
+	return m
 }
 
 // flowCount returns how many flow records the sampler emits for component c
-// in the hour starting at t.
+// in the hour starting at t. A raw count of exactly zero — a silenced
+// profile hour or a scenario outage — yields zero records; a fractional
+// count below one keeps the historic clamp to a single record, preserving
+// every default-timeline hour byte for byte (the built-in profiles and
+// responses are strictly positive, so the raw count is never zero where
+// the volume model emits bytes; TestFlowCountClampOnlyTrimsLiveHours pins
+// that invariant).
 func (g *Generator) flowCount(c Component, t time.Time) int {
 	prof := c.Workday
-	if isWeekendOrHoliday(t) {
+	if c.weekendLike(t) {
 		prof = c.Weekend
 	}
 	mean := prof.Mean()
@@ -61,7 +82,11 @@ func (g *Generator) flowCount(c Component, t time.Time) int {
 		return 0
 	}
 	shape := prof.At(t.UTC().Hour()) / mean
-	n := int(flowBasePerHour * shape * connMultiplier(c, t) * g.cfg.FlowScale)
+	raw := flowBasePerHour * shape * connMultiplier(c, t) * g.cfg.FlowScale
+	if raw <= 0 {
+		return 0
+	}
+	n := int(raw)
 	if n < 1 {
 		n = 1
 	}
@@ -72,7 +97,7 @@ func (g *Generator) flowCount(c Component, t time.Time) int {
 // RNG. The RNG consumption contract matters for determinism: exactly one
 // Float64 is drawn when len(w) > 1 and none otherwise, matching the
 // historic per-flow sampler.
-func pickWeighted(rng *rand.Rand, w []float64) int {
+func pickWeighted(rng sampleRNG, w []float64) int {
 	if len(w) <= 1 {
 		return 0
 	}
@@ -174,7 +199,23 @@ func (g *Generator) componentFlowsInto(b *flowrec.Batch, c Component, t time.Tim
 		return
 	}
 	n := g.flowCount(c, t)
-	rng := rand.New(rand.NewSource(hourSeed(g.cfg.Seed, c.Name, t)))
+	if n == 0 {
+		return
+	}
+	var rng sampleRNG
+	if g.cfg.SamplerVersion >= 2 {
+		rng = newPCG(uint64(hourSeed(g.cfg.Seed, c.Name, t)))
+	} else {
+		// Boxing a freshly built *rand.Rand into the interface would
+		// defeat escape analysis and heap-allocate the ~5 KB generator
+		// state per component-hour, so the historic path re-seeds a
+		// pooled instance instead: Seed fully resets the source, making
+		// the draw sequence identical to rand.New(rand.NewSource(s)).
+		r := historicRNGPool.Get().(*rand.Rand)
+		r.Seed(hourSeed(g.cfg.Seed, c.Name, t))
+		defer historicRNGPool.Put(r)
+		rng = r
+	}
 	bytesPerFlow := vol / float64(n)
 	if bytesPerFlow < 64 {
 		bytesPerFlow = 64
@@ -282,25 +323,4 @@ func (g *Generator) addrFor(asn uint32, n uint32) netip.Addr {
 		return netip.AddrFrom4([4]byte{192, 0, 2, 1})
 	}
 	return a
-}
-
-func isWeekendOrHoliday(t time.Time) bool {
-	wd := t.UTC().Weekday()
-	if wd == time.Saturday || wd == time.Sunday {
-		return true
-	}
-	// Easter 2020 (Apr 10-13) and New Year holidays, mirroring package
-	// calendar without importing it here to keep the sampler allocation
-	// free on the hot path.
-	y, m, d := t.UTC().Date()
-	if y != 2020 {
-		return false
-	}
-	switch {
-	case m == time.April && d >= 10 && d <= 13:
-		return true
-	case m == time.January && (d == 1 || d == 6):
-		return true
-	}
-	return false
 }

@@ -36,6 +36,12 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.FlowScale <= 0 {
 		cfg.FlowScale = 1
 	}
+	if cfg.SamplerVersion > 2 {
+		return nil, fmt.Errorf("synth: unknown sampler version %d (have 0-2)", cfg.SamplerVersion)
+	}
+	if cfg.SamplerVersion == 2 && cfg.Variant == "" {
+		return nil, fmt.Errorf("synth: sampler version 2 changes the flow stream and requires a variant tag")
+	}
 	seen := make(map[string]bool, len(cfg.Components))
 	for _, c := range cfg.Components {
 		if c.Name == "" {
@@ -118,18 +124,25 @@ func (g *Generator) WithVPNGateways(addrs []netip.Addr) *Generator {
 }
 
 // Fingerprint returns a stable identifier of the generator's input space:
-// vantage point, seed and flow-sampling scale. For generators built from
-// the built-in component model (DefaultConfig), equal fingerprints imply
-// byte-identical series and flow samples, so the fingerprint is a safe
-// memoization key for derived datasets. It does not cover hand-edited
-// Components or a custom Registry; do not key caches on it for such
-// configurations.
+// vantage point, seed, flow-sampling scale, and — when set — the Variant
+// tag of a modified model. For generators built from the built-in
+// component model (DefaultConfig), equal fingerprints imply byte-identical
+// series and flow samples, so the fingerprint is a safe memoization key
+// for derived datasets. Compiled scenarios and sampler upgrades must carry
+// a distinct Variant; hand-edited Components or a custom Registry without
+// one are not covered — do not key caches on it for such configurations.
 func (g *Generator) Fingerprint() string { return g.cfg.Fingerprint() }
 
 // Fingerprint returns the memoization key of the configuration; see
-// Generator.Fingerprint.
+// Generator.Fingerprint. The variant suffix appears only for non-default
+// configurations, keeping the golden default's keys (and every cache path
+// derived from them) unchanged.
 func (c Config) Fingerprint() string {
-	return fmt.Sprintf("%s|seed=%d|scale=%g", c.VP, c.Seed, c.FlowScale)
+	fp := fmt.Sprintf("%s|seed=%d|scale=%g", c.VP, c.Seed, c.FlowScale)
+	if c.Variant != "" {
+		fp += "|variant=" + c.Variant
+	}
+	return fp
 }
 
 // VP returns the vantage point this generator models.

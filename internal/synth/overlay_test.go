@@ -1,0 +1,344 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"lockdown/internal/calendar"
+)
+
+// TestFlowCountClampOnlyTrimsLiveHours proves the invariant the zero-flow
+// fix rests on: across the whole built-in model (every vantage point,
+// every study-window hour, the golden flow scales), any component-hour
+// with modelled volume also has a strictly positive raw flow count — so
+// returning 0 for a raw count of exactly 0 cannot change a single default
+// byte, while the sub-1 clamp (which demonstrably still fires at the CI
+// golden scale 0.1) keeps firing exactly as before.
+func TestFlowCountClampOnlyTrimsLiveHours(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scans every component-hour of the study window")
+	}
+	clampFired := 0
+	for _, vp := range AllVantagePoints() {
+		for _, scale := range []float64{0.1, 1} {
+			cfg := DefaultConfig(vp)
+			cfg.FlowScale = scale
+			g, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range g.Components() {
+				for ts := calendar.StudyStart; ts.Before(calendar.StudyEnd); ts = ts.Add(time.Hour) {
+					vol := c.VolumeAt(ts, cfg.Seed)
+					if vol <= 0 {
+						continue
+					}
+					n := g.flowCount(c, ts)
+					if n < 1 {
+						t.Fatalf("%s/%s at %v: volume %.3g but flow count %d — genuine-zero branch fired on the default model",
+							vp, c.Name, ts, vol, n)
+					}
+					// Recompute the raw count to record where the
+					// historic sub-1 clamp is live.
+					prof := c.Workday
+					if c.weekendLike(ts) {
+						prof = c.Weekend
+					}
+					raw := flowBasePerHour * (prof.At(ts.UTC().Hour()) / prof.Mean()) * connMultiplier(c, ts) * scale
+					if raw < 1 {
+						clampFired++
+					}
+				}
+			}
+		}
+	}
+	if clampFired == 0 {
+		t.Error("sub-1 clamp never fires on the default model; the invariant test is vacuous")
+	}
+}
+
+// TestModulationSilencesComponentHour exercises the genuine-zero path: a
+// factor-0 modulation (a link outage) must produce zero volume and zero
+// flow records inside its window and leave every other hour byte-identical
+// to the unmodified model.
+func TestModulationSilencesComponentHour(t *testing.T) {
+	outStart, outEnd := date(2020, 4, 2), date(2020, 4, 4)
+	cfg := DefaultConfig(ISPCE)
+	cfg.Variant = "test-outage"
+	for i := range cfg.Components {
+		cfg.Components[i].Mods = []Modulation{{Start: outStart, End: outEnd, Factor: 0}}
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := MustNewDefault(ISPCE)
+
+	during := outStart.Add(14 * time.Hour)
+	if v := g.HourlyVolume(during); v != 0 {
+		t.Errorf("volume during factor-0 outage = %g, want exact 0", v)
+	}
+	if flows := g.FlowsForHour(during); len(flows) != 0 {
+		t.Errorf("sampled %d flows during a factor-0 outage, want 0", len(flows))
+	}
+	if b := g.FlowsForHourBatch(during); b.Len() != 0 {
+		t.Errorf("batch has %d rows during a factor-0 outage, want 0", b.Len())
+	}
+
+	for _, probe := range []time.Time{
+		outStart.Add(-time.Hour),
+		outEnd.Add(time.Hour),
+		date(2020, 2, 19).Add(20 * time.Hour),
+	} {
+		if got, want := g.HourlyVolume(probe), plain.HourlyVolume(probe); got != want {
+			t.Errorf("volume outside outage at %v: %g, want the unmodified %g", probe, got, want)
+		}
+		got, want := g.FlowsForHour(probe), plain.FlowsForHour(probe)
+		if len(got) != len(want) {
+			t.Fatalf("flow count outside outage at %v: %d vs %d", probe, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("flow %d at %v differs from the unmodified model", i, probe)
+			}
+		}
+	}
+}
+
+// TestWaveFraction pins the overlay wave envelope: ramp, hold, decay,
+// retention and the persist-forever degenerate forms.
+func TestWaveFraction(t *testing.T) {
+	w := Wave{
+		Start:      date(2020, 4, 1),
+		Full:       date(2020, 4, 11),
+		DecayStart: date(2020, 4, 21),
+		End:        date(2020, 5, 1),
+		Severity:   1,
+		Retained:   0.25,
+	}
+	cases := []struct {
+		at   time.Time
+		want float64
+	}{
+		{date(2020, 3, 31), 0},
+		{date(2020, 4, 6), 0.5},
+		{date(2020, 4, 11), 1},
+		{date(2020, 4, 15), 1},
+		{date(2020, 4, 26), 1 - 0.75*0.5},
+		{date(2020, 5, 2), 0.25},
+	}
+	for _, c := range cases {
+		if got := w.frac(c.at); !approxEq(got, c.want) {
+			t.Errorf("frac(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+
+	// No decay window: the wave holds at full effect indefinitely.
+	hold := Wave{Start: date(2020, 4, 1), Full: date(2020, 4, 11), Severity: 1}
+	if got := hold.frac(calendar.StudyEnd); got != 1 {
+		t.Errorf("open-ended wave frac = %v, want 1", got)
+	}
+
+	// The multiplier reuses the component's peak and scales by severity.
+	half := Wave{Start: date(2020, 4, 1), Full: date(2020, 4, 11), Severity: 0.5}
+	if got := half.At(date(2020, 4, 15), 3.0); !approxEq(got, 2.0) {
+		t.Errorf("At(peak=3, severity=0.5) = %v, want 2.0", got)
+	}
+	if got := half.At(date(2020, 3, 1), 3.0); got != 1 {
+		t.Errorf("At before the wave = %v, want exact 1", got)
+	}
+	// A crushing wave on a declining component cannot go negative.
+	crush := Wave{Start: date(2020, 4, 1), Full: date(2020, 4, 2), Severity: 3}
+	if got := crush.At(date(2020, 4, 15), 0.45); got < 0 {
+		t.Errorf("At clamped multiplier = %v, want >= 0", got)
+	}
+}
+
+// TestModulationRampEdges pins the flash-event envelope: hard edges by
+// default, linear fades when ramps are declared, unity outside the window.
+func TestModulationRampEdges(t *testing.T) {
+	hard := Modulation{Start: date(2020, 4, 1), End: date(2020, 4, 3), Factor: 2}
+	if got := hard.At(date(2020, 3, 31).Add(23 * time.Hour)); got != 1 {
+		t.Errorf("before window = %v, want exact 1", got)
+	}
+	if got := hard.At(date(2020, 4, 1)); got != 2 {
+		t.Errorf("at hard start = %v, want 2", got)
+	}
+	if got := hard.At(date(2020, 4, 3)); got != 1 {
+		t.Errorf("at (exclusive) end = %v, want exact 1", got)
+	}
+
+	ramped := Modulation{
+		Start: date(2020, 4, 1), End: date(2020, 4, 3),
+		RampIn: 12 * time.Hour, RampOut: 12 * time.Hour, Factor: 3,
+	}
+	if got := ramped.At(date(2020, 4, 1).Add(6 * time.Hour)); !approxEq(got, 2.0) {
+		t.Errorf("half-ramped-in = %v, want 2.0", got)
+	}
+	if got := ramped.At(date(2020, 4, 1).Add(18 * time.Hour)); !approxEq(got, 3.0) {
+		t.Errorf("full effect = %v, want 3.0", got)
+	}
+	if got := ramped.At(date(2020, 4, 2).Add(21 * time.Hour)); !approxEq(got, 1.5) {
+		t.Errorf("three-quarters ramped out = %v, want 1.5", got)
+	}
+}
+
+// TestExtraHolidayTreatedAsWeekend verifies scenario-declared holidays
+// steer the whole component evaluation — profile, weekend level, weekend
+// response and flow counts — while every other day stays byte-identical.
+func TestExtraHolidayTreatedAsWeekend(t *testing.T) {
+	holiday := date(2020, 4, 29) // a plain Wednesday in the built-in calendar
+	cfg := DefaultConfig(ISPCE)
+	cfg.Variant = "test-holiday"
+	hs := calendar.NewHolidaySet([]time.Time{holiday})
+	for i := range cfg.Components {
+		cfg.Components[i].Holidays = hs
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := MustNewDefault(ISPCE)
+
+	// Office-hours traffic (web conferencing peaks at 3.4x during working
+	// hours) must collapse to its weekend behaviour on the extra holiday.
+	probe := holiday.Add(11 * time.Hour)
+	conf, confPlain := g.ComponentVolume("web-conferencing", probe), plain.ComponentVolume("web-conferencing", probe)
+	if conf >= confPlain*0.7 {
+		t.Errorf("web-conf on declared holiday = %.3g, want well below the workday %.3g", conf, confPlain)
+	}
+	// The day before is untouched, bit for bit.
+	before := holiday.AddDate(0, 0, -1).Add(11 * time.Hour)
+	if got, want := g.HourlyVolume(before), plain.HourlyVolume(before); got != want {
+		t.Errorf("volume on the eve of the extra holiday: %g, want unchanged %g", got, want)
+	}
+	gf, pf := g.FlowsForHour(before), plain.FlowsForHour(before)
+	if len(gf) != len(pf) {
+		t.Errorf("flow count on the eve changed: %d vs %d", len(gf), len(pf))
+	}
+}
+
+// TestPCGDeterminism pins the PCG fast path's contract: reproducible
+// streams per seed, decorrelated streams across seeds, and in-range
+// outputs.
+func TestPCGDeterminism(t *testing.T) {
+	a, b := newPCG(42), newPCG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("draw %d diverged for equal seeds", i)
+		}
+	}
+	c, d := newPCG(42), newPCG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c.next32() == d.next32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/1000 identical draws across adjacent seeds; splitmix64 seeding not decorrelating", same)
+	}
+	r := newPCG(7)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+		n := r.Intn(17)
+		if n < 0 || n >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", n)
+		}
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+	if r.Intn(1) != 0 {
+		t.Error("Intn(1) must be 0")
+	}
+}
+
+// TestSamplerVersionTwo verifies the PCG sampler path: it must be guarded
+// by a variant tag, keep flow counts and record validity identical to the
+// historic path (the count is RNG-free), produce a different — but
+// deterministic — stream, and stamp a distinct fingerprint.
+func TestSamplerVersionTwo(t *testing.T) {
+	cfg := DefaultConfig(ISPCE)
+	cfg.SamplerVersion = 2
+	if _, err := New(cfg); err == nil {
+		t.Error("sampler version 2 without a variant tag accepted")
+	}
+	cfg.Variant = "pcg"
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.SamplerVersion = 3
+	if _, err := New(bad); err == nil {
+		t.Error("unknown sampler version accepted")
+	}
+
+	plain := MustNewDefault(ISPCE)
+	probe := date(2020, 3, 25).Add(20 * time.Hour)
+	pcgFlows, oldFlows := g.FlowsForHour(probe), plain.FlowsForHour(probe)
+	if len(pcgFlows) != len(oldFlows) {
+		t.Fatalf("flow count depends on the sampler version: %d vs %d", len(pcgFlows), len(oldFlows))
+	}
+	differs := false
+	for i := range pcgFlows {
+		if err := pcgFlows[i].Validate(); err != nil {
+			t.Fatalf("invalid PCG-sampled record: %v", err)
+		}
+		if pcgFlows[i] != oldFlows[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("PCG sampler reproduced the math/rand stream exactly; version gate is not selecting it")
+	}
+	again, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerun := again.FlowsForHour(probe)
+	for i := range pcgFlows {
+		if pcgFlows[i] != rerun[i] {
+			t.Fatal("PCG sampling not deterministic")
+		}
+	}
+
+	if fp := g.Fingerprint(); fp == plain.Fingerprint() {
+		t.Error("variant config shares the default fingerprint")
+	} else if want := plain.Fingerprint() + "|variant=pcg"; fp != want {
+		t.Errorf("fingerprint = %q, want %q", fp, want)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// The sampler benchmarks measure one full ISP-CE hour (24 components, each
+// seeding a fresh generator) on both PRNG paths; the delta is the
+// per-component-hour reseeding cost the ROADMAP flags.
+func benchmarkSamplerHour(b *testing.B, version int, variant string) {
+	cfg := DefaultConfig(ISPCE)
+	cfg.SamplerVersion = version
+	cfg.Variant = variant
+	g, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := date(2020, 3, 25).Add(20 * time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FlowsForHourBatch(probe)
+	}
+}
+
+func BenchmarkSamplerHistoricHour(b *testing.B) { benchmarkSamplerHour(b, 0, "") }
+func BenchmarkSamplerPCGHour(b *testing.B)      { benchmarkSamplerHour(b, 2, "pcg") }

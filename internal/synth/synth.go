@@ -180,14 +180,15 @@ func (r Response) rampFraction(t time.Time) float64 {
 	}
 }
 
-// peakFor selects the applicable peak multiplier for the time of day and
-// day type of t.
-func (r Response) peakFor(t time.Time) float64 {
+// peakFor selects the applicable peak multiplier for the time of day,
+// given whether t counts as a weekend-like day. Callers that know extra
+// scenario holidays pass that knowledge in; At derives it from the
+// built-in calendar alone.
+func (r Response) peakFor(t time.Time, weekend bool) float64 {
 	peak := r.Peak
 	if peak == 0 {
 		peak = 1
 	}
-	weekend := calendar.IsWeekend(t) || calendar.IsHoliday(t)
 	if weekend {
 		if r.PeakWeekend != 0 {
 			return r.PeakWeekend
@@ -202,8 +203,15 @@ func (r Response) peakFor(t time.Time) float64 {
 
 // At returns the volume multiplier at time t.
 func (r Response) At(t time.Time) float64 {
+	return r.AtDay(t, calendar.IsWeekend(t) || calendar.IsHoliday(t))
+}
+
+// AtDay is At with the weekend-like classification of t supplied by the
+// caller, so scenario-declared extra holidays can steer the weekend peak
+// selection without the Response knowing about them.
+func (r Response) AtDay(t time.Time, weekend bool) float64 {
 	frac := r.rampFraction(t)
-	m := 1 + (r.peakFor(t)-1)*frac
+	m := 1 + (r.peakFor(t, weekend)-1)*frac
 	if r.Dip != 0 {
 		dipStart := calendar.ResolutionReduction.Add(r.Delay)
 		dipEnd := calendar.RelaxationEurope.Add(r.Delay)
@@ -298,6 +306,15 @@ type Component struct {
 	// addresses active per hour at baseline; it grows with the response
 	// multiplier (Figure 8 counts unique IPs).
 	EndpointPool int
+	// Waves are additional scenario lockdown waves layered on top of
+	// Resp; empty for the built-in model (see overlay.go).
+	Waves []Wave
+	// Mods are flat scenario modulations (flash events, link outages);
+	// empty for the built-in model.
+	Mods []Modulation
+	// Holidays are scenario-declared extra holidays treated as
+	// weekend-like days; nil for the built-in model.
+	Holidays *calendar.HolidaySet
 }
 
 // bytesPerHourAtBase converts BaseGbps into bytes per hour.
@@ -330,7 +347,7 @@ func noise(seed int64, name string, t time.Time) float64 {
 func (c Component) VolumeAt(t time.Time, seed int64) float64 {
 	t = t.UTC()
 	hour := t.Hour()
-	weekend := calendar.IsWeekend(t) || calendar.IsHoliday(t)
+	weekend := c.weekendLike(t)
 
 	// Diurnal shape.
 	var prof diurnal.Profile
@@ -361,7 +378,10 @@ func (c Component) VolumeAt(t time.Time, seed int64) float64 {
 	if weekend && c.WeekendResp != nil {
 		resp = *c.WeekendResp
 	}
-	mult := resp.At(t)
+	mult := resp.AtDay(t, weekend)
+	if len(c.Waves) != 0 || len(c.Mods) != 0 {
+		mult *= c.overlayMultiplier(t, resp.peakFor(t, weekend))
+	}
 
 	v := c.bytesPerHourAtBase() * shape * level * mult
 	v *= 1 + noise(seed, c.Name, t)
