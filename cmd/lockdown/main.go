@@ -39,6 +39,18 @@
 //	              Output is byte-identical at any chunk size
 //	-cpuprofile f write a pprof CPU profile of the command to f
 //	-memprofile f write a pprof heap profile (after the run) to f
+//	-metrics-addr a  serve live observability over HTTP at a for the life
+//	              of the command: /metrics is the Prometheus text
+//	              exposition of every lockdown_* instrument (engine, scan,
+//	              cache, flowstore, bridge, collector, cluster, chaos),
+//	              /debug/pprof/ the standard live profiler. ':0' picks a
+//	              free port and prints it to stderr
+//	-trace f      write a Chrome trace_event JSON trace of the run to f
+//	              (open in Perfetto or chrome://tracing): spans for every
+//	              experiment and scan chunk, cache spill/fault/regen,
+//	              bridge fetches and retries, pump restarts, rebalances
+//	              and injected faults. The per-experiment span durations
+//	              are the same clock as the _runtime/wall-ms metrics
 //	-cache-budget n  resident flow-batch cache cap (bytes, K/M/G suffixes;
 //	              0 = unlimited). Colder hours spill to mmap-backed columnar
 //	              segments and fault back in; output is byte-identical at
@@ -114,6 +126,7 @@ import (
 	"lockdown/internal/collector"
 	"lockdown/internal/core"
 	"lockdown/internal/faultinject"
+	"lockdown/internal/obs"
 	"lockdown/internal/replay"
 	"lockdown/internal/report"
 	"lockdown/internal/scenario"
@@ -123,11 +136,11 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   lockdown list
-  lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
-  lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
-  lockdown doc [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
-  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-unverified] [-attempt-timeout d] [-max-attempts n] [-fetch-budget d] [-allow-partial] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
-  lockdown cluster [-shards n] [-subprocess] [-max-restarts n] [-chaos spec] [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-attempt-timeout d] [-max-attempts n] [-fetch-budget d] [-allow-partial] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f]
+  lockdown run <experiment-id> [-csv|-json] [-scale f] [-seed n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f] [-metrics-addr a] [-trace f]
+  lockdown all [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f] [-metrics-addr a] [-trace f]
+  lockdown doc [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f] [-metrics-addr a] [-trace f]
+  lockdown replay [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-unverified] [-attempt-timeout d] [-max-attempts n] [-fetch-budget d] [-allow-partial] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f] [-metrics-addr a] [-trace f]
+  lockdown cluster [-shards n] [-subprocess] [-max-restarts n] [-chaos spec] [-format v5|v9|ipfix] [-addr host:port] [-pps f] [-attempt-timeout d] [-max-attempts n] [-fetch-budget d] [-allow-partial] [-csv|-json] [-scale f] [-seed n] [-parallel n] [-cache-budget n] [-cache-dir d] [-scan-chunk n] [-cpuprofile f] [-memprofile f] [-metrics-addr a] [-trace f]
   lockdown pump -data host:port [-format v5|v9|ipfix] [-ctrl host:port] [-shard i/n] [-scale f] [-seed n] [-pps f]
   lockdown scenario validate <file.yaml>
   lockdown scenario run <file.yaml> [same flags as all]
@@ -212,6 +225,8 @@ func run(ctx context.Context, args []string) error {
 		parallel := fs.Int("parallel", 0, "worker count for all/doc/replay/cluster (0 = GOMAXPROCS)")
 		cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+		metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (':0' picks a free port; empty = off)")
+		tracePath := fs.String("trace", "", "write a Chrome trace_event JSON trace of the run to this file (empty = off)")
 		cacheBudget := fs.String("cache-budget", "0", "resident flow-batch cache budget (bytes, K/M/G suffixes; 0 = unlimited, no spilling)")
 		cacheDir := fs.String("cache-dir", "", "directory for spilled flow-batch segments (default: OS temp dir)")
 		scanChunk := fs.Int("scan-chunk", 0, "grid items per intra-experiment scan chunk (0 = per-scan default; never changes results)")
@@ -304,11 +319,40 @@ func run(ctx context.Context, args []string) error {
 				}
 			}()
 		}
+		// Observability backends live for the whole command: the metrics
+		// server keeps serving scrapes while experiments run, and the
+		// trace file is finalised (the JSON array closed) on the way out,
+		// after the run's last span has ended.
+		var reg *obs.Registry
+		if *metricsAddr != "" {
+			reg = obs.NewRegistry()
+			srv, err := obs.Serve(*metricsAddr, reg)
+			if err != nil {
+				return fmt.Errorf("-metrics-addr: %w", err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (live pprof under /debug/pprof/)\n", srv.Addr())
+		}
+		var tracer *obs.Tracer
+		if *tracePath != "" {
+			tr, err := obs.Create(*tracePath)
+			if err != nil {
+				return fmt.Errorf("-trace: %w", err)
+			}
+			tracer = tr
+			defer func() {
+				if err := tracer.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "lockdown: trace:", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", tracer.Events(), *tracePath)
+			}()
+		}
 		budget, err := parseSize(*cacheBudget)
 		if err != nil {
 			return fmt.Errorf("-cache-budget: %w", err)
 		}
-		opts := core.Options{FlowScale: *scale, Seed: *seed, CacheBudget: budget, CacheDir: *cacheDir, ScanChunk: *scanChunk}
+		opts := core.Options{FlowScale: *scale, Seed: *seed, CacheBudget: budget, CacheDir: *cacheDir, ScanChunk: *scanChunk, Obs: reg, Tracer: tracer}
 		if args[0] == "scenario-run" {
 			s, err := scenario.Load(id)
 			if err != nil {
@@ -366,7 +410,7 @@ func run(ctx context.Context, args []string) error {
 			if err != nil {
 				return err
 			}
-			return emitSuite(results, engine.Data(), *csvOut, *jsonOut)
+			return emitSuite(results, engine.Data(), tracer, *csvOut, *jsonOut)
 		default: // doc
 			results, err := engine.RunAll(ctx, *parallel)
 			if err != nil {
@@ -438,15 +482,26 @@ func runReplay(ctx context.Context, opts core.Options, formatName, addr string, 
 	if err != nil {
 		return err
 	}
-	if err := emitSuite(results, engine.Data(), asCSV, asJSON); err != nil {
+	if err := emitSuite(results, engine.Data(), opts.Tracer, asCSV, asJSON); err != nil {
 		return err
 	}
 	bs, ps := br.Stats(), pump.Stats()
-	fmt.Fprintf(os.Stderr, "wire bridge: %d buckets, %d rows verified, %d retries, %d rows lost, %d orphan rows, %d decode errors, %d unverified\n",
-		bs.Keys, bs.Rows, bs.Retries, bs.LostRows, bs.OrphanRows, bs.DecodeErrors, bs.Unverified)
-	fmt.Fprintf(os.Stderr, "wire pump: %d requests, %d rows exported, %d nacks\n",
-		ps.Requests, ps.RowsSent, ps.Nacks)
-	return nil
+	return emitEvents(opts.Tracer, []obs.Event{
+		{Cat: "bridge", Msg: "wire bridge", Fields: []obs.Field{
+			obs.Fi("buckets", bs.Keys),
+			obs.Fi("rows verified", bs.Rows),
+			obs.Fi("retries", bs.Retries),
+			obs.Fi("rows lost", bs.LostRows),
+			obs.Fi("orphan rows", bs.OrphanRows),
+			obs.Fi("decode errors", bs.DecodeErrors),
+			obs.Fi("unverified", bs.Unverified),
+		}},
+		{Cat: "bridge", Msg: "wire pump", Fields: []obs.Field{
+			obs.Fi("requests", ps.Requests),
+			obs.Fi("rows exported", ps.RowsSent),
+			obs.Fi("nacks", ps.Nacks),
+		}},
+	})
 }
 
 // runCluster executes the full experiment suite over a sharded pump
@@ -514,41 +569,74 @@ func runCluster(ctx context.Context, opts core.Options, formatName, addr string,
 	if err != nil {
 		return err
 	}
-	if err := emitSuite(results, engine.Data(), asCSV, asJSON); err != nil {
+	if err := emitSuite(results, engine.Data(), opts.Tracer, asCSV, asJSON); err != nil {
 		return err
 	}
-	stats := c.Stats()
+	return emitEvents(opts.Tracer, clusterEvents(c.Stats()))
+}
+
+// clusterEvents converts a cluster stats snapshot into the per-run
+// summary events: aggregate bridge accounting, one indented detail per
+// shard, every rebalance, and the chaos relay totals when fault
+// injection was active.
+func clusterEvents(stats cluster.Stats) []obs.Event {
 	bs := stats.Bridge
-	fmt.Fprintf(os.Stderr, "wire bridge: %d buckets, %d rows verified, %d retries, %d rows lost, %d orphan rows, %d decode errors\n",
-		bs.Keys, bs.Rows, bs.Retries, bs.LostRows, bs.OrphanRows, bs.DecodeErrors)
+	events := []obs.Event{{Cat: "bridge", Msg: "wire bridge", Fields: []obs.Field{
+		obs.Fi("buckets", bs.Keys),
+		obs.Fi("rows verified", bs.Rows),
+		obs.Fi("retries", bs.Retries),
+		obs.Fi("rows lost", bs.LostRows),
+		obs.Fi("orphan rows", bs.OrphanRows),
+		obs.Fi("decode errors", bs.DecodeErrors),
+	}}}
 	for _, sh := range stats.Shards {
 		ss := stats.Streams[sh.Stream]
 		health := "healthy"
+		sev := obs.Info
 		switch {
 		case sh.Dead:
-			health = "DEAD"
+			health, sev = "DEAD", obs.Warn
 		case !sh.Healthy:
-			health = "DOWN"
+			health, sev = "DOWN", obs.Warn
 		}
-		fmt.Fprintf(os.Stderr, "  shard %d (%s, %d restarts): %d buckets, %d rows, %d retries, %d rows lost\n",
-			sh.Shard, health, sh.Restarts, ss.Keys, ss.Rows, ss.Retries, ss.LostRows)
+		events = append(events, obs.Event{Cat: "cluster", Sub: true, Severity: sev,
+			Msg: fmt.Sprintf("shard %d (%s, %d restarts)", sh.Shard, health, sh.Restarts),
+			Fields: []obs.Field{
+				obs.Fi("buckets", ss.Keys),
+				obs.Fi("rows", ss.Rows),
+				obs.Fi("retries", ss.Retries),
+				obs.Fi("rows lost", ss.LostRows),
+			}})
 	}
 	for _, ev := range stats.Rebalances {
-		fmt.Fprintf(os.Stderr, "  rebalance: shard %d (%s), %d vantage points moved\n",
-			ev.From, ev.Reason, len(ev.Moved))
+		events = append(events, obs.Event{Cat: "cluster", Sub: true, Severity: obs.Warn,
+			Msg: "rebalance", Fields: []obs.Field{
+				obs.F("", fmt.Sprintf("shard %d (%s)", ev.From, ev.Reason)),
+				obs.Fi("vantage points moved", int64(len(ev.Moved))),
+			}})
 	}
 	if cs := stats.Chaos; cs != nil {
-		fmt.Fprintf(os.Stderr, "  chaos relay: %d datagrams, %d dropped, %d duplicated, %d reordered, %d corrupted, %d stalled\n",
-			cs.Total.Seen, cs.Total.Dropped, cs.Total.Duplicated, cs.Total.Reordered, cs.Total.Corrupted, cs.Total.Stalled)
+		events = append(events, obs.Event{Cat: "chaos", Sub: true, Severity: obs.Warn,
+			Msg: "chaos relay", Fields: []obs.Field{
+				obs.Fi("datagrams", cs.Total.Seen),
+				obs.Fi("dropped", cs.Total.Dropped),
+				obs.Fi("duplicated", cs.Total.Duplicated),
+				obs.Fi("reordered", cs.Total.Reordered),
+				obs.Fi("corrupted", cs.Total.Corrupted),
+				obs.Fi("stalled", cs.Total.Stalled),
+			}})
 	}
-	return nil
+	return events
 }
 
 // emitSuite writes a full-suite run the way `all` and `replay` share it:
 // the results to stdout (text, CSV or JSON), then the timing summary and
 // dataset-cache stats to stderr — keeping the two commands' output
-// byte-identical by construction.
-func emitSuite(results []*core.Result, data *core.Dataset, asCSV, asJSON bool) error {
+// byte-identical by construction. The stderr accounting travels as
+// structured obs Events through one renderer (and into the trace when
+// one is active), so the terminal summary, the trace file and the
+// /metrics exposition are three views of the same counters.
+func emitSuite(results []*core.Result, data *core.Dataset, tracer *obs.Tracer, asCSV, asJSON bool) error {
 	if asJSON {
 		if err := report.WriteJSONAll(os.Stdout, results); err != nil {
 			return err
@@ -563,26 +651,52 @@ func emitSuite(results []*core.Result, data *core.Dataset, asCSV, asJSON bool) e
 	if err := report.WriteTimings(os.Stderr, results); err != nil {
 		return err
 	}
+	fmt.Fprintln(os.Stderr)
+	return emitEvents(tracer, suiteEvents(data))
+}
+
+// suiteEvents converts the dataset's cache accounting and degradation
+// state into the run summary events every suite command shares.
+func suiteEvents(data *core.Dataset) []obs.Event {
 	stats := data.Stats()
-	fmt.Fprintf(os.Stderr, "\ndataset cache: %d entries, %d hits, %d misses\n",
-		stats.Entries, stats.Hits, stats.Misses)
-	// Only runs with spill-tier activity print the tier line; unbudgeted
+	events := []obs.Event{{Cat: "cache", Msg: "dataset cache", Fields: []obs.Field{
+		obs.Fi("entries", int64(stats.Entries)),
+		obs.Fi("hits", stats.Hits),
+		obs.Fi("misses", stats.Misses),
+	}}}
+	// Only runs with spill-tier activity carry the tier event; unbudgeted
 	// runs always have resident batches and would emit noise otherwise.
 	if stats.Spills > 0 || stats.Faults > 0 || stats.SpilledBytes > 0 {
-		fmt.Fprintf(os.Stderr, "flow-batch tiers: %d spills, %d faults, %d regens, %.1f MB resident, %.1f MB spilled\n",
-			stats.Spills, stats.Faults, stats.Regens,
-			float64(stats.ResidentBytes)/(1<<20), float64(stats.SpilledBytes)/(1<<20))
+		events = append(events, obs.Event{Cat: "cache", Msg: "flow-batch tiers", Fields: []obs.Field{
+			obs.Fi("spills", stats.Spills),
+			obs.Fi("faults", stats.Faults),
+			obs.Fi("regens", stats.Regens),
+			obs.Ff("MB resident", float64(stats.ResidentBytes)/(1<<20)),
+			obs.Ff("MB spilled", float64(stats.SpilledBytes)/(1<<20)),
+		}})
 	}
 	// A degraded (allow-partial) run is stamped explicitly so its output
 	// is never mistaken for a complete one: every component-hour served
 	// as an empty stand-in batch is named.
 	if degraded := data.DegradedKeys(); len(degraded) > 0 {
-		fmt.Fprintf(os.Stderr, "\nDEGRADED RUN: %d component-hours missing (served as empty batches):\n", len(degraded))
+		events = append(events, obs.Event{Cat: "degraded", Severity: obs.Degraded,
+			Msg: "DEGRADED RUN", Fields: []obs.Field{
+				obs.Fi("component-hours missing (served as empty batches):", int64(len(degraded))),
+			}})
 		for _, k := range degraded {
-			fmt.Fprintf(os.Stderr, "  %s\n", k)
+			events = append(events, obs.Event{Cat: "degraded", Severity: obs.Degraded, Sub: true, Msg: k})
 		}
 	}
-	return nil
+	return events
+}
+
+// emitEvents renders run events to stderr and records each one as an
+// instant in the trace, so the two sinks cannot disagree.
+func emitEvents(tracer *obs.Tracer, events []obs.Event) error {
+	for _, ev := range events {
+		tracer.Emit(ev)
+	}
+	return report.WriteEvents(os.Stderr, events)
 }
 
 func emit(res *core.Result, asCSV, asJSON bool) error {

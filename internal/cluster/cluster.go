@@ -55,6 +55,7 @@ import (
 	"lockdown/internal/collector"
 	"lockdown/internal/core"
 	"lockdown/internal/faultinject"
+	"lockdown/internal/obs"
 	"lockdown/internal/replay"
 	"lockdown/internal/synth"
 )
@@ -311,6 +312,14 @@ type Cluster struct {
 	shards []*shard
 	epoch  time.Time // Start time; anchors the chaos schedule
 
+	// Supervisor instruments (standalone when Spec.Options.Obs is nil)
+	// and the run tracer; restarts, give-ups and rebalances show up both
+	// here and as per-shard HealthEvents / RebalanceEvents in Stats.
+	tracer      *obs.Tracer
+	restartsC   *obs.Counter
+	deadShardsC *obs.Counter
+	rebalancesC *obs.Counter
+
 	// The live partition; fetches route through it per attempt, so a
 	// rebalance re-targets even fetches already mid-retry.
 	partMu     sync.Mutex
@@ -334,7 +343,31 @@ func New(spec Spec) (*Cluster, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{spec: spec, part: spec.partition()}
+	reg := spec.Options.Obs
+	c := &Cluster{
+		spec:   spec,
+		part:   spec.partition(),
+		tracer: spec.Options.Tracer,
+		restartsC: reg.Counter("lockdown_cluster_restarts_total",
+			"Shard pumps restarted by the supervisor."),
+		deadShardsC: reg.Counter("lockdown_cluster_dead_shards_total",
+			"Shards declared dead after exhausting their restart budget."),
+		rebalancesC: reg.Counter("lockdown_cluster_rebalances_total",
+			"Dynamic re-partitions away from dead shards."),
+	}
+	reg.GaugeFunc("lockdown_cluster_healthy_shards",
+		"Shards currently marked healthy by the supervisor.",
+		func() float64 {
+			n := 0
+			for _, sh := range c.shards {
+				sh.mu.Lock()
+				if sh.healthy {
+					n++
+				}
+				sh.mu.Unlock()
+			}
+			return float64(n)
+		})
 	bridge, err := replay.NewBridge(replay.Config{
 		Format:         spec.Format,
 		ListenAddr:     spec.BridgeListen,
@@ -356,6 +389,8 @@ func New(spec Spec) (*Cluster, error) {
 			return nil, err
 		}
 		c.relay = relay
+		relay.Instrument(reg)
+		relay.SetTracer(c.tracer)
 	}
 	for i := 0; i < spec.shards(); i++ {
 		c.shards = append(c.shards, &shard{id: i})
@@ -612,11 +647,16 @@ func (c *Cluster) sleepRestartBackoff(restarts int) bool {
 // restart budget; it returns the restart count.
 func (c *Cluster) noteCrash(sh *shard, detail string) int {
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.healthy = false
 	sh.restarts++
 	sh.note("crash", detail)
-	return sh.restarts
+	restarts := sh.restarts
+	sh.mu.Unlock()
+	if c.tracer != nil {
+		c.tracer.Instant("shard-crash", "cluster",
+			map[string]any{"shard": sh.id, "detail": detail, "restarts": restarts})
+	}
+	return restarts
 }
 
 // giveUp declares a shard dead after its restart budget is exhausted
@@ -627,6 +667,11 @@ func (c *Cluster) giveUp(sh *shard) {
 	sh.healthy = false
 	sh.note("gave-up", fmt.Sprintf("restart budget (%d) exhausted", c.spec.maxRestarts()))
 	sh.mu.Unlock()
+	c.deadShardsC.Add(1)
+	if c.tracer != nil {
+		c.tracer.Instant("shard-gave-up", "cluster",
+			map[string]any{"shard": sh.id, "budget": c.spec.maxRestarts()})
+	}
 	fmt.Fprintf(os.Stderr, "cluster: shard %d exceeded %d restarts, giving up\n", sh.id, c.spec.maxRestarts())
 	c.repartition(sh, "restart budget exhausted")
 }
@@ -678,6 +723,11 @@ func (c *Cluster) repartition(from *shard, reason string) {
 			from.id, len(moved), len(targets))
 	}
 	c.rebalances = append(c.rebalances, ev)
+	c.rebalancesC.Add(1)
+	if c.tracer != nil {
+		c.tracer.Instant("rebalance", "cluster",
+			map[string]any{"from": from.id, "moved": len(moved), "reason": reason})
+	}
 }
 
 // superviseInProc owns one in-process shard's lifecycle: it runs the
@@ -720,6 +770,10 @@ func (c *Cluster) superviseInProc(sh *shard) {
 		sh.healthy = true
 		sh.note("restart", next.CtrlAddr())
 		sh.mu.Unlock()
+		c.restartsC.Add(1)
+		if c.tracer != nil {
+			c.tracer.Instant("shard-restart", "cluster", map[string]any{"shard": sh.id})
+		}
 		c.armKill(sh)
 		if err := c.bridge.ConnectStream(uint32(sh.id), next.CtrlAddr()); err != nil {
 			fmt.Fprintf(os.Stderr, "cluster: shard %d reconnect failed: %v\n", sh.id, err)
@@ -796,6 +850,10 @@ func (c *Cluster) supervise(sh *shard) {
 		addr := sh.addr
 		sh.note("restart", addr)
 		sh.mu.Unlock()
+		c.restartsC.Add(1)
+		if c.tracer != nil {
+			c.tracer.Instant("shard-restart", "cluster", map[string]any{"shard": sh.id})
+		}
 		if err := c.bridge.ConnectStream(uint32(sh.id), addr); err != nil {
 			fmt.Fprintf(os.Stderr, "cluster: shard %d reconnect failed: %v\n", sh.id, err)
 		}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lockdown/internal/collector"
+	"lockdown/internal/core"
+	"lockdown/internal/faultinject"
+	"lockdown/internal/obs"
+	"lockdown/internal/synth"
+)
+
+// TestStatsConsistentDuringChaos hammers Stats(), StreamStats() and the
+// Prometheus exposition while a chaos run drives the crash → restart →
+// give-up → rebalance path, pinning two properties under the race
+// detector: snapshotting never races the supervisor or a rebalance, and
+// every snapshot is internally consistent — each per-component block is
+// copied under that component's lock, so a reader can never observe a
+// torn RebalanceEvent, a half-updated ShardStatus, or relay counts
+// mid-increment.
+func TestStatsConsistentDuringChaos(t *testing.T) {
+	chaos, err := faultinject.ParseSpec("kill=shard1@t+100ms,drop=0.05,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	opts := core.Options{FlowScale: 0.05, Obs: reg}
+	c := newTestCluster(t, Spec{
+		Shards:         3,
+		Format:         collector.FormatIPFIX,
+		Options:        opts,
+		MaxRestarts:    1,
+		AttemptTimeout: time.Second,
+		FetchBudget:    30 * time.Second,
+		Chaos:          &chaos,
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := c.Stats()
+				// Shard statuses must be complete copies: a dead shard
+				// always carries its gave-up event, and the aggregate
+				// bridge stats are never less than any one stream's.
+				for _, sh := range s.Shards {
+					if sh.Dead && len(sh.History) == 0 {
+						t.Errorf("dead shard %d with empty history: torn status copy", sh.Shard)
+						return
+					}
+				}
+				for id, st := range s.Streams {
+					if st.Keys > s.Bridge.Keys {
+						t.Errorf("stream %d keys %d exceed aggregate %d", id, st.Keys, s.Bridge.Keys)
+						return
+					}
+				}
+				for _, ev := range s.Rebalances {
+					if ev.Moved == nil || ev.Time.IsZero() {
+						t.Errorf("torn rebalance event: %+v", ev)
+						return
+					}
+				}
+				if s.Chaos != nil && s.Chaos.Total.Seen < s.Chaos.Total.Dropped {
+					t.Errorf("chaos totals inconsistent: %+v", s.Chaos.Total)
+					return
+				}
+				c.Partition()
+			}
+		}()
+	}
+	// One reader scrapes the registry concurrently — the GaugeFunc
+	// snapshots walk the same shard locks the supervisor holds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var sink discardWriter
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := reg.WritePrometheus(sink); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+
+	stats := waitForDeadShard(t, c, 1, 15*time.Second)
+	// Exercise a post-rebalance fetch under the readers too.
+	part := c.Partition()
+	if part[synth.IXPCE] != 1 {
+		ref := core.NewSyntheticSource(core.Options{FlowScale: 0.05})
+		fetchEqual(t, c, ref, synth.IXPCE, testHour)
+	}
+	close(stop)
+	wg.Wait()
+
+	if !stats.Shards[1].Dead {
+		t.Fatalf("shard 1 not dead: %+v", stats.Shards[1])
+	}
+	if v := reg.Counter("lockdown_cluster_dead_shards_total", "").Value(); v < 1 {
+		t.Errorf("lockdown_cluster_dead_shards_total = %d, want >= 1", v)
+	}
+	if v := reg.Counter("lockdown_cluster_rebalances_total", "").Value(); v < 1 {
+		t.Errorf("lockdown_cluster_rebalances_total = %d, want >= 1", v)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

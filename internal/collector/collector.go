@@ -31,11 +31,13 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lockdown/internal/flowrec"
 	"lockdown/internal/ipfix"
 	"lockdown/internal/netflow"
+	"lockdown/internal/obs"
 )
 
 // Format selects the wire format of an exporter or collector.
@@ -150,8 +152,40 @@ type Collector struct {
 	v9  *netflow.V9Decoder
 	ipf *ipfix.Decoder
 
+	// metrics is nil until Instrument attaches a registry; the receive
+	// loop pays one pointer load and nil check per datagram either way.
+	metrics atomic.Pointer[colMetrics]
+
 	closeOnce sync.Once
 	done      chan struct{}
+}
+
+// colMetrics are the collector's registry instruments.
+type colMetrics struct {
+	datagrams *obs.Counter
+	bytes     *obs.Counter
+	ctrl      *obs.Counter
+	errors    *obs.Counter
+}
+
+// Instrument registers the collector's counters with reg (get-or-create,
+// so several collectors on one registry share the same totals) and starts
+// feeding them. nil reg detaches.
+func (c *Collector) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		c.metrics.Store(nil)
+		return
+	}
+	c.metrics.Store(&colMetrics{
+		datagrams: reg.Counter("lockdown_collector_datagrams_total",
+			"Export datagrams received on the collector socket."),
+		bytes: reg.Counter("lockdown_collector_bytes_total",
+			"Bytes received on the collector socket."),
+		ctrl: reg.Counter("lockdown_collector_control_frames_total",
+			"Replay control datagrams delivered on the control channel."),
+		errors: reg.Counter("lockdown_collector_errors_total",
+			"Receive and decode errors reported by the collector."),
+	})
 }
 
 // NewCollector opens a UDP listener on addr ("127.0.0.1:0" for an
@@ -288,6 +322,10 @@ func (c *Collector) Run(ctx context.Context) {
 			c.reportErr(err)
 			continue
 		}
+		if m := c.metrics.Load(); m != nil {
+			m.datagrams.Add(1)
+			m.bytes.Add(int64(n))
+		}
 		if n >= len(ControlMagic) && string(buf[:len(ControlMagic)]) == ControlMagic {
 			// Replay control packet: deliver a copy (the read buffer is
 			// reused) without decoding. Control packets are rare, so the
@@ -300,6 +338,9 @@ func (c *Collector) Run(ctx context.Context) {
 			// bridge re-requests the bucket.
 			select {
 			case c.ctrl <- append([]byte(nil), buf[:n]...):
+				if m := c.metrics.Load(); m != nil {
+					m.ctrl.Add(1)
+				}
 			default:
 			}
 			continue
@@ -383,6 +424,9 @@ func (c *Collector) decodeInto(b *flowrec.Batch, pkt []byte) error {
 }
 
 func (c *Collector) reportErr(err error) {
+	if m := c.metrics.Load(); m != nil {
+		m.errors.Add(1)
+	}
 	select {
 	case c.errs <- err:
 	default:

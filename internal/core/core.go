@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lockdown/internal/obs"
 	"lockdown/internal/synth"
 )
 
@@ -60,6 +61,17 @@ type Options struct {
 	// FlowScale and Seed options still apply on top of whatever it
 	// returns.
 	Model func(synth.VantagePoint) synth.Config
+	// Obs, if non-nil, is the metrics registry the run's subsystems
+	// register their instruments with (served at -metrics-addr). nil is
+	// fully supported: every subsystem still maintains the same atomic
+	// instruments standalone — CacheStats and friends read them either
+	// way — they are just not exported anywhere. Neither the registry
+	// nor the tracer ever changes a result: they only observe.
+	Obs *obs.Registry
+	// Tracer, if non-nil, records spans (experiments, scan chunks, cache
+	// spill/fault, bridge fetches) and events as Chrome trace_event JSON
+	// (the -trace flag). nil disables tracing at the cost of a nil check.
+	Tracer *obs.Tracer
 }
 
 func (o Options) flowScale() float64 {

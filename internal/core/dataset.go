@@ -13,6 +13,7 @@ import (
 	"lockdown/internal/calendar"
 	"lockdown/internal/flowrec"
 	"lockdown/internal/flowstore"
+	"lockdown/internal/obs"
 	"lockdown/internal/synth"
 	"lockdown/internal/timeseries"
 )
@@ -56,20 +57,26 @@ import (
 // mapped until Close), so an unpinned caller is never left with a
 // dangling view.
 type Dataset struct {
-	opts Options
-	src  FlowSource
+	opts   Options
+	src    FlowSource
+	tracer *obs.Tracer
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	// Cache instruments. These are the single source of truth for both
+	// CacheStats and the lockdown_cache_* metric families: Stats() reads
+	// the same counters a /metrics scrape does, so the stderr summary
+	// and the exposition can never disagree. With Options.Obs unset the
+	// counters are standalone atomics — same cost, nothing exported.
+	hits   *obs.Counter
+	misses *obs.Counter
 
 	// Spill tier (flow-batch entries only).
 	budget int64
-	spills atomic.Int64
-	faults atomic.Int64
-	regens atomic.Int64
+	spills *obs.Counter
+	faults *obs.Counter
+	regens *obs.Counter
 	pinned atomic.Int64 // entries with at least one live pin
 
 	lmu      sync.Mutex // guards the fields below; acquired after an entry's mu
@@ -125,16 +132,38 @@ func NewDataset(opts Options) *Dataset {
 // for the suite's determinism guarantees to hold; the replay bridge
 // verifies this per batch.
 func NewDatasetWithSource(opts Options, src FlowSource) *Dataset {
+	reg := opts.Obs
 	d := &Dataset{
 		opts:    opts,
+		tracer:  opts.Tracer,
 		entries: make(map[string]*cacheEntry),
 		budget:  opts.CacheBudget,
 		lru:     list.New(),
+		hits:    reg.Counter("lockdown_cache_hits_total", "Dataset cache key lookups that found an entry."),
+		misses:  reg.Counter("lockdown_cache_misses_total", "Dataset cache key lookups that installed a new entry."),
+		spills:  reg.Counter("lockdown_cache_spills_total", "Flow batches written to a columnar segment file on eviction."),
+		faults:  reg.Counter("lockdown_cache_faults_total", "Spilled flow batches mapped back in for an access."),
+		regens:  reg.Counter("lockdown_cache_regens_total", "Faults that found a damaged segment and rebuilt from the flow source."),
 	}
 	if src == nil {
 		src = datasetSource{d}
 	}
 	d.src = src
+	// Tier occupancy as scrape-time snapshots of the same fields Stats()
+	// copies. Registration is get-or-create by name, so with several
+	// datasets on one registry (tests) the first one's snapshot wins;
+	// the CLI runs exactly one dataset per process.
+	reg.GaugeFunc("lockdown_cache_entries", "Memoized dataset cache keys (generators, series, flow batches).",
+		func() float64 { return float64(d.Stats().Entries) })
+	reg.GaugeFunc("lockdown_cache_resident_bytes", "Estimated heap held by resident flow batches.",
+		func() float64 { return float64(d.Stats().ResidentBytes) })
+	reg.GaugeFunc("lockdown_cache_spilled_bytes", "Total size of live segment files on disk.",
+		func() float64 { return float64(d.Stats().SpilledBytes) })
+	reg.GaugeFunc("lockdown_cache_pinned", "Flow-batch entries currently pinned by a running experiment or scan chunk.",
+		func() float64 { return float64(d.Stats().Pinned) })
+	if reg != nil {
+		flowstore.Instrument(reg)
+	}
 	return d
 }
 
@@ -194,10 +223,14 @@ func (d *Dataset) getFlow(key string, pin *Pin, build func() (*flowrec.Batch, er
 func (d *Dataset) acquire(fe *flowEntry, pin *Pin) (*flowrec.Batch, error) {
 	fe.mu.Lock()
 	if fe.batch == nil {
+		sp := d.tracer.Start("cache-fault", "cache")
 		b, heap, err := d.faultIn(fe)
 		if err != nil {
 			fe.mu.Unlock()
 			return nil, err
+		}
+		if sp.Active() {
+			sp.EndArgs(map[string]any{"key": fe.key, "bytes": heap})
 		}
 		fe.batch, fe.heapBytes = b, heap
 		d.faults.Add(1)
@@ -249,6 +282,9 @@ func (d *Dataset) dropSegment(fe *flowEntry) {
 	os.Remove(fe.path)
 	fe.path = ""
 	d.regens.Add(1)
+	if d.tracer != nil {
+		d.tracer.Instant("cache-regen", "cache", map[string]any{"key": fe.key})
+	}
 	d.lmu.Lock()
 	d.spilled -= fe.segSize
 	d.lmu.Unlock()
@@ -337,9 +373,10 @@ func (d *Dataset) evict(fe *flowEntry) bool {
 		return true
 	}
 	if fe.path == "" {
+		sp := d.tracer.Start("cache-spill", "cache")
 		path, err := d.segmentPath()
+		var size int64
 		if err == nil {
-			var size int64
 			size, err = flowstore.Write(path, fe.batch)
 			if err == nil {
 				fe.path, fe.segSize = path, size
@@ -348,6 +385,9 @@ func (d *Dataset) evict(fe *flowEntry) bool {
 				d.spilled += size
 				d.lmu.Unlock()
 			}
+		}
+		if sp.Active() {
+			sp.EndArgs(map[string]any{"key": fe.key, "bytes": size})
 		}
 		if err != nil {
 			// Cannot spill (disk full, unwritable dir, zoned address):
@@ -465,11 +505,11 @@ func (d *Dataset) Stats() CacheStats {
 	d.lmu.Unlock()
 	return CacheStats{
 		Entries:       n,
-		Hits:          d.hits.Load(),
-		Misses:        d.misses.Load(),
-		Spills:        d.spills.Load(),
-		Faults:        d.faults.Load(),
-		Regens:        d.regens.Load(),
+		Hits:          d.hits.Value(),
+		Misses:        d.misses.Value(),
+		Spills:        d.spills.Value(),
+		Faults:        d.faults.Value(),
+		Regens:        d.regens.Value(),
 		ResidentBytes: res,
 		SpilledBytes:  sp,
 		Pinned:        int(d.pinned.Load()),

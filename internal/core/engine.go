@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lockdown/internal/flowrec"
+	"lockdown/internal/obs"
 	"lockdown/internal/synth"
 	"lockdown/internal/timeseries"
 )
@@ -166,12 +167,43 @@ type CacheStats struct {
 type Engine struct {
 	opts Options
 	data *Dataset
+	m    engineMetrics
+}
+
+// engineMetrics are the engine's registry instruments. They are created
+// from Options.Obs through the nil-safe registry, so they exist (as
+// standalone atomics) even without a metrics server; the `_runtime/*`
+// stamps and these instruments are fed from the same measurements.
+type engineMetrics struct {
+	experiments  *obs.Counter
+	failures     *obs.Counter
+	duration     *obs.Histogram
+	scanChunks   *obs.Counter
+	scanWorkers  *obs.Counter
+	scanPrefetch *obs.Counter
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	return engineMetrics{
+		experiments: reg.Counter("lockdown_experiments_total",
+			"Experiments completed successfully."),
+		failures: reg.Counter("lockdown_experiment_failures_total",
+			"Experiments that returned an error."),
+		duration: reg.Histogram("lockdown_experiment_seconds",
+			"Wall-clock duration of one experiment.", obs.DurationBuckets),
+		scanChunks: reg.Counter("lockdown_scan_chunks_total",
+			"Grid chunks processed by intra-experiment sharded scans."),
+		scanWorkers: reg.Counter("lockdown_scan_extra_workers_total",
+			"Extra workers sharded scans borrowed from the engine's budget."),
+		scanPrefetch: reg.Counter("lockdown_scan_prefetched_total",
+			"Chunks the scan read-ahead prefetcher warmed in time."),
+	}
 }
 
 // NewEngine returns an engine whose experiments share one dataset cache
 // built from opts.
 func NewEngine(opts Options) *Engine {
-	return &Engine{opts: opts, data: NewDataset(opts)}
+	return &Engine{opts: opts, data: NewDataset(opts), m: newEngineMetrics(opts.Obs)}
 }
 
 // NewEngineWithSource is NewEngine with the dataset's flow batches drawn
@@ -179,7 +211,7 @@ func NewEngine(opts Options) *Engine {
 // generator). The engine's determinism contract then rests on src
 // returning batches bit-identical to the generator at the same options.
 func NewEngineWithSource(opts Options, src FlowSource) *Engine {
-	return &Engine{opts: opts, data: NewDatasetWithSource(opts, src)}
+	return &Engine{opts: opts, data: NewDatasetWithSource(opts, src), m: newEngineMetrics(opts.Obs)}
 }
 
 // Options returns the options the engine was built with.
@@ -217,20 +249,42 @@ func (e *Engine) Run(ctx context.Context, id string) (*Result, error) {
 func (e *Engine) runTimed(ctx context.Context, exp Experiment, budget *workerBudget) (*Result, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	// The span is the wall-clock measurement: its End duration stamps
+	// MetricWallMS and feeds the duration histogram, so the timing table,
+	// -json output, /metrics and the trace file all report one number.
+	sp := e.opts.Tracer.Start("exp:"+exp.ID, "experiment")
 	env := &Env{Options: e.opts, Data: e.data, pin: e.data.NewPin(), ctx: ctx, budget: budget, scan: &scanStats{}}
 	defer env.pin.Release()
 	res, err := exp.Run(env)
 	if err != nil {
+		e.m.failures.Add(1)
+		if sp.Active() {
+			sp.EndArgs(map[string]any{"id": exp.ID, "error": err.Error()})
+		} else {
+			sp.End()
+		}
 		return nil, fmt.Errorf("core: experiment %s: %w", exp.ID, err)
 	}
-	wall := time.Since(start)
+	chunks := env.scan.chunks.Load()
+	extra := env.scan.extraWorkers.Load()
+	prefetched := env.scan.prefetched.Load()
+	var wall time.Duration
+	if sp.Active() {
+		wall = sp.EndArgs(map[string]any{"id": exp.ID, "scan_chunks": chunks})
+	} else {
+		wall = sp.End()
+	}
 	runtime.ReadMemStats(&after)
 	res.Metrics[MetricWallMS] = float64(wall) / float64(time.Millisecond)
 	res.Metrics[MetricAllocMB] = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
-	res.Metrics[MetricScanChunks] = float64(env.scan.chunks.Load())
-	res.Metrics[MetricScanWorkers] = float64(env.scan.extraWorkers.Load())
-	res.Metrics[MetricScanPrefetch] = float64(env.scan.prefetched.Load())
+	res.Metrics[MetricScanChunks] = float64(chunks)
+	res.Metrics[MetricScanWorkers] = float64(extra)
+	res.Metrics[MetricScanPrefetch] = float64(prefetched)
+	e.m.experiments.Add(1)
+	e.m.duration.Observe(wall.Seconds())
+	e.m.scanChunks.Add(chunks)
+	e.m.scanWorkers.Add(extra)
+	e.m.scanPrefetch.Add(prefetched)
 	return res, nil
 }
 
@@ -274,6 +328,13 @@ func (e *Engine) RunMany(ctx context.Context, ids []string, parallel int) ([]*Re
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+
+	suite := e.opts.Tracer.Start("suite", "engine")
+	defer func() {
+		if suite.Active() {
+			suite.EndArgs(map[string]any{"experiments": len(exps), "parallel": parallel})
+		}
+	}()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()

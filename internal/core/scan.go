@@ -179,9 +179,15 @@ func ShardedScan[T any](env *Env, n int, opts ScanOptions, scan func(env *Env, l
 			if hi > n {
 				hi = n
 			}
+			// Chunks run concurrently, so each gets a root span (its own
+			// lane) rather than a child of the experiment span.
+			sp := env.Tracer.Start("scan-chunk", "scan")
 			cenv := env.chunkEnv()
 			part, err := scan(cenv, lo, hi)
 			cenv.pin.Release()
+			if sp.Active() {
+				sp.EndArgs(map[string]any{"lo": lo, "hi": hi})
+			}
 			if err != nil {
 				fail(err)
 				return
@@ -280,6 +286,9 @@ func prefetchChunks(env *Env, n, c, chunks, workers int, prefetch func(*Env, int
 		cenv.pin.Release()
 		if env.scan != nil {
 			env.scan.prefetched.Add(1)
+		}
+		if env.Tracer != nil {
+			env.Tracer.Instant("scan-prefetch", "scan", map[string]any{"lo": lo, "hi": hi})
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lockdown/internal/collector"
+	"lockdown/internal/obs"
 	"lockdown/internal/replay"
 )
 
@@ -59,6 +60,7 @@ type Relay struct {
 	mu      sync.Mutex
 	epoch   time.Time
 	streams map[uint32]*streamState
+	tracer  *obs.Tracer // fault instants (nil = no tracing); see SetTracer
 
 	delayCh chan delayedPkt
 	done    chan struct{}
@@ -195,12 +197,16 @@ func (r *Relay) process(pkt []byte) {
 		r.streams[stream] = st
 	}
 	st.counts.Seen++
+	tr := r.tracer
 	if !r.epoch.IsZero() && r.spec.stalled(int(stream), time.Since(r.epoch)) {
 		st.counts.Stalled++
 		st.n++
 		held := st.held
 		st.held = nil
 		r.mu.Unlock()
+		if tr != nil {
+			tr.Instant("fault-stall", "chaos", map[string]any{"stream": stream})
+		}
 		if held != nil {
 			r.send(held)
 		}
@@ -212,17 +218,21 @@ func (r *Relay) process(pkt []byte) {
 	// One fault per datagram: the draw lands in at most one interval.
 	var out [][]byte // datagrams to put on the wire now, in order
 	hold := false
+	fault := ""
 	switch {
 	case u < r.spec.Drop:
 		st.counts.Dropped++
+		fault = "fault-drop"
 	case u < r.spec.Drop+r.spec.Dup:
 		st.counts.Duplicated++
+		fault = "fault-dup"
 		out = append(out, pkt, pkt)
 	case u < r.spec.Drop+r.spec.Dup+r.spec.Reorder:
 		if st.held == nil {
 			// Hold this datagram; it is released after the stream's next
 			// datagram (or by the flush timer if none follows).
 			st.counts.Reordered++
+			fault = "fault-reorder"
 			st.held = pkt
 			hold = true
 			time.AfterFunc(holdFlush, func() { r.flushHeld(stream, pkt) })
@@ -231,6 +241,7 @@ func (r *Relay) process(pkt []byte) {
 		}
 	case u < r.spec.Drop+r.spec.Dup+r.spec.Reorder+r.spec.Corrupt:
 		st.counts.Corrupted++
+		fault = "fault-corrupt"
 		out = append(out, r.corrupt(stream, st.n, pkt))
 	default:
 		out = append(out, pkt)
@@ -246,6 +257,9 @@ func (r *Relay) process(pkt []byte) {
 	}
 	r.mu.Unlock()
 
+	if tr != nil && fault != "" {
+		tr.Instant(fault, "chaos", map[string]any{"stream": stream})
+	}
 	for _, p := range out {
 		r.send(p)
 	}

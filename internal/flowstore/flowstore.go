@@ -192,6 +192,9 @@ func Write(path string, b *flowrec.Batch) (int64, error) {
 		os.Remove(tmp)
 		return 0, fmt.Errorf("flowstore: %w", err)
 	}
+	if m := metricsPtr.Load(); m != nil {
+		m.wrote(int64(size))
+	}
 	return int64(size), nil
 }
 
@@ -212,6 +215,18 @@ type Segment struct {
 // returns an error here; a non-nil Segment always serves exactly the rows
 // that were written.
 func Open(path string) (*Segment, error) {
+	s, err := openSegment(path)
+	if m := metricsPtr.Load(); m != nil {
+		if err != nil {
+			m.openFails.Add(1)
+		} else {
+			m.opens.Add(1)
+		}
+	}
+	return s, err
+}
+
+func openSegment(path string) (*Segment, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("flowstore: %w", err)

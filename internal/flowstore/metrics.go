@@ -1,0 +1,46 @@
+package flowstore
+
+import (
+	"sync/atomic"
+
+	"lockdown/internal/obs"
+)
+
+// The store's instruments are package-level because Write and Open are
+// package functions (the dataset cache calls them with bare paths). They
+// live behind one atomic pointer so the uninstrumented hot path — every
+// spill and fault under a cache budget — pays a single pointer load and
+// nil check, and Instrument can be called at any time, including while
+// segments are being written.
+type storeMetrics struct {
+	writes     *obs.Counter
+	writeBytes *obs.Counter
+	opens      *obs.Counter
+	openFails  *obs.Counter
+}
+
+var metricsPtr atomic.Pointer[storeMetrics]
+
+// Instrument registers the store's counters with reg and starts feeding
+// them. Passing nil detaches the previous registry.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		metricsPtr.Store(nil)
+		return
+	}
+	metricsPtr.Store(&storeMetrics{
+		writes: reg.Counter("lockdown_flowstore_writes_total",
+			"Segment files written (cache spills)."),
+		writeBytes: reg.Counter("lockdown_flowstore_write_bytes_total",
+			"Total bytes of segment files written."),
+		opens: reg.Counter("lockdown_flowstore_opens_total",
+			"Segment files opened and verified (cache faults)."),
+		openFails: reg.Counter("lockdown_flowstore_open_failures_total",
+			"Segment opens rejected by validation (truncation, bad checksums)."),
+	})
+}
+
+func (m *storeMetrics) wrote(size int64) {
+	m.writes.Add(1)
+	m.writeBytes.Add(size)
+}

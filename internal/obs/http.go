@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Server serves a registry's metrics (and live pprof) over HTTP: the
+// `-metrics-addr` backend. Endpoints:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/pprof/  the standard net/http/pprof index (profile, heap,
+//	               goroutine, trace, ...), so live profiling complements
+//	               the file-based -cpuprofile/-memprofile flags
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" picks a free port; Addr reports the result) and
+// serves the registry in a background goroutine until Close. It also
+// registers the process-level self-metrics every lockdown command shares
+// (goroutines, uptime) so a scrape is never empty.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	start := time.Now()
+	reg.GaugeFunc("lockdown_goroutines", "Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.CounterFunc("lockdown_uptime_seconds", "Seconds since the metrics server started.",
+		func() float64 { return time.Since(start).Seconds() })
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

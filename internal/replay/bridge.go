@@ -8,12 +8,12 @@ import (
 	"net"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"lockdown/internal/collector"
 	"lockdown/internal/core"
 	"lockdown/internal/flowrec"
+	"lockdown/internal/obs"
 	"lockdown/internal/synth"
 )
 
@@ -147,22 +147,48 @@ type stream struct {
 	ctrl chan ctrlFrame
 	data chan *flowrec.Batch
 
-	keys        atomic.Int64
-	rows        atomic.Int64
-	retries     atomic.Int64
-	lostRows    atomic.Int64
-	orphanRows  atomic.Int64
-	inboxDrops  atomic.Int64
-	staleFrames atomic.Int64
-	unverified  atomic.Int64
-	degraded    atomic.Int64
+	// The accounting instruments come from the bridge's registry (nil is
+	// fine: the nil-safe registry hands out standalone counters), labelled
+	// by stream id so /metrics exposes the same per-stream breakdown as
+	// StreamStats.
+	keys        *obs.Counter
+	rows        *obs.Counter
+	retries     *obs.Counter
+	lostRows    *obs.Counter
+	orphanRows  *obs.Counter
+	inboxDrops  *obs.Counter
+	staleFrames *obs.Counter
+	unverified  *obs.Counter
+	degraded    *obs.Counter
 }
 
-func newStream(id uint32) *stream {
+func newStream(id uint32, reg *obs.Registry) *stream {
+	lv := fmt.Sprintf("%d", id)
+	vec := func(name, help string) *obs.Counter {
+		return reg.CounterVec(name, help, "stream").With(lv)
+	}
 	return &stream{
 		id:   id,
 		ctrl: make(chan ctrlFrame, ctrlInbox),
 		data: make(chan *flowrec.Batch, dataInbox),
+		keys: vec("lockdown_bridge_keys_total",
+			"Buckets fetched successfully off the wire."),
+		rows: vec("lockdown_bridge_rows_total",
+			"Rows served to the engine."),
+		retries: vec("lockdown_bridge_retries_total",
+			"Buckets re-requested after loss, timeout or overrun."),
+		lostRows: vec("lockdown_bridge_lost_rows_total",
+			"Rows missing from abandoned fetch attempts."),
+		orphanRows: vec("lockdown_bridge_orphan_rows_total",
+			"Rows received outside any accepted bucket."),
+		inboxDrops: vec("lockdown_bridge_inbox_drops_total",
+			"Rows dropped at a full stream inbox (stalled consumer)."),
+		staleFrames: vec("lockdown_bridge_stale_frames_total",
+			"Control frames of an abandoned generation or a full inbox."),
+		unverified: vec("lockdown_bridge_unverified_total",
+			"Buckets served without full verification (capture mode)."),
+		degraded: vec("lockdown_bridge_degraded_total",
+			"Buckets served as explicitly-missing empty batches."),
 	}
 }
 
@@ -180,15 +206,15 @@ func (st *stream) request(pkt []byte) error {
 
 func (st *stream) stats() Stats {
 	return Stats{
-		Keys:            st.keys.Load(),
-		Rows:            st.rows.Load(),
-		Retries:         st.retries.Load(),
-		LostRows:        st.lostRows.Load(),
-		OrphanRows:      st.orphanRows.Load(),
-		InboxDrops:      st.inboxDrops.Load(),
-		StaleFrames:     st.staleFrames.Load(),
-		Unverified:      st.unverified.Load(),
-		DegradedStreams: st.degraded.Load(),
+		Keys:            st.keys.Value(),
+		Rows:            st.rows.Value(),
+		Retries:         st.retries.Value(),
+		LostRows:        st.lostRows.Value(),
+		OrphanRows:      st.orphanRows.Value(),
+		InboxDrops:      st.inboxDrops.Value(),
+		StaleFrames:     st.staleFrames.Value(),
+		Unverified:      st.unverified.Value(),
+		DegradedStreams: st.degraded.Value(),
 	}
 }
 
@@ -210,9 +236,10 @@ func (st *stream) stats() Stats {
 // per-key sync.Once already collapses duplicate requests); with K
 // connected streams, K buckets stream concurrently.
 type Bridge struct {
-	cfg Config
-	src *core.SyntheticSource
-	col *collector.Collector
+	cfg    Config
+	src    *core.SyntheticSource
+	col    *collector.Collector
+	tracer *obs.Tracer
 
 	mu      sync.Mutex
 	streams map[uint32]*stream
@@ -220,10 +247,10 @@ type Bridge struct {
 
 	// Traffic attributable to no registered stream, plus collector-level
 	// accounting.
-	badFrames    atomic.Int64
-	staleFrames  atomic.Int64
-	orphanRows   atomic.Int64
-	decodeErrors atomic.Int64
+	badFrames    *obs.Counter
+	staleFrames  *obs.Counter
+	orphanRows   *obs.Counter
+	decodeErrors *obs.Counter
 
 	// Keys served as explicitly-missing empty batches (AllowPartial).
 	degradedMu   sync.Mutex
@@ -253,10 +280,21 @@ func NewBridge(cfg Config) (*Bridge, error) {
 		return nil, err
 	}
 	col.SetReadBuffer(cfg.ReadBuffer) // best effort; loss is detected and retried anyway
+	reg := cfg.Options.Obs
+	col.Instrument(reg)
 	return &Bridge{
-		cfg:     cfg,
-		src:     core.NewSyntheticSource(cfg.Options),
-		col:     col,
+		cfg:    cfg,
+		src:    core.NewSyntheticSource(cfg.Options),
+		col:    col,
+		tracer: cfg.Options.Tracer,
+		badFrames: reg.Counter("lockdown_bridge_bad_frames_total",
+			"Control frames that failed to parse."),
+		staleFrames: reg.CounterVec("lockdown_bridge_stale_frames_total",
+			"Control frames of an abandoned generation or a full inbox.", "stream").With("none"),
+		orphanRows: reg.CounterVec("lockdown_bridge_orphan_rows_total",
+			"Rows received outside any accepted bucket.", "stream").With("none"),
+		decodeErrors: reg.Counter("lockdown_bridge_decode_errors_total",
+			"Malformed flow packets reported by the collector."),
 		streams: make(map[uint32]*stream),
 	}, nil
 }
@@ -290,7 +328,7 @@ func (b *Bridge) ConnectStream(id uint32, addr string) error {
 	}
 	st, ok := b.streams[id]
 	if !ok {
-		st = newStream(id)
+		st = newStream(id, b.cfg.Options.Obs)
 		b.streams[id] = st
 	}
 	b.mu.Unlock()
@@ -411,10 +449,10 @@ func (b *Bridge) Close() error {
 // streams plus traffic attributable to none.
 func (b *Bridge) Stats() Stats {
 	s := Stats{
-		OrphanRows:   b.orphanRows.Load(),
-		StaleFrames:  b.staleFrames.Load(),
-		BadFrames:    b.badFrames.Load(),
-		DecodeErrors: b.decodeErrors.Load(),
+		OrphanRows:   b.orphanRows.Value(),
+		StaleFrames:  b.staleFrames.Value(),
+		BadFrames:    b.badFrames.Value(),
+		DecodeErrors: b.decodeErrors.Value(),
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -511,6 +549,21 @@ func (b *Bridge) backoff(attempts int, deadline time.Time) {
 // exhausted budget degrades to an explicitly-accounted empty batch
 // instead of an error.
 func (b *Bridge) fetch(k Key) (*flowrec.Batch, error) {
+	sp := b.tracer.Start("fetch", "bridge")
+	got, err := b.fetchKey(k)
+	if sp.Active() {
+		args := map[string]any{"key": k.String()}
+		if err != nil {
+			args["error"] = err.Error()
+		} else {
+			args["rows"] = got.Len()
+		}
+		sp.EndArgs(args)
+	}
+	return got, err
+}
+
+func (b *Bridge) fetchKey(k Key) (*flowrec.Batch, error) {
 	k.Hour = k.Hour.UTC().Truncate(time.Hour)
 	// Build the reference before taking the stream's fetch lock so
 	// reference generation of one key overlaps the wire wait of another.
@@ -599,6 +652,10 @@ func (b *Bridge) fetchFromStream(st *stream, k Key, ref *flowrec.Batch, expected
 				return nil, lastErr
 			}
 			st.retries.Add(1)
+			if b.tracer != nil {
+				b.tracer.Instant("fetch-retry", "bridge",
+					map[string]any{"key": k.String(), "stream": st.id, "attempt": *attempts})
+			}
 			b.backoff(*attempts, deadline)
 			// Flush leftovers of the failed attempt (late data, its END
 			// frame) so the retry starts from a quiescent stream.

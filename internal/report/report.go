@@ -242,6 +242,17 @@ func WriteExperimentsDoc(w io.Writer, rs []*core.Result) error {
 	fmt.Fprintln(w, "and in grid order (see docs/ARCHITECTURE.md, \"Intra-experiment")
 	fmt.Fprintln(w, "sharding\").")
 	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Every command is observable while it runs: `-metrics-addr :0` serves")
+	fmt.Fprintln(w, "a Prometheus `/metrics` exposition of all `lockdown_*` instrument")
+	fmt.Fprintln(w, "families (experiments, scan chunks, cache tiers, flowstore I/O,")
+	fmt.Fprintln(w, "per-stream bridge accounting, cluster health, chaos faults) plus live")
+	fmt.Fprintln(w, "pprof, and `-trace out.json` records a Chrome trace_event timeline —")
+	fmt.Fprintln(w, "experiment and scan-chunk spans, cache spills/faults, bridge fetches")
+	fmt.Fprintln(w, "and retries, shard restarts and rebalances — whose per-experiment")
+	fmt.Fprintln(w, "span durations share the clock of the `_runtime/wall-ms` stamps.")
+	fmt.Fprintln(w, "Neither flag changes a metric, and both cost zero when off (see")
+	fmt.Fprintln(w, "docs/ARCHITECTURE.md, \"Observability\").")
+	fmt.Fprintln(w)
 	fmt.Fprintln(w, "The traffic model itself is declarative: `lockdown scenario run")
 	fmt.Fprintln(w, "<file.yaml>` executes this same suite on a YAML-declared what-if")
 	fmt.Fprintln(w, "timeline — shifted or repeated lockdown waves, extra holidays, flash")
