@@ -126,6 +126,7 @@ import (
 	"lockdown/internal/collector"
 	"lockdown/internal/core"
 	"lockdown/internal/faultinject"
+	"lockdown/internal/flowstore"
 	"lockdown/internal/obs"
 	"lockdown/internal/replay"
 	"lockdown/internal/report"
@@ -145,6 +146,8 @@ func usage() {
   lockdown scenario validate <file.yaml>
   lockdown scenario run <file.yaml> [same flags as all]
   lockdown scenario doc
+  lockdown cache stat <dir>
+  lockdown cache compact <dir>
 
 experiments:
 `)
@@ -215,6 +218,49 @@ func run(ctx context.Context, args []string) error {
 			return run(ctx, append([]string{"scenario-run", args[2]}, args[3:]...))
 		default:
 			return fmt.Errorf("unknown scenario subcommand %q (want validate, run or doc)", args[1])
+		}
+	case "cache":
+		// Operator tooling for a persistent -cache-dir: inspect segment
+		// and spanned-file integrity, or merge idle segments the way the
+		// dataset's online compaction would.
+		if len(args) != 3 {
+			return fmt.Errorf("usage: lockdown cache stat|compact <dir>")
+		}
+		dir := args[2]
+		switch args[1] {
+		case "stat":
+			st, err := flowstore.StatDir(dir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("segments: %d intact (%.1f MB), %d damaged\n",
+				st.Segments, float64(st.SegmentBytes)/(1<<20), st.SegmentsBad)
+			fmt.Printf("spanned:  %d intact (%.1f MB, %d spans, %d damaged spans), %d damaged files\n",
+				st.SpannedFiles, float64(st.SpannedBytes)/(1<<20), st.Spans, st.SpansBad, st.SpannedBad)
+			for _, f := range st.BadFiles {
+				fmt.Printf("damaged: %s\n", f)
+			}
+			if len(st.BadFiles) > 0 {
+				return fmt.Errorf("%d damaged files", len(st.BadFiles))
+			}
+			return nil
+		case "compact":
+			cr, err := flowstore.CompactDir(dir)
+			if err != nil {
+				return err
+			}
+			if cr == nil {
+				fmt.Println("no segment files to compact")
+				return nil
+			}
+			fmt.Printf("compacted %d segments into %s (%.1f MB)\n",
+				cr.Spans, cr.Output, float64(cr.Size)/(1<<20))
+			for _, s := range cr.Skipped {
+				fmt.Printf("skipped (damaged, left in place): %s\n", s)
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown cache subcommand %q (want stat or compact)", args[1])
 		}
 	case "run", "all", "doc", "replay", "cluster", "scenario-run":
 		fs := flag.NewFlagSet(args[0], flag.ContinueOnError)

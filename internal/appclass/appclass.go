@@ -15,6 +15,7 @@ import (
 
 	"lockdown/internal/asdb"
 	"lockdown/internal/flowrec"
+	"lockdown/internal/simd"
 )
 
 // Class is one of the paper's application classes (Table 1).
@@ -99,6 +100,10 @@ type Classifier struct {
 	// so the batch scan loops index a slice instead of hashing a map key
 	// per row per class.
 	ordFilters [][]Filter
+	// prog is the filter inventory compiled to the bitmask evaluator in
+	// kernels.go; classifyIdx and the batch scans run on it, with the
+	// nested-loop classifyIdxRef kept as the semantic reference.
+	prog *program
 }
 
 func tcp(p uint16) flowrec.PortProto { return flowrec.PortProto{Proto: flowrec.ProtoTCP, Port: p} }
@@ -213,15 +218,23 @@ func NewDefault(reg *asdb.Registry) *Classifier {
 	for k, cls := range c.order {
 		c.ordFilters[k] = c.filters[cls]
 	}
+	c.prog = compileProgram(c.order, c.ordFilters)
 	return c
 }
 
 // classifyIdx attributes one flow, given the three values classification
 // depends on, and returns the matched class's index in evaluation order —
-// len(order) for unclassified. The scan loops accumulate into dense
-// arrays under this index; the server port is computed once per flow (the
-// record path used to recompute it per filter).
+// len(order) for unclassified. It runs on the compiled bitmask program;
+// classifyIdxRef below is the nested first-match loop it replaced, kept
+// as the semantic reference for the equivalence tests and the in-package
+// A/B benchmark.
 func (c *Classifier) classifyIdx(srcAS, dstAS uint32, sp flowrec.PortProto) int {
+	return int(c.prog.laneOf(srcAS, dstAS, sp))
+}
+
+// classifyIdxRef is the pre-kernel classifier: scan the filters in
+// evaluation order, return the first match.
+func (c *Classifier) classifyIdxRef(srcAS, dstAS uint32, sp flowrec.PortProto) int {
 	for k, fs := range c.ordFilters {
 		for _, f := range fs {
 			if f.matches(srcAS, dstAS, sp) {
@@ -319,19 +332,15 @@ func (c *Classifier) VolumeByClassBatch(b *flowrec.Batch) map[Class]float64 {
 // a key if and only if a row classified into it, even at volume zero.
 func (c *Classifier) VolumeByClassInto(sums map[Class]float64, b *flowrec.Batch) {
 	n := len(c.order)
-	var acc [maxClasses + 1]float64
-	var touched [maxClasses + 1]bool
-	for i := 0; i < b.Len(); i++ {
-		k := c.classifyIdx(b.SrcAS[i], b.DstAS[i], b.ServerPortAt(i))
-		acc[k] += float64(b.Bytes[i])
-		touched[k] = true
-	}
+	var acc [simd.Lanes]float64
+	var cnt [simd.Lanes]uint64
+	c.accumulateLanes(b, nil, &acc, &cnt)
 	for k := 0; k < n; k++ {
-		if touched[k] {
+		if cnt[k] > 0 {
 			sums[c.order[k]] += acc[k]
 		}
 	}
-	if touched[n] {
+	if cnt[n] > 0 {
 		sums[Unclassified] += acc[n]
 	}
 }
@@ -345,19 +354,15 @@ func (c *Classifier) VolumeByClassInto(sums map[Class]float64, b *flowrec.Batch)
 // same key semantics as the float variant.
 func (c *Classifier) VolumeByClassIntoUint64(sums map[Class]uint64, b *flowrec.Batch) {
 	n := len(c.order)
-	var acc [maxClasses + 1]uint64
-	var touched [maxClasses + 1]bool
-	for i := 0; i < b.Len(); i++ {
-		k := c.classifyIdx(b.SrcAS[i], b.DstAS[i], b.ServerPortAt(i))
-		acc[k] += b.Bytes[i]
-		touched[k] = true
-	}
+	var acc [simd.Lanes]uint64
+	var cnt [simd.Lanes]uint64
+	c.accumulateLanes(b, &acc, nil, &cnt)
 	for k := 0; k < n; k++ {
-		if touched[k] {
+		if cnt[k] > 0 {
 			sums[c.order[k]] += acc[k]
 		}
 	}
-	if touched[n] {
+	if cnt[n] > 0 {
 		sums[Unclassified] += acc[n]
 	}
 }

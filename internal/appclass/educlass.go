@@ -1,7 +1,10 @@
 package appclass
 
 import (
+	"sync"
+
 	"lockdown/internal/flowrec"
+	"lockdown/internal/simd"
 )
 
 // EDUClass is one of the educational-network traffic classes of Appendix B.
@@ -110,16 +113,81 @@ func CountEDUByClassDir(recs []flowrec.Record) map[EDUClass]map[flowrec.Directio
 	return out
 }
 
+// eduLaneOrder fixes a lane index per Appendix B class for the dense
+// count kernel; eduLaneSpotify/eduLaneOther must stay aligned with it.
+var eduLaneOrder = []EDUClass{
+	EDUWeb, EDUQUIC, EDUPush, EDUEmail, EDUVPN, EDUSSH, EDURemoteDesktop, EDUSpotify, EDUOther,
+}
+
+const (
+	eduLaneSpotify = 7
+	eduLaneOther   = 8
+	// eduLaneMiss marks rows whose server port is in no Appendix B list;
+	// the fixup pass resolves them to Spotify or Other by AS.
+	eduLaneMiss = 9
+)
+
+// eduLanes compiles eduPortClasses into a port-lane table once. GRE and
+// ESP entries carry Port 0 in the map, which is exactly the masked
+// server port the scan produces for them.
+var eduLanes = sync.OnceValue(func() *flowrec.PortLanes {
+	laneOf := make(map[EDUClass]uint8, len(eduLaneOrder))
+	for k, cls := range eduLaneOrder {
+		laneOf[cls] = uint8(k)
+	}
+	t := flowrec.NewPortLanes(eduLaneMiss)
+	for pp, cls := range eduPortClasses {
+		t.Set(pp, laneOf[cls])
+	}
+	return t
+})
+
 // CountEDUByClassDirBatch counts connections (rows) per class and
 // direction over a columnar batch, without materialising records.
+//
+// The scan is the tiled kernel pattern: a bulk port-lane pass, a
+// branchless fixup resolving port-less rows to Spotify or Other by AS,
+// then a paired scatter count over (class lane, direction byte). Counts
+// are integers, so accumulation order cannot matter; a (class,
+// direction) map key exists iff its count is non-zero — exactly the
+// rows-seen semantics of the per-row map writes this replaces. The
+// direction lane deliberately spans the full byte so rows carrying an
+// out-of-range Dir value land under their own key, as they always did.
 func CountEDUByClassDirBatch(b *flowrec.Batch) map[EDUClass]map[flowrec.Direction]int {
-	out := make(map[EDUClass]map[flowrec.Direction]int)
-	for i := 0; i < b.Len(); i++ {
-		cls := ClassifyEDUAt(b, i)
-		if out[cls] == nil {
-			out[cls] = make(map[flowrec.Direction]int)
+	tab := eduLanes()
+	var acc [simd.PairLanes]uint64
+	var lanes, dirs [simd.Tile]uint8
+	n := b.Len()
+	for lo := 0; lo < n; lo += simd.Tile {
+		hi := min(lo+simd.Tile, n)
+		b.ServerPortLanes(tab, lo, hi, lanes[:hi-lo])
+		srcAS := b.SrcAS[lo:hi]
+		dstAS := b.DstAS[lo:hi]
+		dstAS = dstAS[:len(srcAS)]
+		tl := lanes[:len(srcAS)]
+		for i, s := range srcAS {
+			spotify := s == spotifyASN || dstAS[i] == spotifyASN
+			resolved := simd.Select8(spotify, eduLaneSpotify, eduLaneOther)
+			tl[i] = simd.Select8(tl[i] == eduLaneMiss, resolved, tl[i])
 		}
-		out[cls][b.Dir[i]]++
+		dcol := b.Dir[lo:hi]
+		td := dirs[:len(dcol)]
+		for i, d := range dcol {
+			td[i] = uint8(d)
+		}
+		simd.ScatterCountBytePairs(&acc, lanes[:hi-lo], dirs[:hi-lo])
+	}
+
+	out := make(map[EDUClass]map[flowrec.Direction]int)
+	for k, cls := range eduLaneOrder {
+		for d := 0; d < 256; d++ {
+			if c := acc[k<<8|d]; c > 0 {
+				if out[cls] == nil {
+					out[cls] = make(map[flowrec.Direction]int)
+				}
+				out[cls][flowrec.Direction(d)] += int(c)
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,215 @@
+package appclass
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lockdown/internal/flowrec"
+)
+
+// interestingASNs biases random flows toward values that exercise the
+// program's tables: real filter ASNs, neighbours, zero, and values past
+// the table bound.
+var interestingASNs = []uint32{
+	0, 1, 680, 766, 2906, 8075, 13335, 19679, 20940, 20965, 24940,
+	30103, 32934, 46489, 64600, 203561, 394406, 394699, 394700, 400000, 4000000000,
+}
+
+var interestingPorts = []uint16{
+	0, 22, 25, 53, 80, 110, 143, 443, 465, 587, 993, 995, 1194, 1494,
+	3074, 3389, 3478, 3480, 3659, 4070, 5222, 5223, 5228, 5938, 8000,
+	8080, 8200, 8393, 8801, 17500, 27015, 30000, 50000, 55555, 65535,
+}
+
+var interestingProtos = []flowrec.Proto{
+	flowrec.ProtoTCP, flowrec.ProtoUDP, flowrec.ProtoICMP,
+	flowrec.ProtoGRE, flowrec.ProtoESP, 99,
+}
+
+func randomBatch(rng *rand.Rand, n int) *flowrec.Batch {
+	b := flowrec.NewBatch(n)
+	for i := 0; i < n; i++ {
+		b.SrcAS = append(b.SrcAS, interestingASNs[rng.Intn(len(interestingASNs))])
+		b.DstAS = append(b.DstAS, interestingASNs[rng.Intn(len(interestingASNs))])
+		b.SrcPort = append(b.SrcPort, interestingPorts[rng.Intn(len(interestingPorts))])
+		b.DstPort = append(b.DstPort, interestingPorts[rng.Intn(len(interestingPorts))])
+		b.Proto = append(b.Proto, interestingProtos[rng.Intn(len(interestingProtos))])
+		b.Bytes = append(b.Bytes, uint64(rng.Intn(1<<20)))
+		b.Dir = append(b.Dir, flowrec.Direction(rng.Intn(5))) // incl. out-of-range 3,4
+	}
+	return b
+}
+
+// TestProgramMatchesReference: the compiled bitmask program must agree
+// with the nested first-match loop on every (srcAS, dstAS, port) input.
+func TestProgramMatchesReference(t *testing.T) {
+	c := NewDefault(nil)
+	f := func(srcAS, dstAS uint32, port uint16, proto uint8, pickSrc, pickDst, pickPort bool) bool {
+		// Half the samples snap to interesting values so filter hits are
+		// common; the raw halves cover the miss space.
+		if pickSrc {
+			srcAS = interestingASNs[int(srcAS)%len(interestingASNs)]
+		}
+		if pickDst {
+			dstAS = interestingASNs[int(dstAS)%len(interestingASNs)]
+		}
+		if pickPort {
+			port = interestingPorts[int(port)%len(interestingPorts)]
+		}
+		sp := flowrec.PortProto{Proto: flowrec.Proto(proto), Port: port}
+		return c.classifyIdx(srcAS, dstAS, sp) == c.classifyIdxRef(srcAS, dstAS, sp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgramExhaustivePorts sweeps every TCP/UDP port against each
+// interesting AS pairing — the full port-table dimension.
+func TestProgramExhaustivePorts(t *testing.T) {
+	c := NewDefault(nil)
+	asPairs := [][2]uint32{
+		{0, 0}, {30103, 0}, {0, 30103}, {19679, 394699}, {20940, 24940}, {64600, 766},
+	}
+	for _, proto := range []flowrec.Proto{flowrec.ProtoTCP, flowrec.ProtoUDP} {
+		for port := 0; port < 65536; port++ {
+			sp := flowrec.PortProto{Proto: proto, Port: uint16(port)}
+			for _, as := range asPairs {
+				if got, want := c.classifyIdx(as[0], as[1], sp), c.classifyIdxRef(as[0], as[1], sp); got != want {
+					t.Fatalf("proto %d port %d AS %v: program %d, reference %d", proto, port, as, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestVolumeKernelsMatchRowPath: the tiled kernel output of both volume
+// variants must equal a per-row reference re-implementation (including
+// key-presence semantics for zero-byte rows), across tile boundaries.
+func TestVolumeKernelsMatchRowPath(t *testing.T) {
+	c := NewDefault(nil)
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 5, 4095, 4096, 4097, 9000} {
+		b := randomBatch(rng, n)
+		if n > 2 {
+			b.Bytes[1] = 0 // zero-volume row must still create its class key
+		}
+
+		wantU := make(map[Class]uint64)
+		wantF := make(map[Class]float64)
+		for i := 0; i < n; i++ {
+			k := c.classifyIdxRef(b.SrcAS[i], b.DstAS[i], b.ServerPortAt(i))
+			cls := Unclassified
+			if k < len(c.order) {
+				cls = c.order[k]
+			}
+			wantU[cls] += b.Bytes[i]
+			wantF[cls] += float64(b.Bytes[i])
+		}
+
+		gotU := make(map[Class]uint64)
+		c.VolumeByClassIntoUint64(gotU, b)
+		gotF := make(map[Class]float64)
+		c.VolumeByClassInto(gotF, b)
+
+		if len(gotU) != len(wantU) || len(gotF) != len(wantF) {
+			t.Fatalf("n=%d: key sets differ: got %d/%d keys, want %d/%d", n, len(gotU), len(gotF), len(wantU), len(wantF))
+		}
+		for cls, v := range wantU {
+			if gotU[cls] != v {
+				t.Fatalf("n=%d class %q: uint64 %d, want %d", n, cls, gotU[cls], v)
+			}
+		}
+		for cls, v := range wantF {
+			if gotF[cls] != v {
+				t.Fatalf("n=%d class %q: float %v, want %v", n, cls, gotF[cls], v)
+			}
+		}
+	}
+}
+
+// TestEDUCountKernelMatchesRowPath: the paired-scatter EDU counts must
+// equal the per-row record path, including nested key presence and
+// out-of-range direction bytes.
+func TestEDUCountKernelMatchesRowPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 7, 4096, 4097, 8200} {
+		b := randomBatch(rng, n)
+		want := make(map[EDUClass]map[flowrec.Direction]int)
+		for i := 0; i < n; i++ {
+			cls := ClassifyEDUAt(b, i)
+			if want[cls] == nil {
+				want[cls] = make(map[flowrec.Direction]int)
+			}
+			want[cls][b.Dir[i]]++
+		}
+		got := CountEDUByClassDirBatch(b)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d classes, want %d", n, len(got), len(want))
+		}
+		for cls, dirs := range want {
+			if len(got[cls]) != len(dirs) {
+				t.Fatalf("n=%d class %q: %d dirs, want %d", n, cls, len(got[cls]), len(dirs))
+			}
+			for d, cnt := range dirs {
+				if got[cls][d] != cnt {
+					t.Fatalf("n=%d class %q dir %d: %d, want %d", n, cls, d, got[cls][d], cnt)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkClassVolumeKernel / Ref are the in-package A/B pair: the
+// compiled-program tiled kernel against the PR 9 nested-filter row loop,
+// over the same batch. benchgate gates the kernel at 0 allocs/op.
+func benchVolumeBatch() *flowrec.Batch {
+	return randomBatch(rand.New(rand.NewSource(42)), 16384)
+}
+
+func BenchmarkClassVolumeKernel(b *testing.B) {
+	c := NewDefault(nil)
+	batch := benchVolumeBatch()
+	sums := make(map[Class]uint64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.VolumeByClassIntoUint64(sums, batch)
+	}
+}
+
+func BenchmarkClassVolumeRef(b *testing.B) {
+	c := NewDefault(nil)
+	batch := benchVolumeBatch()
+	sums := make(map[Class]uint64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := len(c.order)
+		var acc [maxClasses + 1]uint64
+		var touched [maxClasses + 1]bool
+		for j := 0; j < batch.Len(); j++ {
+			k := c.classifyIdxRef(batch.SrcAS[j], batch.DstAS[j], batch.ServerPortAt(j))
+			acc[k] += batch.Bytes[j]
+			touched[k] = true
+		}
+		for k := 0; k < n; k++ {
+			if touched[k] {
+				sums[c.order[k]] += acc[k]
+			}
+		}
+		if touched[n] {
+			sums[Unclassified] += acc[n]
+		}
+	}
+}
+
+func BenchmarkEDUCountKernel(b *testing.B) {
+	batch := benchVolumeBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountEDUByClassDirBatch(batch)
+	}
+}

@@ -63,6 +63,7 @@ type Dataset struct {
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	flows   []*flowEntry // installed flow entries, for the compaction scan
 
 	// Cache instruments. These are the single source of truth for both
 	// CacheStats and the lockdown_cache_* metric families: Stats() reads
@@ -83,12 +84,34 @@ type Dataset struct {
 	lru      *list.List // *flowEntry; front = most recently used
 	resident int64      // heap-byte estimate of resident flow batches
 	spilled  int64      // bytes of live segment files
+	segFiles int        // standalone segment files eligible for compaction
 	dir      string     // spill directory, created on first spill
 	dirMade  bool
 	dirErr   error
 	seq      int // segment file counter
 	closed   bool
+
+	// Compacted tier: opened spanned files, shared by every entry whose
+	// segment was merged into them. compactBusy serialises compaction
+	// without blocking the access path.
+	spmu        sync.Mutex
+	spanned     map[string]*flowstore.SpannedFile
+	compactBusy atomic.Bool
 }
+
+// Online segment compaction: once compactMin standalone segment files
+// have accumulated, the next flow-batch access merges up to compactMax
+// of them into one spanned file (package flowstore) and deletes the
+// sources. Compacted entries fault through SpannedFile.Span — one open
+// and one header/index validation per spanned file instead of one full
+// open + data-CRC pass per hour — which is what cuts the
+// lockdown_flowstore_opens_total count on budgeted month-walk scans.
+// compactMax bounds the assembly buffer of one compaction (the spanned
+// file is built in memory, like every segment write).
+const (
+	compactMin = 16
+	compactMax = 64
+)
 
 type cacheEntry struct {
 	once sync.Once
@@ -114,8 +137,10 @@ type flowEntry struct {
 	batch     *flowrec.Batch // nil while spilled
 	heapBytes int64          // resident heap estimate of batch
 	seg       *flowstore.Segment
-	path      string // segment file; "" until first spill
+	path      string // standalone segment file; "" until first spill or after compaction
 	segSize   int64
+	spanPath  string // spanned file holding this entry's segment image; "" if none
+	spanIdx   int    // span index within spanPath
 
 	elem *list.Element // LRU position, guarded by Dataset.lmu; nil if unlinked
 }
@@ -205,6 +230,11 @@ func (d *Dataset) getFlow(key string, pin *Pin, build func() (*flowrec.Batch, er
 		fe := &flowEntry{key: key, build: build, batch: b, heapBytes: b.HeapBytes()}
 		e.val = fe
 		d.link(fe, fe.heapBytes)
+		// Register for the compaction scan: compactOnce must not read
+		// e.val, which this once is still writing.
+		d.mu.Lock()
+		d.flows = append(d.flows, fe)
+		d.mu.Unlock()
 	})
 	if e.err != nil {
 		return nil, e.err
@@ -214,6 +244,7 @@ func (d *Dataset) getFlow(key string, pin *Pin, build func() (*flowrec.Batch, er
 		return nil, err
 	}
 	d.enforceBudget()
+	d.maybeCompact()
 	return b, nil
 }
 
@@ -247,11 +278,21 @@ func (d *Dataset) acquire(fe *flowEntry, pin *Pin) (*flowrec.Batch, error) {
 }
 
 // faultIn rebuilds the entry's batch, called with fe.mu held. The happy
-// path opens (once) and views the entry's segment; a segment that fails
-// its checksums or cannot be mapped is deleted and the batch is
-// regenerated from the flow source — the cache never propagates storage
-// corruption as an error or a panic.
+// path serves the entry's span (after compaction) or opens (once) and
+// views its standalone segment; storage that fails its checksums or
+// cannot be mapped is dropped and the batch is regenerated from the
+// flow source — the cache never propagates storage corruption as an
+// error or a panic. A damaged span only degrades its own entry; the
+// other spans of the file keep serving.
 func (d *Dataset) faultIn(fe *flowEntry) (*flowrec.Batch, int64, error) {
+	if fe.seg == nil && fe.spanPath != "" {
+		seg, err := d.spanSegment(fe.spanPath, fe.spanIdx)
+		if err != nil {
+			d.dropSpan(fe)
+		} else {
+			fe.seg = seg
+		}
+	}
 	if fe.seg == nil && fe.path != "" {
 		seg, err := flowstore.Open(fe.path)
 		if err != nil {
@@ -267,13 +308,54 @@ func (d *Dataset) faultIn(fe *flowEntry) (*flowrec.Batch, int64, error) {
 		}
 		fe.seg.Close()
 		fe.seg = nil
-		d.dropSegment(fe)
+		if fe.spanPath != "" {
+			d.dropSpan(fe)
+		} else if fe.path != "" {
+			d.dropSegment(fe)
+		}
 	}
 	b, err := fe.build()
 	if err != nil {
 		return nil, 0, err
 	}
 	return b, b.HeapBytes(), nil
+}
+
+// spanSegment opens (memoized per path) the spanned file and faults one
+// span out of it. Called with an entry's mu held; takes only spmu.
+func (d *Dataset) spanSegment(path string, idx int) (*flowstore.Segment, error) {
+	d.spmu.Lock()
+	sf := d.spanned[path]
+	if sf == nil {
+		var err error
+		sf, err = flowstore.OpenSpanned(path)
+		if err != nil {
+			d.spmu.Unlock()
+			return nil, err
+		}
+		if d.spanned == nil {
+			d.spanned = make(map[string]*flowstore.SpannedFile)
+		}
+		d.spanned[path] = sf
+	}
+	d.spmu.Unlock()
+	return sf.Span(idx)
+}
+
+// dropSpan forgets a damaged (or unopenable) span so the next eviction
+// spills a fresh standalone segment, and counts the regeneration. The
+// spanned file itself stays: its other spans are independently
+// checksummed and may be fine.
+func (d *Dataset) dropSpan(fe *flowEntry) {
+	fe.spanPath = ""
+	d.regens.Add(1)
+	if d.tracer != nil {
+		d.tracer.Instant("cache-regen", "cache", map[string]any{"key": fe.key})
+	}
+	d.lmu.Lock()
+	d.spilled -= fe.segSize
+	d.lmu.Unlock()
+	fe.segSize = 0
 }
 
 // dropSegment forgets a damaged segment file so the next eviction spills
@@ -287,6 +369,7 @@ func (d *Dataset) dropSegment(fe *flowEntry) {
 	}
 	d.lmu.Lock()
 	d.spilled -= fe.segSize
+	d.segFiles--
 	d.lmu.Unlock()
 	fe.segSize = 0
 }
@@ -372,9 +455,9 @@ func (d *Dataset) evict(fe *flowEntry) bool {
 		d.relink(fe)
 		return true
 	}
-	if fe.path == "" {
+	if fe.path == "" && fe.spanPath == "" {
 		sp := d.tracer.Start("cache-spill", "cache")
-		path, err := d.segmentPath()
+		path, err := d.spillPath("seg-%06d.lfs")
 		var size int64
 		if err == nil {
 			size, err = flowstore.Write(path, fe.batch)
@@ -383,6 +466,7 @@ func (d *Dataset) evict(fe *flowEntry) bool {
 				d.spills.Add(1)
 				d.lmu.Lock()
 				d.spilled += size
+				d.segFiles++
 				d.lmu.Unlock()
 			}
 		}
@@ -418,10 +502,10 @@ func (d *Dataset) evict(fe *flowEntry) bool {
 	return true
 }
 
-// segmentPath names the next segment file, creating the spill directory
-// on first use: a private temp dir under Options.CacheDir (or the OS
-// temp dir), removed by Close.
-func (d *Dataset) segmentPath() (string, error) {
+// spillPath names the next spill file from a sequence-number pattern,
+// creating the spill directory on first use: a private temp dir under
+// Options.CacheDir (or the OS temp dir), removed by Close.
+func (d *Dataset) spillPath(pattern string) (string, error) {
 	d.lmu.Lock()
 	defer d.lmu.Unlock()
 	if !d.dirMade {
@@ -443,7 +527,103 @@ func (d *Dataset) segmentPath() (string, error) {
 		return "", fmt.Errorf("core: dataset is closed")
 	}
 	d.seq++
-	return filepath.Join(d.dir, fmt.Sprintf("seg-%06d.lfs", d.seq)), nil
+	return filepath.Join(d.dir, fmt.Sprintf(pattern, d.seq)), nil
+}
+
+// maybeCompact runs one compaction pass when enough standalone segment
+// files have accumulated. The CAS makes it single-flight: concurrent
+// accessors skip instead of queueing, so the access path never stalls
+// behind more than one compaction.
+func (d *Dataset) maybeCompact() {
+	if d.budget <= 0 {
+		return
+	}
+	d.lmu.Lock()
+	n, closed := d.segFiles, d.closed
+	d.lmu.Unlock()
+	if closed || n < compactMin {
+		return
+	}
+	if !d.compactBusy.CompareAndSwap(false, true) {
+		return
+	}
+	defer d.compactBusy.Store(false)
+	d.compactOnce()
+}
+
+// compactOnce merges up to compactMax standalone segments into one
+// spanned file and repoints their entries at it. It takes no entry lock
+// across the file I/O: candidates are snapshotted, the spanned file is
+// written from the on-disk paths, and each entry is repointed only if
+// its path is still the one that was compacted (a concurrent
+// dropSegment loses nothing — its source file is already gone and
+// WriteSpanned skipped it).
+func (d *Dataset) compactOnce() {
+	d.mu.Lock()
+	fes := make([]*flowEntry, len(d.flows))
+	copy(fes, d.flows)
+	d.mu.Unlock()
+
+	type cand struct {
+		fe   *flowEntry
+		path string
+	}
+	var cands []cand
+	for _, fe := range fes {
+		fe.mu.Lock()
+		if fe.path != "" && fe.spanPath == "" {
+			cands = append(cands, cand{fe, fe.path})
+		}
+		fe.mu.Unlock()
+		if len(cands) == compactMax {
+			break
+		}
+	}
+	if len(cands) < compactMin {
+		return
+	}
+	out, err := d.spillPath("span-%06d.lfss")
+	if err != nil {
+		return
+	}
+	srcs := make([]string, len(cands))
+	for i, c := range cands {
+		srcs[i] = c.path
+	}
+	sp := d.tracer.Start("cache-compact", "cache")
+	res, err := flowstore.WriteSpanned(out, srcs)
+	if err != nil {
+		if sp.Active() {
+			sp.EndArgs(map[string]any{"error": err.Error()})
+		}
+		return
+	}
+	moved := 0
+	for k, s := range res.Sources {
+		if s.Span < 0 {
+			continue
+		}
+		fe := cands[k].fe
+		fe.mu.Lock()
+		if fe.path == cands[k].path {
+			fe.path = ""
+			fe.spanPath, fe.spanIdx = out, s.Span
+			moved++
+			os.Remove(cands[k].path)
+			d.lmu.Lock()
+			d.segFiles--
+			d.lmu.Unlock()
+		}
+		fe.mu.Unlock()
+	}
+	if sp.Active() {
+		sp.EndArgs(map[string]any{"spans": res.Spans, "moved": moved, "bytes": res.Size})
+	}
+	if moved == 0 {
+		// Every candidate was repointed or dropped while we wrote: the
+		// spanned file has no users.
+		os.Remove(out)
+	}
 }
 
 // Close releases every mapped segment and removes the spill directory.
@@ -479,12 +659,22 @@ func (d *Dataset) Close() error {
 			}
 		}
 		fe.path, fe.segSize = "", 0
+		fe.spanPath = ""
 		fe.mu.Unlock()
 	}
+	d.spmu.Lock()
+	for _, sf := range d.spanned {
+		if err := sf.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	d.spanned = nil
+	d.spmu.Unlock()
 	d.lmu.Lock()
 	dir := d.dir
 	d.dir, d.dirMade, d.dirErr = "", true, fmt.Errorf("core: dataset is closed")
 	d.spilled = 0
+	d.segFiles = 0
 	d.closed = true
 	d.lmu.Unlock()
 	if dir != "" {

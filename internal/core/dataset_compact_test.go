@@ -1,0 +1,202 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"lockdown/internal/synth"
+)
+
+// countSpillFiles tallies the standalone and spanned files under dir.
+func countSpillFiles(t *testing.T, dir string) (segs, spans int) {
+	t.Helper()
+	err := filepath.WalkDir(dir, func(path string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		switch {
+		case de.IsDir():
+		case filepath.Ext(path) == ".lfss":
+			spans++
+		case filepath.Ext(path) == ".lfs":
+			segs++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segs, spans
+}
+
+// compactionHours is enough distinct hours to cross the compactMin
+// threshold with room to spare.
+func compactionHours() []time.Time {
+	hours := make([]time.Time, compactMin+8)
+	for i := range hours {
+		hours[i] = spillHour.Add(time.Duration(i) * time.Hour)
+	}
+	return hours
+}
+
+// TestOnlineCompaction drives enough distinct hours through a 1-byte
+// budget that the idle segments cross the compaction threshold, then
+// asserts the sources were merged into a spanned file and that every
+// hour faults back bit-identical through its span.
+func TestOnlineCompaction(t *testing.T) {
+	opts := tinyOpts(t)
+	d := NewDataset(opts)
+	defer d.Close()
+
+	hours := compactionHours()
+	want := make(map[time.Time][]int, len(hours))
+	for _, h := range hours {
+		b, err := d.FlowBatch(synth.ISPCE, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[h] = append([]int(nil), int(b.Len()))
+	}
+	segs, spans := countSpillFiles(t, opts.CacheDir)
+	if spans == 0 {
+		t.Fatalf("no spanned file after %d spilled hours (threshold %d); %d standalone segments remain",
+			len(hours), compactMin, segs)
+	}
+	if segs >= len(hours) {
+		t.Fatalf("compaction removed no sources: %d segments, %d spanned", segs, spans)
+	}
+
+	// Every hour — compacted or not — faults back identical to a fresh
+	// uncached dataset.
+	fresh := NewDataset(Options{FlowScale: opts.FlowScale})
+	defer fresh.Close()
+	for _, h := range hours {
+		got, err := d.FlowBatch(synth.ISPCE, h)
+		if err != nil {
+			t.Fatalf("hour %v: %v", h, err)
+		}
+		ref, err := fresh.FlowBatch(synth.ISPCE, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Records(), got.Records()) {
+			t.Fatalf("hour %v: span-faulted batch differs from generated", h)
+		}
+	}
+	s := d.Stats()
+	if s.Regens != 0 {
+		t.Errorf("clean compacted cache must not regenerate: %+v", s)
+	}
+}
+
+// TestCompactionDamagedSpan corrupts the spanned file and asserts every
+// hour still comes back correct via regeneration — compaction must not
+// introduce a new failure mode.
+func TestCompactionDamagedSpan(t *testing.T) {
+	opts := tinyOpts(t)
+	d := NewDataset(opts)
+	defer d.Close()
+
+	hours := compactionHours()
+	for _, h := range hours {
+		if _, err := d.FlowBatch(synth.ISPCE, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	damaged := 0
+	err := filepath.WalkDir(opts.CacheDir, func(path string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !de.IsDir() && filepath.Ext(path) == ".lfss" {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for i := 4096; i < len(raw); i += 8192 {
+				raw[i] ^= 0xff // clobber the index and every span
+			}
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				return err
+			}
+			damaged++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged == 0 {
+		t.Fatal("no spanned file to damage; compaction did not run")
+	}
+
+	fresh := NewDataset(Options{FlowScale: opts.FlowScale})
+	defer fresh.Close()
+	for _, h := range hours {
+		got, err := d.FlowBatch(synth.ISPCE, h)
+		if err != nil {
+			t.Fatalf("hour %v after span damage: %v", h, err)
+		}
+		ref, err := fresh.FlowBatch(synth.ISPCE, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Records(), got.Records()) {
+			t.Fatalf("hour %v: batch differs after span damage", h)
+		}
+	}
+	if s := d.Stats(); s.Regens == 0 {
+		t.Errorf("damaged spans must be counted as regens: %+v", s)
+	}
+}
+
+// TestCompactionConcurrentAccess hammers the compaction trigger from
+// many goroutines under a tiny budget: the single-flight CAS, the
+// repointing of entries and concurrent faults must be free of races
+// (run with -race in CI) and every batch must stay correct.
+func TestCompactionConcurrentAccess(t *testing.T) {
+	opts := tinyOpts(t)
+	d := NewDataset(opts)
+	defer d.Close()
+
+	hours := compactionHours()
+	wantLens := make([]int, len(hours))
+	for i, h := range hours {
+		b, err := d.FlowBatch(synth.ISPCE, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLens[i] = b.Len()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				for i, h := range hours {
+					b, err := d.FlowBatch(synth.ISPCE, h)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if b.Len() != wantLens[i] {
+						t.Errorf("worker %d: hour %v: %d rows, want %d", w, h, b.Len(), wantLens[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"lockdown/internal/calendar"
 	"lockdown/internal/flowrec"
 	"lockdown/internal/ports"
+	"lockdown/internal/simd"
 	"lockdown/internal/synth"
 )
 
@@ -29,29 +30,30 @@ type portWeekVolumes struct {
 	weekend map[flowrec.PortProto]float64
 }
 
-// portWeekPart is one scan chunk's partial aggregate: raw per-port byte
-// sums plus the hour counts needed for the mean. The byte sums accumulate
-// as uint64 — a busy week's volume crosses 2^53, where float64 addition
-// starts rounding and stops being associative, so integer accumulation is
-// what makes the merge exact under every chunk grouping.
+// portWeekPart is one scan chunk's partial aggregate: dense per-lane
+// byte sums and row counts (lane k = topPorts[k]; the miss lane absorbs
+// every other port and is dropped at materialisation), plus the hour
+// counts needed for the mean. The byte sums accumulate as uint64 — a
+// busy week's volume crosses 2^53, where float64 addition starts
+// rounding and stops being associative, so integer accumulation is what
+// makes the merge exact under every chunk grouping. The row counts carry
+// the old map-key semantics: a port appears in the week's result iff a
+// row on it was scanned, even at volume zero.
 type portWeekPart struct {
-	sums                       map[flowrec.PortProto]uint64
-	weekendSums                map[flowrec.PortProto]uint64
+	sums, weekendSums          [simd.Lanes]uint64
+	cnt, weekendCnt            [simd.Lanes]uint64
 	workdayHours, weekendHours int
 }
 
-func collectPortVolumes(env *Env, vp synth.VantagePoint, week calendar.Week, keep map[flowrec.PortProto]bool) (portWeekVolumes, error) {
+func collectPortVolumes(env *Env, vp synth.VantagePoint, week calendar.Week, topPorts []flowrec.PortProto, tab *flowrec.PortLanes) (portWeekVolumes, error) {
 	agg, err := ScanHours(env, week.Hours(),
-		func() *portWeekPart {
-			return &portWeekPart{
-				sums:        make(map[flowrec.PortProto]uint64),
-				weekendSums: make(map[flowrec.PortProto]uint64),
-			}
-		},
+		func() *portWeekPart { return &portWeekPart{} },
 		func(env *Env, p *portWeekPart, hour time.Time) error {
 			weekend := calendar.IsWeekend(hour) || calendar.IsHoliday(hour)
+			sums, cnt := &p.sums, &p.cnt
 			if weekend {
 				p.weekendHours++
+				sums, cnt = &p.weekendSums, &p.weekendCnt
 			} else {
 				p.workdayHours++
 			}
@@ -59,25 +61,22 @@ func collectPortVolumes(env *Env, vp synth.VantagePoint, week calendar.Week, kee
 			if err != nil {
 				return err
 			}
-			for i := 0; i < b.Len(); i++ {
-				pp := b.ServerPortAt(i)
-				if !keep[pp] {
-					continue
-				}
-				if weekend {
-					p.weekendSums[pp] += b.Bytes[i]
-				} else {
-					p.sums[pp] += b.Bytes[i]
-				}
+			var lanes [simd.Tile]uint8
+			n := b.Len()
+			for lo := 0; lo < n; lo += simd.Tile {
+				hi := min(lo+simd.Tile, n)
+				b.ServerPortLanes(tab, lo, hi, lanes[:hi-lo])
+				simd.ScatterAddUint64(sums, lanes[:hi-lo], b.Bytes[lo:hi])
+				simd.ScatterCount(cnt, lanes[:hi-lo])
 			}
 			return nil
 		},
 		func(dst, src *portWeekPart) *portWeekPart {
-			for pp, v := range src.sums {
-				dst.sums[pp] += v
-			}
-			for pp, v := range src.weekendSums {
-				dst.weekendSums[pp] += v
+			for k := range dst.sums {
+				dst.sums[k] += src.sums[k]
+				dst.weekendSums[k] += src.weekendSums[k]
+				dst.cnt[k] += src.cnt[k]
+				dst.weekendCnt[k] += src.weekendCnt[k]
 			}
 			dst.workdayHours += src.workdayHours
 			dst.weekendHours += src.weekendHours
@@ -90,28 +89,32 @@ func collectPortVolumes(env *Env, vp synth.VantagePoint, week calendar.Week, kee
 	// Convert to float and normalise only after the full merge: the merged
 	// sums are exact, so each float value is rounded exactly once.
 	out := portWeekVolumes{
-		workday: make(map[flowrec.PortProto]float64, len(agg.sums)),
-		weekend: make(map[flowrec.PortProto]float64, len(agg.weekendSums)),
+		workday: make(map[flowrec.PortProto]float64, len(topPorts)),
+		weekend: make(map[flowrec.PortProto]float64, len(topPorts)),
 	}
-	for p, v := range agg.sums {
-		out.workday[p] = float64(v) / float64(agg.workdayHours)
-	}
-	for p, v := range agg.weekendSums {
-		out.weekend[p] = float64(v) / float64(agg.weekendHours)
+	for k, pp := range topPorts {
+		if agg.cnt[k] > 0 {
+			out.workday[pp] = float64(agg.sums[k]) / float64(agg.workdayHours)
+		}
+		if agg.weekendCnt[k] > 0 {
+			out.weekend[pp] = float64(agg.weekendSums[k]) / float64(agg.weekendHours)
+		}
 	}
 	return out, nil
 }
 
 func runPortExperiment(env *Env, id, title string, vp synth.VantagePoint, weeks []calendar.Week, topPorts []flowrec.PortProto) (*Result, error) {
 	res := newResult(id, title)
-	keep := make(map[flowrec.PortProto]bool, len(topPorts))
-	for _, p := range topPorts {
-		keep[p] = true
+	// One lane per tracked port, in topPorts order; every other port maps
+	// to the miss lane past them.
+	tab := flowrec.NewPortLanes(uint8(len(topPorts)))
+	for k, p := range topPorts {
+		tab.Set(p, uint8(k))
 	}
 	perWeek := make([]portWeekVolumes, len(weeks))
 	for i, w := range weeks {
 		var err error
-		perWeek[i], err = collectPortVolumes(env, vp, w, keep)
+		perWeek[i], err = collectPortVolumes(env, vp, w, topPorts, tab)
 		if err != nil {
 			return nil, err
 		}

@@ -42,21 +42,17 @@ func collectVPNSplit(env *Env, vp synth.VantagePoint, det *vpndetect.Detector, w
 			if err != nil {
 				return err
 			}
-			for i := 0; i < b.Len(); i++ {
-				switch det.ClassifyAt(b, i) {
-				case vpndetect.ByPort:
-					if working {
-						p.portWork += b.Bytes[i]
-					} else {
-						p.portOther += b.Bytes[i]
-					}
-				case vpndetect.ByDomain:
-					if working {
-						p.domainWork += b.Bytes[i]
-					} else {
-						p.domainOther += b.Bytes[i]
-					}
-				}
+			// The kernel folds the hour into exact per-method sums;
+			// uint64 addition commutes, so splitting them onto the
+			// working/other buckets afterwards is lossless.
+			var s [3]uint64
+			det.SplitBatchSums(&s, b)
+			if working {
+				p.portWork += s[vpndetect.ByPort]
+				p.domainWork += s[vpndetect.ByDomain]
+			} else {
+				p.portOther += s[vpndetect.ByPort]
+				p.domainOther += s[vpndetect.ByDomain]
 			}
 			return nil
 		},
@@ -293,14 +289,10 @@ func runAblationVPN(env *Env) (*Result, error) {
 			if err != nil {
 				return err
 			}
-			for i := 0; i < b.Len(); i++ {
-				switch vpn.Detector.ClassifyAt(b, i) {
-				case vpndetect.ByPort:
-					p.port += b.Bytes[i]
-				case vpndetect.ByDomain:
-					p.domain += b.Bytes[i]
-				}
-			}
+			var s [3]uint64
+			vpn.Detector.SplitBatchSums(&s, b)
+			p.port += s[vpndetect.ByPort]
+			p.domain += s[vpndetect.ByDomain]
 			return nil
 		},
 		func(dst, src *volSplit) *volSplit {

@@ -251,17 +251,25 @@ func ShardedScan[T any](env *Env, n int, opts ScanOptions, scan func(env *Env, l
 	return acc, nil
 }
 
-// prefetchChunks is the read-ahead loop: it walks the chunks in grid
-// order, touching each chunk's inputs through a short-lived pin so the
-// batches of chunk h+1 fault (or generate) into the cache while chunk h is
-// being scanned. The lead channel keeps it at most one worker set ahead of
-// the completed scan frontier, so under a tight cache budget it does not
-// evict the very chunks the scan is using. Prefetch errors are ignored:
-// the scan will surface them (or succeed anyway) when it reads for real.
+// prefetchChunks is the read-ahead dispatcher: it walks the chunks in
+// grid order, touching each chunk's inputs through a short-lived pin so
+// the batches of chunk h+1 fault (or generate) into the cache while
+// chunk h is being scanned. When spare budget tokens exist it fans out —
+// each borrowed token warms one chunk concurrently, so several upcoming
+// hours fault in parallel — and with none it degrades to the original
+// serial walk on its own reserved token. The lead bound grows with the
+// active warmers (lead = workers + 1 + active warmers), keeping the
+// read-ahead frontier at most one in-flight set past the completed scan
+// frontier, so under a tight cache budget it does not evict the very
+// chunks the scan is using. Prefetch errors are ignored: the scan will
+// surface them (or succeed anyway) when it reads for real.
 func prefetchChunks(env *Env, n, c, chunks, workers int, prefetch func(*Env, int, int) error, scanned *atomic.Int64, failed *atomic.Bool, stop <-chan struct{}) {
-	lead := int64(workers + 1)
+	var warmers atomic.Int64
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	baseLead := int64(workers + 1)
 	for i := 0; i < chunks; i++ {
-		for int64(i) > scanned.Load()+lead {
+		for int64(i) > scanned.Load()+baseLead+warmers.Load() {
 			select {
 			case <-stop:
 				return
@@ -281,14 +289,28 @@ func prefetchChunks(env *Env, n, c, chunks, workers int, prefetch func(*Env, int
 		if hi > n {
 			hi = n
 		}
-		cenv := env.chunkEnv()
-		_ = prefetch(cenv, lo, hi)
-		cenv.pin.Release()
-		if env.scan != nil {
-			env.scan.prefetched.Add(1)
+		warm := func() {
+			cenv := env.chunkEnv()
+			_ = prefetch(cenv, lo, hi)
+			cenv.pin.Release()
+			if env.scan != nil {
+				env.scan.prefetched.Add(1)
+			}
+			if env.Tracer != nil {
+				env.Tracer.Instant("scan-prefetch", "scan", map[string]any{"lo": lo, "hi": hi})
+			}
 		}
-		if env.Tracer != nil {
-			env.Tracer.Instant("scan-prefetch", "scan", map[string]any{"lo": lo, "hi": hi})
+		if env.budget != nil && env.budget.tryAcquire() {
+			warmers.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer env.budget.release()
+				defer warmers.Add(-1)
+				warm()
+			}()
+		} else {
+			warm()
 		}
 	}
 }

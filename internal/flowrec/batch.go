@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"lockdown/internal/simd"
 )
 
 // Batch is a columnar (struct-of-arrays) collection of flow records: every
@@ -282,14 +284,10 @@ func (b *Batch) Filter(keep func(b *Batch, i int) bool) *Batch {
 	return out
 }
 
-// TotalBytes sums the byte column (a common aggregate, kept here so the
-// compiler can keep the loop tight over one contiguous array).
+// TotalBytes sums the byte column (a common aggregate; the kernel's
+// unrolled accumulators keep the one contiguous array at bandwidth).
 func (b *Batch) TotalBytes() uint64 {
-	var sum uint64
-	for _, v := range b.Bytes {
-		sum += v
-	}
-	return sum
+	return simd.SumUint64(b.Bytes)
 }
 
 // batchPool recycles batches (and, transitively, their column arrays) for

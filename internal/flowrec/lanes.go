@@ -1,0 +1,72 @@
+package flowrec
+
+// PortLanes maps every (protocol, server-port) pair to a uint8 lane for
+// the dense scan kernels in internal/simd. It is the table form of a
+// map[PortProto]lane lookup: consumers (the port histograms, the VPN
+// detector, the EDU classifier) build one table per analysis, then a
+// single bulk pass over a batch turns every row into a lane index with
+// two table loads and no branches — where the map version paid a hash,
+// a branch ladder, and a cache miss per row.
+//
+// Lookup semantics are exactly those of a map keyed by ServerPortAt's
+// output: the scan masks the port of port-less protocols (GRE, ESP,
+// ICMP) to zero before the table load, so entries for those protocols
+// must be registered with Port 0 — and an entry registered on an
+// unreachable (proto, port) combination simply never matches, the same
+// as a dead map key.
+//
+// All 256 protocol rows initially share one default table (the miss
+// lane everywhere); Set copies a protocol's row on first write. A
+// typical table therefore costs ~64 KiB plus 64 KiB per written
+// protocol (TCP and UDP in practice).
+type PortLanes struct {
+	tabs [256]*[65536]uint8
+	def  *[65536]uint8
+}
+
+// NewPortLanes returns a table that yields miss for every lookup.
+func NewPortLanes(miss uint8) *PortLanes {
+	t := &PortLanes{}
+	t.def = new([65536]uint8)
+	if miss != 0 {
+		for i := range t.def {
+			t.def[i] = miss
+		}
+	}
+	for p := range t.tabs {
+		t.tabs[p] = t.def
+	}
+	return t
+}
+
+// Set maps pp to lane. The port is stored unmasked: register port-less
+// protocols (GRE, ESP, ICMP) with Port 0, exactly as their PortProto
+// constants already do.
+func (t *PortLanes) Set(pp PortProto, lane uint8) {
+	if t.tabs[pp.Proto] == t.def {
+		row := new([65536]uint8)
+		*row = *t.def
+		t.tabs[pp.Proto] = row
+	}
+	t.tabs[pp.Proto][pp.Port] = lane
+}
+
+// ServerPortLanes fills lanes[0:hi-lo] with the lane of each row's
+// server port/protocol pair over rows [lo, hi), computing the pair with
+// the same arithmetic as ServerPortAt. The body is branch-free: port
+// selection is the wrap-around min trick, the port-less mask is a table
+// load, and the lane is two loads (protocol row, then port). lanes must
+// hold at least hi-lo entries.
+func (b *Batch) ServerPortLanes(t *PortLanes, lo, hi int, lanes []uint8) {
+	src := b.SrcPort[lo:hi]
+	dst := b.DstPort[lo:hi]
+	pr := b.Proto[lo:hi]
+	dst = dst[:len(src)]
+	pr = pr[:len(src)]
+	lanes = lanes[:len(src)]
+	for i, s := range src {
+		p := pr[i]
+		port := (min(s-1, dst[i]-1) + 1) & portlessMask[p]
+		lanes[i] = t.tabs[p][port]
+	}
+}

@@ -1,0 +1,117 @@
+package flowrec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestServerPortLanesQuick: the bulk lane pass must agree, row for row,
+// with a map keyed by ServerPortAt's output — the exact structure it
+// replaces in the scan loops.
+func TestServerPortLanesQuick(t *testing.T) {
+	f := func(src, dst []uint16, protos []Proto, entries map[PortProto]uint8) bool {
+		n := min(len(src), len(dst), len(protos))
+		src, dst, protos = src[:n], dst[:n], protos[:n]
+
+		b := NewBatch(n)
+		for i := 0; i < n; i++ {
+			b.SrcPort = append(b.SrcPort, src[i])
+			b.DstPort = append(b.DstPort, dst[i])
+			b.Proto = append(b.Proto, protos[i])
+			b.Bytes = append(b.Bytes, 1)
+		}
+
+		const miss = 200
+		tab := NewPortLanes(miss)
+		for pp, lane := range entries {
+			tab.Set(pp, lane)
+		}
+
+		lanes := make([]uint8, n)
+		b.ServerPortLanes(tab, 0, n, lanes)
+		for i := 0; i < n; i++ {
+			want := uint8(miss)
+			if lane, ok := entries[b.ServerPortAt(i)]; ok {
+				want = lane
+			}
+			if lanes[i] != want {
+				t.Logf("row %d: proto %d src %d dst %d -> lane %d, want %d",
+					i, protos[i], src[i], dst[i], lanes[i], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerPortLanesPortless pins the port-less protocol handling: GRE,
+// ESP and ICMP entries must be registered at Port 0 (the masked scan
+// output), and entries on any other port for those protocols are dead.
+func TestServerPortLanesPortless(t *testing.T) {
+	tab := NewPortLanes(0)
+	tab.Set(PortProto{ProtoGRE, 0}, 1)
+	tab.Set(PortProto{ProtoESP, 0}, 2)
+	tab.Set(PortProto{ProtoICMP, 443}, 3) // unreachable, like a dead map key
+	tab.Set(PortProto{ProtoTCP, 443}, 4)
+
+	b := NewBatch(4)
+	add := func(proto Proto, s, d uint16) {
+		b.SrcPort = append(b.SrcPort, s)
+		b.DstPort = append(b.DstPort, d)
+		b.Proto = append(b.Proto, proto)
+		b.Bytes = append(b.Bytes, 1)
+	}
+	add(ProtoGRE, 1234, 4321) // masked to port 0 -> lane 1
+	add(ProtoESP, 0, 0)       // port 0 -> lane 2
+	add(ProtoICMP, 443, 443)  // masked to port 0 -> miss (0), not 3
+	add(ProtoTCP, 50123, 443) // server port 443 -> lane 4
+
+	lanes := make([]uint8, 4)
+	b.ServerPortLanes(tab, 0, 4, lanes)
+	want := []uint8{1, 2, 0, 4}
+	for i := range want {
+		if lanes[i] != want[i] {
+			t.Errorf("row %d: lane %d, want %d", i, lanes[i], want[i])
+		}
+	}
+}
+
+// TestServerPortLanesSubrange: lo/hi sub-slicing addresses the right rows.
+func TestServerPortLanesSubrange(t *testing.T) {
+	tab := NewPortLanes(9)
+	tab.Set(PortProto{ProtoUDP, 53}, 5)
+	b := NewBatch(3)
+	for _, d := range []uint16{80, 53, 22} {
+		b.SrcPort = append(b.SrcPort, 60000)
+		b.DstPort = append(b.DstPort, d)
+		b.Proto = append(b.Proto, ProtoUDP)
+		b.Bytes = append(b.Bytes, 1)
+	}
+	lanes := make([]uint8, 1)
+	b.ServerPortLanes(tab, 1, 2, lanes)
+	if lanes[0] != 5 {
+		t.Fatalf("subrange lane = %d, want 5", lanes[0])
+	}
+}
+
+// TestPortLanesCopyOnWrite: writing one protocol's row must not leak into
+// another protocol sharing the default table.
+func TestPortLanesCopyOnWrite(t *testing.T) {
+	tab := NewPortLanes(7)
+	tab.Set(PortProto{ProtoTCP, 443}, 1)
+	b := NewBatch(2)
+	for _, p := range []Proto{ProtoTCP, ProtoUDP} {
+		b.SrcPort = append(b.SrcPort, 55555)
+		b.DstPort = append(b.DstPort, 443)
+		b.Proto = append(b.Proto, p)
+		b.Bytes = append(b.Bytes, 1)
+	}
+	lanes := make([]uint8, 2)
+	b.ServerPortLanes(tab, 0, 2, lanes)
+	if lanes[0] != 1 || lanes[1] != 7 {
+		t.Fatalf("lanes = %v, want [1 7]", lanes)
+	}
+}

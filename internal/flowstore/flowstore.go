@@ -206,6 +206,9 @@ func Write(path string, b *flowrec.Batch) (int64, error) {
 type Segment struct {
 	data   []byte
 	mapped bool
+	// shared marks a sub-slice of a SpannedFile's mapping: the spanned
+	// file owns the memory, so Close is a no-op.
+	shared bool
 	rows   int
 	offs   [numCols]int
 }
@@ -245,15 +248,18 @@ func openSegment(path string) (*Segment, error) {
 		return nil, fmt.Errorf("flowstore: %s: %w", path, err)
 	}
 	s := &Segment{data: data, mapped: mapped}
-	if err := s.validate(path); err != nil {
+	if err := s.validate(path, false); err != nil {
 		s.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-// validate checks the header and both checksums against the mapped bytes.
-func (s *Segment) validate(path string) error {
+// validate checks the header and both checksums against the mapped
+// bytes. skipDataCRC elides the data-region pass for callers that have
+// already checksummed the segment's full byte image (a spanned file's
+// per-span CRC covers header and data together).
+func (s *Segment) validate(path string, skipDataCRC bool) error {
 	h := s.data[:headerSize]
 	if string(h[0:4]) != magic {
 		return fmt.Errorf("flowstore: %s: bad magic %q", path, h[0:4])
@@ -295,8 +301,10 @@ func (s *Segment) validate(path string) error {
 		}
 	}
 	s.offs = offs
-	if got := crc64.Checksum(s.data[headerSize:], crcTable); got != binary.LittleEndian.Uint64(h[24:32]) {
-		return fmt.Errorf("flowstore: %s: data checksum mismatch", path)
+	if !skipDataCRC {
+		if got := crc64.Checksum(s.data[headerSize:], crcTable); got != binary.LittleEndian.Uint64(h[24:32]) {
+			return fmt.Errorf("flowstore: %s: data checksum mismatch", path)
+		}
 	}
 	return nil
 }
@@ -367,8 +375,12 @@ func (s *Segment) Evicted() {
 }
 
 // Close releases the mapping (or the heap copy). View batches built from
-// the segment must not be used afterwards.
+// the segment must not be used afterwards. Closing a shared segment (a
+// span of a SpannedFile) is a no-op: the spanned file owns the mapping.
 func (s *Segment) Close() error {
+	if s.shared {
+		return nil
+	}
 	data, mapped := s.data, s.mapped
 	s.data, s.mapped, s.rows = nil, false, 0
 	return unmapFile(data, mapped)

@@ -13,10 +13,13 @@ import (
 // nil check, and Instrument can be called at any time, including while
 // segments are being written.
 type storeMetrics struct {
-	writes     *obs.Counter
-	writeBytes *obs.Counter
-	opens      *obs.Counter
-	openFails  *obs.Counter
+	writes       *obs.Counter
+	writeBytes   *obs.Counter
+	opens        *obs.Counter
+	openFails    *obs.Counter
+	compactions  *obs.Counter
+	spannedOpens *obs.Counter
+	spanFaults   *obs.Counter
 }
 
 var metricsPtr atomic.Pointer[storeMetrics]
@@ -37,6 +40,12 @@ func Instrument(reg *obs.Registry) {
 			"Segment files opened and verified (cache faults)."),
 		openFails: reg.Counter("lockdown_flowstore_open_failures_total",
 			"Segment opens rejected by validation (truncation, bad checksums)."),
+		compactions: reg.Counter("lockdown_flowstore_compactions_total",
+			"Spanned files written by segment compaction."),
+		spannedOpens: reg.Counter("lockdown_flowstore_spanned_opens_total",
+			"Spanned files opened and header/index-verified."),
+		spanFaults: reg.Counter("lockdown_flowstore_span_faults_total",
+			"Spans checksummed and served from opened spanned files."),
 	})
 }
 

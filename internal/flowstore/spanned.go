@@ -1,0 +1,470 @@
+package flowstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Spanned files merge many small per-hour segment files into one file
+// with an embedded index, so a long-lived cache pays one open + one
+// mmap + one header validation for a whole stretch of spilled hours
+// instead of one per hour:
+//
+//	┌────────────────────────────────────────────────────────────┐
+//	│ header page (4096 B): magic "LFSS", version, span count,   │
+//	│ index offset/size, CRC-64 of the index, CRC-64 of header   │
+//	├────────────────────────────────────────────────────────────┤
+//	│ index: span count × {offset u64, size u64, crc64 u64}      │
+//	├────────────────────────────────────────────────────────────┤
+//	│ span 0: a complete LFS1 segment image, page-aligned        │
+//	├────────────────────────────────────────────────────────────┤
+//	│ span 1: …                                                  │
+//	└────────────────────────────────────────────────────────────┘
+//
+// Every span is a byte-for-byte LFS1 segment starting on a page
+// boundary, which preserves the 64-byte blob alignment (so the
+// zero-copy column casts stay legal on a sub-slice of one mapping) and
+// makes Evicted's page-granular madvise valid per span. Opening the
+// file validates only the spanned header and the index checksum — no
+// pass over the span bytes; each span is verified lazily on first
+// fault (one CRC pass over that span only, covering its inner header
+// and data together) and memoized, so a month-walk experiment touching
+// hour h pays for hour h, not for the file.
+const (
+	spanMagic      = "LFSS"
+	spanVersion    = 1
+	spanAlign      = headerSize // page alignment for spans and their inner blobs
+	indexEntrySize = 24
+	// maxSpans bounds the span count against a corrupted header claiming
+	// an absurd index (the same plausibility role as the row-count bound
+	// of the segment validator).
+	maxSpans = 1 << 24
+)
+
+// alignSpan rounds n up to the span alignment.
+func alignSpan(n int64) int64 {
+	return (n + spanAlign - 1) &^ (spanAlign - 1)
+}
+
+type spanEntry struct {
+	off, size int64
+	crc       uint64
+}
+
+// SpannedFile is an opened, header-verified spanned file. Span bytes are
+// validated lazily by Span and served as shared sub-slice Segments of
+// the single mapping.
+type SpannedFile struct {
+	path   string
+	data   []byte
+	mapped bool
+
+	mu      sync.Mutex
+	entries []spanEntry
+	segs    []*Segment
+}
+
+// SpanSource reports what happened to one input of WriteSpanned: the
+// span index it landed in, or the validation error that excluded it.
+type SpanSource struct {
+	Path string
+	Span int // index in the spanned file; -1 when skipped
+	Err  error
+}
+
+// SpannedWriteResult summarises one WriteSpanned call.
+type SpannedWriteResult struct {
+	Sources []SpanSource // aligned with the input paths
+	Spans   int
+	Size    int64
+}
+
+// WriteSpanned merges the given segment files into one spanned file at
+// path, in input order. Damaged sources (any shape Open would reject)
+// are skipped, not fatal: their entries carry the error and the
+// surviving spans still compact — a cache with one corrupt spill keeps
+// its other hours. The file is assembled in memory and renamed into
+// place like Write. Reading the sources does not count as cache faults
+// (the opens/open_failures counters are untouched); the compaction
+// itself is counted once.
+func WriteSpanned(path string, srcs []string) (*SpannedWriteResult, error) {
+	res := &SpannedWriteResult{Sources: make([]SpanSource, len(srcs))}
+	type goodSrc struct {
+		idx  int
+		data []byte
+		seg  *Segment
+	}
+	var good []goodSrc
+	defer func() {
+		for _, g := range good {
+			g.seg.Close()
+		}
+	}()
+	for i, src := range srcs {
+		res.Sources[i] = SpanSource{Path: src, Span: -1}
+		seg, err := openSegment(src)
+		if err != nil {
+			res.Sources[i].Err = err
+			continue
+		}
+		good = append(good, goodSrc{idx: i, data: seg.data, seg: seg})
+	}
+	if len(good) == 0 {
+		return res, fmt.Errorf("flowstore: %s: no intact source segments to compact", path)
+	}
+
+	indexSize := int64(len(good) * indexEntrySize)
+	off := alignSpan(headerSize + indexSize)
+	entries := make([]spanEntry, len(good))
+	for k, g := range good {
+		entries[k] = spanEntry{off: off, size: int64(len(g.data))}
+		off = alignSpan(off + int64(len(g.data)))
+	}
+	size := off
+	buf := getWriteBuf(int(size))
+	defer writeBufPool.Put(buf)
+
+	for k, g := range good {
+		copy(buf[entries[k].off:], g.data)
+		entries[k].crc = crc64.Checksum(g.data, crcTable)
+		res.Sources[g.idx].Span = k
+	}
+
+	index := buf[headerSize : headerSize+indexSize]
+	for k, e := range entries {
+		binary.LittleEndian.PutUint64(index[k*indexEntrySize:], uint64(e.off))
+		binary.LittleEndian.PutUint64(index[k*indexEntrySize+8:], uint64(e.size))
+		binary.LittleEndian.PutUint64(index[k*indexEntrySize+16:], e.crc)
+	}
+
+	h := buf[:headerSize]
+	copy(h[0:4], spanMagic)
+	binary.LittleEndian.PutUint32(h[4:8], spanVersion)
+	binary.LittleEndian.PutUint64(h[8:16], uint64(len(good)))
+	binary.LittleEndian.PutUint64(h[16:24], headerSize)
+	binary.LittleEndian.PutUint64(h[24:32], uint64(indexSize))
+	binary.LittleEndian.PutUint64(h[32:40], crc64.Checksum(index, crcTable))
+	// The header CRC is computed with its own field zeroed (it is zero at
+	// this point), like the segment header.
+	binary.LittleEndian.PutUint64(h[40:48], crc64.Checksum(h, crcTable))
+
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return res, fmt.Errorf("flowstore: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return res, fmt.Errorf("flowstore: %w", err)
+	}
+	res.Spans = len(good)
+	res.Size = size
+	if m := metricsPtr.Load(); m != nil {
+		m.compactions.Add(1)
+	}
+	return res, nil
+}
+
+// OpenSpanned maps (or reads) a spanned file and verifies its header and
+// index. Span bytes are NOT verified here — that is Span's job, one span
+// at a time — so opening a multi-gigabyte compacted cache costs two CRC
+// passes over at most a few hundred kilobytes. Every rejection shape
+// (truncation, bad magic/version, header or index bit flips, implausible
+// or inconsistent index entries) counts as an open failure, like a
+// damaged segment.
+func OpenSpanned(path string) (*SpannedFile, error) {
+	sf, err := openSpanned(path)
+	if m := metricsPtr.Load(); m != nil {
+		if err != nil {
+			m.openFails.Add(1)
+		} else {
+			m.spannedOpens.Add(1)
+		}
+	}
+	return sf, err
+}
+
+func openSpanned(path string) (*SpannedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flowstore: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("flowstore: %w", err)
+	}
+	size := int(fi.Size())
+	if size < headerSize {
+		return nil, fmt.Errorf("flowstore: %s: truncated spanned header (%d bytes)", path, size)
+	}
+	data, mapped, err := mapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("flowstore: %s: %w", path, err)
+	}
+	sf := &SpannedFile{path: path, data: data, mapped: mapped}
+	if err := sf.validate(); err != nil {
+		sf.Close()
+		return nil, err
+	}
+	return sf, nil
+}
+
+func (sf *SpannedFile) validate() error {
+	path := sf.path
+	h := sf.data[:headerSize]
+	if string(h[0:4]) != spanMagic {
+		return fmt.Errorf("flowstore: %s: bad spanned magic %q", path, h[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(h[4:8]); v != spanVersion {
+		return fmt.Errorf("flowstore: %s: unsupported spanned version %d (want %d)", path, v, spanVersion)
+	}
+	wantHeaderCRC := binary.LittleEndian.Uint64(h[40:48])
+	hc := make([]byte, headerSize)
+	copy(hc, h)
+	for i := 40; i < 48; i++ {
+		hc[i] = 0
+	}
+	if got := crc64.Checksum(hc, crcTable); got != wantHeaderCRC {
+		return fmt.Errorf("flowstore: %s: spanned header checksum mismatch (file %#x, computed %#x)", path, wantHeaderCRC, got)
+	}
+	count := binary.LittleEndian.Uint64(h[8:16])
+	if count == 0 || count > maxSpans {
+		return fmt.Errorf("flowstore: %s: implausible span count %d", path, count)
+	}
+	indexOff := binary.LittleEndian.Uint64(h[16:24])
+	indexSize := binary.LittleEndian.Uint64(h[24:32])
+	if indexOff != headerSize || indexSize != count*indexEntrySize {
+		return fmt.Errorf("flowstore: %s: index geometry (off %d, size %d) does not match %d spans",
+			path, indexOff, indexSize, count)
+	}
+	if uint64(len(sf.data)) < headerSize+indexSize {
+		return fmt.Errorf("flowstore: %s: truncated index: file %d bytes, index needs %d",
+			path, len(sf.data), headerSize+indexSize)
+	}
+	index := sf.data[headerSize : headerSize+indexSize]
+	if got := crc64.Checksum(index, crcTable); got != binary.LittleEndian.Uint64(h[32:40]) {
+		return fmt.Errorf("flowstore: %s: index checksum mismatch", path)
+	}
+	entries := make([]spanEntry, count)
+	prevEnd := alignSpan(int64(headerSize) + int64(indexSize))
+	for k := range entries {
+		e := spanEntry{
+			off:  int64(binary.LittleEndian.Uint64(index[k*indexEntrySize:])),
+			size: int64(binary.LittleEndian.Uint64(index[k*indexEntrySize+8:])),
+			crc:  binary.LittleEndian.Uint64(index[k*indexEntrySize+16:]),
+		}
+		if e.off%spanAlign != 0 || e.off < prevEnd || e.size < headerSize || e.off+e.size > int64(len(sf.data)) {
+			return fmt.Errorf("flowstore: %s: span %d entry (off %d, size %d) out of bounds or misordered",
+				path, k, e.off, e.size)
+		}
+		prevEnd = e.off + e.size
+		entries[k] = e
+	}
+	sf.entries = entries
+	sf.segs = make([]*Segment, count)
+	return nil
+}
+
+// Spans returns the number of spans in the file.
+func (sf *SpannedFile) Spans() int { return len(sf.entries) }
+
+// Size returns the spanned file's size in bytes.
+func (sf *SpannedFile) Size() int64 { return int64(len(sf.data)) }
+
+// Path returns the file path the spanned file was opened from.
+func (sf *SpannedFile) Path() string { return sf.path }
+
+// Span verifies and returns span i as a shared Segment: its columns are
+// sub-slices of the spanned file's single mapping, its Close is a no-op
+// (the SpannedFile owns the mapping), and repeated calls return the
+// memoized value without re-checksumming. The one CRC pass on first
+// fault covers the span's full byte image — inner header and data
+// together — so the inner validation skips its own data-CRC pass and
+// only re-checks the structural header fields. A corrupted span counts
+// as an open failure and leaves every other span servable.
+func (sf *SpannedFile) Span(i int) (*Segment, error) {
+	seg, fresh, err := sf.span(i)
+	if m := metricsPtr.Load(); m != nil {
+		if err != nil {
+			m.openFails.Add(1)
+		} else if fresh {
+			m.spanFaults.Add(1)
+		}
+	}
+	return seg, err
+}
+
+func (sf *SpannedFile) span(i int) (*Segment, bool, error) {
+	if i < 0 || i >= len(sf.entries) {
+		return nil, false, fmt.Errorf("flowstore: %s: span %d out of range (%d spans)", sf.path, i, len(sf.entries))
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if sf.segs[i] != nil {
+		return sf.segs[i], false, nil
+	}
+	e := sf.entries[i]
+	blob := sf.data[e.off : e.off+e.size]
+	if got := crc64.Checksum(blob, crcTable); got != e.crc {
+		return nil, false, fmt.Errorf("flowstore: %s: span %d checksum mismatch", sf.path, i)
+	}
+	seg := &Segment{data: blob, mapped: sf.mapped, shared: true}
+	if err := seg.validate(fmt.Sprintf("%s[span %d]", sf.path, i), true); err != nil {
+		return nil, false, err
+	}
+	sf.segs[i] = seg
+	return seg, true, nil
+}
+
+// Evicted drops the resident pages of one span (page-aligned by format),
+// like Segment.Evicted for a standalone file.
+func (sf *SpannedFile) Evicted(i int) {
+	if i < 0 || i >= len(sf.entries) {
+		return
+	}
+	e := sf.entries[i]
+	adviseDontNeed(sf.data[e.off:e.off+e.size], sf.mapped)
+}
+
+// Close releases the mapping. Segments returned by Span — and view
+// batches built from them — must not be used afterwards.
+func (sf *SpannedFile) Close() error {
+	data, mapped := sf.data, sf.mapped
+	sf.data, sf.mapped = nil, false
+	sf.mu.Lock()
+	sf.entries, sf.segs = nil, nil
+	sf.mu.Unlock()
+	return unmapFile(data, mapped)
+}
+
+// ---- operator helpers behind `lockdown cache compact` / `stat` ----
+
+// SegmentExt and SpannedExt are the file extensions the directory
+// helpers recognise.
+const (
+	SegmentExt = ".lfs"
+	SpannedExt = ".lfss"
+)
+
+// DirStats summarises a cache directory for `lockdown cache stat`.
+type DirStats struct {
+	Segments     int   // intact standalone segment files
+	SegmentBytes int64 // their total size
+	SegmentsBad  int   // standalone segments failing validation
+	SpannedFiles int   // intact spanned files
+	SpannedBytes int64 // their total size
+	Spans        int   // spans across all intact spanned files
+	SpansBad     int   // spans failing their checksum
+	SpannedBad   int   // spanned files failing header/index validation
+	BadFiles     []string
+}
+
+// StatDir validates every segment and spanned file in dir and returns
+// the tallies. Validation here is complete (every span is checksummed) —
+// this is the operator's integrity check, not the lazy fault path — and
+// none of it touches the cache-fault metrics.
+func StatDir(dir string) (*DirStats, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("flowstore: %w", err)
+	}
+	st := &DirStats{}
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		switch {
+		case strings.HasSuffix(de.Name(), SpannedExt):
+			sf, err := openSpanned(path)
+			if err != nil {
+				st.SpannedBad++
+				st.BadFiles = append(st.BadFiles, path)
+				continue
+			}
+			st.SpannedFiles++
+			st.SpannedBytes += sf.Size()
+			for i := 0; i < sf.Spans(); i++ {
+				if _, _, err := sf.span(i); err != nil {
+					st.SpansBad++
+					st.BadFiles = append(st.BadFiles, fmt.Sprintf("%s[span %d]", path, i))
+					continue
+				}
+				st.Spans++
+			}
+			sf.Close()
+		case strings.HasSuffix(de.Name(), SegmentExt):
+			seg, err := openSegment(path)
+			if err != nil {
+				st.SegmentsBad++
+				st.BadFiles = append(st.BadFiles, path)
+				continue
+			}
+			st.Segments++
+			st.SegmentBytes += seg.Size()
+			seg.Close()
+		}
+	}
+	return st, nil
+}
+
+// CompactResult summarises one CompactDir call.
+type CompactResult struct {
+	Output  string
+	Spans   int
+	Size    int64
+	Removed int      // source files deleted after compaction
+	Skipped []string // damaged sources left in place
+}
+
+// CompactDir merges every standalone segment file in dir into one new
+// spanned file (sources in name order, so re-running is deterministic)
+// and removes the compacted sources. Damaged sources are skipped and
+// left in place for inspection. With no segment files present it
+// returns a nil result and no error — nothing to do.
+func CompactDir(dir string) (*CompactResult, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("flowstore: %w", err)
+	}
+	var srcs []string
+	for _, de := range names {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), SegmentExt) {
+			srcs = append(srcs, filepath.Join(dir, de.Name()))
+		}
+	}
+	if len(srcs) == 0 {
+		return nil, nil
+	}
+	sort.Strings(srcs)
+
+	// Pick a spanned name that does not collide with earlier compactions.
+	var out string
+	for n := 0; ; n++ {
+		out = filepath.Join(dir, fmt.Sprintf("compact-%06d%s", n, SpannedExt))
+		if _, err := os.Stat(out); os.IsNotExist(err) {
+			break
+		}
+	}
+	res, err := WriteSpanned(out, srcs)
+	if err != nil {
+		return nil, err
+	}
+	cr := &CompactResult{Output: out, Spans: res.Spans, Size: res.Size}
+	for _, s := range res.Sources {
+		if s.Span < 0 {
+			cr.Skipped = append(cr.Skipped, s.Path)
+			continue
+		}
+		if os.Remove(s.Path) == nil {
+			cr.Removed++
+		}
+	}
+	return cr, nil
+}

@@ -1,0 +1,458 @@
+package flowstore
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lockdown/internal/obs"
+)
+
+// writeHours writes n distinct segment files into dir and returns their
+// paths (in name order) and source batches.
+func writeHours(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	paths := make([]string, n)
+	for i := 0; i < n; i++ {
+		paths[i] = filepath.Join(dir, "hour-"+string(rune('a'+i))+SegmentExt)
+		if _, err := Write(paths[i], testBatch(50+i*13, int64(i)+100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+func TestSpannedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	srcs := writeHours(t, dir, 5)
+	out := filepath.Join(dir, "all"+SpannedExt)
+	res, err := WriteSpanned(out, srcs)
+	if err != nil {
+		t.Fatalf("WriteSpanned: %v", err)
+	}
+	if res.Spans != 5 {
+		t.Fatalf("Spans = %d, want 5", res.Spans)
+	}
+	for i, s := range res.Sources {
+		if s.Span != i || s.Err != nil {
+			t.Fatalf("source %d: span %d err %v", i, s.Span, s.Err)
+		}
+	}
+
+	sf, err := OpenSpanned(out)
+	if err != nil {
+		t.Fatalf("OpenSpanned: %v", err)
+	}
+	defer sf.Close()
+	if sf.Spans() != 5 {
+		t.Fatalf("Spans() = %d, want 5", sf.Spans())
+	}
+	for i, src := range srcs {
+		want := testBatch(50+i*13, int64(i)+100)
+		seg, err := sf.Span(i)
+		if err != nil {
+			t.Fatalf("Span(%d): %v", i, err)
+		}
+		view, _, err := seg.Batch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalBatches(t, want, view)
+		// Memoized: a second fault returns the same Segment.
+		again, err := sf.Span(i)
+		if err != nil || again != seg {
+			t.Fatalf("Span(%d) not memoized (%p vs %p, %v)", i, seg, again, err)
+		}
+		// Shared Close must be a no-op: the view stays valid.
+		if err := seg.Close(); err != nil {
+			t.Fatal(err)
+		}
+		equalBatches(t, want, view)
+		sf.Evicted(i) // advisory, page-aligned by format
+		equalBatches(t, want, view)
+		_ = src
+	}
+	if _, err := sf.Span(5); err == nil {
+		t.Fatal("out-of-range span must fail")
+	}
+	if _, err := sf.Span(-1); err == nil {
+		t.Fatal("negative span must fail")
+	}
+}
+
+// TestWriteSpannedSkipsDamaged: a corrupt source is skipped with a
+// per-source error, and the survivors still compact.
+func TestWriteSpannedSkipsDamaged(t *testing.T) {
+	dir := t.TempDir()
+	srcs := writeHours(t, dir, 3)
+	raw, err := os.ReadFile(srcs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+10] ^= 0xff
+	if err := os.WriteFile(srcs[1], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "all"+SpannedExt)
+	res, err := WriteSpanned(out, srcs)
+	if err != nil {
+		t.Fatalf("WriteSpanned: %v", err)
+	}
+	if res.Spans != 2 {
+		t.Fatalf("Spans = %d, want 2", res.Spans)
+	}
+	if res.Sources[1].Err == nil || res.Sources[1].Span != -1 {
+		t.Fatalf("damaged source not reported: %+v", res.Sources[1])
+	}
+	if res.Sources[0].Span != 0 || res.Sources[2].Span != 1 {
+		t.Fatalf("surviving spans misnumbered: %+v", res.Sources)
+	}
+
+	// All-damaged input is an error, not an empty spanned file.
+	if _, err := WriteSpanned(filepath.Join(dir, "none"+SpannedExt), srcs[1:2]); err == nil {
+		t.Fatal("WriteSpanned of only damaged sources must fail")
+	}
+}
+
+// resignSpannedHeader recomputes the header CRC after a targeted field
+// mutation, so validation reaches the check under test instead of
+// stopping at the checksum.
+func resignSpannedHeader(d []byte) {
+	for i := 40; i < 48; i++ {
+		d[i] = 0
+	}
+	binary.LittleEndian.PutUint64(d[40:48], crc64.Checksum(d[:headerSize], crcTable))
+}
+
+// TestSpannedCorruption asserts every damaged-spanned-file shape is
+// rejected — at OpenSpanned for header/index damage, at Span for span
+// damage — and that each rejection bumps open_failures (the same counter
+// a damaged standalone segment bumps).
+func TestSpannedCorruption(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "all"+SpannedExt)
+	if _, err := WriteSpanned(out, writeHours(t, dir, 3)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spansStart := int(alignSpan(headerSize + 3*indexEntrySize))
+
+	damage := map[string]func([]byte) []byte{
+		"empty":          func(d []byte) []byte { return nil },
+		"truncated-head": func(d []byte) []byte { return d[:64] },
+		"bad-magic":      func(d []byte) []byte { d[0] ^= 0xff; return d },
+		"bad-version": func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[4:8], 99)
+			resignSpannedHeader(d)
+			return d
+		},
+		"header-bitflip": func(d []byte) []byte { d[9] ^= 0x01; return d },
+		"zero-spans": func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[8:16], 0)
+			resignSpannedHeader(d)
+			return d
+		},
+		"implausible-spans": func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[8:16], maxSpans+1)
+			resignSpannedHeader(d)
+			return d
+		},
+		"index-geometry": func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[24:32], 7)
+			resignSpannedHeader(d)
+			return d
+		},
+		"index-bitflip": func(d []byte) []byte { d[headerSize+3] ^= 0x40; return d },
+		"truncated-spans": func(d []byte) []byte {
+			// Header and index intact, span bytes cut off: the entry
+			// bounds check must reject at open.
+			return d[:spansStart+100]
+		},
+	}
+
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+	fails := func() int64 {
+		return metricsPtr.Load().openFails.Value()
+	}
+
+	for name, mutate := range damage {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad"+SpannedExt)
+			if err := os.WriteFile(path, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			before := fails()
+			if sf, err := OpenSpanned(path); err == nil {
+				sf.Close()
+				t.Fatalf("OpenSpanned accepted a %s file", name)
+			}
+			if got := fails(); got != before+1 {
+				t.Fatalf("open_failures %d -> %d, want +1", before, got)
+			}
+		})
+	}
+
+	// Span-level damage: the file opens (header and index are intact),
+	// the damaged span fails at fault time, the other spans still serve.
+	t.Run("span-bitflip", func(t *testing.T) {
+		d := append([]byte(nil), raw...)
+		d[spansStart+headerSize+5] ^= 0x10 // inside span 0's data region
+		path := filepath.Join(t.TempDir(), "bad"+SpannedExt)
+		if err := os.WriteFile(path, d, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sf, err := OpenSpanned(path)
+		if err != nil {
+			t.Fatalf("OpenSpanned must accept span-level damage lazily: %v", err)
+		}
+		defer sf.Close()
+		before := fails()
+		if _, err := sf.Span(0); err == nil {
+			t.Fatal("Span(0) accepted a corrupted span")
+		}
+		if got := fails(); got != before+1 {
+			t.Fatalf("open_failures %d -> %d, want +1", before, got)
+		}
+		for i := 1; i < sf.Spans(); i++ {
+			if _, err := sf.Span(i); err != nil {
+				t.Fatalf("intact span %d rejected: %v", i, err)
+			}
+		}
+	})
+}
+
+// TestOpenFailureMetrics audits that every rejection shape of the
+// standalone Open — not just some — bumps open_failures exactly once.
+func TestOpenFailureMetrics(t *testing.T) {
+	pristine := writeSegment(t, testBatch(64, 77))
+	raw, err := os.ReadFile(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := map[string]func([]byte) []byte{
+		"missing":         nil,
+		"empty":           func(d []byte) []byte { return nil },
+		"truncated-head":  func(d []byte) []byte { return d[:100] },
+		"bad-magic":       func(d []byte) []byte { d[0] ^= 0xff; return d },
+		"bad-version":     func(d []byte) []byte { d[4] = 99; return d },
+		"header-bitflip":  func(d []byte) []byte { d[44] ^= 0x01; return d },
+		"data-bitflip":    func(d []byte) []byte { d[headerSize+32] ^= 0x80; return d },
+		"truncated-data":  func(d []byte) []byte { return d[:len(d)-64] },
+		"row-count-bumps": func(d []byte) []byte { d[8]++; return d },
+	}
+
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+	m := metricsPtr.Load()
+
+	for name, mutate := range damage {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.lfs")
+			if mutate != nil {
+				if err := os.WriteFile(path, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before, beforeOK := m.openFails.Value(), m.opens.Value()
+			if seg, err := Open(path); err == nil {
+				seg.Close()
+				t.Fatalf("Open accepted a %s segment", name)
+			}
+			if got := m.openFails.Value(); got != before+1 {
+				t.Fatalf("open_failures %d -> %d, want +1", before, got)
+			}
+			if got := m.opens.Value(); got != beforeOK {
+				t.Fatalf("opens moved on a failed open (%d -> %d)", beforeOK, got)
+			}
+		})
+	}
+
+	// And the success path bumps opens, not open_failures.
+	before, beforeOK := m.openFails.Value(), m.opens.Value()
+	seg, err := Open(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg.Close()
+	if m.openFails.Value() != before || m.opens.Value() != beforeOK+1 {
+		t.Fatal("successful Open must bump opens only")
+	}
+}
+
+func TestSpannedMetricsSuccessPath(t *testing.T) {
+	dir := t.TempDir()
+	srcs := writeHours(t, dir, 2)
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+	m := metricsPtr.Load()
+
+	out := filepath.Join(dir, "all"+SpannedExt)
+	if _, err := WriteSpanned(out, srcs); err != nil {
+		t.Fatal(err)
+	}
+	if m.compactions.Value() != 1 {
+		t.Fatalf("compactions = %d, want 1", m.compactions.Value())
+	}
+	// Compaction reads its sources without counting cache faults.
+	if m.opens.Value() != 0 || m.openFails.Value() != 0 {
+		t.Fatalf("compaction moved open counters (%d/%d)", m.opens.Value(), m.openFails.Value())
+	}
+
+	sf, err := OpenSpanned(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	if m.spannedOpens.Value() != 1 {
+		t.Fatalf("spanned_opens = %d, want 1", m.spannedOpens.Value())
+	}
+	if _, err := sf.Span(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.Span(0); err != nil { // memoized: no second fault
+		t.Fatal(err)
+	}
+	if _, err := sf.Span(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.spanFaults.Value() != 2 {
+		t.Fatalf("span_faults = %d, want 2 (memoized re-fault must not count)", m.spanFaults.Value())
+	}
+}
+
+func TestCompactAndStatDir(t *testing.T) {
+	dir := t.TempDir()
+	srcs := writeHours(t, dir, 4)
+
+	st, err := StatDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 4 || st.SpannedFiles != 0 || st.SegmentsBad != 0 {
+		t.Fatalf("pre-compaction stats: %+v", st)
+	}
+
+	cr, err := CompactDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Spans != 4 || cr.Removed != 4 || len(cr.Skipped) != 0 {
+		t.Fatalf("CompactDir: %+v", cr)
+	}
+	for _, s := range srcs {
+		if _, err := os.Stat(s); !os.IsNotExist(err) {
+			t.Fatalf("compacted source %s not removed", s)
+		}
+	}
+
+	st, err = StatDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 0 || st.SpannedFiles != 1 || st.Spans != 4 || st.SpansBad != 0 {
+		t.Fatalf("post-compaction stats: %+v", st)
+	}
+	if st.SpannedBytes == 0 {
+		t.Fatal("SpannedBytes must be non-zero")
+	}
+
+	// Nothing left to compact: nil result, no error, no new file.
+	cr, err = CompactDir(dir)
+	if err != nil || cr != nil {
+		t.Fatalf("idle CompactDir = %+v, %v", cr, err)
+	}
+
+	// A second round with new segments picks a fresh output name.
+	writeHours(t, dir, 2)
+	cr, err = CompactDir(dir)
+	if err != nil || cr == nil || cr.Spans != 2 {
+		t.Fatalf("second CompactDir = %+v, %v", cr, err)
+	}
+	st, err = StatDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpannedFiles != 2 || st.Spans != 6 {
+		t.Fatalf("stats after second compaction: %+v", st)
+	}
+}
+
+// TestCompactDirKeepsDamaged: a damaged segment is skipped, left on disk
+// for inspection, and reported by both CompactDir and StatDir.
+func TestCompactDirKeepsDamaged(t *testing.T) {
+	dir := t.TempDir()
+	srcs := writeHours(t, dir, 3)
+	raw, err := os.ReadFile(srcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize] ^= 0xff
+	if err := os.WriteFile(srcs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cr, err := CompactDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Spans != 2 || cr.Removed != 2 || len(cr.Skipped) != 1 || cr.Skipped[0] != srcs[0] {
+		t.Fatalf("CompactDir with damage: %+v", cr)
+	}
+	if _, err := os.Stat(srcs[0]); err != nil {
+		t.Fatal("damaged source must remain on disk")
+	}
+
+	st, err := StatDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsBad != 1 || st.SpannedFiles != 1 || st.Spans != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(st.BadFiles) != 1 || !strings.Contains(st.BadFiles[0], filepath.Base(srcs[0])) {
+		t.Fatalf("BadFiles: %v", st.BadFiles)
+	}
+}
+
+// TestSpannedPortableFallback: spans served from the heap fallback (as on
+// a host without mmap) round-trip identically.
+func TestSpannedPortableFallback(t *testing.T) {
+	orig := hostLE
+	defer func() { hostLE = orig }()
+
+	dir := t.TempDir()
+	srcs := writeHours(t, dir, 2)
+	out := filepath.Join(dir, "all"+SpannedExt)
+	if _, err := WriteSpanned(out, srcs); err != nil {
+		t.Fatal(err)
+	}
+
+	hostLE = false // force the decode-copy path inside span views
+	sf, err := OpenSpanned(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	for i := 0; i < 2; i++ {
+		seg, err := sf.Span(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view, _, err := seg.Batch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalBatches(t, testBatch(50+i*13, int64(i)+100), view)
+	}
+}

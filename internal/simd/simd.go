@@ -1,0 +1,178 @@
+// Package simd holds the scalar-coded, vector-shaped kernels behind the
+// hot column scans of the experiment suite: widening sums, masked sums
+// and dense scatter accumulation over uint8 lane arrays.
+//
+// There is no unsafe and no assembly here, on purpose. The gc compiler
+// does not auto-vectorize loops, but it rewards exactly one loop shape:
+// straight-line bodies with no branches, no calls, and no bounds checks,
+// over contiguous slices. Every kernel in this package is written in that
+// shape — four-way unrolled independent accumulators where the dependency
+// chain would otherwise serialise the adds, table loads instead of
+// compares, and arithmetic masks instead of data-dependent branches — so
+// the instruction selection improves transparently with GOAMD64 (v1
+// baseline vs v3's SSE4.2/AVX/BMI era) and the loops stay at the memory
+// bandwidth the container allows. The A/B numbers live in BENCH_pr10.json.
+//
+// Accumulator arrays are fixed-size (Lanes entries) and passed by array
+// pointer: indexing them with a uint8 lane needs no bounds check, the
+// arrays live on the caller's stack, and none of the kernels allocate —
+// the benchgate gates pin allocs/op at 0.
+//
+// Exactness rules (the suite's bit-identity contract leans on them):
+//
+//   - Integer kernels accumulate in uint64. Integer addition is
+//     associative at any magnitude, so partial sums merge exactly under
+//     every chunk grouping — unlike float64, which starts rounding once a
+//     sum crosses 2^53 (a busy week of byte volume does).
+//   - The float kernel (ScatterAddFloat64FromUint64) exists for the one
+//     API that documents float row-order accumulation; it adds in row
+//     order per lane, so its rounding behaviour is bit-identical to the
+//     historic per-row map writes, including beyond 2^53.
+package simd
+
+// Lanes is the size of every dense accumulator array. A lane index is a
+// uint8, so Lanes = 256 makes acc[lane] provably in bounds.
+const Lanes = 256
+
+// PairLanes sizes the accumulator of ScatterCountBytePairs: 16 hi-lanes
+// by 256 lo-lanes (see there for the masking that makes it provable).
+const PairLanes = 16 * 256
+
+// Tile is the row-tile length consumers use when staging lane indices:
+// classifiers fill a [Tile]uint8 scratch array per slice of rows, then
+// hand it to the scatter kernels. 4 KiB of lanes plus 32 KiB of values
+// stay resident in L1 between the classification pass and the
+// accumulation pass.
+const Tile = 4096
+
+// SumUint64 returns the sum of v. Four independent accumulators break
+// the loop-carried dependency chain so the adds pipeline.
+func SumUint64(v []uint64) uint64 {
+	var s0, s1, s2, s3 uint64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += v[i]
+		s1 += v[i+1]
+		s2 += v[i+2]
+		s3 += v[i+3]
+	}
+	for ; i < len(v); i++ {
+		s0 += v[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// WidenSumUint16 returns the sum of v with every element widened to
+// uint64 before adding, so the total cannot wrap (65535 × len(v) stays
+// far below 2^64 for any real column).
+func WidenSumUint16(v []uint16) uint64 {
+	var s0, s1, s2, s3 uint64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += uint64(v[i])
+		s1 += uint64(v[i+1])
+		s2 += uint64(v[i+2])
+		s3 += uint64(v[i+3])
+	}
+	for ; i < len(v); i++ {
+		s0 += uint64(v[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// ScatterAddUint64 performs acc[lanes[i]] += vals[i] for every i.
+// lanes and vals must have equal length; extra vals elements are ignored.
+func ScatterAddUint64(acc *[Lanes]uint64, lanes []uint8, vals []uint64) {
+	if len(vals) < len(lanes) {
+		lanes = lanes[:len(vals)]
+	}
+	vals = vals[:len(lanes)]
+	for i, l := range lanes {
+		acc[l] += vals[i]
+	}
+}
+
+// ScatterCount performs acc[lanes[i]]++ for every i.
+func ScatterCount(acc *[Lanes]uint64, lanes []uint8) {
+	for _, l := range lanes {
+		acc[l]++
+	}
+}
+
+// ScatterAddFloat64FromUint64 performs acc[lanes[i]] += float64(vals[i])
+// in row order. It is the float twin of ScatterAddUint64 for APIs that
+// promise bit-identity with historic per-row float accumulation: each
+// lane's partial sum sees its values in exactly the original row order,
+// so the rounding sequence — and therefore the result — is unchanged,
+// including past the 2^53 exactness boundary.
+func ScatterAddFloat64FromUint64(acc *[Lanes]float64, lanes []uint8, vals []uint64) {
+	if len(vals) < len(lanes) {
+		lanes = lanes[:len(vals)]
+	}
+	vals = vals[:len(lanes)]
+	for i, l := range lanes {
+		acc[l] += float64(vals[i])
+	}
+}
+
+// ScatterCountBytePairs performs acc[(hi[i]&15)<<8|lo[i]]++ for every i:
+// a two-dimensional count over a small hi lane (0-15, masked so the
+// index is provably below PairLanes) and a full byte lo lane. The
+// class×direction connection counts use it with class as hi and the raw
+// direction byte as lo.
+func ScatterCountBytePairs(acc *[PairLanes]uint64, hi, lo []uint8) {
+	if len(lo) < len(hi) {
+		hi = hi[:len(lo)]
+	}
+	lo = lo[:len(hi)]
+	for i, h := range hi {
+		acc[int(h&15)<<8|int(lo[i])]++
+	}
+}
+
+// MaskedSumUint64 returns the sum of vals[i] where lanes[i] == want,
+// using an arithmetic mask instead of a branch: the comparison becomes a
+// flag-set, the flag becomes an all-ones/all-zeros mask, and the add is
+// unconditional — nothing for the branch predictor to mispredict on
+// data-dependent lane patterns.
+func MaskedSumUint64(vals []uint64, lanes []uint8, want uint8) uint64 {
+	if len(vals) < len(lanes) {
+		lanes = lanes[:len(vals)]
+	}
+	vals = vals[:len(lanes)]
+	var sum uint64
+	for i, l := range lanes {
+		sum += vals[i] & -b2u(l == want)
+	}
+	return sum
+}
+
+// Select64 returns a when cond is true and b otherwise, compiled as a
+// conditional move (no branch).
+func Select64(cond bool, a, b uint64) uint64 {
+	m := -b2u(cond)
+	return (a & m) | (b &^ m)
+}
+
+// Select8 is Select64 over lane bytes.
+func Select8(cond bool, a, b uint8) uint8 {
+	m := -b2u8(cond)
+	return (a & m) | (b &^ m)
+}
+
+// b2u converts a bool to 0/1 without a branch (the compiler emits SETcc).
+func b2u(b bool) uint64 {
+	var v uint64
+	if b {
+		v = 1
+	}
+	return v
+}
+
+func b2u8(b bool) uint8 {
+	var v uint8
+	if b {
+		v = 1
+	}
+	return v
+}

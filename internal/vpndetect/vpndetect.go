@@ -11,6 +11,7 @@ import (
 	"lockdown/internal/dnsdb"
 	"lockdown/internal/flowrec"
 	"lockdown/internal/ports"
+	"lockdown/internal/simd"
 )
 
 // Method says how a flow was identified as VPN traffic.
@@ -38,10 +39,19 @@ func (m Method) String() string {
 	}
 }
 
+// laneCandidate marks TCP/443 rows in the lane scan: the port pass alone
+// cannot decide them (the answer depends on the address columns), so the
+// fixup pass resolves them to ByDomain or NotVPN against the candidate
+// set. Lanes 0-2 are the Method values themselves.
+const laneCandidate = 3
+
 // Detector classifies flow records as VPN traffic.
 type Detector struct {
 	vpnPorts   map[flowrec.PortProto]bool
 	candidates map[netip.Addr]bool
+	// lanes is the port table of the batch kernel: VPN ports to ByPort,
+	// TCP/443 to laneCandidate, everything else to NotVPN.
+	lanes *flowrec.PortLanes
 }
 
 // New builds a detector from the candidate address set (may be nil, in
@@ -50,10 +60,13 @@ func New(candidates map[netip.Addr]bool) *Detector {
 	d := &Detector{
 		vpnPorts:   make(map[flowrec.PortProto]bool),
 		candidates: candidates,
+		lanes:      flowrec.NewPortLanes(uint8(NotVPN)),
 	}
 	for _, p := range ports.VPNPorts() {
 		d.vpnPorts[p] = true
+		d.lanes.Set(p, uint8(ByPort))
 	}
+	d.lanes.Set(flowrec.PortProto{Proto: flowrec.ProtoTCP, Port: 443}, laneCandidate)
 	return d
 }
 
@@ -104,13 +117,64 @@ func (d *Detector) Split(recs []flowrec.Record) map[Method]float64 {
 	return out
 }
 
+// methodLanes runs the shared lane scan of the batch kernels over rows
+// [lo, hi): a bulk port-lane pass, then a fixup resolving laneCandidate
+// (TCP/443) rows against the candidate address set — a nil set resolves
+// them all to NotVPN, matching classify's nil guard. After it, every
+// lane is a Method value.
+func (d *Detector) methodLanes(b *flowrec.Batch, lo, hi int, lanes []uint8) {
+	b.ServerPortLanes(d.lanes, lo, hi, lanes)
+	src := b.SrcIP[lo:hi]
+	dst := b.DstIP[lo:hi]
+	dst = dst[:len(src)]
+	lanes = lanes[:len(src)]
+	for i, l := range lanes {
+		if l == laneCandidate {
+			m := uint8(NotVPN)
+			if d.candidates[src[i]] || d.candidates[dst[i]] {
+				m = uint8(ByDomain)
+			}
+			lanes[i] = m
+		}
+	}
+}
+
 // SplitBatch is Split over a columnar batch, scanning the port, address
 // and byte columns without materialising records. Accumulation order is
-// row order, so the sums are bit-identical to the record path.
+// row order, so the sums are bit-identical to the record path: the float
+// scatter kernel adds each lane's bytes in row order, exactly as the
+// per-row map writes did.
 func (d *Detector) SplitBatch(b *flowrec.Batch) map[Method]float64 {
-	out := map[Method]float64{NotVPN: 0, ByPort: 0, ByDomain: 0}
-	for i := 0; i < b.Len(); i++ {
-		out[d.ClassifyAt(b, i)] += float64(b.Bytes[i])
+	var acc [simd.Lanes]float64
+	var lanes [simd.Tile]uint8
+	n := b.Len()
+	for lo := 0; lo < n; lo += simd.Tile {
+		hi := min(lo+simd.Tile, n)
+		d.methodLanes(b, lo, hi, lanes[:hi-lo])
+		simd.ScatterAddFloat64FromUint64(&acc, lanes[:hi-lo], b.Bytes[lo:hi])
 	}
-	return out
+	return map[Method]float64{
+		NotVPN:   acc[NotVPN],
+		ByPort:   acc[ByPort],
+		ByDomain: acc[ByDomain],
+	}
+}
+
+// SplitBatchSums accumulates the batch's per-method byte volume into
+// sums as exact integers: index order is NotVPN, ByPort, ByDomain.
+// uint64 addition is associative, so partial sums from any hour or chunk
+// grouping merge exactly — the property the sharded experiment scans
+// need. This is the kernel the figure-11/12 aggregations run on.
+func (d *Detector) SplitBatchSums(sums *[3]uint64, b *flowrec.Batch) {
+	var acc [simd.Lanes]uint64
+	var lanes [simd.Tile]uint8
+	n := b.Len()
+	for lo := 0; lo < n; lo += simd.Tile {
+		hi := min(lo+simd.Tile, n)
+		d.methodLanes(b, lo, hi, lanes[:hi-lo])
+		simd.ScatterAddUint64(&acc, lanes[:hi-lo], b.Bytes[lo:hi])
+	}
+	sums[NotVPN] += acc[NotVPN]
+	sums[ByPort] += acc[ByPort]
+	sums[ByDomain] += acc[ByDomain]
 }
